@@ -1,0 +1,212 @@
+//! Scenario harness for the baseline registers, mirroring the API of
+//! `sbs_core::harness` so experiment E8 can drive all three register
+//! families identically.
+
+use crate::masking::{MaskingReader, MaskingServer, MaskingWriter};
+use crate::msg::BMsg;
+use crate::quiescent::QuiescentServer;
+use sbs_check::History;
+use sbs_core::harness::OpLog;
+use sbs_core::{ClientOut, Payload};
+use sbs_sim::{DelayModel, OpId, ProcessId, SimConfig, SimDuration, Simulation};
+
+const SETTLE_HORIZON: SimDuration = SimDuration::secs(600);
+
+/// Which baseline register family to deploy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Masking quorums, `n ≥ 4t + 1`, non-stabilizing.
+    Masking,
+    /// Quiescence-dependent cleaning, `n ≥ 5t + 1`.
+    Quiescent,
+}
+
+/// Builder for baseline deployments.
+#[derive(Clone, Debug)]
+pub struct BaselineBuilder {
+    kind: BaselineKind,
+    n: usize,
+    t: usize,
+    seed: u64,
+    delay: DelayModel,
+}
+
+impl BaselineBuilder {
+    /// Starts a builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is below the family's resilience bound.
+    #[allow(clippy::int_plus_one)] // keep the `n >= 4t+1` / `n >= 5t+1` forms
+    pub fn new(kind: BaselineKind, n: usize, t: usize) -> Self {
+        match kind {
+            BaselineKind::Masking => {
+                assert!(n >= 4 * t + 1, "masking quorums require n >= 4t+1")
+            }
+            BaselineKind::Quiescent => {
+                assert!(n >= 5 * t + 1, "the quiescent baseline requires n >= 5t+1")
+            }
+        }
+        BaselineBuilder {
+            kind,
+            n,
+            t,
+            seed: 1,
+            delay: DelayModel::Uniform {
+                lo: SimDuration::micros(50),
+                hi: SimDuration::millis(2),
+            },
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the link delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Builds the deployment.
+    pub fn build<V: Payload>(&self, initial: V) -> BaselineSwsr<V> {
+        let mut sim: Simulation<BMsg<V>, ClientOut<V>> =
+            Simulation::new(SimConfig::with_seed(self.seed));
+        let writer = sim.reserve_id();
+        let reader = sim.reserve_id();
+        let servers: Vec<ProcessId> = (0..self.n).map(|_| sim.reserve_id()).collect();
+        for &s in &servers {
+            sim.add_duplex(writer, s, self.delay.clone());
+            sim.add_duplex(reader, s, self.delay.clone());
+        }
+        if self.kind == BaselineKind::Quiescent {
+            // Cleaning gossip runs server-to-server.
+            for &a in &servers {
+                for &b in &servers {
+                    if a != b {
+                        sim.add_link(a, b, self.delay.clone());
+                    }
+                }
+            }
+        }
+        for &s in &servers {
+            match self.kind {
+                BaselineKind::Masking => {
+                    sim.add_node_at(s, MaskingServer::new(initial.clone()));
+                }
+                BaselineKind::Quiescent => {
+                    let peers: Vec<ProcessId> =
+                        servers.iter().copied().filter(|&p| p != s).collect();
+                    sim.add_node_at(s, QuiescentServer::new(initial.clone(), peers, self.t));
+                }
+            }
+        }
+        let accept_quorum = match self.kind {
+            BaselineKind::Masking => self.t + 1,
+            BaselineKind::Quiescent => 2 * self.t + 1,
+        };
+        sim.add_node_at(writer, MaskingWriter::<V>::new(servers.clone(), self.t));
+        sim.add_node_at(
+            reader,
+            MaskingReader::<V>::new(servers.clone(), self.t, accept_quorum),
+        );
+        BaselineSwsr {
+            kind: self.kind,
+            sim,
+            writer,
+            reader,
+            servers,
+            log: OpLog::new(),
+        }
+    }
+}
+
+/// A running baseline deployment.
+#[derive(Debug)]
+pub struct BaselineSwsr<V: Payload> {
+    /// Which family this is.
+    pub kind: BaselineKind,
+    /// The underlying simulation.
+    pub sim: Simulation<BMsg<V>, ClientOut<V>>,
+    /// The writer's process id.
+    pub writer: ProcessId,
+    /// The reader's process id.
+    pub reader: ProcessId,
+    /// The servers' process ids.
+    pub servers: Vec<ProcessId>,
+    log: OpLog<V>,
+}
+
+impl<V: Payload> BaselineSwsr<V> {
+    /// Invokes `write(v)`. Values must be unique across the run.
+    pub fn write(&mut self, v: V) -> OpId {
+        let now = self.sim.now();
+        let op = self.log.fresh(self.writer, now, Some(v.clone()));
+        self.sim
+            .with_node::<MaskingWriter<V>, _>(self.writer, |w, ctx| w.invoke_write(op, v, ctx));
+        op
+    }
+
+    /// Invokes `read()`.
+    pub fn read(&mut self) -> OpId {
+        let now = self.sim.now();
+        let op = self.log.fresh(self.reader, now, None);
+        self.sim
+            .with_node::<MaskingReader<V>, _>(self.reader, |r, ctx| r.invoke_read(op, ctx));
+        op
+    }
+
+    /// Runs for `d` of virtual time, then records completions. (The
+    /// quiescent family gossips forever, so `settle`-style full drain
+    /// never happens; run for bounded spans instead.)
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+        self.drain();
+    }
+
+    /// Runs until the queue drains or the horizon passes (only meaningful
+    /// for the masking family — see [`BaselineSwsr::run_for`]).
+    pub fn settle(&mut self) -> bool {
+        let quiet = self.sim.run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
+        self.drain();
+        quiet
+    }
+
+    /// Records completions emitted so far.
+    pub fn drain(&mut self) {
+        for (at, _pid, out) in self.sim.take_outputs() {
+            match out {
+                ClientOut::WriteDone { op } => self.log.complete(op, at, None),
+                ClientOut::ReadDone { op, value } => self.log.complete(op, at, Some(value)),
+            }
+        }
+    }
+
+    /// The completed-operation history.
+    pub fn history(&self) -> History<V> {
+        self.log.history()
+    }
+
+    /// Operations invoked but not yet completed.
+    pub fn pending_ops(&self) -> usize {
+        self.log.pending()
+    }
+
+    /// Applies a transient fault to every server *now*.
+    pub fn corrupt_all_servers(&mut self) {
+        let now = self.sim.now();
+        for s in self.servers.clone() {
+            self.sim.schedule_corruption(now, s);
+        }
+    }
+
+    /// Applies a transient fault to the writer and reader *now*.
+    pub fn corrupt_clients(&mut self) {
+        let now = self.sim.now();
+        self.sim.schedule_corruption(now, self.writer);
+        self.sim.schedule_corruption(now, self.reader);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sbs-baseline — the registers the paper is compared against
+//!
+//! Two baseline Byzantine-tolerant SWSR register constructions, used by
+//! experiment E8 to reproduce the related-work contrast drawn in the
+//! paper's introduction and conclusion:
+//!
+//! - [`MaskingWriter`]/[`MaskingReader`]/[`MaskingServer`] — a classical
+//!   masking-quorum regular register (`n ≥ 4t + 1`, à la Malkhi–Reiter).
+//!   Tolerates Byzantine servers, but is **not self-stabilizing**: one
+//!   transient fault that inflates server timestamps silences the writer
+//!   forever.
+//! - [`QuiescentServer`] (with the same clients, read quorum `2t + 1`,
+//!   `n ≥ 5t + 1`) — a stabilizing register in the spirit of the paper's
+//!   reference \[3\], whose repair runs only during **write-quiescent**
+//!   periods. It recovers from transient faults iff the writer pauses;
+//!   the paper's construction needs no such pause.
+//!
+//! Deploy either with [`BaselineBuilder`]; the resulting
+//! [`BaselineSwsr`] mirrors the `sbs_core::harness` API.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod harness;
+mod masking;
+mod msg;
+mod quiescent;
+
+pub use harness::{BaselineBuilder, BaselineKind, BaselineSwsr};
+pub use masking::{MaskingReader, MaskingServer, MaskingWriter};
+pub use msg::BMsg;
+pub use quiescent::{QuiescentServer, CLEANING_PERIOD};

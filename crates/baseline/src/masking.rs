@@ -1,0 +1,372 @@
+//! Baseline 1: a classical Byzantine masking-quorum SWSR regular register
+//! (à la Malkhi–Reiter), `n ≥ 4t + 1`, **not** self-stabilizing.
+//!
+//! The writer tags each write with an unbounded timestamp; a server adopts
+//! `(ts, v)` iff `ts` is strictly newer; a reader accepts the
+//! highest-timestamped pair reported identically by at least `t + 1`
+//! servers among `n − t` replies.
+//!
+//! The construction tolerates `t` Byzantine servers in fault-free runs,
+//! but a single transient fault can break it **forever**: corrupt the
+//! servers' timestamps to large random values and the writer's fresh
+//! timestamps are ignored by the adoption rule; no bounded mechanism ever
+//! re-synchronizes. Experiment E8 measures exactly this, against the
+//! paper's stabilizing register which recovers at the first post-fault
+//! write.
+
+use crate::msg::BMsg;
+use sbs_core::{ClientOut, Payload};
+use sbs_sim::{Context, DetRng, Node, OpId, ProcessId, SimDuration, TimerId};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// Retransmission period for client rounds (same role as in `sbs-core`).
+const RETRY: SimDuration = SimDuration::millis(50);
+
+/// The masking-quorum server: keeps the highest-timestamped pair.
+#[derive(Clone, Debug)]
+pub struct MaskingServer<V> {
+    ts: u64,
+    val: V,
+}
+
+impl<V: Payload> MaskingServer<V> {
+    /// Creates a server holding `(0, initial)`.
+    pub fn new(initial: V) -> Self {
+        MaskingServer { ts: 0, val: initial }
+    }
+
+    /// The stored pair (for assertions).
+    pub fn stored(&self) -> (u64, &V) {
+        (self.ts, &self.val)
+    }
+}
+
+impl<V: Payload> Node for MaskingServer<V> {
+    type Msg = BMsg<V>;
+    type Out = ClientOut<V>;
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BMsg<V>,
+        ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>,
+    ) {
+        match msg {
+            BMsg::Write { ts, val } => {
+                if ts > self.ts {
+                    self.ts = ts;
+                    self.val = val;
+                }
+                ctx.send(from, BMsg::AckWrite { ts });
+            }
+            BMsg::Read { rid } => {
+                ctx.send(
+                    from,
+                    BMsg::AckRead {
+                        rid,
+                        ts: self.ts,
+                        val: self.val.clone(),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_corrupt(&mut self, rng: &mut DetRng) {
+        self.ts = rng.next_u64();
+        self.val.scramble(rng);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The masking-quorum writer.
+#[derive(Clone, Debug)]
+pub struct MaskingWriter<V> {
+    servers: Vec<ProcessId>,
+    t: usize,
+    ts: u64,
+    pending: VecDeque<(OpId, V)>,
+    active: Option<ActiveWrite<V>>,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveWrite<V> {
+    op: OpId,
+    ts: u64,
+    val: V,
+    acks: usize,
+    timer: TimerId,
+}
+
+impl<V: Payload> MaskingWriter<V> {
+    /// Creates the writer.
+    pub fn new(servers: Vec<ProcessId>, t: usize) -> Self {
+        MaskingWriter {
+            servers,
+            t,
+            ts: 0,
+            pending: VecDeque::new(),
+            active: None,
+        }
+    }
+
+    /// Invokes `write(v)`.
+    pub fn invoke_write(
+        &mut self,
+        op: OpId,
+        v: V,
+        ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>,
+    ) {
+        self.pending.push_back((op, v));
+        self.try_start(ctx);
+    }
+
+    fn try_start(&mut self, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        if self.active.is_some() {
+            return;
+        }
+        let Some((op, v)) = self.pending.pop_front() else {
+            return;
+        };
+        self.ts += 1;
+        let ts = self.ts;
+        ctx.send_all(
+            self.servers.iter().copied(),
+            BMsg::Write {
+                ts,
+                val: v.clone(),
+            },
+        );
+        let timer = ctx.set_timer(RETRY);
+        self.active = Some(ActiveWrite {
+            op,
+            ts,
+            val: v,
+            acks: 0,
+            timer,
+        });
+    }
+}
+
+impl<V: Payload> Node for MaskingWriter<V> {
+    type Msg = BMsg<V>;
+    type Out = ClientOut<V>;
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: BMsg<V>,
+        ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>,
+    ) {
+        let BMsg::AckWrite { ts } = msg else { return };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        if ts != active.ts {
+            return;
+        }
+        active.acks += 1;
+        if active.acks >= self.servers.len() - self.t {
+            let done = self.active.take().expect("checked above");
+            ctx.cancel_timer(done.timer);
+            ctx.output(ClientOut::WriteDone { op: done.op });
+            self.try_start(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        // Retransmit the in-flight write (the server adoption rule and the
+        // ack counting are idempotent).
+        let servers = self.servers.clone();
+        if let Some(active) = self.active.as_mut() {
+            if active.timer == id {
+                ctx.send_all(
+                    servers,
+                    BMsg::Write {
+                        ts: active.ts,
+                        val: active.val.clone(),
+                    },
+                );
+                active.acks = 0;
+                active.timer = ctx.set_timer(RETRY);
+            }
+        }
+    }
+
+    fn on_corrupt(&mut self, rng: &mut DetRng) {
+        // The unbounded counter is the Achilles heel.
+        self.ts = rng.next_u64();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The masking-quorum reader. The acceptance quorum is `t + 1` for the
+/// `4t + 1` masking register and `2t + 1` for the `5t + 1` quiescent one.
+#[derive(Clone, Debug)]
+pub struct MaskingReader<V> {
+    servers: Vec<ProcessId>,
+    t: usize,
+    accept_quorum: usize,
+    next_rid: u64,
+    pending: VecDeque<OpId>,
+    active: Option<ActiveRead<V>>,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveRead<V> {
+    op: OpId,
+    rid: u64,
+    replies: HashMap<ProcessId, (u64, V)>,
+    timer: TimerId,
+}
+
+impl<V: Payload> MaskingReader<V> {
+    /// Creates the reader with acceptance quorum `accept_quorum`.
+    pub fn new(servers: Vec<ProcessId>, t: usize, accept_quorum: usize) -> Self {
+        MaskingReader {
+            servers,
+            t,
+            accept_quorum,
+            next_rid: 0,
+            pending: VecDeque::new(),
+            active: None,
+        }
+    }
+
+    /// Invokes `read()`.
+    pub fn invoke_read(&mut self, op: OpId, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        self.pending.push_back(op);
+        self.try_start(ctx);
+    }
+
+    fn try_start(&mut self, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        if self.active.is_some() {
+            return;
+        }
+        let Some(op) = self.pending.pop_front() else {
+            return;
+        };
+        self.start_round(op, ctx);
+    }
+
+    fn start_round(&mut self, op: OpId, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        self.next_rid += 1;
+        let rid = self.next_rid;
+        ctx.send_all(self.servers.iter().copied(), BMsg::Read { rid });
+        let timer = ctx.set_timer(RETRY);
+        self.active = Some(ActiveRead {
+            op,
+            rid,
+            replies: HashMap::new(),
+            timer,
+        });
+    }
+
+    /// The masking-quorum acceptance rule: among the replies, the
+    /// highest-timestamped pair reported identically by ≥ t+1 servers.
+    fn decide(&self) -> Option<V> {
+        let active = self.active.as_ref()?;
+        let mut counts: HashMap<(u64, &V), usize> = HashMap::new();
+        for (ts, v) in active.replies.values() {
+            *counts.entry((*ts, v)).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.accept_quorum)
+            .max_by_key(|&((ts, _), _)| ts)
+            .map(|((_, v), _)| v.clone())
+    }
+}
+
+impl<V: Payload> Node for MaskingReader<V> {
+    type Msg = BMsg<V>;
+    type Out = ClientOut<V>;
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BMsg<V>,
+        ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>,
+    ) {
+        let BMsg::AckRead { rid, ts, val } = msg else {
+            return;
+        };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        if rid != active.rid {
+            return;
+        }
+        active.replies.entry(from).or_insert((ts, val));
+        if active.replies.len() >= self.servers.len() - self.t {
+            if let Some(value) = self.decide() {
+                let done = self.active.take().expect("active");
+                ctx.cancel_timer(done.timer);
+                ctx.output(ClientOut::ReadDone { op: done.op, value });
+                self.try_start(ctx);
+            }
+            // No quorum on any pair: keep collecting; the retry timer will
+            // start a fresh round.
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
+        if let Some(active) = self.active.as_ref() {
+            if active.timer == id {
+                let op = active.op;
+                self.active = None;
+                self.start_round(op, ctx);
+            }
+        }
+    }
+
+    fn on_corrupt(&mut self, rng: &mut DetRng) {
+        self.next_rid = rng.next_u64() % (u64::MAX / 2);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_sim::{Effects, SimTime};
+
+    #[test]
+    fn server_adopts_only_newer_timestamps() {
+        let mut s = MaskingServer::new(0u64);
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut eff: Effects<BMsg<u64>, ClientOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut eff);
+        s.on_message(ProcessId(0), BMsg::Write { ts: 5, val: 50 }, &mut ctx);
+        assert_eq!(s.stored(), (5, &50));
+        s.on_message(ProcessId(0), BMsg::Write { ts: 3, val: 30 }, &mut ctx);
+        assert_eq!(s.stored(), (5, &50), "older timestamp rejected");
+    }
+
+    #[test]
+    fn corrupted_server_timestamp_blocks_future_writes() {
+        // The non-stabilization mechanism in miniature.
+        let mut s = MaskingServer::new(0u64);
+        let mut rng = DetRng::from_seed(2);
+        s.on_corrupt(&mut rng);
+        let (corrupt_ts, _) = s.stored();
+        assert!(corrupt_ts > 1_000_000, "seeded corruption lands high");
+        let mut nt = 0u64;
+        let mut eff: Effects<BMsg<u64>, ClientOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut eff);
+        s.on_message(ProcessId(0), BMsg::Write { ts: 1, val: 77 }, &mut ctx);
+        assert_ne!(s.stored().1, &77, "fresh write ignored forever");
+    }
+}

@@ -1,0 +1,78 @@
+//! Wire protocol shared by the baseline registers.
+//!
+//! Unlike the paper's constructions, the baselines use **unbounded**
+//! timestamps and round identifiers on the wire — which is precisely why
+//! they are not self-stabilizing: a transient fault can push a counter
+//! arbitrarily far and nothing bounded ever catches up with it.
+
+use sbs_core::Payload;
+use sbs_sim::Message;
+
+/// Baseline protocol messages.
+#[derive(Clone, Debug)]
+pub enum BMsg<V> {
+    /// Writer → servers: store `(ts, val)` if `ts` is newer.
+    Write {
+        /// Unbounded write timestamp.
+        ts: u64,
+        /// The value.
+        val: V,
+    },
+    /// Server → writer: acknowledges a write; carries the server's current
+    /// timestamp (informational).
+    AckWrite {
+        /// The timestamp being acknowledged.
+        ts: u64,
+    },
+    /// Reader → servers: a query round.
+    Read {
+        /// Unbounded round identifier (matches replies to queries).
+        rid: u64,
+    },
+    /// Server → reader: the server's current pair.
+    AckRead {
+        /// Echo of the query round.
+        rid: u64,
+        /// The server's current timestamp.
+        ts: u64,
+        /// The server's current value.
+        val: V,
+    },
+    /// Server ↔ server (quiescent baseline only): state exchange for the
+    /// cleaning round.
+    Gossip {
+        /// The sender's current timestamp.
+        ts: u64,
+        /// The sender's current value.
+        val: V,
+    },
+}
+
+impl<V: Payload> Message for BMsg<V> {
+    fn label(&self) -> &'static str {
+        match self {
+            BMsg::Write { .. } => "B_WRITE",
+            BMsg::AckWrite { .. } => "B_ACK_WRITE",
+            BMsg::Read { .. } => "B_READ",
+            BMsg::AckRead { .. } => "B_ACK_READ",
+            BMsg::Gossip { .. } => "B_GOSSIP",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(BMsg::Write { ts: 1, val: 2u64 }.label(), "B_WRITE");
+        assert_eq!(BMsg::<u64>::AckWrite { ts: 1 }.label(), "B_ACK_WRITE");
+        assert_eq!(BMsg::<u64>::Read { rid: 1 }.label(), "B_READ");
+        assert_eq!(
+            BMsg::AckRead { rid: 1, ts: 2, val: 3u64 }.label(),
+            "B_ACK_READ"
+        );
+        assert_eq!(BMsg::Gossip { ts: 1, val: 2u64 }.label(), "B_GOSSIP");
+    }
+}

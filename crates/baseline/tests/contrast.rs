@@ -1,0 +1,144 @@
+//! The E8 contrast, as tests: fault-free correctness of both baselines,
+//! the masking register's permanent failure after transient faults, and
+//! the quiescent register's recovery *only* under write quiescence.
+
+use sbs_baseline::{BaselineBuilder, BaselineKind, CLEANING_PERIOD};
+use sbs_check::check_regularity;
+use sbs_sim::SimDuration;
+
+#[test]
+fn masking_register_is_regular_without_faults() {
+    for seed in 0..5 {
+        let mut sys = BaselineBuilder::new(BaselineKind::Masking, 5, 1)
+            .seed(seed)
+            .build(0u64);
+        for v in 1..=8u64 {
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: write must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: read must terminate");
+        }
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn quiescent_register_is_regular_without_faults() {
+    for seed in 0..5 {
+        let mut sys = BaselineBuilder::new(BaselineKind::Quiescent, 6, 1)
+            .seed(seed)
+            .build(0u64);
+        for v in 1..=8u64 {
+            sys.write(v);
+            sys.run_for(SimDuration::millis(30));
+            sys.read();
+            sys.run_for(SimDuration::millis(30));
+        }
+        assert_eq!(sys.pending_ops(), 0, "seed {seed}: all ops complete");
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+/// The masking register never recovers from server-state corruption: the
+/// servers' timestamps land astronomically high (random u64), so the
+/// *correct* writer's fresh timestamps are ignored by the adoption rule,
+/// forever. (Corrupting the writer too actually *helps* this register —
+/// a random u64 usually beats the servers — so the pure server fault is
+/// the sharp case; experiment E8 sweeps both.)
+#[test]
+fn masking_register_stays_broken_after_corruption() {
+    let mut broken = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let mut sys = BaselineBuilder::new(BaselineKind::Masking, 5, 1)
+            .seed(seed)
+            .build(0u64);
+        sys.write(1);
+        sys.settle();
+        sys.corrupt_all_servers();
+        sys.run_for(SimDuration::millis(5));
+        // Many fresh writes — the stabilizing register would recover at
+        // the first one.
+        for v in 100..120u64 {
+            sys.write(v);
+            sys.run_for(SimDuration::millis(20));
+        }
+        sys.read();
+        sys.run_for(SimDuration::secs(2));
+        let h = sys.history();
+        let last_read = h.reads().last().map(|r| *r.kind.value());
+        // Recovery = the read completed with the latest written value.
+        let recovered = last_read == Some(119);
+        if !recovered {
+            broken += 1;
+        }
+    }
+    assert_eq!(
+        broken, trials,
+        "the masking register must stay broken after pure server corruption"
+    );
+}
+
+/// The quiescent register recovers — but only when the writer pauses long
+/// enough for a cleaning round to run.
+#[test]
+fn quiescent_register_recovers_only_with_quiescence() {
+    // (a) With a quiescent window: recovery.
+    let mut recovered_with_pause = 0;
+    // (b) Under continuous writes (every write marks rounds dirty): stuck.
+    let mut recovered_without_pause = 0;
+    let trials = 10;
+
+    for seed in 0..trials {
+        // --- (a) quiescent window ---
+        let mut sys = BaselineBuilder::new(BaselineKind::Quiescent, 6, 1)
+            .seed(seed)
+            .build(0u64);
+        sys.write(1);
+        sys.run_for(SimDuration::millis(30));
+        sys.corrupt_all_servers();
+        // Write-quiescent window: several cleaning periods.
+        sys.run_for(CLEANING_PERIOD * 6);
+        sys.write(100);
+        sys.run_for(SimDuration::millis(60));
+        sys.read();
+        sys.run_for(SimDuration::secs(2));
+        let h = sys.history();
+        if h.reads().last().map(|r| *r.kind.value()) == Some(100) {
+            recovered_with_pause += 1;
+        }
+
+        // --- (b) continuous writes ---
+        let mut sys = BaselineBuilder::new(BaselineKind::Quiescent, 6, 1)
+            .seed(seed)
+            .build(0u64);
+        sys.write(1);
+        sys.run_for(SimDuration::millis(30));
+        sys.corrupt_all_servers();
+        // Writes arrive faster than the cleaning period: every round is
+        // dirty, repair never runs.
+        let mut v = 100u64;
+        for _ in 0..40 {
+            sys.write(v);
+            v += 1;
+            sys.run_for(CLEANING_PERIOD / 2);
+        }
+        sys.read();
+        sys.run_for(SimDuration::secs(2));
+        let h = sys.history();
+        let last = h.reads().last().map(|r| *r.kind.value());
+        if last == Some(v - 1) {
+            recovered_without_pause += 1;
+        }
+    }
+    assert!(
+        recovered_with_pause >= trials * 7 / 10,
+        "quiescence should usually heal the register: {recovered_with_pause}/{trials}"
+    );
+    assert!(
+        recovered_without_pause <= trials / 2,
+        "continuous writes should usually prevent healing: {recovered_without_pause}/{trials}"
+    );
+}

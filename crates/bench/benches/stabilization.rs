@@ -1,0 +1,57 @@
+//! Criterion: end-to-end stabilization cost — the full
+//! corrupt-everything → first-write → verified-recovery cycle (the micro
+//! view of E2), plus the checker itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
+use sbs_core::harness::SwsrBuilder;
+use sbs_sim::{OpId, ProcessId, SimDuration, SimTime};
+
+fn bench_recovery_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_cycle");
+    for n in [9usize, 17] {
+        let t = (n - 1) / 8;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = SwsrBuilder::new(n, t).seed(3).build_regular(0u64);
+                sys.write(1);
+                sys.settle();
+                sys.corrupt_all_servers();
+                sys.run_for(SimDuration::millis(1));
+                sys.write(2);
+                assert!(sys.settle());
+                sys.read();
+                assert!(sys.settle());
+                sys.history().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_linearizability_checker(c: &mut Criterion) {
+    // A history with a 12-op concurrent segment — representative of the
+    // densest windows our workloads produce.
+    let mk = |id: u64, a: u64, b: u64, kind: OpKind<u64>| OpRecord {
+        client: ProcessId((id % 3) as u32),
+        op: OpId(id),
+        invoked: SimTime::from_nanos(a),
+        responded: SimTime::from_nanos(b),
+        kind,
+    };
+    let mut ops = vec![mk(0, 0, 2_000, OpKind::Write(1))];
+    for i in 0..11u64 {
+        ops.push(mk(1 + i, 100 + i, 1_900 - i, OpKind::Read(1)));
+    }
+    let h = History::new(ops);
+    c.bench_function("linearizability_12op_segment", |b| {
+        b.iter(|| {
+            check_linearizable(&h, &InitialState::Any)
+                .unwrap()
+                .linearizable
+        });
+    });
+}
+
+criterion_group!(benches, bench_recovery_cycle, bench_linearizability_checker);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p sbs-bench --bin experiments -- all
+//! cargo run --release -p sbs-bench --bin experiments -- e1 e4
+//! cargo run --release -p sbs-bench --bin experiments -- --seeds 50 e2
+//! ```
+
+use sbs_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 25;
+    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+        args.remove(pos);
+        if pos < args.len() {
+            seeds = args.remove(pos).parse().unwrap_or(25);
+        }
+    }
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match run_experiment(&id, seeds) {
+            Some(table) => {
+                println!("{}", table.render());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; valid: {ALL_EXPERIMENTS:?} or 'all'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Linearizability checking for read/write registers.
+//!
+//! The paper's *eventual atomicity* (§2.2) says that after `τ_stab` the
+//! merged read/write history is linearizable as a register. This module
+//! decides linearizability exactly:
+//!
+//! 1. The history is cut at **quiescent points** (instants where no
+//!    operation is in flight). Real-time order forces every operation
+//!    before a cut to linearize before every operation after it, so
+//!    segments can be checked independently, threading the set of feasible
+//!    final register values from one segment into the next.
+//! 2. Each segment is checked with a memoized Wing–Gong search: pick any
+//!    pending operation minimal in the real-time precedence order, apply
+//!    register semantics (a read must return the current value), and
+//!    memoize on `(linearized-set, register-value)`.
+//!
+//! Unique write values are required (see
+//! [`History::validate_unique_writes`]). Segments are capped at 64
+//! concurrent-component operations; the harness workloads stay far below
+//! this.
+
+use crate::history::{History, OpKind, OpRecord};
+use sbs_sim::SimTime;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// What the register may hold when a history (or segment) begins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InitialState<V> {
+    /// Completely unknown (arbitrary initial configuration): the first read
+    /// may return anything, which then becomes the register's value.
+    Any,
+    /// One of these concrete values.
+    OneOf(BTreeSet<V>),
+}
+
+/// Verdict of [`check_linearizable`].
+#[derive(Clone, Debug)]
+pub struct LinReport {
+    /// True if the whole history is linearizable as a register.
+    pub linearizable: bool,
+    /// Operations examined.
+    pub ops_checked: usize,
+    /// Number of quiescent segments.
+    pub segments: usize,
+    /// Index (in segment order) of the first segment with no valid
+    /// linearization, when not linearizable.
+    pub failed_segment: Option<usize>,
+}
+
+/// Checker errors (histories the checker cannot decide).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinError {
+    /// A segment has more than 64 operations; the memoized search uses a
+    /// 64-bit op mask. Reduce concurrency or insert quiescent points.
+    SegmentTooLarge {
+        /// Operations in the offending segment.
+        len: usize,
+    },
+    /// Two writes used the same value.
+    DuplicateWrites,
+}
+
+impl fmt::Display for LinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinError::SegmentTooLarge { len } => {
+                write!(f, "segment of {len} concurrent operations exceeds the 64-op cap")
+            }
+            LinError::DuplicateWrites => write!(f, "history writes duplicate values"),
+        }
+    }
+}
+
+impl std::error::Error for LinError {}
+
+/// Decides whether `h` is linearizable as a single register starting from
+/// `initial`.
+///
+/// # Errors
+///
+/// Returns [`LinError`] if the history has duplicate write values or a
+/// quiescent segment larger than 64 operations.
+pub fn check_linearizable<V>(
+    h: &History<V>,
+    initial: &InitialState<V>,
+) -> Result<LinReport, LinError>
+where
+    V: Clone + Eq + Hash + Ord + fmt::Debug,
+{
+    if h.validate_unique_writes().is_err() {
+        return Err(LinError::DuplicateWrites);
+    }
+    let segments = quiescent_segments(h.ops());
+    let mut incoming = match initial {
+        InitialState::Any => Feasible::Any,
+        InitialState::OneOf(s) => Feasible::OneOf(s.clone()),
+    };
+    for (i, seg) in segments.iter().enumerate() {
+        match segment_feasible(seg, &incoming)? {
+            Some(out) => incoming = out,
+            None => {
+                return Ok(LinReport {
+                    linearizable: false,
+                    ops_checked: h.len(),
+                    segments: segments.len(),
+                    failed_segment: Some(i),
+                })
+            }
+        }
+    }
+    Ok(LinReport {
+        linearizable: true,
+        ops_checked: h.len(),
+        segments: segments.len(),
+        failed_segment: None,
+    })
+}
+
+/// The measured atomic-stabilization point: the earliest quiescent boundary
+/// from which the rest of the history is linearizable. Returns the
+/// invocation time of the first operation of that suffix (`None` if even
+/// the final segment is broken).
+///
+/// The register contents at the boundary are grounded in the *full*
+/// history: the feasible values are those of prefix writes not superseded
+/// by a later completed prefix write. (Quiescent boundaries guarantee no
+/// operation spans the cut.) With no prefix write at all, the contents are
+/// arbitrary — the paper allows reads before the first post-fault write to
+/// return anything.
+///
+/// # Errors
+///
+/// Propagates [`LinError`] as [`check_linearizable`].
+pub fn atomic_stabilization_point<V>(h: &History<V>) -> Result<Option<SimTime>, LinError>
+where
+    V: Clone + Eq + Hash + Ord + fmt::Debug,
+{
+    if h.validate_unique_writes().is_err() {
+        return Err(LinError::DuplicateWrites);
+    }
+    let segments = quiescent_segments(h.ops());
+    // Walk boundaries from the earliest; the first suffix that checks out
+    // gives the stabilization point.
+    for b in 0..segments.len() {
+        let cut = segments[b][0].invoked;
+        let mut incoming = boundary_values(h, cut);
+        let mut ok = true;
+        for seg in &segments[b..] {
+            match segment_feasible(seg, &incoming)? {
+                Some(out) => incoming = out,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Ok(Some(cut));
+        }
+    }
+    Ok(None)
+}
+
+/// The register values feasible at instant `cut` (a quiescent boundary):
+/// every write completed before `cut` that is not strictly superseded by
+/// another write also completed before `cut`. `Any` when no write
+/// completed yet.
+fn boundary_values<V>(h: &History<V>, cut: SimTime) -> Feasible<V>
+where
+    V: Clone + Eq + Hash + Ord + fmt::Debug,
+{
+    let done: Vec<&OpRecord<V>> = h
+        .writes()
+        .filter(|w| w.responded < cut)
+        .collect();
+    if done.is_empty() {
+        return Feasible::Any;
+    }
+    let candidates: BTreeSet<V> = done
+        .iter()
+        .filter(|w| !done.iter().any(|w2| w.precedes(w2)))
+        .map(|w| w.kind.value().clone())
+        .collect();
+    Feasible::OneOf(candidates)
+}
+
+/// Feasible register contents at a segment boundary.
+#[derive(Clone, Debug)]
+enum Feasible<V> {
+    Any,
+    OneOf(BTreeSet<V>),
+}
+
+/// Splits ops (already sorted by invocation) at quiescent points: a new
+/// segment starts at op `i` when every earlier op responded strictly before
+/// op `i` was invoked.
+fn quiescent_segments<V>(ops: &[OpRecord<V>]) -> Vec<Vec<&OpRecord<V>>> {
+    let mut segments: Vec<Vec<&OpRecord<V>>> = Vec::new();
+    let mut current: Vec<&OpRecord<V>> = Vec::new();
+    let mut frontier: Option<SimTime> = None;
+    for op in ops {
+        if let Some(fr) = frontier {
+            if fr < op.invoked && !current.is_empty() {
+                segments.push(std::mem::take(&mut current));
+            }
+        }
+        frontier = Some(match frontier {
+            Some(fr) if fr > op.responded => fr,
+            _ => op.responded,
+        });
+        current.push(op);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Decides one segment. Returns the feasible final values over all valid
+/// linearizations (`None` if there is no valid linearization).
+fn segment_feasible<V>(
+    seg: &[&OpRecord<V>],
+    incoming: &Feasible<V>,
+) -> Result<Option<Feasible<V>>, LinError>
+where
+    V: Clone + Eq + Hash + Ord + fmt::Debug,
+{
+    if seg.len() > 64 {
+        return Err(LinError::SegmentTooLarge { len: seg.len() });
+    }
+    // Intern all values appearing in the segment plus incoming candidates.
+    let mut table: Vec<V> = Vec::new();
+    let mut index: HashMap<V, u32> = HashMap::new();
+    let intern = |v: &V, table: &mut Vec<V>, index: &mut HashMap<V, u32>| -> u32 {
+        if let Some(&i) = index.get(v) {
+            i
+        } else {
+            let i = table.len() as u32;
+            table.push(v.clone());
+            index.insert(v.clone(), i);
+            i
+        }
+    };
+    let op_vid: Vec<u32> = seg
+        .iter()
+        .map(|op| intern(op.kind.value(), &mut table, &mut index))
+        .collect();
+    // pred_mask[i] = ops that must be linearized before op i (real-time).
+    let pred_mask: Vec<u64> = seg
+        .iter()
+        .map(|op| {
+            let mut m = 0u64;
+            for (j, p) in seg.iter().enumerate() {
+                if p.responded < op.invoked {
+                    m |= 1 << j;
+                }
+            }
+            m
+        })
+        .collect();
+
+    // Starting states: each concrete incoming value, or Unknown for Any.
+    let starts: Vec<Option<u32>> = match incoming {
+        Feasible::Any => vec![None],
+        Feasible::OneOf(set) => set
+            .iter()
+            .map(|v| Some(intern(v, &mut table, &mut index)))
+            .collect(),
+    };
+
+    let full: u64 = if seg.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << seg.len()) - 1
+    };
+    let mut finals: BTreeSet<Option<u32>> = BTreeSet::new();
+    let mut visited: HashSet<(u64, Option<u32>)> = HashSet::new();
+
+    let search = Search {
+        seg,
+        op_vid: &op_vid,
+        pred_mask: &pred_mask,
+        full,
+    };
+    for start in starts {
+        search.dfs(0, start, &mut visited, &mut finals);
+    }
+
+    if finals.is_empty() {
+        return Ok(None);
+    }
+    if finals.contains(&None) {
+        return Ok(Some(Feasible::Any));
+    }
+    Ok(Some(Feasible::OneOf(
+        finals
+            .into_iter()
+            .flatten()
+            .map(|i| table[i as usize].clone())
+            .collect(),
+    )))
+}
+
+struct Search<'a, V> {
+    seg: &'a [&'a OpRecord<V>],
+    op_vid: &'a [u32],
+    pred_mask: &'a [u64],
+    full: u64,
+}
+
+impl<V> Search<'_, V>
+where
+    V: Clone + Eq + Hash + Ord + fmt::Debug,
+{
+    fn dfs(
+        &self,
+        mask: u64,
+        state: Option<u32>,
+        visited: &mut HashSet<(u64, Option<u32>)>,
+        finals: &mut BTreeSet<Option<u32>>,
+    ) {
+        if mask == self.full {
+            finals.insert(state);
+            return;
+        }
+        if !visited.insert((mask, state)) {
+            return;
+        }
+        for (i, op) in self.seg.iter().enumerate() {
+            let bit = 1u64 << i;
+            if mask & bit != 0 {
+                continue;
+            }
+            // `op` must be minimal among pending ops in real-time
+            // precedence: all its predecessors already linearized.
+            if self.pred_mask[i] & !mask != 0 {
+                continue;
+            }
+            let vid = self.op_vid[i];
+            match op.kind {
+                OpKind::Write(_) => {
+                    self.dfs(mask | bit, Some(vid), visited, finals);
+                }
+                OpKind::Read(_) => match state {
+                    Some(s) if s == vid => self.dfs(mask | bit, state, visited, finals),
+                    // Unknown initial: the first read pins the register.
+                    None => self.dfs(mask | bit, Some(vid), visited, finals),
+                    _ => {}
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::fixtures::{op, read, write};
+
+    fn any() -> InitialState<u64> {
+        InitialState::Any
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            read(2, 20, 30, 100),
+            write(3, 40, 50, 200),
+            read(4, 60, 70, 200),
+        ]);
+        let rep = check_linearizable(&h, &any()).unwrap();
+        assert!(rep.linearizable);
+        assert_eq!(rep.segments, 4);
+    }
+
+    #[test]
+    fn stale_sequential_read_fails() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 30, 200),
+            read(3, 40, 50, 100),
+        ]);
+        let rep = check_linearizable(&h, &any()).unwrap();
+        assert!(!rep.linearizable);
+        assert_eq!(rep.failed_segment, Some(2));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_side_of_a_write() {
+        // Read overlaps the write: both old and new values linearize.
+        for seen in [100u64, 200] {
+            let h = History::new(vec![
+                write(1, 0, 10, 100),
+                write(2, 20, 60, 200),
+                read(3, 30, 50, seen),
+            ]);
+            assert!(
+                check_linearizable(&h, &any()).unwrap().linearizable,
+                "value {seen} must be allowed"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_1_inversion_is_not_linearizable() {
+        // The new/old inversion of Figure 1: regular but not atomic.
+        let h = History::new(vec![
+            write(1, 0, 10, 0),
+            write(2, 20, 100, 1),
+            read(3, 30, 40, 1),
+            read(4, 50, 60, 0),
+        ]);
+        let rep = check_linearizable(&h, &any()).unwrap();
+        assert!(!rep.linearizable, "new/old inversion must be rejected");
+    }
+
+    #[test]
+    fn unknown_initial_pins_on_first_read() {
+        let h = History::new(vec![
+            read(1, 0, 10, 55),
+            read(2, 20, 30, 55), // consistent with pinned initial
+        ]);
+        assert!(check_linearizable(&h, &any()).unwrap().linearizable);
+        let h2 = History::new(vec![read(1, 0, 10, 55), read(2, 20, 30, 56)]);
+        assert!(
+            !check_linearizable(&h2, &any()).unwrap().linearizable,
+            "two sequential reads disagreeing on the initial value"
+        );
+    }
+
+    #[test]
+    fn concrete_initial_constrains_first_read() {
+        let h = History::new(vec![read(1, 0, 10, 55)]);
+        let ok = InitialState::OneOf(BTreeSet::from([55u64]));
+        let bad = InitialState::OneOf(BTreeSet::from([54u64]));
+        assert!(check_linearizable(&h, &ok).unwrap().linearizable);
+        assert!(!check_linearizable(&h, &bad).unwrap().linearizable);
+    }
+
+    #[test]
+    fn concurrent_writes_linearize_in_either_order() {
+        // Two overlapping writes by different clients; a later read may see
+        // either, but sequential reads must agree with a single order.
+        let h = History::new(vec![
+            op(0, 1, 0, 50, OpKind::Write(1u64)),
+            op(2, 2, 10, 60, OpKind::Write(2u64)),
+            read(3, 70, 80, 1), // w2 then w1 is a valid order
+        ]);
+        assert!(check_linearizable(&h, &any()).unwrap().linearizable);
+        let h2 = History::new(vec![
+            op(0, 1, 0, 50, OpKind::Write(1u64)),
+            op(2, 2, 10, 60, OpKind::Write(2u64)),
+            read(3, 70, 80, 1),
+            read(4, 90, 95, 2), // …but then flipping back to 2 is invalid
+        ]);
+        assert!(!check_linearizable(&h2, &any()).unwrap().linearizable);
+    }
+
+    #[test]
+    fn read_of_future_write_fails() {
+        let h = History::new(vec![read(1, 0, 10, 100), write(2, 20, 30, 100)]);
+        // The read pins initial to 100 — fine under Any…
+        assert!(check_linearizable(&h, &any()).unwrap().linearizable);
+        // …but impossible if the initial is known to be something else.
+        let init = InitialState::OneOf(BTreeSet::from([0u64]));
+        assert!(!check_linearizable(&h, &init).unwrap().linearizable);
+    }
+
+    #[test]
+    fn stabilization_point_skips_the_corrupt_prefix() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            read(2, 20, 30, 666),  // corrupted read pre-stabilization
+            write(3, 40, 50, 200),
+            read(4, 60, 70, 200),
+            read(5, 80, 90, 200),
+        ]);
+        assert!(!check_linearizable(&h, &any()).unwrap().linearizable);
+        let point = atomic_stabilization_point(&h).unwrap();
+        assert_eq!(point, Some(SimTime::from_nanos(40)));
+    }
+
+    #[test]
+    fn stabilization_point_none_when_tail_is_broken() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 30, 200),
+            read(3, 40, 50, 100), // stale at the very end
+        ]);
+        assert_eq!(atomic_stabilization_point(&h).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_writes_are_rejected() {
+        let h = History::new(vec![write(1, 0, 10, 7), write(2, 20, 30, 7)]);
+        assert_eq!(
+            check_linearizable(&h, &any()).unwrap_err(),
+            LinError::DuplicateWrites
+        );
+        assert_eq!(
+            atomic_stabilization_point(&h).unwrap_err(),
+            LinError::DuplicateWrites
+        );
+    }
+
+    #[test]
+    fn quiescent_segmentation_respects_overlap_chains() {
+        // op1 overlaps op2 overlaps op3 → one segment, even though op1 and
+        // op3 are disjoint.
+        let h = History::new(vec![
+            write(1, 0, 30, 1),
+            read(2, 20, 60, 1),
+            read(3, 40, 80, 1),
+        ]);
+        let segs = quiescent_segments(h.ops());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<u64> = History::new(vec![]);
+        let rep = check_linearizable(&h, &any()).unwrap();
+        assert!(rep.linearizable);
+        assert_eq!(rep.segments, 0);
+    }
+
+    #[test]
+    fn deep_concurrency_is_decided_quickly() {
+        // 16 concurrent reads over one write — stress the memoization.
+        let mut ops = vec![write(1, 0, 1000, 9)];
+        for i in 0..16u64 {
+            ops.push(read(10 + i, 10 + i, 900 + i, 9));
+        }
+        let h = History::new(ops);
+        assert!(check_linearizable(&h, &any()).unwrap().linearizable);
+    }
+}

@@ -1,0 +1,271 @@
+//! Operation histories: the raw material every checker consumes.
+//!
+//! A [`History`] is a set of completed client operations with their
+//! invocation/response intervals. Histories are produced by the scenario
+//! harness in `sbs-core` and judged by the checkers in this crate against
+//! the register specifications of the paper (§2.2).
+//!
+//! Checkers assume **unique write values** (every write writes a value
+//! never written before). The harnesses guarantee this by construction;
+//! [`History::validate_unique_writes`] enforces it.
+
+use sbs_sim::{OpId, ProcessId, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// What one completed operation did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKind<V> {
+    /// A write of `V`.
+    Write(V),
+    /// A read that returned `V`.
+    Read(V),
+}
+
+impl<V> OpKind<V> {
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write(_))
+    }
+
+    /// The value written or returned.
+    pub fn value(&self) -> &V {
+        match self {
+            OpKind::Write(v) | OpKind::Read(v) => v,
+        }
+    }
+}
+
+/// One completed operation with its real-time interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord<V> {
+    /// The invoking client.
+    pub client: ProcessId,
+    /// The operation id assigned at invocation.
+    pub op: OpId,
+    /// Invocation instant.
+    pub invoked: SimTime,
+    /// Response instant.
+    pub responded: SimTime,
+    /// What the operation was and which value it carried.
+    pub kind: OpKind<V>,
+}
+
+impl<V> OpRecord<V> {
+    /// True if `self` finished strictly before `other` began
+    /// ("`self` happens before `other`").
+    pub fn precedes(&self, other: &OpRecord<V>) -> bool {
+        self.responded < other.invoked
+    }
+
+    /// True if the two operations overlap in time.
+    pub fn concurrent_with(&self, other: &OpRecord<V>) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+/// A set of completed operations, sorted by invocation time.
+#[derive(Clone, Debug)]
+pub struct History<V> {
+    ops: Vec<OpRecord<V>>,
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> History<V> {
+    /// Builds a history; records are sorted by `(invoked, responded, op)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record has `responded < invoked`.
+    pub fn new(mut ops: Vec<OpRecord<V>>) -> Self {
+        for r in &ops {
+            assert!(
+                r.invoked <= r.responded,
+                "operation {} responds before it is invoked",
+                r.op
+            );
+        }
+        ops.sort_by(|a, b| {
+            a.invoked
+                .cmp(&b.invoked)
+                .then(a.responded.cmp(&b.responded))
+                .then(a.op.cmp(&b.op))
+        });
+        History { ops }
+    }
+
+    /// All operations, sorted by invocation.
+    pub fn ops(&self) -> &[OpRecord<V>] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The writes, in invocation order.
+    pub fn writes(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.ops.iter().filter(|r| r.kind.is_write())
+    }
+
+    /// The reads, in invocation order.
+    pub fn reads(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.ops.iter().filter(|r| !r.kind.is_write())
+    }
+
+    /// Only the operations invoked at or after `cutoff` (used to judge the
+    /// post-stabilization suffix of a run).
+    pub fn suffix(&self, cutoff: SimTime) -> History<V> {
+        History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|r| r.invoked >= cutoff)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Errors if two writes wrote the same value — the checkers require
+    /// unique write values to identify which write a read observed.
+    pub fn validate_unique_writes(&self) -> Result<(), DuplicateWrite<V>> {
+        let mut seen: HashMap<&V, OpId> = HashMap::new();
+        for w in self.writes() {
+            if let Some(&first) = seen.get(w.kind.value()) {
+                return Err(DuplicateWrite {
+                    value: w.kind.value().clone(),
+                    first,
+                    second: w.op,
+                });
+            }
+            seen.insert(w.kind.value(), w.op);
+        }
+        Ok(())
+    }
+
+    /// Maps each written value to the index of its write in invocation
+    /// order. Reads of unwritten values map to `None`.
+    pub fn write_index(&self) -> HashMap<V, usize> {
+        self.writes()
+            .enumerate()
+            .map(|(i, w)| (w.kind.value().clone(), i))
+            .collect()
+    }
+}
+
+/// Two writes carried the same value; checker verdicts would be ambiguous.
+#[derive(Clone, Debug)]
+pub struct DuplicateWrite<V> {
+    /// The duplicated value.
+    pub value: V,
+    /// The first write of that value.
+    pub first: OpId,
+    /// The offending second write.
+    pub second: OpId,
+}
+
+impl<V: fmt::Debug> fmt::Display for DuplicateWrite<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {:?} written by both {} and {}",
+            self.value, self.first, self.second
+        )
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for DuplicateWrite<V> {}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+
+    /// Builds a record with explicit times; `client` defaults to p0 for
+    /// writes and p1 for reads in most tests.
+    pub fn op<V>(client: u32, op_id: u64, invoked: u64, responded: u64, kind: OpKind<V>) -> OpRecord<V> {
+        OpRecord {
+            client: ProcessId(client),
+            op: OpId(op_id),
+            invoked: SimTime::from_nanos(invoked),
+            responded: SimTime::from_nanos(responded),
+            kind,
+        }
+    }
+
+    pub fn write(id: u64, invoked: u64, responded: u64, v: u64) -> OpRecord<u64> {
+        op(0, id, invoked, responded, OpKind::Write(v))
+    }
+
+    pub fn read(id: u64, invoked: u64, responded: u64, v: u64) -> OpRecord<u64> {
+        op(1, id, invoked, responded, OpKind::Read(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn history_sorts_by_invocation() {
+        let h = History::new(vec![read(2, 50, 60, 1), write(1, 0, 10, 1)]);
+        assert_eq!(h.len(), 2);
+        assert!(h.ops()[0].kind.is_write());
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn precedence_and_concurrency() {
+        let a = write(1, 0, 10, 1);
+        let b = read(2, 20, 30, 1);
+        let c = read(3, 5, 25, 1);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(a.concurrent_with(&c));
+        assert!(c.concurrent_with(&b));
+    }
+
+    #[test]
+    fn suffix_filters_by_invocation_time() {
+        let h = History::new(vec![write(1, 0, 10, 1), read(2, 50, 60, 1)]);
+        let s = h.suffix(SimTime::from_nanos(20));
+        assert_eq!(s.len(), 1);
+        assert!(!s.ops()[0].kind.is_write());
+    }
+
+    #[test]
+    fn unique_writes_validation() {
+        let ok = History::new(vec![write(1, 0, 10, 1), write(2, 20, 30, 2)]);
+        assert!(ok.validate_unique_writes().is_ok());
+        let bad = History::new(vec![write(1, 0, 10, 7), write(2, 20, 30, 7)]);
+        let err = bad.validate_unique_writes().unwrap_err();
+        assert_eq!(err.value, 7);
+        assert!(format!("{err}").contains("written by both"));
+    }
+
+    #[test]
+    fn write_index_is_in_invocation_order() {
+        let h = History::new(vec![
+            write(2, 20, 30, 8),
+            write(1, 0, 10, 7),
+            read(3, 40, 50, 8),
+        ]);
+        let idx = h.write_index();
+        assert_eq!(idx[&7], 0);
+        assert_eq!(idx[&8], 1);
+        assert_eq!(h.writes().count(), 2);
+        assert_eq!(h.reads().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "responds before it is invoked")]
+    fn rejects_negative_intervals() {
+        History::new(vec![write(1, 10, 5, 1)]);
+    }
+}

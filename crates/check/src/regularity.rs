@@ -1,0 +1,335 @@
+//! Regular-register checking and new/old-inversion detection.
+//!
+//! A regular register (paper §2.2, after Lamport) requires every read to
+//! return the value of (a) the last write that completed before the read
+//! began, or (b) a write concurrent with the read. The *stabilizing* version
+//! only requires this for reads invoked after an (unknown) stabilization
+//! time; [`RegularityReport::first_clean_from`] recovers that time from an
+//! execution, which is how the experiments measure `τ_stab`.
+//!
+//! New/old inversions (Figure 1) are the anomaly that separates regular
+//! from atomic: two sequential reads returning values in the reverse of
+//! their write order. [`count_inversions`] detects them per client.
+
+use crate::history::{History, OpKind, OpRecord};
+use sbs_sim::{OpId, ProcessId, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// One read that returned a value outside its allowed set.
+#[derive(Clone, Debug)]
+pub struct RegularityViolation<V> {
+    /// The offending read.
+    pub read: OpId,
+    /// The reading client.
+    pub client: ProcessId,
+    /// When the read was invoked.
+    pub invoked: SimTime,
+    /// What it returned.
+    pub returned: V,
+    /// The values it was allowed to return (last preceding write +
+    /// concurrent writes, or the initial set when no write precedes).
+    pub allowed: Vec<V>,
+}
+
+/// Outcome of [`check_regularity`].
+#[derive(Clone, Debug)]
+pub struct RegularityReport<V> {
+    /// Reads examined.
+    pub reads_checked: usize,
+    /// All violations, in read-invocation order.
+    pub violations: Vec<RegularityViolation<V>>,
+    /// Invocation time of the first read from which every later read
+    /// (itself included) is violation-free; `None` if the final read
+    /// violates. This is the measured stabilization point `τ_stab`.
+    pub first_clean_from: Option<SimTime>,
+}
+
+impl<V> RegularityReport<V> {
+    /// True if no read violated regularity.
+    pub fn is_regular(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks every read in `h` against the regular-register specification.
+///
+/// `initial` is the set of values a read may return when *no* write
+/// precedes or overlaps it (normally the register's initial value; empty
+/// means such reads are unconstrained, which is the right setting before
+/// the first post-fault write where the paper allows arbitrary values).
+pub fn check_regularity<V>(h: &History<V>, initial: &[V]) -> RegularityReport<V>
+where
+    V: Clone + Eq + Hash + fmt::Debug,
+{
+    let writes: Vec<&OpRecord<V>> = h.writes().collect();
+    let mut violations = Vec::new();
+    let mut reads_checked = 0;
+    let mut last_clean_candidate: Option<SimTime> = None;
+    let mut clean_streak_start: Option<SimTime> = None;
+
+    for r in h.reads() {
+        reads_checked += 1;
+        let allowed = allowed_values(r, &writes, initial);
+        let ok = allowed.is_empty() || allowed.contains(r.kind.value());
+        if ok {
+            if clean_streak_start.is_none() {
+                clean_streak_start = Some(r.invoked);
+            }
+        } else {
+            violations.push(RegularityViolation {
+                read: r.op,
+                client: r.client,
+                invoked: r.invoked,
+                returned: r.kind.value().clone(),
+                allowed,
+            });
+            clean_streak_start = None;
+        }
+        last_clean_candidate = clean_streak_start;
+    }
+
+    RegularityReport {
+        reads_checked,
+        violations,
+        first_clean_from: last_clean_candidate,
+    }
+}
+
+/// The set of values read `r` may return under regularity: the last write
+/// that completed before `r` began (or the initial contents when no write
+/// precedes `r`), plus every write concurrent with `r`.
+///
+/// With no preceding write and an *empty* `initial`, the read is
+/// unconstrained (empty result): the register's pre-write contents are
+/// arbitrary, exactly the paper's "before stabilization reads can return
+/// arbitrary values".
+fn allowed_values<V>(r: &OpRecord<V>, writes: &[&OpRecord<V>], initial: &[V]) -> Vec<V>
+where
+    V: Clone + Eq,
+{
+    // Last write (by invocation order) that completed before r began.
+    let mut last_prev: Option<&OpRecord<V>> = None;
+    for w in writes {
+        if w.precedes(r) {
+            last_prev = Some(w);
+        }
+    }
+    let mut allowed: Vec<V> = Vec::new();
+    match last_prev {
+        Some(w) => allowed.push(w.kind.value().clone()),
+        // No preceding write: the register still holds its initial
+        // contents. An empty `initial` means "anything" — report the read
+        // as unconstrained regardless of concurrent writes.
+        None => {
+            if initial.is_empty() {
+                return Vec::new();
+            }
+            allowed.extend(initial.iter().cloned());
+        }
+    }
+    for w in writes {
+        if w.concurrent_with(r) {
+            let v = w.kind.value().clone();
+            if !allowed.contains(&v) {
+                allowed.push(v);
+            }
+        }
+    }
+    allowed
+}
+
+/// One new/old inversion: an earlier read saw a newer write than a later
+/// read of the same client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inversion {
+    /// The earlier read (which returned the newer value).
+    pub first_read: OpId,
+    /// The later read (which returned the older value).
+    pub second_read: OpId,
+    /// Write-order index returned by the earlier read.
+    pub newer_index: usize,
+    /// Write-order index returned by the later read.
+    pub older_index: usize,
+}
+
+/// Counts new/old inversions among each client's sequential reads.
+///
+/// A pair of reads `r1`, `r2` of the same client with
+/// `r1.responded < r2.invoked` is inverted when `r2` returns a value
+/// written strictly before the value `r1` returned (write order = write
+/// invocation order, which is the issue order of the sequential writer).
+/// Reads returning unwritten (corrupted) values are ignored here — they are
+/// regularity violations, reported by [`check_regularity`].
+pub fn count_inversions<V>(h: &History<V>) -> Vec<Inversion>
+where
+    V: Clone + Eq + Hash + fmt::Debug,
+{
+    let windex = h.write_index();
+    let mut per_client: HashMap<ProcessId, Vec<(&OpRecord<V>, usize)>> = HashMap::new();
+    for r in h.reads() {
+        if let OpKind::Read(v) = &r.kind {
+            if let Some(&i) = windex.get(v) {
+                per_client.entry(r.client).or_default().push((r, i));
+            }
+        }
+    }
+    let mut inversions = Vec::new();
+    for (_, reads) in per_client {
+        for (a, &(r1, i1)) in reads.iter().enumerate() {
+            for &(r2, i2) in &reads[a + 1..] {
+                if r1.precedes(r2) && i2 < i1 {
+                    inversions.push(Inversion {
+                        first_read: r1.op,
+                        second_read: r2.op,
+                        newer_index: i1,
+                        older_index: i2,
+                    });
+                }
+            }
+        }
+    }
+    inversions.sort_by_key(|i| (i.first_read, i.second_read));
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::fixtures::{read, write};
+
+    #[test]
+    fn sequential_reads_must_return_last_write() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 30, 200),
+            read(3, 40, 50, 200), // ok: last completed write
+        ]);
+        let rep = check_regularity(&h, &[]);
+        assert!(rep.is_regular());
+        assert_eq!(rep.reads_checked, 1);
+        assert_eq!(rep.first_clean_from, Some(SimTime::from_nanos(40)));
+    }
+
+    #[test]
+    fn stale_read_is_a_violation() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 30, 200),
+            read(3, 40, 50, 100), // stale: 200 was completely written first
+        ]);
+        let rep = check_regularity(&h, &[]);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].returned, 100);
+        assert_eq!(rep.violations[0].allowed, vec![200]);
+        assert_eq!(rep.first_clean_from, None);
+    }
+
+    #[test]
+    fn concurrent_write_values_are_allowed() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 60, 200),  // concurrent with the read
+            read(3, 30, 50, 200),   // may see the in-flight write
+            read(4, 70, 80, 100),   // read after? no—write 200 completed at 60, so this IS stale
+        ]);
+        let rep = check_regularity(&h, &[]);
+        // read 3 ok (concurrent), read 4 violates (200 completed before it).
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].read, OpId(4));
+    }
+
+    #[test]
+    fn old_value_during_concurrency_is_also_allowed() {
+        // While a write is in flight, the previous value remains legal.
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            write(2, 20, 60, 200),
+            read(3, 30, 50, 100),
+        ]);
+        let rep = check_regularity(&h, &[]);
+        assert!(rep.is_regular());
+    }
+
+    #[test]
+    fn unwritten_value_is_a_violation() {
+        let h = History::new(vec![write(1, 0, 10, 100), read(2, 20, 30, 666)]);
+        let rep = check_regularity(&h, &[]);
+        assert_eq!(rep.violations.len(), 1);
+    }
+
+    #[test]
+    fn reads_before_any_write_use_the_initial_set() {
+        let h = History::new(vec![read(1, 0, 5, 42), write(2, 10, 20, 100)]);
+        let constrained = check_regularity(&h, &[42]);
+        assert!(constrained.is_regular());
+        let constrained_bad = check_regularity(&h, &[7]);
+        assert_eq!(constrained_bad.violations.len(), 1);
+        // Empty initial set = unconstrained pre-write reads (the paper's
+        // "arbitrary values before stabilization").
+        let unconstrained = check_regularity(&h, &[]);
+        assert!(unconstrained.is_regular());
+    }
+
+    #[test]
+    fn first_clean_from_is_after_the_last_violation() {
+        let h = History::new(vec![
+            write(1, 0, 10, 100),
+            read(2, 20, 30, 666),  // violation (pre-stabilization garbage)
+            read(3, 40, 50, 100),  // clean from here on
+            read(4, 60, 70, 100),
+        ]);
+        let rep = check_regularity(&h, &[]);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.first_clean_from, Some(SimTime::from_nanos(40)));
+    }
+
+    #[test]
+    fn inversion_detection_matches_figure_1() {
+        // Figure 1: w(0) completes; w(1) concurrent with read1 which returns
+        // 1; then read2 (after read1) returns 0 — a new/old inversion, yet
+        // each read individually satisfies regularity.
+        let h = History::new(vec![
+            write(1, 0, 10, 0),
+            write(2, 20, 100, 1),
+            read(3, 30, 40, 1),
+            read(4, 50, 60, 0),
+        ]);
+        let rep = check_regularity(&h, &[]);
+        assert!(rep.is_regular(), "both reads are individually regular");
+        let inv = count_inversions(&h);
+        assert_eq!(
+            inv,
+            vec![Inversion {
+                first_read: OpId(3),
+                second_read: OpId(4),
+                newer_index: 1,
+                older_index: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn no_inversion_between_concurrent_reads() {
+        // Reads by *different* clients that overlap are not ordered, so no
+        // inversion is counted across clients.
+        let h = History::new(vec![
+            write(1, 0, 10, 0),
+            write(2, 20, 100, 1),
+            crate::history::fixtures::op(1, 3, 30, 40, OpKind::Read(1)),
+            crate::history::fixtures::op(2, 4, 50, 60, OpKind::Read(0)),
+        ]);
+        assert!(count_inversions(&h).is_empty());
+    }
+
+    #[test]
+    fn corrupted_read_values_do_not_count_as_inversions() {
+        let h = History::new(vec![
+            write(1, 0, 10, 0),
+            read(2, 20, 30, 999), // unwritten garbage
+            read(3, 40, 50, 0),
+        ]);
+        assert!(count_inversions(&h).is_empty());
+    }
+}

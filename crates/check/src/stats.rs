@@ -1,0 +1,125 @@
+//! Small statistics helpers used by the experiment harness to summarize
+//! latencies, stabilization times, and success rates across seeds.
+
+use sbs_sim::SimDuration;
+
+/// Summary statistics over a set of durations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurationSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: SimDuration,
+    /// Arithmetic mean (nanosecond precision).
+    pub mean: SimDuration,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: SimDuration,
+    /// 95th percentile (nearest-rank).
+    pub p95: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+/// Summarizes a sample of durations. Returns `None` for an empty sample.
+pub fn summarize(samples: &[SimDuration]) -> Option<DurationSummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<SimDuration> = samples.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
+    let nearest_rank = |p: f64| -> SimDuration {
+        let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+        sorted[rank - 1]
+    };
+    Some(DurationSummary {
+        count,
+        min: sorted[0],
+        mean: SimDuration::nanos((total / count as u128) as u64),
+        p50: nearest_rank(0.50),
+        p95: nearest_rank(0.95),
+        max: sorted[count - 1],
+    })
+}
+
+/// A success ratio with pretty formatting (`"97/100"`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ratio {
+    /// Successful trials.
+    pub ok: usize,
+    /// Total trials.
+    pub total: usize,
+}
+
+impl Ratio {
+    /// Builds a ratio.
+    pub fn new(ok: usize, total: usize) -> Self {
+        Ratio { ok, total }
+    }
+
+    /// The fraction in `[0, 1]`; 1.0 for an empty sample.
+    pub fn fraction(self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.total as f64
+        }
+    }
+
+    /// True if every trial succeeded.
+    pub fn all_ok(self) -> bool {
+        self.ok == self.total
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.ok, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::millis(v)
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[ms(1), ms(2), ms(3), ms(4), ms(100)]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.p50, ms(3));
+        assert_eq!(s.p95, ms(100));
+        assert_eq!(s.mean, ms(22));
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = summarize(&[ms(7)]).unwrap();
+        assert_eq!(s.min, ms(7));
+        assert_eq!(s.mean, ms(7));
+        assert_eq!(s.p50, ms(7));
+        assert_eq!(s.p95, ms(7));
+        assert_eq!(s.max, ms(7));
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn ratio_formatting_and_fraction() {
+        let r = Ratio::new(97, 100);
+        assert_eq!(format!("{r}"), "97/100");
+        assert!((r.fraction() - 0.97).abs() < 1e-12);
+        assert!(!r.all_ok());
+        assert!(Ratio::new(3, 3).all_ok());
+        assert_eq!(Ratio::new(0, 0).fraction(), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Differential validation of the linearizability checker: on small random
+//! histories, `check_linearizable` must agree with a brute-force reference
+//! that enumerates every permutation.
+
+use proptest::prelude::*;
+use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
+use sbs_sim::{OpId, ProcessId, SimTime};
+use std::collections::BTreeSet;
+
+/// Brute force: try every permutation of the operations; a permutation is a
+/// valid linearization iff it extends the real-time precedence order and
+/// every read returns the latest preceding write (the first reads may pin
+/// an arbitrary initial value, matching `InitialState::Any`).
+fn brute_force_linearizable(ops: &[OpRecord<u64>]) -> bool {
+    let n = ops.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    permute(&mut order, 0, ops)
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, ops: &[OpRecord<u64>]) -> bool {
+    if k == order.len() {
+        return respects_realtime(order, ops) && register_semantics(order, ops);
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        if permute(order, k + 1, ops) {
+            order.swap(k, i);
+            return true;
+        }
+        order.swap(k, i);
+    }
+    false
+}
+
+fn respects_realtime(order: &[usize], ops: &[OpRecord<u64>]) -> bool {
+    for (pos_a, &a) in order.iter().enumerate() {
+        for &b in &order[pos_a + 1..] {
+            // b is linearized after a, so a must NOT be real-time after b.
+            if ops[b].responded < ops[a].invoked {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn register_semantics(order: &[usize], ops: &[OpRecord<u64>]) -> bool {
+    let mut state: Option<u64> = None; // None = initial, pinned by first read
+    for &i in order {
+        match &ops[i].kind {
+            OpKind::Write(v) => state = Some(*v),
+            OpKind::Read(v) => match state {
+                Some(s) if s == *v => {}
+                Some(_) => return false,
+                None => state = Some(*v), // arbitrary initial, now pinned
+            },
+        }
+    }
+    true
+}
+
+/// Random small histories: up to 6 operations with random intervals over a
+/// small time range, writes with unique values, reads returning values from
+/// a small pool (so both linearizable and non-linearizable cases arise).
+fn arb_history() -> impl Strategy<Value = Vec<OpRecord<u64>>> {
+    proptest::collection::vec(
+        (
+            0u64..50,      // invocation
+            1u64..30,      // duration
+            0u32..3,       // client
+            any::<bool>(), // is write
+            0u64..4,       // value selector
+        ),
+        1..6,
+    )
+    .prop_map(|raw| {
+        let mut used_write_values: BTreeSet<u64> = BTreeSet::new();
+        let mut ops = Vec::new();
+        for (i, (start, dur, client, is_write, val)) in raw.into_iter().enumerate() {
+            let kind = if is_write {
+                // Make write values unique by offsetting duplicates.
+                let mut v = val;
+                while used_write_values.contains(&v) {
+                    v += 10;
+                }
+                used_write_values.insert(v);
+                OpKind::Write(v)
+            } else {
+                OpKind::Read(val)
+            };
+            ops.push(OpRecord {
+                client: ProcessId(client),
+                op: OpId(i as u64),
+                invoked: SimTime::from_nanos(start),
+                responded: SimTime::from_nanos(start + dur),
+                kind,
+            });
+        }
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn checker_agrees_with_brute_force(ops in arb_history()) {
+        let expected = brute_force_linearizable(&ops);
+        let h = History::new(ops);
+        let got = check_linearizable(&h, &InitialState::Any)
+            .expect("unique writes by construction")
+            .linearizable;
+        prop_assert_eq!(
+            got,
+            expected,
+            "checker disagrees with brute force on {:?}",
+            h
+        );
+    }
+}
+
+#[test]
+fn known_disagreement_candidates() {
+    // Hand-picked shapes that exercised bugs during development.
+    let rec = |id: u64, a: u64, b: u64, kind: OpKind<u64>| OpRecord {
+        client: ProcessId(0),
+        op: OpId(id),
+        invoked: SimTime::from_nanos(a),
+        responded: SimTime::from_nanos(b),
+        kind,
+    };
+    let cases: Vec<Vec<OpRecord<u64>>> = vec![
+        // Write inside a long read.
+        vec![
+            rec(0, 0, 100, OpKind::Read(5)),
+            rec(1, 10, 20, OpKind::Write(5)),
+        ],
+        // Chain of overlapping ops collapsing to one segment.
+        vec![
+            rec(0, 0, 30, OpKind::Write(1)),
+            rec(1, 20, 60, OpKind::Read(1)),
+            rec(2, 40, 80, OpKind::Write(2)),
+            rec(3, 70, 90, OpKind::Read(1)),
+        ],
+        // Read pinning the initial value, then contradicting write order.
+        vec![
+            rec(0, 0, 10, OpKind::Read(9)),
+            rec(1, 20, 30, OpKind::Write(1)),
+            rec(2, 40, 50, OpKind::Read(9)),
+        ],
+    ];
+    for ops in cases {
+        let expected = brute_force_linearizable(&ops);
+        let h = History::new(ops);
+        let got = check_linearizable(&h, &InitialState::Any)
+            .unwrap()
+            .linearizable;
+        assert_eq!(got, expected, "disagreement on {h:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The client's view of the ss-broadcast layer, plus acknowledgement
+//! anchoring.
+//!
+//! [`ClientLink`] wraps an [`SsBroadcaster`] (one per client — clients are
+//! sequential, so one broadcast is in flight at a time) and maintains the
+//! **anchor map** that makes protocol acknowledgements safely attributable
+//! without wire sequence numbers:
+//!
+//! A correct server, upon ss-delivering a request, first sends `SS_ACK(tag)`
+//! and then its protocol acknowledgement. Links are FIFO, so when an
+//! `ACK_WRITE`/`ACK_READ` from server `s` arrives, the most recent
+//! `SS_ACK` tag received from `s` identifies exactly which broadcast it
+//! answers. A transient fault can scramble the anchor map, but the very
+//! next `SS_ACK` from each server re-anchors it — the mechanism is
+//! self-stabilizing and lives entirely inside the broadcast abstraction,
+//! which is how the paper's protocols avoid sequence numbers on
+//! acknowledgements (§3.1 remark).
+
+use crate::msg::RegMsg;
+use sbs_link::{AckOutcome, SsBroadcaster, SsTag};
+use sbs_sim::{Context, DetRng, ProcessId};
+use std::collections::HashMap;
+
+/// Client-side broadcast state: the in-flight ss-broadcast and the
+/// per-server acknowledgement anchors.
+#[derive(Clone, Debug)]
+pub struct ClientLink {
+    bcaster: SsBroadcaster,
+    anchor: HashMap<ProcessId, SsTag>,
+}
+
+impl ClientLink {
+    /// Creates the link for broadcasts to `servers`, tolerating `t`
+    /// Byzantine servers.
+    pub fn new(servers: Vec<ProcessId>, t: usize) -> Self {
+        ClientLink {
+            bcaster: SsBroadcaster::new(servers, t),
+            anchor: HashMap::new(),
+        }
+    }
+
+    /// The destination servers.
+    pub fn servers(&self) -> &[ProcessId] {
+        self.bcaster.servers()
+    }
+
+    /// ss-broadcasts one message to every server: allocates the tag, builds
+    /// the concrete message with `make`, sends to all. Returns the tag.
+    pub fn broadcast<P, O>(
+        &mut self,
+        ctx: &mut Context<'_, RegMsg<P>, O>,
+        make: impl Fn(SsTag) -> RegMsg<P>,
+    ) -> SsTag
+    where
+        P: Clone + std::fmt::Debug,
+    {
+        let tag = self.bcaster.start();
+        let servers: Vec<ProcessId> = self.bcaster.servers().to_vec();
+        for s in servers {
+            ctx.send(s, make(tag));
+        }
+        tag
+    }
+
+    /// Processes an `SS_ACK`: re-anchors this server and feeds the
+    /// broadcast completion counter.
+    pub fn on_ss_ack(&mut self, from: ProcessId, tag: SsTag) -> AckOutcome {
+        self.anchor.insert(from, tag);
+        self.bcaster.on_ack(from, tag)
+    }
+
+    /// The broadcast a protocol acknowledgement from `from` answers: the
+    /// most recent `SS_ACK` tag seen from it.
+    pub fn anchored_tag(&self, from: ProcessId) -> Option<SsTag> {
+        self.anchor.get(&from).copied()
+    }
+
+    /// True once the broadcast identified by `tag` has completed (the
+    /// synchronized-delivery postcondition holds).
+    pub fn is_complete(&self, tag: SsTag) -> bool {
+        self.bcaster.is_completed_tag(tag)
+    }
+
+    /// Transient-fault hook: scrambles anchors and broadcast state. The
+    /// anchors re-align on the next `SS_ACK` from each server.
+    pub fn corrupt(&mut self, rng: &mut DetRng) {
+        for (_, tag) in self.anchor.iter_mut() {
+            *tag = rng.next_u64();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u32) -> Vec<ProcessId> {
+        (0..n).map(ProcessId).collect()
+    }
+
+    #[test]
+    fn anchors_follow_ss_acks() {
+        let mut link = ClientLink::new(servers(5), 1);
+        assert_eq!(link.anchored_tag(ProcessId(0)), None);
+        let tag = link.bcaster.start();
+        link.on_ss_ack(ProcessId(0), tag);
+        assert_eq!(link.anchored_tag(ProcessId(0)), Some(tag));
+        assert_eq!(link.anchored_tag(ProcessId(1)), None);
+    }
+
+    #[test]
+    fn completion_is_tag_specific() {
+        let mut link = ClientLink::new(servers(5), 1); // quorum 4
+        let tag = link.bcaster.start();
+        for i in 0..4 {
+            link.on_ss_ack(ProcessId(i), tag);
+        }
+        assert!(link.is_complete(tag));
+        assert!(!link.is_complete(tag + 1));
+    }
+
+    #[test]
+    fn corrupted_anchors_realign_on_next_ack() {
+        let mut rng = DetRng::from_seed(5);
+        let mut link = ClientLink::new(servers(5), 1);
+        let t0 = link.bcaster.start();
+        link.on_ss_ack(ProcessId(0), t0);
+        link.corrupt(&mut rng);
+        // The anchor is now garbage…
+        assert_ne!(link.anchored_tag(ProcessId(0)), Some(t0));
+        // …until the server acks the next broadcast.
+        let t1 = link.bcaster.start();
+        link.on_ss_ack(ProcessId(0), t1);
+        assert_eq!(link.anchored_tag(ProcessId(0)), Some(t1));
+    }
+}

@@ -1,0 +1,130 @@
+//! Register payloads and the corruption contract.
+//!
+//! Everything a register stores or a message carries implements
+//! [`Payload`]: cloneable, comparable (quorum predicates count *identical*
+//! values), hashable, and **scramblable** — the transient-failure model says
+//! any local variable can be arbitrarily modified, so every payload must
+//! know how to turn itself into adversarial garbage while staying
+//! structurally well-formed (e.g. a bounded sequence number stays on its
+//! ring; the *value* becomes arbitrary).
+
+use sbs_sim::DetRng;
+use sbs_stamps::RingSeq;
+use std::fmt;
+
+/// A value that can live in a register, travel in messages, and be
+/// arbitrarily corrupted by transient faults.
+pub trait Payload: Clone + Eq + Ord + std::hash::Hash + fmt::Debug + 'static {
+    /// Overwrites `self` with adversarially random (but structurally valid)
+    /// contents.
+    fn scramble(&mut self, rng: &mut DetRng);
+}
+
+macro_rules! impl_payload_int {
+    ($($ty:ty),*) => {
+        $(impl Payload for $ty {
+            fn scramble(&mut self, rng: &mut DetRng) {
+                *self = rng.next_u64() as $ty;
+            }
+        })*
+    };
+}
+
+impl_payload_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
+
+impl Payload for bool {
+    fn scramble(&mut self, rng: &mut DetRng) {
+        *self = rng.next_u64().is_multiple_of(2);
+    }
+}
+
+impl Payload for String {
+    fn scramble(&mut self, rng: &mut DetRng) {
+        let len = (rng.next_u64() % 12) as usize;
+        *self = (0..len)
+            .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+            .collect();
+    }
+}
+
+/// A value stamped with the bounded write sequence number of Figure 3:
+/// the pair `(wsn, v)` that replaces the bare value `v` in the practically
+/// atomic construction.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqVal<V> {
+    /// The bounded write sequence number.
+    pub wsn: RingSeq,
+    /// The application value.
+    pub val: V,
+}
+
+impl<V> SeqVal<V> {
+    /// Stamps `val` with `wsn`.
+    pub fn new(wsn: RingSeq, val: V) -> Self {
+        SeqVal { wsn, val }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for SeqVal<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {:?}⟩", self.wsn, self.val)
+    }
+}
+
+impl<V: Payload> Payload for SeqVal<V> {
+    fn scramble(&mut self, rng: &mut DetRng) {
+        // The sequence number stays on its ring (a corrupted counter is
+        // still a counter value); the payload becomes arbitrary.
+        let modulus = self.wsn.modulus();
+        let raw = rng.next_u64() as u128 % modulus;
+        self.wsn = RingSeq::new(raw, modulus);
+        self.val.scramble(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrambled_ints_change_eventually() {
+        let mut rng = DetRng::from_seed(1);
+        let mut v = 0u64;
+        let mut changed = false;
+        for _ in 0..8 {
+            v.scramble(&mut rng);
+            changed |= v != 0;
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn scrambled_seqval_stays_on_its_ring() {
+        let mut rng = DetRng::from_seed(2);
+        let mut s = SeqVal::new(RingSeq::new(5, 257), 42u64);
+        for _ in 0..100 {
+            s.scramble(&mut rng);
+            assert_eq!(s.wsn.modulus(), 257);
+            assert!(s.wsn.value() < 257);
+        }
+    }
+
+    #[test]
+    fn scrambled_string_is_well_formed() {
+        let mut rng = DetRng::from_seed(3);
+        let mut s = String::from("hello");
+        s.scramble(&mut rng);
+        assert!(s.len() < 12);
+        assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn seqval_equality_is_structural() {
+        let a = SeqVal::new(RingSeq::new(1, 257), 9u64);
+        let b = SeqVal::new(RingSeq::new(1, 257), 9u64);
+        let c = SeqVal::new(RingSeq::new(2, 257), 9u64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "⟨1, 9⟩");
+    }
+}

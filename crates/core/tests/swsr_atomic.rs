@@ -1,0 +1,195 @@
+//! End-to-end tests of the Figure 3 practically-atomic SWSR register:
+//! regularity plus no new/old inversions, stabilization after corruption,
+//! and the system-life-span boundary at sequence wrap-around.
+
+use sbs_check::{atomic_stabilization_point, check_linearizable, count_inversions, InitialState};
+use sbs_core::harness::SwsrBuilder;
+use sbs_core::ByzStrategy;
+use sbs_sim::{DelayModel, SimDuration};
+
+#[test]
+fn sequential_ops_linearize() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_atomic(0u64);
+        for v in 1..=8u64 {
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: write must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: read must terminate");
+        }
+        let h = sys.history();
+        let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "seed {seed}");
+        assert!(count_inversions(&h).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn concurrent_reads_and_writes_linearize() {
+    for seed in 0..10 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_atomic(0u64);
+        sys.write(1);
+        sys.settle();
+        for v in 2..=8u64 {
+            // Overlap a write with a read.
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let h = sys.history();
+        let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "seed {seed}: failed segment {:?}", rep.failed_segment);
+    }
+}
+
+#[test]
+fn no_inversion_with_inversion_helper_adversary() {
+    // The adversary that widens the inversion window on the *regular*
+    // register must be defeated by the wsn bookkeeping here.
+    for seed in 0..10 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(0, ByzStrategy::InversionHelper)
+            .delay(DelayModel::Bimodal {
+                fast: SimDuration::micros(100),
+                slow: SimDuration::millis(5),
+                slow_prob: 0.2,
+            })
+            .build_atomic(0u64);
+        sys.write(1);
+        sys.settle();
+        for v in 2..=10u64 {
+            sys.write(v);
+            sys.read();
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let h = sys.history();
+        assert!(
+            count_inversions(&h).is_empty(),
+            "seed {seed}: atomic register produced inversions"
+        );
+        let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "seed {seed}");
+    }
+}
+
+#[test]
+fn stabilizes_after_corruption_with_measurable_point() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_atomic(0u64);
+        sys.write(1);
+        sys.settle();
+        sys.read();
+        sys.settle();
+        sys.corrupt_all_servers();
+        sys.corrupt_clients();
+        sys.run_for(SimDuration::millis(5));
+        // First post-fault write, then a clean tail of operations.
+        for v in 100..=110u64 {
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: write must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: read must terminate");
+        }
+        let h = sys.history();
+        let stab = atomic_stabilization_point(&h).unwrap();
+        assert!(
+            stab.is_some(),
+            "seed {seed}: the tail of the history must be linearizable"
+        );
+    }
+}
+
+#[test]
+fn tolerates_each_byzantine_strategy() {
+    let strategies = [
+        ByzStrategy::Silent,
+        ByzStrategy::RandomGarbage,
+        ByzStrategy::StaleReplay,
+        ByzStrategy::Equivocate,
+        ByzStrategy::AckFlood { copies: 3 },
+        ByzStrategy::InversionHelper,
+    ];
+    for strat in strategies {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(5)
+            .byzantine(4, strat.clone())
+            .build_atomic(0u64);
+        for v in 1..=5u64 {
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "{strat:?}: ops must terminate");
+        }
+        let h = sys.history();
+        let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "{strat:?}");
+    }
+}
+
+#[test]
+fn small_ring_works_within_life_span() {
+    // Modulus 257 → life span 128 writes. Stay below it: order must hold.
+    let mut sys = SwsrBuilder::new(9, 1)
+        .seed(9)
+        .wsn_modulus(257)
+        .build_atomic(0u64);
+    for v in 1..=100u64 {
+        sys.write(v);
+    }
+    assert!(sys.settle(), "burst of writes must drain");
+    sys.read();
+    assert!(sys.settle());
+    let h = sys.history();
+    // The read must return the latest value, 100. (The 100 burst writes
+    // are all mutually concurrent from the history's point of view —
+    // too wide for the exact linearizability checker — so the read's
+    // value and regularity are the assertions here.)
+    let last_read = h.reads().last().unwrap();
+    assert_eq!(*last_read.kind.value(), 100);
+    let rep = sbs_check::check_regularity(&h, &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}
+
+#[test]
+fn synchronous_atomic_variant() {
+    for seed in 0..3 {
+        let mut sys = SwsrBuilder::new(4, 1)
+            .seed(seed)
+            .sync(SimDuration::millis(1))
+            .build_atomic(0u64);
+        for v in 1..=6u64 {
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: sync ops must terminate");
+        }
+        let h = sys.history();
+        let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "seed {seed}");
+        assert!(count_inversions(&h).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn reader_state_corruption_is_repaired_by_sanity_probe() {
+    // Corrupt only the reader between operations: its pwsn/pv pair becomes
+    // garbage; the N2–N7 probe plus the next write repair it.
+    let mut sys = SwsrBuilder::new(9, 1).seed(21).build_atomic(0u64);
+    sys.write(1);
+    sys.settle();
+    sys.read();
+    sys.settle();
+    sys.corrupt_clients();
+    sys.write(2);
+    sys.settle();
+    let stab = sys.as_swmr().sim.now();
+    sys.read();
+    sys.settle();
+    sys.write(3);
+    sys.settle();
+    sys.read();
+    sys.settle();
+    let h = sys.history().suffix(stab);
+    let rep = check_linearizable(&h, &InitialState::Any).unwrap();
+    assert!(rep.linearizable, "post-repair tail must linearize");
+}

@@ -1,0 +1,196 @@
+//! End-to-end tests of the Figure 2 SWSR regular register (asynchronous,
+//! `n ≥ 8t + 1`) and its Figure 5 synchronous variant (`n ≥ 3t + 1`).
+
+use sbs_check::{check_regularity, count_inversions};
+use sbs_core::harness::SwsrBuilder;
+use sbs_core::ByzStrategy;
+use sbs_sim::SimDuration;
+
+#[test]
+fn sequential_writes_then_reads_async() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_regular(0u64);
+        for v in 1..=10u64 {
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: write {v} must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: read after {v} must terminate");
+        }
+        let h = sys.history();
+        assert_eq!(h.len(), 20);
+        let rep = check_regularity(&h, &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn reads_interleaved_with_writes_async() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_regular(0u64);
+        for v in 1..=8u64 {
+            sys.write(v);
+            // Fire the read while the write may still be in flight.
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn tolerates_t_byzantine_servers() {
+    let strategies = [
+        ByzStrategy::Silent,
+        ByzStrategy::RandomGarbage,
+        ByzStrategy::StaleReplay,
+        ByzStrategy::Equivocate,
+        ByzStrategy::AckFlood { copies: 4 },
+        ByzStrategy::InversionHelper,
+    ];
+    for strat in strategies {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(7)
+            .byzantine(0, strat.clone())
+            .build_regular(0u64);
+        for v in 1..=6u64 {
+            sys.write(v);
+            assert!(sys.settle(), "{strat:?}: write must terminate");
+            sys.read();
+            assert!(sys.settle(), "{strat:?}: read must terminate");
+        }
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "{strat:?}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn stabilizes_after_full_corruption() {
+    for seed in 0..10 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_regular(0u64);
+        // Reach a sane state first.
+        sys.write(1);
+        sys.settle();
+        // Transient catastrophe: all servers and both clients corrupted,
+        // links polluted with garbage.
+        sys.corrupt_all_servers();
+        sys.corrupt_clients();
+        sys.pollute_links(3);
+        sys.run_for(SimDuration::millis(10));
+        // A read during the havoc may return garbage, and per Lemma 2 it
+        // need not even terminate until the first post-fault write — the
+        // termination proof assumes a write after τno_tr. Invoke it, give
+        // it time, then write.
+        sys.read();
+        sys.run_for(SimDuration::millis(20));
+        // The first post-fault write is the stabilization trigger (τ1w);
+        // it also unblocks the pending read.
+        sys.write(100);
+        assert!(sys.settle(), "seed {seed}: post-fault ops must terminate");
+        assert_eq!(sys.pending_ops(), 0, "seed {seed}: havoc read completes");
+        let stab = sys.sim.now();
+        for v in 101..=106u64 {
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: post-fault read must terminate");
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: post-fault write must terminate");
+        }
+        // Every read invoked after τ1w must be regular.
+        let h = sys.history().suffix(stab);
+        let rep = check_regularity(&h, &[]);
+        assert!(
+            rep.is_regular(),
+            "seed {seed}: post-stabilization violations: {:?}",
+            rep.violations
+        );
+    }
+}
+
+#[test]
+fn synchronous_variant_works_with_n_4_t_1() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(4, 1)
+            .seed(seed)
+            .sync(SimDuration::millis(1))
+            .build_regular(0u64);
+        for v in 1..=6u64 {
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: sync write must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: sync read must terminate");
+        }
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn synchronous_variant_tolerates_silent_byzantine() {
+    let mut sys = SwsrBuilder::new(4, 1)
+        .seed(3)
+        .sync(SimDuration::millis(1))
+        .byzantine(2, ByzStrategy::Silent)
+        .build_regular(0u64);
+    for v in 1..=5u64 {
+        sys.write(v);
+        assert!(sys.settle(), "sync write with silent byz must terminate");
+        sys.read();
+        assert!(sys.settle(), "sync read with silent byz must terminate");
+    }
+    let rep = check_regularity(&sys.history(), &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}
+
+#[test]
+fn regular_register_read_during_write_sees_old_or_new() {
+    for seed in 0..10 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_regular(0u64);
+        sys.write(1);
+        sys.settle();
+        // Concurrent write + read.
+        sys.write(2);
+        sys.read();
+        assert!(sys.settle());
+        let h = sys.history();
+        let rep = check_regularity(&h, &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+        // The read returned either 1 or 2 — verified by regularity, but
+        // double-check the value is one of the two.
+        let read_val = h
+            .reads()
+            .next()
+            .map(|r| *r.kind.value())
+            .expect("one read completed");
+        assert!(read_val == 1 || read_val == 2, "got {read_val}");
+    }
+}
+
+#[test]
+fn no_inversions_in_sequential_runs() {
+    // Without read/write concurrency the regular register shows no
+    // inversions either (they need overlap, cf. Figure 1).
+    let mut sys = SwsrBuilder::new(9, 1).seed(11).build_regular(0u64);
+    for v in 1..=10u64 {
+        sys.write(v);
+        sys.settle();
+        sys.read();
+        sys.settle();
+    }
+    assert!(count_inversions(&sys.history()).is_empty());
+}
+
+#[test]
+fn write_terminates_under_reader_pressure() {
+    // The helping mechanism exists for the reverse direction, but writes
+    // must terminate regardless of read traffic.
+    let mut sys = SwsrBuilder::new(9, 1).seed(13).build_regular(0u64);
+    sys.write(1);
+    sys.settle();
+    for v in 2..=6u64 {
+        sys.read();
+        sys.write(v);
+        sys.read();
+        assert!(sys.settle(), "ops must terminate");
+    }
+    assert_eq!(sys.pending_ops(), 0);
+}

@@ -1,0 +1,157 @@
+//! The channel model underneath the self-stabilizing data link.
+//!
+//! Footnote 3 of the paper (and §4.2 of Dolev's *Self-Stabilization*) build
+//! `ss-broadcast` on *bounded-capacity* channels: at most `cap` packets are
+//! in transit at once, packets may be lost or duplicated, and — because the
+//! initial configuration is arbitrary — a channel may initially contain up
+//! to `cap` garbage packets. [`BoundedChannel`] models exactly that: a FIFO
+//! queue with hard capacity, probabilistic loss/duplication applied at
+//! enqueue time, and a helper to fill it with arbitrary initial content.
+
+use sbs_sim::DetRng;
+use std::collections::VecDeque;
+
+/// A bounded-capacity, lossy, duplicating FIFO channel.
+#[derive(Clone, Debug)]
+pub struct BoundedChannel<P> {
+    queue: VecDeque<P>,
+    cap: usize,
+    loss: f64,
+    dup: f64,
+}
+
+impl<P: Clone> BoundedChannel<P> {
+    /// Creates a channel with capacity `cap`, per-packet loss probability
+    /// `loss`, and per-packet duplication probability `dup`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize, loss: f64, dup: f64) -> Self {
+        assert!(cap > 0, "channel capacity must be positive");
+        BoundedChannel {
+            queue: VecDeque::with_capacity(cap),
+            cap,
+            loss,
+            dup,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Packets currently in transit.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is in transit.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Attempts to put `p` in transit. The packet may be lost (probability
+    /// `loss`), duplicated (probability `dup`, if capacity allows), or
+    /// dropped because the channel is full — all of which the data-link
+    /// protocol must tolerate.
+    pub fn push(&mut self, p: P, rng: &mut DetRng) {
+        if rng.chance(self.loss) {
+            return;
+        }
+        if self.queue.len() < self.cap {
+            self.queue.push_back(p.clone());
+        }
+        if rng.chance(self.dup) && self.queue.len() < self.cap {
+            self.queue.push_back(p);
+        }
+    }
+
+    /// Takes the oldest in-transit packet, if any.
+    pub fn pop(&mut self) -> Option<P> {
+        self.queue.pop_front()
+    }
+
+    /// Replaces the channel contents with `count` arbitrary packets
+    /// produced by `gen` (clamped to capacity) — the "arbitrary initial
+    /// configuration" of the self-stabilization model.
+    pub fn fill_arbitrary(
+        &mut self,
+        count: usize,
+        rng: &mut DetRng,
+        mut gen: impl FnMut(&mut DetRng) -> P,
+    ) {
+        self.queue.clear();
+        for _ in 0..count.min(self.cap) {
+            let p = gen(rng);
+            self.queue.push_back(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_is_fifo() {
+        let mut rng = DetRng::from_seed(1);
+        let mut ch = BoundedChannel::new(4, 0.0, 0.0);
+        for i in 0..4 {
+            ch.push(i, &mut rng);
+        }
+        assert_eq!(ch.len(), 4);
+        for i in 0..4 {
+            assert_eq!(ch.pop(), Some(i));
+        }
+        assert!(ch.is_empty());
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut rng = DetRng::from_seed(1);
+        let mut ch = BoundedChannel::new(2, 0.0, 0.0);
+        for i in 0..10 {
+            ch.push(i, &mut rng);
+        }
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.pop(), Some(0));
+        assert_eq!(ch.pop(), Some(1));
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let mut rng = DetRng::from_seed(1);
+        let mut ch = BoundedChannel::new(8, 1.0, 0.0);
+        for i in 0..8 {
+            ch.push(i, &mut rng);
+        }
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn duplication_adds_copies_within_capacity() {
+        let mut rng = DetRng::from_seed(1);
+        let mut ch = BoundedChannel::new(8, 0.0, 1.0);
+        ch.push(7, &mut rng);
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.pop(), Some(7));
+        assert_eq!(ch.pop(), Some(7));
+    }
+
+    #[test]
+    fn fill_arbitrary_respects_capacity() {
+        let mut rng = DetRng::from_seed(1);
+        let mut ch = BoundedChannel::new(3, 0.0, 0.0);
+        ch.fill_arbitrary(10, &mut rng, |r| r.next_u64());
+        assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedChannel::<u8>::new(0, 0.0, 0.0);
+    }
+}

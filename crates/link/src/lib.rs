@@ -1,0 +1,38 @@
+//! # sbs-link — self-stabilizing communication layers
+//!
+//! The register algorithms of the paper assume a built-in broadcast
+//! abstraction, `ss-broadcast`, with six properties (§2.1): termination,
+//! eventual delivery, **synchronized delivery** (when a broadcast returns,
+//! at least `n − 2t` correct servers have delivered it), no duplication,
+//! validity, and per-sender order delivery. This crate provides:
+//!
+//! - [`SsBroadcaster`] / [`SsReceiver`] — the session layer implementing
+//!   those properties over the reliable FIFO links of the system model.
+//!   These are the pieces `sbs-core`'s writers, readers and servers embed.
+//! - [`DlSender`] / [`DlReceiver`] / [`DataLinkSim`] — the token-based
+//!   self-stabilizing data-link protocol of footnote 3, which realizes
+//!   reliable FIFO delivery over *bounded-capacity, lossy, duplicating*
+//!   channels whose initial content is arbitrary. This is the substrate one
+//!   would deploy beneath the session layer outside the simulator.
+//! - [`BoundedChannel`] — the channel model for the data link.
+//!
+//! ```
+//! use sbs_link::DataLinkSim;
+//!
+//! // Exactly-once in-order delivery over a lossy bounded channel:
+//! let mut dl = DataLinkSim::new(4, 0.2, 0.1, 42);
+//! for m in 0..5u64 { dl.sender.send(m); }
+//! assert!(dl.run_until_idle(1_000_000));
+//! assert_eq!(dl.delivered(), &[0, 1, 2, 3, 4]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod channel;
+mod datalink;
+mod session;
+
+pub use channel::BoundedChannel;
+pub use datalink::{AckPacket, DataLinkSim, DataPacket, DlReceiver, DlSender};
+pub use session::{AckOutcome, Reception, SsBroadcaster, SsReceiver, SsTag};

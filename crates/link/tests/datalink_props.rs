@@ -1,0 +1,93 @@
+//! Property tests for the footnote-3 data link: exactly-once in-order
+//! delivery must hold across the whole parameter space — any capacity,
+//! loss rate, duplication rate, message count, and seed — and the
+//! stabilization guarantee must hold from any scrambled start.
+
+use proptest::prelude::*;
+use sbs_link::DataLinkSim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clean start: every message delivered exactly once, in order,
+    /// regardless of channel parameters.
+    #[test]
+    fn prop_exactly_once_in_order(
+        cap in 1usize..12,
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.3,
+        k in 1u64..25,
+        seed in any::<u64>(),
+    ) {
+        let mut dl = DataLinkSim::new(cap, loss, dup, seed);
+        for m in 0..k {
+            dl.sender.send(m);
+        }
+        prop_assert!(dl.run_until_idle(30_000_000), "link must drain");
+        let expected: Vec<u64> = (0..k).collect();
+        prop_assert_eq!(dl.delivered(), expected.as_slice());
+    }
+
+    /// Arbitrary initial configuration: after at most one sacrificial
+    /// message, delivery is exact; spurious deliveries are bounded by the
+    /// initial channel content plus the corrupted in-flight transfer.
+    #[test]
+    fn prop_stabilizes_from_garbage(
+        cap in 1usize..10,
+        loss in 0.0f64..0.3,
+        k in 2u64..20,
+        seed in any::<u64>(),
+    ) {
+        const GARBAGE: u64 = 1 << 32;
+        let mut dl = DataLinkSim::new(cap, loss, 0.05, seed);
+        dl.scramble(|r| GARBAGE + r.next_u64() % 1000);
+        for m in 0..k {
+            dl.sender.send(m);
+        }
+        prop_assert!(dl.run_until_idle(30_000_000), "link must drain");
+        let real: Vec<u64> = dl
+            .delivered()
+            .iter()
+            .copied()
+            .filter(|&m| m < GARBAGE)
+            .collect();
+        let tail: Vec<u64> = real.iter().copied().filter(|&m| m >= 1).collect();
+        prop_assert_eq!(tail, (1..k).collect::<Vec<_>>(),
+            "from message 1 on, delivery must be exact; got {:?}", dl.delivered());
+        prop_assert!(
+            real.iter().filter(|&&m| m == 0).count() <= 1,
+            "the sacrificial message may be lost but never duplicated"
+        );
+        let spurious = dl.delivered().iter().filter(|&&m| m >= GARBAGE).count();
+        prop_assert!(spurious <= cap + 1, "spurious deliveries bounded by cap+1");
+    }
+
+    /// Mid-run corruption of both endpoints: everything after the next
+    /// completed transfer is exact again.
+    #[test]
+    fn prop_recovers_from_midrun_corruption(
+        cap in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use sbs_sim::DetRng;
+        let mut dl = DataLinkSim::new(cap, 0.1, 0.05, seed);
+        for m in 0..5u64 {
+            dl.sender.send(m);
+        }
+        prop_assert!(dl.run_until_idle(30_000_000));
+        let mut rng = DetRng::derive(seed, 1234);
+        dl.sender.corrupt(&mut rng);
+        dl.receiver.corrupt(&mut rng);
+        for m in 100..108u64 {
+            dl.sender.send(m);
+        }
+        prop_assert!(dl.run_until_idle(30_000_000));
+        let after: Vec<u64> = dl
+            .delivered()
+            .iter()
+            .copied()
+            .filter(|&m| m > 100)
+            .collect();
+        prop_assert_eq!(after, (101..108).collect::<Vec<_>>());
+    }
+}

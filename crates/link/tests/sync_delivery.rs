@@ -1,0 +1,294 @@
+//! Verifies the six ss-broadcast properties (§2.1 of the paper) for the
+//! session layer running inside the discrete-event simulator.
+//!
+//! The key property is *synchronized delivery*: if a client invokes
+//! `ss_broadcast(m)` at τ1 and returns at τ2, then at least `n − 2t`
+//! correct servers executed `ss_deliver(m)` strictly inside `(τ1, τ2)`.
+
+use sbs_link::{AckOutcome, Reception, SsBroadcaster, SsReceiver, SsTag};
+use sbs_sim::{
+    Context, DelayModel, Message, Node, ProcessId, SimConfig, SimDuration, SimTime, Simulation,
+};
+use std::any::Any;
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Tagged payload from the client.
+    Payload { tag: SsTag, body: u64 },
+    /// Link-level acknowledgement from a server.
+    Ack { tag: SsTag },
+}
+
+impl Message for Msg {
+    fn label(&self) -> &'static str {
+        match self {
+            Msg::Payload { .. } => "SS_PAYLOAD",
+            Msg::Ack { .. } => "SS_ACK",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    /// A server delivered (tag, body).
+    Delivered {
+        #[allow(dead_code)]
+        tag: SsTag,
+        body: u64,
+    },
+    /// The client's broadcast of `tag` completed.
+    Completed {
+        #[allow(dead_code)]
+        tag: SsTag,
+    },
+}
+
+struct Client {
+    bcast: SsBroadcaster,
+}
+
+impl Client {
+    fn broadcast(&mut self, body: u64, ctx: &mut Context<'_, Msg, Event>) -> SsTag {
+        let tag = self.bcast.start();
+        let servers: Vec<ProcessId> = self.bcast.servers().to_vec();
+        ctx.send_all(servers, Msg::Payload { tag, body });
+        tag
+    }
+}
+
+impl Node for Client {
+    type Msg = Msg;
+    type Out = Event;
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, Event>) {
+        if let Msg::Ack { tag } = msg {
+            if self.bcast.on_ack(from, tag) == AckOutcome::JustCompleted {
+                ctx.output(Event::Completed { tag });
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A correct server; `mute` servers model Byzantine silence (the worst case
+/// for the completion quorum).
+struct Server {
+    recv: SsReceiver,
+    mute: bool,
+}
+
+impl Node for Server {
+    type Msg = Msg;
+    type Out = Event;
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, Event>) {
+        if self.mute {
+            return;
+        }
+        if let Msg::Payload { tag, body } = msg {
+            match self.recv.on_payload(from, tag) {
+                Reception::DeliverAndAck => {
+                    ctx.output(Event::Delivered { tag, body });
+                    ctx.send(from, Msg::Ack { tag });
+                }
+                Reception::AckOnly => ctx.send(from, Msg::Ack { tag }),
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct World {
+    sim: Simulation<Msg, Event>,
+    client: ProcessId,
+    servers: Vec<ProcessId>,
+}
+
+fn build(n: usize, t: usize, mute: usize, seed: u64) -> World {
+    let mut sim: Simulation<Msg, Event> = Simulation::new(SimConfig::with_seed(seed));
+    let client = sim.reserve_id();
+    let servers: Vec<ProcessId> = (0..n).map(|_| sim.reserve_id()).collect();
+    for &s in &servers {
+        sim.add_duplex(
+            client,
+            s,
+            DelayModel::Uniform {
+                lo: SimDuration::micros(50),
+                hi: SimDuration::millis(2),
+            },
+        );
+    }
+    sim.add_node_at(
+        client,
+        Client {
+            bcast: SsBroadcaster::new(servers.clone(), t),
+        },
+    );
+    for (i, &s) in servers.iter().enumerate() {
+        sim.add_node_at(
+            s,
+            Server {
+                recv: SsReceiver::new(),
+                mute: i < mute,
+            },
+        );
+    }
+    World {
+        sim,
+        client,
+        servers,
+    }
+}
+
+const HORIZON: SimTime = SimTime::from_nanos(u64::MAX / 2);
+
+#[test]
+fn synchronized_delivery_holds_with_t_mute_servers() {
+    let (n, t) = (9, 1);
+    for seed in 0..20 {
+        let mut w = build(n, t, t, seed);
+        let start = w.sim.now();
+        w.sim
+            .with_node::<Client, _>(w.client, |c, ctx| {
+                c.broadcast(7, ctx);
+            });
+        assert!(w.sim.run_until_quiescent(HORIZON));
+        let outs = w.sim.take_outputs();
+
+        let completed_at = outs
+            .iter()
+            .find_map(|(time, _, e)| match e {
+                Event::Completed { .. } => Some(*time),
+                _ => None,
+            })
+            .expect("broadcast must terminate (termination property)");
+
+        let delivered_inside = outs
+            .iter()
+            .filter(|(time, pid, e)| {
+                matches!(e, Event::Delivered { body: 7, .. })
+                    && *time > start
+                    && *time < completed_at
+                    && w.servers.contains(pid)
+            })
+            .count();
+        assert!(
+            delivered_inside >= n - 2 * t,
+            "seed {seed}: only {delivered_inside} servers delivered before completion, need {}",
+            n - 2 * t
+        );
+    }
+}
+
+#[test]
+fn eventual_delivery_reaches_all_correct_servers() {
+    let (n, t) = (9, 1);
+    let mut w = build(n, t, t, 3);
+    w.sim
+        .with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(9, ctx);
+        });
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    let outs = w.sim.take_outputs();
+    let delivered = outs
+        .iter()
+        .filter(|(_, _, e)| matches!(e, Event::Delivered { body: 9, .. }))
+        .count();
+    // All n - t non-mute servers deliver eventually.
+    assert_eq!(delivered, n - t);
+}
+
+#[test]
+fn order_delivery_per_sender() {
+    let (n, t) = (9, 1);
+    let mut w = build(n, t, 0, 11);
+    for body in 0..10u64 {
+        w.sim
+            .with_node::<Client, _>(w.client, |c, ctx| {
+                c.broadcast(body, ctx);
+            });
+        // Interleave: let some (but not necessarily all) traffic flow.
+        w.sim.run_for(SimDuration::micros(300));
+    }
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    let outs = w.sim.take_outputs();
+    for &s in &w.servers {
+        let seq: Vec<u64> = outs
+            .iter()
+            .filter(|(_, pid, _)| *pid == s)
+            .filter_map(|(_, _, e)| match e {
+                Event::Delivered { body, .. } => Some(*body),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted, "server {s} delivered out of order: {seq:?}");
+    }
+}
+
+#[test]
+fn no_duplication_even_with_reinjected_packets() {
+    let (n, t) = (5, 1);
+    let mut w = build(n, t, 0, 13);
+    w.sim
+        .with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(1, ctx);
+        });
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    // A transient fault re-injects a stale copy of the same payload
+    // (same tag) into one server's link.
+    let victim = w.servers[0];
+    w.sim.set_garbage_gen(|_, _, _| Msg::Payload { tag: 0, body: 1 });
+    w.sim
+        .schedule_link_garbage(w.sim.now() + SimDuration::micros(1), w.client, victim, 1);
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    let outs = w.sim.take_outputs();
+    let by_victim = outs
+        .iter()
+        .filter(|(_, pid, e)| *pid == victim && matches!(e, Event::Delivered { body: 1, .. }))
+        .count();
+    assert_eq!(
+        by_victim, 1,
+        "adjacent duplicate of the same tag must be suppressed"
+    );
+}
+
+#[test]
+fn termination_despite_byzantine_silence_up_to_t() {
+    // With exactly t mute servers, completion still happens (quorum n - t).
+    let (n, t) = (9, 1);
+    let mut w = build(n, t, t, 17);
+    w.sim
+        .with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(2, ctx);
+        });
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    let completed = w
+        .sim
+        .take_outputs()
+        .iter()
+        .any(|(_, _, e)| matches!(e, Event::Completed { .. }));
+    assert!(completed);
+}
+
+#[test]
+fn more_than_t_mute_servers_blocks_completion() {
+    // The quorum is unreachable with t+1 silent servers — the abstraction's
+    // termination property genuinely depends on the failure bound.
+    let (n, t) = (9, 1);
+    let mut w = build(n, t, t + 1, 19);
+    w.sim
+        .with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(3, ctx);
+        });
+    assert!(w.sim.run_until_quiescent(HORIZON));
+    let completed = w
+        .sim
+        .take_outputs()
+        .iter()
+        .any(|(_, _, e)| matches!(e, Event::Completed { .. }));
+    assert!(!completed);
+}

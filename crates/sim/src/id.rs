@@ -1,0 +1,75 @@
+//! Identifiers used throughout the simulator: processes, timers, operations.
+
+use std::fmt;
+
+/// Identifies one process (writer, reader, server, ...) inside a simulation
+/// or runtime. Assigned densely from zero in registration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The dense index of this process (usable for `Vec` indexing).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifies a pending timer. Timer ids are unique across the whole run,
+/// so a stale (already-fired or cancelled) id can never alias a new timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// Identifies one client-level operation (a `write` or a `read` invocation).
+/// Allocated by whoever drives operations (normally the scenario harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_index() {
+        let p = ProcessId(7);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(p.index(), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(TimerId(1) < TimerId(2));
+        assert!(OpId(1) < OpId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", TimerId(3)), "timer#3");
+        assert_eq!(format!("{}", OpId(9)), "op#9");
+    }
+}

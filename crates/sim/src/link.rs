@@ -1,0 +1,235 @@
+//! Point-to-point links: delay models and FIFO reliable delivery.
+//!
+//! The paper's basic model gives every reader/writer⇄server pair a directed
+//! link that is *FIFO and reliable* (no loss, corruption, duplication or
+//! creation), with unbounded but finite transfer delay. [`DelayModel`]
+//! captures how long each transfer takes; [`LinkState`] enforces FIFO order
+//! even when sampled delays would reorder messages, by never scheduling a
+//! delivery before the previously scheduled one on the same link.
+//!
+//! The *synchronous* variant of the model (Appendix A) requires a known upper
+//! bound on transfer delay; [`DelayModel::upper_bound`] exposes that bound so
+//! clients can derive timeout values.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// How long a message transfer takes on a link.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every transfer takes exactly this long.
+    Constant(SimDuration),
+    /// Transfers take a uniformly random duration in `[lo, hi]`.
+    Uniform {
+        /// Minimum transfer delay.
+        lo: SimDuration,
+        /// Maximum transfer delay.
+        hi: SimDuration,
+    },
+    /// Most transfers are `fast`, but with probability `slow_prob` a transfer
+    /// takes `slow`. Useful for adversarial "one quorum lags" schedules.
+    Bimodal {
+        /// The common-case delay.
+        fast: SimDuration,
+        /// The tail delay.
+        slow: SimDuration,
+        /// Probability of hitting the tail.
+        slow_prob: f64,
+    },
+}
+
+impl DelayModel {
+    /// A convenient default: uniform in `[100us, 1ms]`.
+    pub fn default_async() -> Self {
+        DelayModel::Uniform {
+            lo: SimDuration::micros(100),
+            hi: SimDuration::millis(1),
+        }
+    }
+
+    /// Samples one transfer delay.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform delay with lo > hi");
+                SimDuration::nanos(rng.range_inclusive(lo.as_nanos(), hi.as_nanos()))
+            }
+            DelayModel::Bimodal {
+                fast,
+                slow,
+                slow_prob,
+            } => {
+                if rng.chance(slow_prob) {
+                    slow
+                } else {
+                    fast
+                }
+            }
+        }
+    }
+
+    /// The known upper bound on transfer delay, if one exists.
+    ///
+    /// This is what makes a link *timely* in the sense of §3.3: synchronous
+    /// protocols compute their timeouts from it. All built-in models are
+    /// bounded; a future heavy-tailed model would return `None`.
+    pub fn upper_bound(&self) -> Option<SimDuration> {
+        match *self {
+            DelayModel::Constant(d) => Some(d),
+            DelayModel::Uniform { hi, .. } => Some(hi),
+            DelayModel::Bimodal { fast, slow, .. } => Some(if slow > fast { slow } else { fast }),
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::default_async()
+    }
+}
+
+/// Per-link bookkeeping: the delay model, the FIFO frontier, and the content
+/// generation used to wipe in-flight messages on transient faults.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    delay: DelayModel,
+    /// The latest delivery instant already scheduled on this link. The next
+    /// delivery is scheduled strictly after it, preserving FIFO order.
+    last_scheduled: SimTime,
+    /// Number of messages ever scheduled on this link.
+    pub(crate) sent: u64,
+    /// Bumped by [`LinkState::bump_generation`]; deliveries scheduled under
+    /// an older generation are discarded, modelling a transient fault that
+    /// replaced the channel's contents.
+    generation: u64,
+}
+
+impl LinkState {
+    /// Creates a link with the given delay model.
+    pub fn new(delay: DelayModel) -> Self {
+        LinkState {
+            delay,
+            last_scheduled: SimTime::ZERO,
+            sent: 0,
+            generation: 0,
+        }
+    }
+
+    /// The current content generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates every message currently in flight on this link.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Replaces the delay model (takes effect for subsequent sends).
+    pub fn set_delay(&mut self, delay: DelayModel) {
+        self.delay = delay;
+    }
+
+    /// The current delay model.
+    pub fn delay(&self) -> &DelayModel {
+        &self.delay
+    }
+
+    /// Chooses the delivery instant for a message sent at `now`, enforcing
+    /// FIFO: never before any previously scheduled delivery on this link.
+    pub fn schedule(&mut self, now: SimTime, rng: &mut DetRng) -> SimTime {
+        let raw = now + self.delay.sample(rng);
+        let at = if raw <= self.last_scheduled {
+            self.last_scheduled + SimDuration::nanos(1)
+        } else {
+            raw
+        };
+        self.last_scheduled = at;
+        self.sent += 1;
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_is_constant() {
+        let mut rng = DetRng::from_seed(3);
+        let m = DelayModel::Constant(SimDuration::micros(5));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::micros(5));
+        }
+        assert_eq!(m.upper_bound(), Some(SimDuration::micros(5)));
+    }
+
+    #[test]
+    fn uniform_model_stays_in_range() {
+        let mut rng = DetRng::from_seed(3);
+        let lo = SimDuration::micros(10);
+        let hi = SimDuration::micros(20);
+        let m = DelayModel::Uniform { lo, hi };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi, "sample {d} outside [{lo}, {hi}]");
+        }
+        assert_eq!(m.upper_bound(), Some(hi));
+    }
+
+    #[test]
+    fn bimodal_model_hits_both_modes() {
+        let mut rng = DetRng::from_seed(3);
+        let m = DelayModel::Bimodal {
+            fast: SimDuration::micros(1),
+            slow: SimDuration::millis(1),
+            slow_prob: 0.5,
+        };
+        let mut fast = 0;
+        let mut slow = 0;
+        for _ in 0..200 {
+            match m.sample(&mut rng) {
+                d if d == SimDuration::micros(1) => fast += 1,
+                d if d == SimDuration::millis(1) => slow += 1,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        assert!(fast > 0 && slow > 0);
+        assert_eq!(m.upper_bound(), Some(SimDuration::millis(1)));
+    }
+
+    #[test]
+    fn link_preserves_fifo_despite_random_delays() {
+        let mut rng = DetRng::from_seed(99);
+        let mut link = LinkState::new(DelayModel::Uniform {
+            lo: SimDuration::nanos(1),
+            hi: SimDuration::millis(10),
+        });
+        let mut prev = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            let at = link.schedule(now, &mut rng);
+            assert!(at > prev, "FIFO violated: {at} <= {prev}");
+            prev = at;
+            // Messages sent in quick succession — the adversarial case.
+            now += SimDuration::nanos(2);
+        }
+        assert_eq!(link.sent, 500);
+    }
+
+    #[test]
+    fn delay_model_is_swappable_mid_run() {
+        let mut rng = DetRng::from_seed(1);
+        let mut link = LinkState::new(DelayModel::Constant(SimDuration::micros(1)));
+        let t1 = link.schedule(SimTime::ZERO, &mut rng);
+        assert_eq!(t1, SimTime::from_nanos(1_000));
+        link.set_delay(DelayModel::Constant(SimDuration::millis(1)));
+        let t2 = link.schedule(t1, &mut rng);
+        assert_eq!(t2, t1 + SimDuration::millis(1));
+        assert_eq!(
+            link.delay(),
+            &DelayModel::Constant(SimDuration::millis(1))
+        );
+    }
+}

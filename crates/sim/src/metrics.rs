@@ -1,0 +1,71 @@
+//! Run-level counters: events, messages (total, per kind, per link), faults.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::id::ProcessId;
+
+/// Counters accumulated over one simulation run.
+///
+/// Message counts are the raw number of point-to-point sends — a broadcast to
+/// `n` servers counts `n`. `by_label` breaks the same totals down by
+/// [`Message::label`](crate::Message::label).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Events popped from the scheduler (deliveries, timers, faults).
+    pub events_processed: u64,
+    /// Messages handed to links.
+    pub messages_sent: u64,
+    /// Messages delivered to a destination handler.
+    pub messages_delivered: u64,
+    /// Messages dropped because the link's content was wiped by a fault.
+    pub messages_dropped: u64,
+    /// Sent-message counts per message label.
+    pub by_label: BTreeMap<&'static str, u64>,
+    /// Sent-message counts per directed link.
+    pub per_link: HashMap<(ProcessId, ProcessId), u64>,
+    /// Timers that actually fired (cancelled timers excluded).
+    pub timers_fired: u64,
+    /// Transient-fault corruptions applied to nodes.
+    pub corruptions: u64,
+    /// Garbage messages injected into links by the fault plan.
+    pub garbage_injected: u64,
+}
+
+impl Metrics {
+    /// Records one send of a message with the given label.
+    pub(crate) fn record_send(&mut self, from: ProcessId, to: ProcessId, label: &'static str) {
+        self.messages_sent += 1;
+        *self.by_label.entry(label).or_insert(0) += 1;
+        *self.per_link.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// Total messages sent with `label`.
+    pub fn sent_with_label(&self, label: &str) -> u64 {
+        self.by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Messages sent on the directed link `from -> to`.
+    pub fn sent_on_link(&self, from: ProcessId, to: ProcessId) -> u64 {
+        self.per_link.get(&(from, to)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_updates_all_views() {
+        let mut m = Metrics::default();
+        m.record_send(ProcessId(0), ProcessId(1), "WRITE");
+        m.record_send(ProcessId(0), ProcessId(2), "WRITE");
+        m.record_send(ProcessId(1), ProcessId(0), "ACK_WRITE");
+
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.sent_with_label("WRITE"), 2);
+        assert_eq!(m.sent_with_label("ACK_WRITE"), 1);
+        assert_eq!(m.sent_with_label("NOPE"), 0);
+        assert_eq!(m.sent_on_link(ProcessId(0), ProcessId(1)), 1);
+        assert_eq!(m.sent_on_link(ProcessId(2), ProcessId(0)), 0);
+    }
+}

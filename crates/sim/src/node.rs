@@ -1,0 +1,289 @@
+//! The protocol state-machine contract.
+//!
+//! A protocol participant is a [`Node`]: a state machine with zero-time
+//! handlers, matching the paper's model where "processing times are
+//! negligible ... only message transfers take time". Handlers never block;
+//! they record *effects* (sends, timers, outputs) into a [`Context`], which
+//! the hosting runtime — the discrete-event [`Simulation`](crate::Simulation)
+//! or the thread-backed [`ThreadRuntime`](crate::runtime::ThreadRuntime) —
+//! then applies.
+//!
+//! The same `Node` implementation runs unmodified under both runtimes.
+
+use std::any::Any;
+
+use crate::id::{ProcessId, TimerId};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Messages exchanged between nodes.
+///
+/// The `label` is used by the metrics layer to break message counts down by
+/// kind (e.g. `"WRITE"`, `"ACK_READ"`); it defaults to `"msg"`.
+pub trait Message: Clone + std::fmt::Debug + 'static {
+    /// A short, static name for this message's kind.
+    fn label(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// One protocol participant: a deterministic state machine driven by
+/// messages and timers.
+///
+/// Implementations must also provide [`Node::as_any_mut`] (always the
+/// one-liner `fn as_any_mut(&mut self) -> &mut dyn Any { self }`) so the
+/// harness can recover the concrete type to invoke client operations.
+pub trait Node: Any {
+    /// The message type shared by every node in one simulation.
+    type Msg: Message;
+    /// The output event type (operation completions etc.) shared by every
+    /// node in one simulation.
+    type Out: 'static;
+
+    /// Called once when the node is registered, before any message arrives.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg, Self::Out>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Out>,
+    );
+
+    /// Called when a timer previously set through
+    /// [`Context::set_timer`] fires. Cancelled timers never fire.
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<'_, Self::Msg, Self::Out>) {}
+
+    /// Transient-failure hook: arbitrarily corrupt this node's local state.
+    ///
+    /// The fault injector calls this to model the paper's "local variables of
+    /// any process can be arbitrarily modified". Implementations should
+    /// overwrite *every* protocol variable with adversarially random
+    /// contents; the default does nothing (a node with no corruptible state).
+    fn on_corrupt(&mut self, _rng: &mut DetRng) {}
+
+    /// Type-recovery escape hatch; always implemented as `{ self }`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Effects recorded by a node handler, applied by the runtime after the
+/// handler returns.
+#[derive(Debug)]
+pub struct Effects<M, O> {
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers_set: Vec<(TimerId, SimDuration)>,
+    pub(crate) timers_cancelled: Vec<TimerId>,
+    pub(crate) outputs: Vec<O>,
+}
+
+impl<M, O> Effects<M, O> {
+    /// Creates an empty effect buffer. Needed when driving a node (or an
+    /// embedded protocol core) manually, outside a runtime.
+    pub fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            timers_set: Vec::new(),
+            timers_cancelled: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+            && self.timers_set.is_empty()
+            && self.timers_cancelled.is_empty()
+            && self.outputs.is_empty()
+    }
+
+    /// The messages queued so far, as `(destination, message)` pairs in
+    /// emission order. Useful for unit-testing nodes outside a runtime.
+    pub fn sends(&self) -> &[(ProcessId, M)] {
+        &self.sends
+    }
+
+    /// The output events queued so far, in emission order.
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// The timers armed so far, as `(id, delay)` pairs.
+    pub fn timers_set(&self) -> &[(TimerId, SimDuration)] {
+        &self.timers_set
+    }
+}
+
+impl<M, O> Default for Effects<M, O> {
+    fn default() -> Self {
+        Effects::new()
+    }
+}
+
+/// The handler-side view of the runtime: the current time, this node's
+/// identity, a deterministic RNG, and the effect buffers.
+pub struct Context<'a, M, O> {
+    pub(crate) now: SimTime,
+    pub(crate) me: ProcessId,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) effects: &'a mut Effects<M, O>,
+}
+
+impl<M, O> std::fmt::Debug for Context<'_, M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("me", &self.me)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    /// Builds a context. Exposed for runtimes and tests that drive nodes
+    /// directly; protocol code only ever *receives* a context.
+    pub fn new(
+        now: SimTime,
+        me: ProcessId,
+        rng: &'a mut DetRng,
+        next_timer: &'a mut u64,
+        effects: &'a mut Effects<M, O>,
+    ) -> Self {
+        Context {
+            now,
+            me,
+            rng,
+            next_timer,
+            effects,
+        }
+    }
+
+    /// The current virtual (or wall-clock-mapped) time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's own id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Queues `msg` for delivery to `to` over the (FIFO, reliable) link
+    /// `self.me() -> to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.effects.sends.push((to, msg));
+    }
+
+    /// Queues `msg` to every process in `targets`.
+    pub fn send_all<I>(&mut self, targets: I, msg: M)
+    where
+        I: IntoIterator<Item = ProcessId>,
+        M: Clone,
+    {
+        for to in targets {
+            self.effects.sends.push((to, msg.clone()));
+        }
+    }
+
+    /// Arms a one-shot timer that fires after `delay`; returns its id.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.timers_set.push((id, delay));
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.timers_cancelled.push(id);
+    }
+
+    /// Emits an output event (e.g. an operation completion) to the harness.
+    pub fn output(&mut self, out: O) {
+        self.effects.outputs.push(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl Message for Ping {
+        fn label(&self) -> &'static str {
+            "PING"
+        }
+    }
+
+    #[test]
+    fn context_records_effects_in_order() {
+        let mut rng = DetRng::from_seed(0);
+        let mut next_timer = 0u64;
+        let mut effects: Effects<Ping, &'static str> = Effects::new();
+        let mut ctx = Context::new(
+            SimTime::from_nanos(5),
+            ProcessId(1),
+            &mut rng,
+            &mut next_timer,
+            &mut effects,
+        );
+
+        assert_eq!(ctx.now(), SimTime::from_nanos(5));
+        assert_eq!(ctx.me(), ProcessId(1));
+
+        ctx.send(ProcessId(2), Ping(10));
+        ctx.send_all([ProcessId(3), ProcessId(4)], Ping(11));
+        let t = ctx.set_timer(SimDuration::millis(1));
+        ctx.cancel_timer(t);
+        ctx.output("done");
+
+        assert_eq!(
+            effects.sends,
+            vec![
+                (ProcessId(2), Ping(10)),
+                (ProcessId(3), Ping(11)),
+                (ProcessId(4), Ping(11)),
+            ]
+        );
+        assert_eq!(effects.timers_set, vec![(TimerId(0), SimDuration::millis(1))]);
+        assert_eq!(effects.timers_cancelled, vec![TimerId(0)]);
+        assert_eq!(effects.outputs, vec!["done"]);
+        assert_eq!(next_timer, 1);
+    }
+
+    #[test]
+    fn timer_ids_are_unique_across_contexts() {
+        let mut rng = DetRng::from_seed(0);
+        let mut next_timer = 0u64;
+        let mut e1: Effects<Ping, ()> = Effects::new();
+        let t1 = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut next_timer, &mut e1)
+            .set_timer(SimDuration::nanos(1));
+        let mut e2: Effects<Ping, ()> = Effects::new();
+        let t2 = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut next_timer, &mut e2)
+            .set_timer(SimDuration::nanos(1));
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn effects_emptiness() {
+        let mut e: Effects<Ping, ()> = Effects::new();
+        assert!(e.is_empty());
+        e.sends.push((ProcessId(0), Ping(0)));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn message_label_default_and_custom() {
+        #[derive(Clone, Debug)]
+        struct Plain;
+        impl Message for Plain {}
+        assert_eq!(Plain.label(), "msg");
+        assert_eq!(Ping(0).label(), "PING");
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic randomness.
+//!
+//! Every run of the simulator is reproducible from a single `u64` seed. Each
+//! process receives its own [`DetRng`] derived from the master seed and its
+//! [`ProcessId`](crate::ProcessId), so adding a process or reordering handler
+//! executions does not perturb the random streams of unrelated processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator owned by one process (or by the
+/// fault injector).
+///
+/// ```
+/// use sbs_sim::DetRng;
+/// let mut a = DetRng::from_seed(42);
+/// let mut b = DetRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator directly from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent per-stream generator from a master seed and a
+    /// stream index (e.g. a process id). Uses SplitMix64-style mixing so
+    /// adjacent indices produce unrelated streams.
+    pub fn derive(master: u64, stream: u64) -> Self {
+        let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DetRng::from_seed(z)
+    }
+
+    /// A uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniformly random integer in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+
+    /// Mutable access to the underlying `RngCore` for interop with `rand`
+    /// distributions.
+    pub fn as_rng_core(&mut self) -> &mut dyn RngCore {
+        &mut self.inner
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::from_seed(7);
+        let mut b = DetRng::from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = DetRng::derive(7, 0);
+        let mut b = DetRng::derive(7, 1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "adjacent streams should not collide");
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::from_seed(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..500 {
+            match r.range_inclusive(0, 3) {
+                0 => seen_lo = true,
+                3 => seen_hi = true,
+                1 | 2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::from_seed(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn pick_handles_empty_and_singleton() {
+        let mut r = DetRng::from_seed(1);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.pick(&empty), None);
+        assert_eq!(r.pick(&[42u8]), Some(&42));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_inclusive_rejects_inverted_bounds() {
+        let mut r = DetRng::from_seed(1);
+        r.range_inclusive(5, 1);
+    }
+}

@@ -1,0 +1,421 @@
+//! A thread-backed runtime for the same [`Node`] state machines the
+//! simulator hosts.
+//!
+//! Every node runs on its own OS thread; messages travel over unbounded
+//! crossbeam channels (reliable and FIFO per sender→receiver pair, matching
+//! the paper's link assumptions); timers are serviced with `recv_timeout`.
+//! There is no virtual time — [`Context::now`] reports wall-clock time since
+//! the runtime started, mapped onto [`SimTime`].
+//!
+//! The runtime exists to demonstrate that protocol implementations written
+//! against [`Node`]/[`Context`] are not simulator-bound: the integration
+//! tests run a full register deployment on threads and get the same answers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::id::{ProcessId, TimerId};
+use crate::node::{Context, Effects, Message, Node};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// A one-shot closure executed on the node's thread with a live context.
+type InvokeFn<M, O> =
+    Box<dyn FnOnce(&mut dyn Node<Msg = M, Out = O>, &mut Context<'_, M, O>) + Send>;
+
+enum Ctl<M, O> {
+    Msg { from: ProcessId, msg: M },
+    Invoke(InvokeFn<M, O>),
+    Stop,
+}
+
+/// A running set of nodes, one OS thread each, fully connected by reliable
+/// FIFO channels.
+///
+/// Create with [`ThreadRuntime::spawn`], drive with
+/// [`ThreadRuntime::invoke`], observe with [`ThreadRuntime::recv_output`],
+/// and stop with [`ThreadRuntime::shutdown`].
+pub struct ThreadRuntime<M, O> {
+    senders: Vec<Sender<Ctl<M, O>>>,
+    outputs_rx: Receiver<(ProcessId, O)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<M, O> std::fmt::Debug for ThreadRuntime<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRuntime")
+            .field("nodes", &self.senders.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M, O> ThreadRuntime<M, O>
+where
+    M: Message + Send,
+    O: Send + 'static,
+{
+    /// Spawns one thread per node. Node `i` is addressed as `ProcessId(i)`.
+    /// Each node's [`Node::on_start`] runs on its own thread before any
+    /// message is processed.
+    pub fn spawn(nodes: Vec<Box<dyn Node<Msg = M, Out = O> + Send>>, seed: u64) -> Self {
+        let n = nodes.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Ctl<M, O>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (out_tx, out_rx) = unbounded::<(ProcessId, O)>();
+        let epoch = Instant::now();
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, (node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+            let me = ProcessId(i as u32);
+            let senders = senders.clone();
+            let out_tx = out_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sbs-node-{i}"))
+                .spawn(move || node_main(me, node, rx, senders, out_tx, seed, epoch))
+                .expect("failed to spawn node thread");
+            handles.push(handle);
+        }
+
+        ThreadRuntime {
+            senders,
+            outputs_rx: out_rx,
+            handles,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if the runtime hosts no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Runs `f` on node `pid`'s thread against the concrete node type `N`,
+    /// with a live [`Context`]. Returns immediately (fire-and-forget); the
+    /// node observes the call as an extra zero-time handler execution.
+    ///
+    /// # Panics
+    ///
+    /// The *node thread* panics if the node at `pid` is not an `N`.
+    pub fn invoke<N>(
+        &self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut N, &mut Context<'_, M, O>) + Send + 'static,
+    ) where
+        N: Node<Msg = M, Out = O>,
+    {
+        let wrapped = Box::new(
+            move |node: &mut dyn Node<Msg = M, Out = O>, ctx: &mut Context<'_, M, O>| {
+                let node = node
+                    .as_any_mut()
+                    .downcast_mut::<N>()
+                    .unwrap_or_else(|| panic!("node is not a {}", std::any::type_name::<N>()));
+                f(node, ctx);
+            },
+        );
+        // A send can only fail after shutdown; ignore in that case.
+        let _ = self.senders[pid.index()].send(Ctl::Invoke(wrapped));
+    }
+
+    /// Injects a message into node `to` as if sent by `from`. Intended for
+    /// tests that impersonate a peer (e.g. Byzantine behaviour from outside).
+    pub fn inject(&self, from: ProcessId, to: ProcessId, msg: M) {
+        let _ = self.senders[to.index()].send(Ctl::Msg { from, msg });
+    }
+
+    /// Waits up to `timeout` for the next output event.
+    pub fn recv_output(&self, timeout: Duration) -> Option<(ProcessId, O)> {
+        self.outputs_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any outputs that are immediately available.
+    pub fn drain_outputs(&self) -> Vec<(ProcessId, O)> {
+        let mut v = Vec::new();
+        while let Ok(o) = self.outputs_rx.try_recv() {
+            v.push(o);
+        }
+        v
+    }
+
+    /// Stops every node thread and waits for them to exit.
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Ctl::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M, O> Drop for ThreadRuntime<M, O> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Ctl::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn node_main<M, O>(
+    me: ProcessId,
+    mut node: Box<dyn Node<Msg = M, Out = O> + Send>,
+    rx: Receiver<Ctl<M, O>>,
+    senders: Vec<Sender<Ctl<M, O>>>,
+    out_tx: Sender<(ProcessId, O)>,
+    seed: u64,
+    epoch: Instant,
+) where
+    M: Message + Send,
+    O: Send + 'static,
+{
+    let mut rng = DetRng::derive(seed, me.0 as u64);
+    let mut next_timer: u64 = 0;
+    // (deadline, id) min-heap plus tombstones for cancellations.
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerId)>> = BinaryHeap::new();
+    let mut cancelled: HashSet<TimerId> = HashSet::new();
+
+    let run_handler = |node: &mut Box<dyn Node<Msg = M, Out = O> + Send>,
+                           rng: &mut DetRng,
+                           next_timer: &mut u64,
+                           timers: &mut BinaryHeap<Reverse<(Instant, TimerId)>>,
+                           cancelled: &mut HashSet<TimerId>,
+                           f: &mut dyn FnMut(
+        &mut dyn Node<Msg = M, Out = O>,
+        &mut Context<'_, M, O>,
+    )| {
+        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+        let mut effects: Effects<M, O> = Effects::new();
+        {
+            let mut ctx = Context::new(now, me, rng, next_timer, &mut effects);
+            f(node.as_mut(), &mut ctx);
+        }
+        let Effects {
+            sends,
+            timers_set,
+            timers_cancelled,
+            outputs,
+        } = effects;
+        for (to, msg) in sends {
+            if let Some(tx) = senders.get(to.index()) {
+                let _ = tx.send(Ctl::Msg { from: me, msg });
+            }
+        }
+        let base = Instant::now();
+        for (id, delay) in timers_set {
+            let deadline = base + Duration::from_nanos(delay.as_nanos());
+            timers.push(Reverse((deadline, id)));
+        }
+        for id in timers_cancelled {
+            cancelled.insert(id);
+        }
+        for out in outputs {
+            let _ = out_tx.send((me, out));
+        }
+    };
+
+    // on_start
+    run_handler(
+        &mut node,
+        &mut rng,
+        &mut next_timer,
+        &mut timers,
+        &mut cancelled,
+        &mut |n, ctx| n.on_start(ctx),
+    );
+
+    loop {
+        // Fire all due timers first.
+        loop {
+            match timers.peek() {
+                Some(&Reverse((deadline, id))) if deadline <= Instant::now() => {
+                    timers.pop();
+                    if !cancelled.remove(&id) {
+                        run_handler(
+                            &mut node,
+                            &mut rng,
+                            &mut next_timer,
+                            &mut timers,
+                            &mut cancelled,
+                            &mut |n, ctx| n.on_timer(id, ctx),
+                        );
+                    }
+                }
+                _ => break,
+            }
+        }
+        let ctl = match timers.peek() {
+            Some(&Reverse((deadline, _))) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(ctl) => ctl,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(ctl) => ctl,
+                Err(_) => return,
+            },
+        };
+        match ctl {
+            Ctl::Msg { from, msg } => {
+                run_handler(
+                    &mut node,
+                    &mut rng,
+                    &mut next_timer,
+                    &mut timers,
+                    &mut cancelled,
+                    &mut |n, ctx| {
+                        // `msg` is moved in via Option to satisfy FnMut.
+                        n.on_message(from, msg.clone(), ctx)
+                    },
+                );
+            }
+            Ctl::Invoke(f) => {
+                let mut f = Some(f);
+                run_handler(
+                    &mut node,
+                    &mut rng,
+                    &mut next_timer,
+                    &mut timers,
+                    &mut cancelled,
+                    &mut |n, ctx| {
+                        if let Some(f) = f.take() {
+                            f(n, ctx)
+                        }
+                    },
+                );
+            }
+            Ctl::Stop => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum TMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+    impl Message for TMsg {}
+
+    struct Echo;
+    impl Node for Echo {
+        type Msg = TMsg;
+        type Out = u32;
+        fn on_message(&mut self, from: ProcessId, msg: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+            if let TMsg::Ping(v) = msg {
+                ctx.send(from, TMsg::Pong(v));
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Pinger {
+        server: ProcessId,
+    }
+    impl Node for Pinger {
+        type Msg = TMsg;
+        type Out = u32;
+        fn on_message(&mut self, _from: ProcessId, msg: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+            if let TMsg::Pong(v) = msg {
+                ctx.output(v);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn threads_round_trip() {
+        let nodes: Vec<Box<dyn Node<Msg = TMsg, Out = u32> + Send>> = vec![
+            Box::new(Echo),
+            Box::new(Pinger {
+                server: ProcessId(0),
+            }),
+        ];
+        let rt = ThreadRuntime::spawn(nodes, 1);
+        rt.invoke::<Pinger>(ProcessId(1), |n, ctx| {
+            let server = n.server;
+            ctx.send(server, TMsg::Ping(41));
+        });
+        let (pid, v) = rt
+            .recv_output(Duration::from_secs(5))
+            .expect("pong should arrive");
+        assert_eq!(pid, ProcessId(1));
+        assert_eq!(v, 41);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        struct Alarm;
+        impl Node for Alarm {
+            type Msg = TMsg;
+            type Out = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, TMsg, u32>) {
+                ctx.set_timer(SimDuration::millis(5));
+            }
+            fn on_message(&mut self, _: ProcessId, _: TMsg, _: &mut Context<'_, TMsg, u32>) {}
+            fn on_timer(&mut self, _: TimerId, ctx: &mut Context<'_, TMsg, u32>) {
+                ctx.output(99);
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let rt: ThreadRuntime<TMsg, u32> = ThreadRuntime::spawn(vec![Box::new(Alarm)], 2);
+        let (_, v) = rt
+            .recv_output(Duration::from_secs(5))
+            .expect("timer output");
+        assert_eq!(v, 99);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn inject_impersonates_a_peer() {
+        let rt: ThreadRuntime<TMsg, u32> = ThreadRuntime::spawn(
+            vec![Box::new(Pinger {
+                server: ProcessId(0),
+            })],
+            3,
+        );
+        rt.inject(ProcessId(0), ProcessId(0), TMsg::Pong(7));
+        let (_, v) = rt.recv_output(Duration::from_secs(5)).expect("output");
+        assert_eq!(v, 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drain_outputs_is_nonblocking() {
+        let rt: ThreadRuntime<TMsg, u32> = ThreadRuntime::spawn(vec![Box::new(Echo)], 4);
+        assert!(rt.drain_outputs().is_empty());
+        assert_eq!(rt.len(), 1);
+        assert!(!rt.is_empty());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,866 @@
+//! The deterministic discrete-event simulator.
+//!
+//! [`Simulation`] hosts a set of [`Node`] state machines connected by FIFO
+//! reliable links with configurable delays, and processes events (message
+//! deliveries, timer firings, injected faults) in virtual-time order. Runs
+//! are fully deterministic given the seed in [`SimConfig`].
+//!
+//! # Model correspondence
+//!
+//! | Paper (§2.1)                          | Here                                  |
+//! |---------------------------------------|---------------------------------------|
+//! | asynchronous sequential processes     | [`Node`] handlers, zero virtual time  |
+//! | FIFO reliable directed links          | [`LinkState`] + FIFO-preserving scheduling |
+//! | arbitrary finite transfer delay       | [`DelayModel`]                        |
+//! | transient failures (arbitrary state)  | [`Simulation::schedule_corruption`], [`Simulation::schedule_link_garbage`], [`Simulation::wipe_link`] |
+//! | Byzantine servers                     | adversarial `Node` impls, [`Simulation::replace_node`] |
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::id::{ProcessId, TimerId};
+use crate::link::{DelayModel, LinkState};
+use crate::metrics::Metrics;
+use crate::node::{Context, Effects, Message, Node};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration for a [`Simulation`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Delay model used by [`Simulation::add_duplex_default`] helpers.
+    pub default_delay: DelayModel,
+    /// Safety cap on processed events. Exceeding it panics — it almost
+    /// always means a protocol livelock, which tests should fail loudly.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            default_delay: DelayModel::default_async(),
+            max_events: 50_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with the given seed and defaults for everything else.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+enum EventKind<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        generation: u64,
+    },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+    },
+    Corrupt {
+        pid: ProcessId,
+    },
+    InjectGarbage {
+        from: ProcessId,
+        to: ProcessId,
+    },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// ties broken by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+type GarbageGen<M> = Box<dyn FnMut(&mut DetRng, ProcessId, ProcessId) -> M>;
+
+/// A deterministic discrete-event simulation of message-passing nodes.
+///
+/// Generic over the message type `M` shared by all nodes and the output
+/// event type `O` nodes emit toward the harness.
+///
+/// ```
+/// use sbs_sim::{Context, Message, Node, ProcessId, SimConfig, Simulation};
+/// use std::any::Any;
+///
+/// #[derive(Clone, Debug)]
+/// struct Hello;
+/// impl Message for Hello {}
+///
+/// struct Greeter { peer: Option<ProcessId> }
+/// impl Node for Greeter {
+///     type Msg = Hello;
+///     type Out = &'static str;
+///     fn on_start(&mut self, ctx: &mut Context<'_, Hello, &'static str>) {
+///         if let Some(peer) = self.peer {
+///             ctx.send(peer, Hello);
+///         }
+///     }
+///     fn on_message(&mut self, _from: ProcessId, _msg: Hello,
+///                   ctx: &mut Context<'_, Hello, &'static str>) {
+///         ctx.output("greeted");
+///     }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+///
+/// let mut sim: Simulation<Hello, &'static str> = Simulation::new(SimConfig::default());
+/// let a = sim.reserve_id();
+/// let b = sim.reserve_id();
+/// sim.add_duplex_default(a, b);
+/// sim.add_node_at(a, Greeter { peer: Some(b) });
+/// sim.add_node_at(b, Greeter { peer: None });
+/// sim.with_node::<Greeter, _>(a, |n, ctx| {
+///     let peer = n.peer.unwrap();
+///     ctx.send(peer, Hello);
+/// });
+/// assert!(sim.run_until_quiescent(sbs_sim::SimTime::from_nanos(u64::MAX / 2)));
+/// let outs = sim.take_outputs();
+/// assert_eq!(outs.len(), 2); // on_start send + explicit send
+/// ```
+pub struct Simulation<M: Message, O> {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    nodes: Vec<Option<Box<dyn Node<Msg = M, Out = O>>>>,
+    rngs: Vec<DetRng>,
+    links: HashMap<(ProcessId, ProcessId), LinkState>,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    outputs: Vec<(SimTime, ProcessId, O)>,
+    metrics: Metrics,
+    garbage_gen: Option<GarbageGen<M>>,
+    net_rng: DetRng,
+    fault_rng: DetRng,
+}
+
+impl<M: Message, O: 'static> Simulation<M, O> {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let net_rng = DetRng::derive(cfg.seed, u64::MAX);
+        let fault_rng = DetRng::derive(cfg.seed, u64::MAX - 1);
+        Simulation {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            links: HashMap::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            outputs: Vec::new(),
+            metrics: Metrics::default(),
+            garbage_gen: None,
+            net_rng,
+            fault_rng,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered processes (including reserved-but-unfilled ids).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no processes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Run counters accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reserves the next [`ProcessId`] without providing a node yet, so that
+    /// nodes with cyclic references to each other can be constructed.
+    /// Fill it with [`Simulation::add_node_at`].
+    pub fn reserve_id(&mut self) -> ProcessId {
+        let id = ProcessId(self.nodes.len() as u32);
+        self.nodes.push(None);
+        self.rngs
+            .push(DetRng::derive(self.cfg.seed, id.0 as u64));
+        id
+    }
+
+    /// Registers `node`, assigns it the next id, and runs its
+    /// [`Node::on_start`] handler at the current time.
+    pub fn add_node(&mut self, node: impl Node<Msg = M, Out = O>) -> ProcessId {
+        let id = self.reserve_id();
+        self.add_node_at(id, node);
+        id
+    }
+
+    /// Fills a previously [reserved](Simulation::reserve_id) id with `node`
+    /// and runs its [`Node::on_start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not reserved or is already filled.
+    pub fn add_node_at(&mut self, id: ProcessId, node: impl Node<Msg = M, Out = O>) {
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("{id} was never reserved"));
+        assert!(slot.is_none(), "{id} is already occupied");
+        *slot = Some(Box::new(node));
+        self.dispatch(id, |node, ctx| node.on_start(ctx));
+    }
+
+    /// Replaces the node at `id` (e.g. a correct server turning Byzantine,
+    /// or a mobile Byzantine fault moving on). The new node's
+    /// [`Node::on_start`] runs at the current time. Returns the old node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or currently empty.
+    pub fn replace_node(
+        &mut self,
+        id: ProcessId,
+        node: impl Node<Msg = M, Out = O>,
+    ) -> Box<dyn Node<Msg = M, Out = O>> {
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("{id} was never reserved"));
+        let old = slot.take().unwrap_or_else(|| panic!("{id} is empty"));
+        *slot = Some(Box::new(node));
+        self.dispatch(id, |node, ctx| node.on_start(ctx));
+        old
+    }
+
+    /// Adds the directed link `from -> to` with the given delay model,
+    /// replacing any existing link.
+    pub fn add_link(&mut self, from: ProcessId, to: ProcessId, delay: DelayModel) {
+        self.links.insert((from, to), LinkState::new(delay));
+    }
+
+    /// Adds both directed links between `a` and `b`.
+    pub fn add_duplex(&mut self, a: ProcessId, b: ProcessId, delay: DelayModel) {
+        self.add_link(a, b, delay.clone());
+        self.add_link(b, a, delay);
+    }
+
+    /// Adds both directed links between `a` and `b` using the config's
+    /// default delay model.
+    pub fn add_duplex_default(&mut self, a: ProcessId, b: ProcessId) {
+        self.add_duplex(a, b, self.cfg.default_delay.clone());
+    }
+
+    /// Swaps the delay model of the directed link `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    pub fn set_link_delay(&mut self, from: ProcessId, to: ProcessId, delay: DelayModel) {
+        self.links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"))
+            .set_delay(delay);
+    }
+
+    /// The known delay upper bound of the link `from -> to`, if any.
+    pub fn link_bound(&self, from: ProcessId, to: ProcessId) -> Option<SimDuration> {
+        self.links
+            .get(&(from, to))
+            .and_then(|l| l.delay().upper_bound())
+    }
+
+    /// Installs the generator used by [`Simulation::schedule_link_garbage`]
+    /// to fabricate arbitrary messages (modelling arbitrary initial link
+    /// contents after a transient fault).
+    pub fn set_garbage_gen(
+        &mut self,
+        gen: impl FnMut(&mut DetRng, ProcessId, ProcessId) -> M + 'static,
+    ) {
+        self.garbage_gen = Some(Box::new(gen));
+    }
+
+    /// Schedules a transient-fault corruption of `pid`'s local state at
+    /// absolute time `at` (via [`Node::on_corrupt`]).
+    pub fn schedule_corruption(&mut self, at: SimTime, pid: ProcessId) {
+        self.push(at, EventKind::Corrupt { pid });
+    }
+
+    /// Schedules `count` garbage messages to be injected into the link
+    /// `from -> to` at absolute time `at`. Requires a garbage generator
+    /// (see [`Simulation::set_garbage_gen`]); injections without one are
+    /// silently skipped.
+    pub fn schedule_link_garbage(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        count: usize,
+    ) {
+        for _ in 0..count {
+            self.push(at, EventKind::InjectGarbage { from, to });
+        }
+    }
+
+    /// Immediately discards every message currently in flight on the link
+    /// `from -> to` (transient fault wiping channel contents).
+    pub fn wipe_link(&mut self, from: ProcessId, to: ProcessId) {
+        if let Some(link) = self.links.get_mut(&(from, to)) {
+            link.bump_generation();
+        }
+    }
+
+    /// Runs `f` against the concrete node `N` at `pid` with a live
+    /// [`Context`], applying any effects it records. This is how the harness
+    /// invokes client operations between events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unknown/empty or the node is not an `N`.
+    pub fn with_node<N, R>(
+        &mut self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut N, &mut Context<'_, M, O>) -> R,
+    ) -> R
+    where
+        N: Node<Msg = M, Out = O>,
+    {
+        self.dispatch(pid, |node, ctx| {
+            let node = node
+                .as_any_mut()
+                .downcast_mut::<N>()
+                .unwrap_or_else(|| panic!("{} is not a {}", ctx.me(), std::any::type_name::<N>()));
+            f(node, ctx)
+        })
+    }
+
+    /// Read-only access to the concrete node `N` at `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unknown/empty or the node is not an `N`.
+    pub fn node_ref<N, R>(&mut self, pid: ProcessId, f: impl FnOnce(&N) -> R) -> R
+    where
+        N: Node<Msg = M, Out = O>,
+    {
+        let node = self.nodes[pid.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("{pid} is empty"));
+        let node = node
+            .as_any_mut()
+            .downcast_mut::<N>()
+            .unwrap_or_else(|| panic!("{pid} is not a {}", std::any::type_name::<N>()));
+        f(node)
+    }
+
+    /// The earliest pending event time, if any event is pending.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured `max_events` cap is exceeded (livelock
+    /// tripwire).
+    pub fn step(&mut self) -> bool {
+        let Some(Scheduled { at, kind, .. }) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event from the past");
+        self.now = at;
+        self.metrics.events_processed += 1;
+        assert!(
+            self.metrics.events_processed <= self.cfg.max_events,
+            "max_events ({}) exceeded at {} — livelock?",
+            self.cfg.max_events,
+            self.now
+        );
+        match kind {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                generation,
+            } => {
+                let live = self
+                    .links
+                    .get(&(from, to))
+                    .map(|l| l.generation() == generation)
+                    .unwrap_or(false);
+                if live {
+                    self.metrics.messages_delivered += 1;
+                    self.dispatch(to, |node, ctx| node.on_message(from, msg, ctx));
+                } else {
+                    self.metrics.messages_dropped += 1;
+                }
+            }
+            EventKind::Timer { pid, id } => {
+                if !self.cancelled.remove(&id) {
+                    self.metrics.timers_fired += 1;
+                    self.dispatch(pid, |node, ctx| node.on_timer(id, ctx));
+                }
+            }
+            EventKind::Corrupt { pid } => {
+                self.metrics.corruptions += 1;
+                if let Some(node) = self.nodes[pid.index()].as_mut() {
+                    node.on_corrupt(&mut self.fault_rng);
+                }
+            }
+            EventKind::InjectGarbage { from, to } => {
+                if let Some(mut gen) = self.garbage_gen.take() {
+                    let msg = gen(&mut self.fault_rng, from, to);
+                    self.garbage_gen = Some(gen);
+                    self.metrics.garbage_injected += 1;
+                    self.route(from, to, msg);
+                }
+            }
+        }
+        true
+    }
+
+    /// Processes all events up to and including time `t`, then advances the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(at) = self.peek_next_time() {
+            if at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Processes all events for the next `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no events remain or until the clock passes `limit`.
+    /// Returns `true` if the event queue drained (quiescence).
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
+        loop {
+            match self.peek_next_time() {
+                None => return true,
+                Some(at) if at > limit => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Drains the output events emitted since the last call, as
+    /// `(time, emitting process, event)` triples in emission order.
+    pub fn take_outputs(&mut self) -> Vec<(SimTime, ProcessId, O)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Routes one message over the link `from -> to`, enforcing FIFO.
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("send over missing link {from} -> {to}"));
+        let at = link.schedule(self.now, &mut self.net_rng);
+        let generation = link.generation();
+        self.metrics.record_send(from, to, msg.label());
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                generation,
+            },
+        );
+    }
+
+    fn dispatch<R>(
+        &mut self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut dyn Node<Msg = M, Out = O>, &mut Context<'_, M, O>) -> R,
+    ) -> R {
+        let mut node = self.nodes[pid.index()]
+            .take()
+            .unwrap_or_else(|| panic!("{pid} has no node (reserved but never filled?)"));
+        let mut effects = Effects::new();
+        let result = {
+            let mut ctx = Context::new(
+                self.now,
+                pid,
+                &mut self.rngs[pid.index()],
+                &mut self.next_timer,
+                &mut effects,
+            );
+            f(node.as_mut(), &mut ctx)
+        };
+        self.nodes[pid.index()] = Some(node);
+        self.apply_effects(pid, effects);
+        result
+    }
+
+    fn apply_effects(&mut self, pid: ProcessId, effects: Effects<M, O>) {
+        if effects.is_empty() {
+            return;
+        }
+        let Effects {
+            sends,
+            timers_set,
+            timers_cancelled,
+            outputs,
+        } = effects;
+        for (to, msg) in sends {
+            self.route(pid, to, msg);
+        }
+        for (id, delay) in timers_set {
+            self.push(self.now + delay, EventKind::Timer { pid, id });
+        }
+        for id in timers_cancelled {
+            self.cancelled.insert(id);
+        }
+        for out in outputs {
+            self.outputs.push((self.now, pid, out));
+        }
+    }
+}
+
+impl<M: Message, O> std::fmt::Debug for Simulation<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum TMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+    impl Message for TMsg {
+        fn label(&self) -> &'static str {
+            match self {
+                TMsg::Ping(_) => "PING",
+                TMsg::Pong(_) => "PONG",
+            }
+        }
+    }
+
+    /// Echoes every Ping back as a Pong with the same payload.
+    struct Echo;
+    impl Node for Echo {
+        type Msg = TMsg;
+        type Out = u32;
+        fn on_message(&mut self, from: ProcessId, msg: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+            if let TMsg::Ping(v) = msg {
+                ctx.send(from, TMsg::Pong(v));
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends pings on demand; outputs payloads of received pongs.
+    struct Pinger {
+        server: ProcessId,
+        state: u64,
+    }
+    impl Pinger {
+        fn ping(&mut self, v: u32, ctx: &mut Context<'_, TMsg, u32>) {
+            ctx.send(self.server, TMsg::Ping(v));
+        }
+    }
+    impl Node for Pinger {
+        type Msg = TMsg;
+        type Out = u32;
+        fn on_message(&mut self, _from: ProcessId, msg: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+            if let TMsg::Pong(v) = msg {
+                ctx.output(v);
+            }
+        }
+        fn on_corrupt(&mut self, rng: &mut DetRng) {
+            self.state = rng.next_u64();
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pair(seed: u64) -> (Simulation<TMsg, u32>, ProcessId, ProcessId) {
+        let mut sim = Simulation::new(SimConfig::with_seed(seed));
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Pinger { server, state: 0 });
+        sim.add_duplex(client, server, DelayModel::Constant(SimDuration::micros(10)));
+        (sim, client, server)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, client, _) = pair(1);
+        sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(7, ctx));
+        assert!(sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2)));
+        let outs = sim.take_outputs();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].2, 7);
+        // One ping + one pong.
+        assert_eq!(sim.metrics().messages_sent, 2);
+        assert_eq!(sim.metrics().sent_with_label("PING"), 1);
+        assert_eq!(sim.metrics().sent_with_label("PONG"), 1);
+        // Round trip = 2 constant 10us hops.
+        assert_eq!(outs[0].0, SimTime::from_nanos(20_000));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let (mut sim, client, _) = pair(seed);
+            for v in 0..20 {
+                sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(v, ctx));
+            }
+            sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            (
+                sim.take_outputs()
+                    .into_iter()
+                    .map(|(t, _, v)| (t, v))
+                    .collect::<Vec<_>>(),
+                sim.metrics().messages_sent,
+            )
+        };
+        assert_eq!(run(42), run(42));
+        // And a different seed with random delays still yields same logical results.
+        let (mut sim, client, server) = pair(43);
+        sim.add_duplex(client, server, DelayModel::default_async());
+        sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(9, ctx));
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(sim.take_outputs()[0].2, 9);
+    }
+
+    #[test]
+    fn fifo_delivery_order_is_send_order() {
+        let (mut sim, client, _) = pair(7);
+        // Random delays would reorder without the FIFO frontier.
+        sim.set_link_delay(
+            client,
+            sim.node_ids_for_test()[0],
+            DelayModel::Uniform {
+                lo: SimDuration::nanos(1),
+                hi: SimDuration::millis(5),
+            },
+        );
+        for v in 0..50 {
+            sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(v, ctx));
+        }
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        let outs: Vec<u32> = sim.take_outputs().into_iter().map(|(_, _, v)| v).collect();
+        assert_eq!(outs, (0..50).collect::<Vec<_>>());
+    }
+
+    impl Simulation<TMsg, u32> {
+        fn node_ids_for_test(&self) -> Vec<ProcessId> {
+            (0..self.nodes.len() as u32).map(ProcessId).collect()
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerNode {
+            fired: Vec<TimerId>,
+        }
+        impl Node for TimerNode {
+            type Msg = TMsg;
+            type Out = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, TMsg, u32>) {
+                let keep = ctx.set_timer(SimDuration::millis(1));
+                let cancel = ctx.set_timer(SimDuration::millis(2));
+                ctx.cancel_timer(cancel);
+                let _ = keep;
+            }
+            fn on_message(&mut self, _: ProcessId, _: TMsg, _: &mut Context<'_, TMsg, u32>) {}
+            fn on_timer(&mut self, id: TimerId, ctx: &mut Context<'_, TMsg, u32>) {
+                self.fired.push(id);
+                ctx.output(self.fired.len() as u32);
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<TMsg, u32> = Simulation::new(SimConfig::with_seed(5));
+        let pid = sim.add_node(TimerNode { fired: vec![] });
+        assert!(sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2)));
+        assert_eq!(sim.metrics().timers_fired, 1);
+        assert_eq!(sim.take_outputs().len(), 1);
+        sim.node_ref::<TimerNode, _>(pid, |n| assert_eq!(n.fired.len(), 1));
+    }
+
+    #[test]
+    fn corruption_calls_on_corrupt() {
+        let (mut sim, client, _) = pair(11);
+        sim.schedule_corruption(SimTime::from_nanos(100), client);
+        sim.run_until(SimTime::from_nanos(200));
+        assert_eq!(sim.metrics().corruptions, 1);
+        sim.node_ref::<Pinger, _>(client, |n| assert_ne!(n.state, 0));
+    }
+
+    #[test]
+    fn garbage_injection_delivers_fabricated_messages() {
+        let (mut sim, client, server) = pair(13);
+        sim.set_garbage_gen(|rng, _, _| TMsg::Pong(rng.next_u64() as u32));
+        sim.schedule_link_garbage(SimTime::from_nanos(50), server, client, 3);
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(sim.metrics().garbage_injected, 3);
+        // The Pinger outputs each Pong payload it received.
+        assert_eq!(sim.take_outputs().len(), 3);
+    }
+
+    #[test]
+    fn wipe_link_drops_in_flight_messages() {
+        let (mut sim, client, server) = pair(17);
+        sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(1, ctx));
+        // The ping is in flight client->server; wipe that link.
+        sim.wipe_link(client, server);
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(sim.metrics().messages_dropped, 1);
+        assert!(sim.take_outputs().is_empty());
+    }
+
+    #[test]
+    fn replace_node_swaps_behavior() {
+        struct Mute;
+        impl Node for Mute {
+            type Msg = TMsg;
+            type Out = u32;
+            fn on_message(&mut self, _: ProcessId, _: TMsg, _: &mut Context<'_, TMsg, u32>) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let (mut sim, client, server) = pair(19);
+        sim.replace_node(server, Mute);
+        sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(3, ctx));
+        assert!(sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2)));
+        assert!(sim.take_outputs().is_empty(), "mute server must not reply");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing link")]
+    fn sending_without_a_link_panics() {
+        let mut sim: Simulation<TMsg, u32> = Simulation::new(SimConfig::default());
+        let a = sim.add_node(Echo);
+        let b = sim.add_node(Pinger {
+            server: a,
+            state: 0,
+        });
+        // No links registered: this must panic loudly.
+        sim.with_node::<Pinger, _>(b, |n, ctx| n.ping(1, ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn livelock_tripwire() {
+        struct Storm {
+            peer: ProcessId,
+        }
+        impl Node for Storm {
+            type Msg = TMsg;
+            type Out = u32;
+            fn on_message(&mut self, from: ProcessId, _: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+                ctx.send(from, TMsg::Ping(0));
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_, TMsg, u32>) {
+                ctx.send(self.peer, TMsg::Ping(0));
+            }
+        }
+        let mut sim: Simulation<TMsg, u32> = Simulation::new(SimConfig {
+            max_events: 1_000,
+            ..SimConfig::default()
+        });
+        let a = sim.reserve_id();
+        let b = sim.reserve_id();
+        sim.add_duplex(a, b, DelayModel::Constant(SimDuration::nanos(1)));
+        sim.add_node_at(a, Storm { peer: b });
+        sim.add_node_at(b, Storm { peer: a });
+        sim.run_until_quiescent(SimTime::MAX);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Simulation<TMsg, u32> = Simulation::new(SimConfig::default());
+        sim.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+        sim.run_for(SimDuration::micros(1));
+        assert_eq!(sim.now(), SimTime::from_nanos(2_000));
+    }
+
+    #[test]
+    fn link_bound_reports_upper_bound() {
+        let (sim, client, server) = pair(1);
+        assert_eq!(
+            sim.link_bound(client, server),
+            Some(SimDuration::micros(10))
+        );
+        assert_eq!(sim.link_bound(server, ProcessId(99)), None);
+    }
+}

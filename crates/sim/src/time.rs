@@ -1,0 +1,252 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The simulator measures time in nanoseconds from the start of the run.
+//! Two newtypes keep instants and durations apart: [`SimTime`] is a point on
+//! the virtual timeline, [`SimDuration`] is a span. Only the operations that
+//! make dimensional sense are provided (`time + duration`, `time - time`,
+//! `duration * scalar`, ...).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulator's virtual timeline, in nanoseconds since the
+/// start of the run.
+///
+/// ```
+/// use sbs_sim::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::millis(3);
+/// assert_eq!(t.as_nanos(), 3_000_000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// ```
+/// use sbs_sim::SimDuration;
+/// assert_eq!(SimDuration::micros(2) * 3, SimDuration::nanos(6_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the virtual timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never" / "no deadline".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This instant expressed in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "time went backwards: {earlier} > {self}");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration (never wraps past [`SimTime::MAX`]).
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from raw nanoseconds.
+    pub const fn nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a span from microseconds.
+    pub const fn micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a span from milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a span from seconds.
+    pub const fn secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This span expressed in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_nanos(self.0))
+    }
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_nanos(500);
+        let t1 = t0 + SimDuration::micros(2);
+        assert_eq!(t1.as_nanos(), 2_500);
+        assert_eq!(t1 - t0, SimDuration::micros(2));
+    }
+
+    #[test]
+    fn duration_constructors_scale() {
+        assert_eq!(SimDuration::secs(1), SimDuration::millis(1_000));
+        assert_eq!(SimDuration::millis(1), SimDuration::micros(1_000));
+        assert_eq!(SimDuration::micros(1), SimDuration::nanos(1_000));
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = SimDuration::millis(10);
+        assert_eq!(d * 3, SimDuration::millis(30));
+        assert_eq!(d / 2, SimDuration::millis(5));
+        assert_eq!(d + d, SimDuration::millis(20));
+        assert_eq!(d - SimDuration::millis(4), SimDuration::millis(6));
+    }
+
+    #[test]
+    fn subtraction_saturates_for_durations() {
+        assert_eq!(
+            SimDuration::millis(1) - SimDuration::millis(5),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        assert_eq!(format!("{}", SimDuration::nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimDuration::micros(2)), "2.000us");
+        assert_eq!(format!("{}", SimDuration::millis(3)), "3.000ms");
+        assert_eq!(format!("{}", SimDuration::secs(4)), "4.000s");
+        assert_eq!(format!("{}", SimTime::from_nanos(1_500)), "t=1.500us");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimDuration::nanos(1) < SimDuration::micros(1));
+    }
+}

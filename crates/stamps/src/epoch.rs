@@ -1,0 +1,423 @@
+//! Bounded epoch labels (the labeling scheme of Alon, Attiya, Dolev, Dubois,
+//! Potop-Butucaru and Tixeuil, used by the paper's MWMR construction).
+//!
+//! Fix `k > 1` and let `K = k² + 1` and `X = {1, 2, ..., K}`. An *epoch* is
+//! a pair `(s, A)` with `s ∈ X` and `A ⊆ X` of size exactly `k`. Epochs are
+//! compared with
+//!
+//! ```text
+//! (si, Ai) ≻ (sj, Aj)  ⇔  sj ∈ Ai  ∧  si ∉ Aj
+//! ```
+//!
+//! which is antisymmetric but **partial** — two epochs can be mutually
+//! incomparable (e.g. `sj ∈ Ai` and `si ∈ Aj`). Cycles are possible among
+//! adversarially corrupted labels, which is precisely why the MWMR
+//! algorithm (Figure 4) tests `max_epoch` and starts a fresh epoch when no
+//! maximum exists.
+//!
+//! Given at most `k` epochs, [`EpochDomain::next_epoch`] produces a label
+//! strictly greater (under `≻`) than each of them: its stick `s` avoids the
+//! union of their `A`-sets (possible because `|∪ Aᵢ| ≤ k² < |X|`), and its
+//! `A`-set contains all their sticks.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::Rng;
+
+/// The parameter `k` of a bounded labeling scheme: how many epochs
+/// [`EpochDomain::next_epoch`] can dominate at once. For the MWMR register
+/// with `m` writers, `k = m` suffices (a writer's view holds `m` labels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EpochDomain {
+    k: u32,
+}
+
+/// A bounded epoch label `(s, A)`.
+///
+/// `A` is kept sorted and deduplicated; equality is structural.
+///
+/// ```
+/// use sbs_stamps::{Epoch, EpochDomain};
+/// let dom = EpochDomain::new(3);
+/// let e0 = dom.initial();
+/// let e1 = dom.next_epoch([&e0]);
+/// assert!(e1.succeeds(&e0));
+/// assert!(!e0.succeeds(&e1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epoch {
+    s: u32,
+    a: Vec<u32>,
+}
+
+impl EpochDomain {
+    /// Creates the domain with parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (the scheme requires `k > 1`).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 2, "epoch labeling requires k > 1, got {k}");
+        EpochDomain { k }
+    }
+
+    /// The parameter `k`.
+    pub fn k(self) -> u32 {
+        self.k
+    }
+
+    /// `K = k² + 1`, the size of the ground set `X = {1..K}`.
+    pub fn ground_size(self) -> u32 {
+        self.k * self.k + 1
+    }
+
+    /// A canonical initial epoch: `s = 1`, `A = {2, .., k+1}`.
+    pub fn initial(self) -> Epoch {
+        Epoch {
+            s: 1,
+            a: (2..=self.k + 1).collect(),
+        }
+    }
+
+    /// Whether `e` is a well-formed epoch of this domain (`s ∈ X`,
+    /// `A ⊆ X`, `|A| = k`, sorted, no duplicates). Transient faults can
+    /// produce malformed labels; the MWMR register sanitizes with this.
+    pub fn validate(self, e: &Epoch) -> bool {
+        let kk = self.ground_size();
+        e.s >= 1
+            && e.s <= kk
+            && e.a.len() == self.k as usize
+            && e.a.windows(2).all(|w| w[0] < w[1])
+            && e.a.iter().all(|&x| (1..=kk).contains(&x))
+    }
+
+    /// Builds an epoch from raw parts, canonicalizing `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts do not form a valid epoch of this domain.
+    pub fn epoch(self, s: u32, a: impl IntoIterator<Item = u32>) -> Epoch {
+        let set: BTreeSet<u32> = a.into_iter().collect();
+        let e = Epoch {
+            s,
+            a: set.into_iter().collect(),
+        };
+        assert!(
+            self.validate(&e),
+            "invalid epoch (s={}, |A|={}) for k={}",
+            e.s,
+            e.a.len(),
+            self.k
+        );
+        e
+    }
+
+    /// Computes an epoch strictly greater (under `≻`) than every epoch in
+    /// `labels`.
+    ///
+    /// Invalid labels are ignored for stick avoidance but their sticks are
+    /// still dominated when in range; passing more than `k` labels keeps the
+    /// *last* `k` (callers in this workspace always pass at most `k`).
+    pub fn next_epoch<'a, I>(self, labels: I) -> Epoch
+    where
+        I: IntoIterator<Item = &'a Epoch>,
+    {
+        let labels: Vec<&Epoch> = labels.into_iter().collect();
+        let labels: &[&Epoch] = if labels.len() > self.k as usize {
+            &labels[labels.len() - self.k as usize..]
+        } else {
+            &labels[..]
+        };
+        let kk = self.ground_size();
+
+        // s: an element of X outside the union of the A-sets.
+        let mut used: BTreeSet<u32> = BTreeSet::new();
+        for l in labels {
+            for &x in &l.a {
+                if (1..=kk).contains(&x) {
+                    used.insert(x);
+                }
+            }
+        }
+        let s = (1..=kk)
+            .find(|x| !used.contains(x))
+            .expect("|union of A-sets| <= k^2 < |X|, an unused stick always exists");
+
+        // A: all the labels' sticks, padded to size k with fresh elements.
+        let mut a: BTreeSet<u32> = labels
+            .iter()
+            .map(|l| l.s)
+            .filter(|&x| (1..=kk).contains(&x))
+            .collect();
+        let mut filler = 1..=kk;
+        while a.len() < self.k as usize {
+            let x = filler
+                .next()
+                .expect("X is larger than k, padding always completes");
+            // Avoid accidentally making the new epoch self-defeating.
+            if x != s {
+                a.insert(x);
+            }
+        }
+
+        let e = Epoch {
+            s,
+            a: a.into_iter().collect(),
+        };
+        debug_assert!(self.validate(&e));
+        e
+    }
+
+    /// Returns the index of the maximum epoch in `labels` under `⪰` if one
+    /// exists — i.e. an epoch that is `⪰` every other (the paper's
+    /// `max_epoch` predicate). Ties (structurally equal epochs) resolve to
+    /// the smallest index.
+    pub fn max_epoch(self, labels: &[Epoch]) -> Option<usize> {
+        'outer: for (i, cand) in labels.iter().enumerate() {
+            if !self.validate(cand) {
+                continue;
+            }
+            for other in labels {
+                if !cand.succeeds_or_eq(other) {
+                    continue 'outer;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// A uniformly random (valid) epoch — used by fault injection to model
+    /// arbitrarily corrupted labels.
+    pub fn arbitrary(self, rng: &mut impl Rng) -> Epoch {
+        let kk = self.ground_size();
+        let s = rng.gen_range(1..=kk);
+        let mut a = BTreeSet::new();
+        while a.len() < self.k as usize {
+            a.insert(rng.gen_range(1..=kk));
+        }
+        Epoch {
+            s,
+            a: a.into_iter().collect(),
+        }
+    }
+}
+
+impl Epoch {
+    /// The stick `s`.
+    pub fn stick(&self) -> u32 {
+        self.s
+    }
+
+    /// The set `A`, sorted ascending.
+    pub fn aset(&self) -> &[u32] {
+        &self.a
+    }
+
+    /// `self ≻ other`: `other.s ∈ self.A` and `self.s ∉ other.A`.
+    pub fn succeeds(&self, other: &Epoch) -> bool {
+        self.a.binary_search(&other.s).is_ok() && other.a.binary_search(&self.s).is_err()
+    }
+
+    /// `self ⪰ other`: `self ≻ other` or structural equality.
+    pub fn succeeds_or_eq(&self, other: &Epoch) -> bool {
+        self == other || self.succeeds(other)
+    }
+
+    /// True if neither `self ≻ other` nor `other ≻ self` nor equality —
+    /// the labels are mutually incomparable (possible only for labels that
+    /// were never related by `next_epoch`, e.g. after corruption).
+    pub fn incomparable(&self, other: &Epoch) -> bool {
+        self != other && !self.succeeds(other) && !other.succeeds(self)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch({}|{:?})", self.s, self.a)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({};{:?})", self.s, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_epoch_is_valid() {
+        for k in 2..8 {
+            let dom = EpochDomain::new(k);
+            assert!(dom.validate(&dom.initial()));
+        }
+    }
+
+    #[test]
+    fn next_epoch_dominates_single() {
+        let dom = EpochDomain::new(3);
+        let e0 = dom.initial();
+        let e1 = dom.next_epoch([&e0]);
+        assert!(e1.succeeds(&e0));
+        assert!(!e0.succeeds(&e1));
+        assert!(e1.succeeds_or_eq(&e0));
+        assert!(!e0.succeeds_or_eq(&e1));
+    }
+
+    #[test]
+    fn next_epoch_dominates_k_labels() {
+        let dom = EpochDomain::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let labels: Vec<Epoch> = (0..4).map(|_| dom.arbitrary(&mut rng)).collect();
+        let next = dom.next_epoch(labels.iter());
+        for l in &labels {
+            assert!(next.succeeds(l), "{next:?} must dominate {l:?}");
+        }
+    }
+
+    #[test]
+    fn succession_is_antisymmetric_by_construction() {
+        let dom = EpochDomain::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let x = dom.arbitrary(&mut rng);
+            let y = dom.arbitrary(&mut rng);
+            assert!(
+                !(x.succeeds(&y) && y.succeeds(&x)),
+                "≻ must be antisymmetric: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incomparable_labels_exist() {
+        let dom = EpochDomain::new(2);
+        // s of each inside the other's A: mutually incomparable.
+        let x = dom.epoch(1, [2, 3]);
+        let y = dom.epoch(2, [1, 4]);
+        assert!(x.incomparable(&y));
+        assert!(dom.max_epoch(&[x, y]).is_none());
+    }
+
+    #[test]
+    fn max_epoch_finds_the_dominant_label() {
+        let dom = EpochDomain::new(3);
+        let e0 = dom.initial();
+        let e1 = dom.next_epoch([&e0]);
+        let e2 = dom.next_epoch([&e1]);
+        // e2 dominates e1 but was built without seeing e0 — it may or may
+        // not dominate e0, so build the test set accordingly.
+        let e2_all = dom.next_epoch([&e0, &e1]);
+        let labels = vec![e0.clone(), e1.clone(), e2_all.clone()];
+        assert_eq!(dom.max_epoch(&labels), Some(2));
+        let _ = e2;
+    }
+
+    #[test]
+    fn max_epoch_ignores_malformed_labels() {
+        let dom = EpochDomain::new(2);
+        let good = dom.initial();
+        let bad = Epoch {
+            s: 999,
+            a: vec![1, 2, 3, 4, 5],
+        };
+        // `bad` can never be the max; `good` cannot dominate `bad`
+        // (bad.s=999 ∉ good.A), so there is no max at all.
+        assert_eq!(dom.max_epoch(&[good.clone(), bad.clone()]), None);
+        // But a fresh epoch over `good` alone wins once bad is absent.
+        let next = dom.next_epoch([&good]);
+        assert_eq!(dom.max_epoch(&[good, next]), Some(1));
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let dom = EpochDomain::new(2);
+        assert!(!dom.validate(&Epoch { s: 0, a: vec![1, 2] })); // s out of range
+        assert!(!dom.validate(&Epoch { s: 6, a: vec![1, 2] })); // s > K=5
+        assert!(!dom.validate(&Epoch { s: 1, a: vec![2] })); // |A| != k
+        assert!(!dom.validate(&Epoch { s: 1, a: vec![2, 2] })); // dup
+        assert!(!dom.validate(&Epoch { s: 1, a: vec![3, 2] })); // unsorted
+        assert!(!dom.validate(&Epoch { s: 1, a: vec![2, 9] })); // element > K
+        assert!(dom.validate(&Epoch { s: 1, a: vec![2, 3] }));
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 1")]
+    fn k_must_exceed_one() {
+        EpochDomain::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid epoch")]
+    fn epoch_constructor_validates() {
+        EpochDomain::new(2).epoch(77, [1, 2]);
+    }
+
+    #[test]
+    fn long_chain_stays_locally_ordered() {
+        // Repeatedly taking next_epoch keeps dominating the previous one
+        // forever, even though the label space is bounded.
+        let dom = EpochDomain::new(3);
+        let mut prev = dom.initial();
+        for _ in 0..10_000 {
+            let next = dom.next_epoch([&prev]);
+            assert!(next.succeeds(&prev));
+            prev = next;
+        }
+    }
+
+    fn arb_epoch(k: u32) -> impl Strategy<Value = Epoch> {
+        let kk = k * k + 1;
+        (1..=kk, proptest::collection::btree_set(1..=kk, k as usize))
+            .prop_map(move |(s, a)| EpochDomain::new(k).epoch(s, a))
+    }
+
+    proptest! {
+        /// next_epoch dominates every input label, for k in 2..=5 and any
+        /// valid labels.
+        #[test]
+        fn prop_next_dominates(
+            k in 2u32..=5,
+            seeds in proptest::collection::vec(any::<u64>(), 1..5),
+        ) {
+            let dom = EpochDomain::new(k);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seeds[0]);
+            let count = (seeds.len()).min(k as usize);
+            let labels: Vec<Epoch> = (0..count).map(|_| dom.arbitrary(&mut rng)).collect();
+            let next = dom.next_epoch(labels.iter());
+            prop_assert!(dom.validate(&next));
+            for l in &labels {
+                prop_assert!(next.succeeds(l));
+            }
+        }
+
+        /// ≻ is antisymmetric on arbitrary valid labels.
+        #[test]
+        fn prop_antisymmetry(x in arb_epoch(3), y in arb_epoch(3)) {
+            prop_assert!(!(x.succeeds(&y) && y.succeeds(&x)));
+        }
+
+        /// succeeds_or_eq is reflexive.
+        #[test]
+        fn prop_reflexive(x in arb_epoch(4)) {
+            prop_assert!(x.succeeds_or_eq(&x));
+        }
+
+        /// max_epoch, when it exists, indeed dominates all labels.
+        #[test]
+        fn prop_max_is_max(labels in proptest::collection::vec(arb_epoch(3), 1..6)) {
+            let dom = EpochDomain::new(3);
+            if let Some(i) = dom.max_epoch(&labels) {
+                for l in &labels {
+                    prop_assert!(labels[i].succeeds_or_eq(l));
+                }
+            }
+        }
+    }
+}

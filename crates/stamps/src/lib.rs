@@ -1,0 +1,48 @@
+//! # sbs-stamps — bounded timestamps for practically stabilizing registers
+//!
+//! Self-stabilizing algorithms cannot rely on unbounded counters: a single
+//! transient fault can set a counter to its maximum, after which "just
+//! increment" breaks down. The paper therefore uses *bounded* timestamp
+//! schemes in both of its atomic constructions, and this crate implements
+//! them:
+//!
+//! - [`RingSeq`] — the write sequence numbers of Figure 3, living on an odd
+//!   ring (paper: `2^64 + 1`) and compared by **clockwise distance**
+//!   (`x >cd y`). Correct ordering holds for up to `(B−1)/2` consecutive
+//!   writes — the register's *system-life-span* (Lemma 13).
+//! - [`Epoch`] / [`EpochDomain`] — the bounded epoch labels of the MWMR
+//!   construction (Figure 4), after Alon et al.: labels `(s, A)` over
+//!   `X = {1..k²+1}` with the partial order `≻`, a `next_epoch` generator
+//!   that dominates any `k` labels, and the `max_epoch` predicate.
+//! - [`Timestamp`] — `(epoch, seq, pid)` triples under the total order
+//!   `≻to` of Definition 1.
+//!
+//! ```
+//! use sbs_stamps::{EpochDomain, RingSeq, Timestamp};
+//!
+//! // Sequence numbers survive wrap-around within the life span…
+//! let wsn = RingSeq::new(255, 257);
+//! assert!(wsn.succ().cd_gt(wsn));
+//!
+//! // …and epochs recover even from incomparable (corrupted) label sets.
+//! let dom = EpochDomain::new(2);
+//! let a = dom.epoch(1, [2, 3]);
+//! let b = dom.epoch(2, [1, 4]);
+//! assert!(dom.max_epoch(&[a.clone(), b.clone()]).is_none()); // corrupted state
+//! let fresh = dom.next_epoch([&a, &b]);
+//! assert!(fresh.succeeds(&a) && fresh.succeeds(&b));         // repaired
+//!
+//! let t = Timestamp::new(fresh, 0, 1);
+//! assert!(t.after(&Timestamp::new(a, u64::MAX, 0)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod epoch;
+mod ring;
+mod timestamp;
+
+pub use epoch::{Epoch, EpochDomain};
+pub use ring::{RingSeq, PAPER_MODULUS};
+pub use timestamp::Timestamp;

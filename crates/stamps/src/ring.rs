@@ -1,0 +1,295 @@
+//! Bounded write sequence numbers ordered by *clockwise distance*.
+//!
+//! Figure 3 of the paper bounds the write sequence number `wsn` to a ring
+//! `[0, 2^64]` (that is, arithmetic modulo `2^64 + 1`) and compares two
+//! sequence numbers with the relation `>cd`:
+//!
+//! > given two integers x and y, `x ≥cd y` iff the clockwise distance from
+//! > y to x is smaller than their anti-clockwise distance.
+//!
+//! Because the modulus is odd, the two distances are never equal for
+//! `x ≠ y`, so `≥cd` is total on any pair (though *not* transitive around
+//! the ring — that is exactly why the register of Figure 3 is only
+//! **practically** stabilizing, with a system-life-span of `(B-1)/2`
+//! consecutive writes between reads; see Lemma 13).
+//!
+//! The modulus is a runtime parameter so tests and experiments can use a
+//! small ring (e.g. `2^8 + 1`) and actually observe the wrap-around
+//! boundary; production use keeps the paper's `2^64 + 1`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The paper's sequence-number modulus, `2^64 + 1` (Figure 3 line N1).
+pub const PAPER_MODULUS: u128 = (1u128 << 64) + 1;
+
+/// A bounded sequence number on a ring of odd size `modulus`.
+///
+/// ```
+/// use sbs_stamps::RingSeq;
+/// let b = 257; // 2^8 + 1
+/// let x = RingSeq::new(5, b);
+/// assert!(x.succ().cd_gt(x));
+/// assert!(x.succ().cd_ge(x.succ()));
+/// ```
+// NOTE: the derived `Ord` is the lexicographic (value, modulus) order used
+// only as a canonical tie-break; the *semantic* order is `cd_cmp`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RingSeq {
+    value: u128,
+    modulus: u128,
+}
+
+impl RingSeq {
+    /// Creates a sequence number `value` on the ring of size `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or smaller than 3, or if
+    /// `value >= modulus`.
+    pub fn new(value: u128, modulus: u128) -> Self {
+        assert!(modulus >= 3, "ring modulus must be at least 3");
+        assert!(modulus % 2 == 1, "ring modulus must be odd (no distance ties)");
+        assert!(value < modulus, "value {value} out of ring [0, {modulus})");
+        RingSeq { value, modulus }
+    }
+
+    /// The zero of the ring of size `modulus`.
+    pub fn zero(modulus: u128) -> Self {
+        RingSeq::new(0, modulus)
+    }
+
+    /// A sequence number on the paper's ring of size `2^64 + 1`.
+    pub fn paper(value: u128) -> Self {
+        RingSeq::new(value, PAPER_MODULUS)
+    }
+
+    /// The raw position on the ring.
+    pub fn value(self) -> u128 {
+        self.value
+    }
+
+    /// The ring size.
+    pub fn modulus(self) -> u128 {
+        self.modulus
+    }
+
+    /// The next sequence number: `(self + 1) mod modulus` (Figure 3, line N1).
+    #[must_use]
+    pub fn succ(self) -> Self {
+        RingSeq {
+            value: (self.value + 1) % self.modulus,
+            modulus: self.modulus,
+        }
+    }
+
+    /// Advances by `steps` positions.
+    #[must_use]
+    pub fn advance(self, steps: u128) -> Self {
+        RingSeq {
+            value: (self.value + steps % self.modulus) % self.modulus,
+            modulus: self.modulus,
+        }
+    }
+
+    /// The clockwise distance from `from` to `self`:
+    /// `(self - from) mod modulus`.
+    pub fn cw_distance_from(self, from: RingSeq) -> u128 {
+        self.check_same_ring(from);
+        (self.modulus + self.value - from.value) % self.modulus
+    }
+
+    /// `self >cd other`: the clockwise distance from `other` to `self` is
+    /// smaller than the anti-clockwise distance, and `self != other`.
+    pub fn cd_gt(self, other: RingSeq) -> bool {
+        self.check_same_ring(other);
+        let cw = self.cw_distance_from(other);
+        // cw + acw = modulus for distinct values; modulus odd means no tie.
+        cw != 0 && cw < self.modulus - cw
+    }
+
+    /// `self ≥cd other`: either equal or `self >cd other`.
+    pub fn cd_ge(self, other: RingSeq) -> bool {
+        self == other || self.cd_gt(other)
+    }
+
+    /// Three-way clockwise-distance comparison. Total on every pair (the
+    /// modulus is odd) but **not transitive** across more than half the
+    /// ring.
+    pub fn cd_cmp(self, other: RingSeq) -> Ordering {
+        if self == other {
+            Ordering::Equal
+        } else if self.cd_gt(other) {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }
+    }
+
+    /// The number of consecutive writes after which `>cd` stops agreeing
+    /// with real write order: `(modulus - 1) / 2`. This is the paper's
+    /// *system-life-span* for one ring (e.g. ≈ `2^63` for the paper
+    /// modulus).
+    pub fn life_span(self) -> u128 {
+        (self.modulus - 1) / 2
+    }
+
+    fn check_same_ring(self, other: RingSeq) {
+        assert_eq!(
+            self.modulus, other.modulus,
+            "comparing sequence numbers from different rings ({} vs {})",
+            self.modulus, other.modulus
+        );
+    }
+}
+
+impl fmt::Debug for RingSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RingSeq({} mod {})", self.value, self.modulus)
+    }
+}
+
+impl fmt::Display for RingSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn succ_wraps_at_modulus() {
+        let x = RingSeq::new(256, 257);
+        assert_eq!(x.succ(), RingSeq::new(0, 257));
+    }
+
+    #[test]
+    fn successor_is_cd_greater() {
+        for v in 0..257u128 {
+            let x = RingSeq::new(v, 257);
+            assert!(x.succ().cd_gt(x), "succ({v}) should be >cd {v}");
+            assert!(!x.cd_gt(x.succ()));
+        }
+    }
+
+    #[test]
+    fn equal_values_are_cd_ge_not_gt() {
+        let x = RingSeq::new(10, 257);
+        assert!(x.cd_ge(x));
+        assert!(!x.cd_gt(x));
+        assert_eq!(x.cd_cmp(x), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_holds_within_half_ring() {
+        let b = 257u128;
+        let x = RingSeq::new(200, b);
+        let life = x.life_span(); // 128
+        for k in 1..=life {
+            assert!(
+                x.advance(k).cd_gt(x),
+                "advance by {k} <= life span must stay ordered"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_inverts_past_half_ring() {
+        let b = 257u128;
+        let x = RingSeq::new(0, b);
+        let past = x.advance(x.life_span() + 1); // more than half way round
+        assert!(
+            !past.cd_gt(x),
+            "past the life span the newer value no longer dominates"
+        );
+        assert!(x.cd_gt(past));
+    }
+
+    #[test]
+    fn paper_modulus_is_odd_and_huge() {
+        let x = RingSeq::paper(u64::MAX as u128);
+        assert_eq!(x.modulus() % 2, 1);
+        assert!(x.succ().cd_gt(x));
+        // The maximal ring value (2^64) is representable.
+        let top = RingSeq::paper(1u128 << 64);
+        assert_eq!(top.succ(), RingSeq::paper(0));
+        assert_eq!(x.life_span(), (1u128 << 63));
+    }
+
+    #[test]
+    fn cw_distance_examples() {
+        let b = 257u128;
+        assert_eq!(RingSeq::new(5, b).cw_distance_from(RingSeq::new(3, b)), 2);
+        assert_eq!(RingSeq::new(3, b).cw_distance_from(RingSeq::new(5, b)), 255);
+        assert_eq!(RingSeq::new(3, b).cw_distance_from(RingSeq::new(3, b)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        RingSeq::new(0, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of ring")]
+    fn value_must_be_below_modulus() {
+        RingSeq::new(257, 257);
+    }
+
+    #[test]
+    #[should_panic(expected = "different rings")]
+    fn cross_ring_comparison_rejected() {
+        let _ = RingSeq::new(0, 257).cd_gt(RingSeq::new(0, 259));
+    }
+
+    proptest! {
+        /// >cd is antisymmetric and total: distinct values compare one way.
+        #[test]
+        fn prop_antisymmetric_total(x in 0u128..1021, y in 0u128..1021) {
+            let b = 1021u128; // odd
+            let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            if x == y {
+                prop_assert!(!sx.cd_gt(sy) && !sy.cd_gt(sx));
+            } else {
+                prop_assert!(sx.cd_gt(sy) ^ sy.cd_gt(sx));
+            }
+        }
+
+        /// Advancing by 1..=life_span preserves order relative to the start.
+        #[test]
+        fn prop_half_ring_monotone(start in 0u128..1021, k in 1u128..=510) {
+            let b = 1021u128;
+            let x = RingSeq::new(start, b);
+            prop_assert!(x.advance(k).cd_gt(x));
+        }
+
+        /// cd_cmp is consistent with cd_gt/cd_ge.
+        #[test]
+        fn prop_cmp_consistency(x in 0u128..1021, y in 0u128..1021) {
+            let b = 1021u128;
+            let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            match sx.cd_cmp(sy) {
+                Ordering::Equal => prop_assert!(sx == sy),
+                Ordering::Greater => prop_assert!(sx.cd_gt(sy) && sx.cd_ge(sy)),
+                Ordering::Less => prop_assert!(sy.cd_gt(sx)),
+            }
+        }
+
+        /// Distances are complementary: cw(y→x) + cw(x→y) == modulus for x≠y.
+        #[test]
+        fn prop_distance_complement(x in 0u128..1021, y in 0u128..1021) {
+            let b = 1021u128;
+            let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            let d1 = sx.cw_distance_from(sy);
+            let d2 = sy.cw_distance_from(sx);
+            if x == y {
+                prop_assert_eq!(d1 + d2, 0);
+            } else {
+                prop_assert_eq!(d1 + d2, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Write timestamps for the MWMR register: `(epoch, seq, pid)` triples with
+//! the total order `≻to` of the paper's Definition 1.
+//!
+//! ```text
+//! Wj ≻to Wi  ⇔  (epochj ≻ epochi)
+//!             ∨ (epochj = epochi ∧ seqj > seqi)
+//!             ∨ (epochj = epochi ∧ seqj = seqi ∧ j > i)
+//! ```
+//!
+//! The order is total *among timestamps whose epochs are comparable* —
+//! which, after stabilization, is all timestamps issued (Lemma 16). Before
+//! stabilization, corrupted epochs may be mutually incomparable; comparisons
+//! then return `None`, which the MWMR algorithm resolves by starting a
+//! fresh epoch.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::epoch::Epoch;
+
+/// A bounded write timestamp `(epoch, seq, pid)`.
+///
+/// `seq` lives in `[0, seq_bound]` of the issuing register (the paper uses
+/// `2^64`); `pid` is the writing process index used as the final tie-break.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Timestamp {
+    /// The bounded epoch label.
+    pub epoch: Epoch,
+    /// The sequence number within the epoch.
+    pub seq: u64,
+    /// The writer's process index (tie-break).
+    pub pid: u32,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub fn new(epoch: Epoch, seq: u64, pid: u32) -> Self {
+        Timestamp { epoch, seq, pid }
+    }
+
+    /// Compares under `≻to` (Definition 1). Returns `None` when the epochs
+    /// are incomparable (possible only among corrupted labels).
+    pub fn cmp_to(&self, other: &Timestamp) -> Option<Ordering> {
+        if self.epoch == other.epoch {
+            Some(
+                self.seq
+                    .cmp(&other.seq)
+                    .then_with(|| self.pid.cmp(&other.pid)),
+            )
+        } else if self.epoch.succeeds(&other.epoch) {
+            Some(Ordering::Greater)
+        } else if other.epoch.succeeds(&self.epoch) {
+            Some(Ordering::Less)
+        } else {
+            None
+        }
+    }
+
+    /// `self ≻to other` (strict).
+    pub fn after(&self, other: &Timestamp) -> bool {
+        matches!(self.cmp_to(other), Some(Ordering::Greater))
+    }
+
+    /// `self ⪰to other`.
+    pub fn after_or_eq(&self, other: &Timestamp) -> bool {
+        matches!(
+            self.cmp_to(other),
+            Some(Ordering::Greater) | Some(Ordering::Equal)
+        )
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ts({:?}, seq={}, p{})", self.epoch, self.seq, self.pid)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}@p{}", self.epoch, self.seq, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochDomain;
+
+    fn dom() -> EpochDomain {
+        EpochDomain::new(3)
+    }
+
+    #[test]
+    fn same_epoch_orders_by_seq_then_pid() {
+        let e = dom().initial();
+        let a = Timestamp::new(e.clone(), 3, 0);
+        let b = Timestamp::new(e.clone(), 4, 0);
+        let c = Timestamp::new(e.clone(), 4, 1);
+        assert!(b.after(&a));
+        assert!(c.after(&b));
+        assert!(c.after(&a));
+        assert_eq!(a.cmp_to(&a), Some(Ordering::Equal));
+        assert!(a.after_or_eq(&a));
+        assert!(!a.after(&a));
+    }
+
+    #[test]
+    fn newer_epoch_dominates_any_seq() {
+        let d = dom();
+        let e0 = d.initial();
+        let e1 = d.next_epoch([&e0]);
+        let old_high = Timestamp::new(e0, u64::MAX, 9);
+        let new_low = Timestamp::new(e1, 0, 0);
+        assert!(new_low.after(&old_high));
+        assert!(!old_high.after(&new_low));
+    }
+
+    #[test]
+    fn incomparable_epochs_yield_none() {
+        let d = EpochDomain::new(2);
+        let x = Timestamp::new(d.epoch(1, [2, 3]), 0, 0);
+        let y = Timestamp::new(d.epoch(2, [1, 4]), 5, 1);
+        assert_eq!(x.cmp_to(&y), None);
+        assert!(!x.after(&y) && !y.after(&x));
+        assert!(!x.after_or_eq(&y));
+    }
+
+    #[test]
+    fn total_order_on_a_chain_of_writes() {
+        // Simulate the write pattern of Figure 4: same epoch while seq
+        // grows, epoch bump on exhaustion.
+        let d = dom();
+        let mut history: Vec<Timestamp> = Vec::new();
+        let mut epoch = d.initial();
+        let mut seq = 0u64;
+        let seq_bound = 5;
+        for i in 0..30u32 {
+            if seq >= seq_bound {
+                epoch = d.next_epoch([&epoch]);
+                seq = 0;
+            }
+            seq += 1;
+            history.push(Timestamp::new(epoch.clone(), seq, i % 3));
+        }
+        for w in history.windows(2) {
+            assert!(
+                w[1].after(&w[0]),
+                "writes must be totally ordered: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

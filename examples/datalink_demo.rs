@@ -1,0 +1,44 @@
+//! The self-stabilizing data link of footnote 3: exactly-once, in-order
+//! delivery over a bounded-capacity channel that loses and duplicates
+//! packets — starting from a fully garbage initial configuration.
+//!
+//! ```sh
+//! cargo run --example datalink_demo
+//! ```
+
+use stabilizing_storage::link::DataLinkSim;
+
+fn main() {
+    const GARBAGE: u64 = 1 << 32;
+
+    let mut dl = DataLinkSim::new(4, 0.2, 0.1, 99);
+    // Arbitrary initial configuration: both channels full of garbage,
+    // endpoint states corrupted.
+    dl.scramble(|rng| GARBAGE + rng.next_u64() % 100);
+
+    println!("sending 0..10 over a cap=4 channel, 20% loss, 10% duplication,");
+    println!("from a corrupted initial configuration…");
+    for m in 0..10u64 {
+        dl.sender.send(m);
+    }
+    assert!(dl.run_until_idle(2_000_000), "link must drain");
+
+    let delivered = dl.delivered();
+    println!("delivered: {delivered:?}");
+    let spurious = delivered.iter().filter(|&&m| m >= GARBAGE).count();
+    let real: Vec<u64> = delivered.iter().copied().filter(|&m| m < GARBAGE).collect();
+    println!(
+        "  spurious deliveries from initial garbage: {spurious} (bounded by cap)",
+    );
+    println!("  genuine deliveries: {real:?}");
+    println!(
+        "  packets sent for 10 messages: {} ({}x overhead — the price of cap+1 acknowledgements per phase)",
+        dl.packets_sent(),
+        dl.packets_sent() / 10
+    );
+    // After the first message the link is stabilized: everything from 1 on
+    // is delivered exactly once, in order.
+    let tail: Vec<u64> = real.iter().copied().filter(|&m| m >= 1).collect();
+    assert_eq!(tail, (1..10).collect::<Vec<_>>());
+    println!("stabilized: messages 1..10 delivered exactly once, in order ✓");
+}

@@ -1,0 +1,65 @@
+//! The resilience gap: the same register needs `n ≥ 8t + 1` servers under
+//! asynchrony but only `n ≥ 3t + 1` when links are timely (§3.3 /
+//! Appendix A) — because timeouts let clients wait for *all* correct
+//! servers instead of the first `n − t`.
+//!
+//! ```sh
+//! cargo run --example sync_vs_async
+//! ```
+
+use stabilizing_storage::check::check_regularity;
+use stabilizing_storage::core::harness::SwsrBuilder;
+use stabilizing_storage::core::ByzStrategy;
+use stabilizing_storage::sim::SimDuration;
+
+fn run(label: &str, mut sys: stabilizing_storage::core::harness::RegularSwsr<u64>) {
+    let start = std::time::Instant::now();
+    for v in 1..=8u64 {
+        sys.write(v);
+        sys.read();
+        assert!(sys.settle(), "{label}: ops must terminate");
+    }
+    let h = sys.history();
+    let rep = check_regularity(&h, &[0]);
+    let mean_ns: u64 = h
+        .ops()
+        .iter()
+        .map(|o| (o.responded - o.invoked).as_nanos())
+        .sum::<u64>()
+        / h.len() as u64;
+    println!(
+        "{label:<28} servers={:<3} regular={} mean-op-latency={} (wall {:?})",
+        sys.servers.len(),
+        rep.is_regular(),
+        SimDuration::nanos(mean_ns),
+        start.elapsed(),
+    );
+}
+
+fn main() {
+    let t = 1;
+    println!("tolerating t = {t} Byzantine server (silent):");
+
+    // Asynchronous: n = 8t + 1 = 9 servers needed.
+    run(
+        "asynchronous n=9 (8t+1)",
+        SwsrBuilder::new(9, t)
+            .seed(5)
+            .byzantine(0, ByzStrategy::Silent)
+            .build_regular(0u64),
+    );
+
+    // Synchronous: n = 3t + 1 = 4 servers suffice for the same t.
+    run(
+        "synchronous  n=4 (3t+1)",
+        SwsrBuilder::new(4, t)
+            .seed(5)
+            .sync(SimDuration::millis(1))
+            .byzantine(0, ByzStrategy::Silent)
+            .build_regular(0u64),
+    );
+
+    println!();
+    println!("the synchronous deployment uses fewer than half the servers,");
+    println!("paying for it with timeout-bound operation latency.");
+}

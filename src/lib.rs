@@ -1,0 +1,45 @@
+//! # stabilizing-storage
+//!
+//! A complete Rust reproduction of *"Stabilizing Server-Based Storage in
+//! Byzantine Asynchronous Message-Passing Systems"* (Bonomi, Dolev,
+//! Potop-Butucaru, Raynal — PODC 2015): self-stabilizing Byzantine-tolerant
+//! read/write registers built on asynchronous message-passing servers.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `sbs-core` | the four register constructions, Byzantine adversaries, scenario harness |
+//! | [`sim`] | `sbs-sim` | deterministic discrete-event substrate + thread runtime |
+//! | [`link`] | `sbs-link` | ss-broadcast session layer + self-stabilizing data link |
+//! | [`stamps`] | `sbs-stamps` | bounded sequence numbers, epochs, timestamps |
+//! | [`check`] | `sbs-check` | regularity / atomicity / inversion checkers |
+//! | [`baseline`] | `sbs-baseline` | masking-quorum and quiescence-dependent comparison registers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stabilizing_storage::core::harness::SwsrBuilder;
+//! use stabilizing_storage::check::{check_linearizable, InitialState};
+//!
+//! // A practically-atomic SWSR register on 9 servers tolerating 1
+//! // Byzantine server (n ≥ 8t + 1), over asynchronous links.
+//! let mut reg = SwsrBuilder::new(9, 1).seed(42).build_atomic(0u64);
+//! reg.write(7);
+//! reg.read();
+//! assert!(reg.settle());
+//!
+//! let history = reg.history();
+//! assert!(check_linearizable(&history, &InitialState::Any).unwrap().linearizable);
+//! ```
+//!
+//! See the `examples/` directory for fault drills, the MWMR configuration
+//! store, the synchronous/asynchronous resilience gap, the data-link demo,
+//! and running the same protocol code on OS threads.
+
+pub use sbs_baseline as baseline;
+pub use sbs_check as check;
+pub use sbs_core as core;
+pub use sbs_link as link;
+pub use sbs_sim as sim;
+pub use sbs_stamps as stamps;

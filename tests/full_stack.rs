@@ -1,0 +1,219 @@
+//! Cross-crate integration: every register family driven through the
+//! public façade, judged by the independent checkers, under combined
+//! Byzantine + transient-fault schedules.
+
+use stabilizing_storage::check::{
+    atomic_stabilization_point, check_linearizable, check_regularity, count_inversions,
+    InitialState,
+};
+use stabilizing_storage::core::harness::SwsrBuilder;
+use stabilizing_storage::core::ByzStrategy;
+use stabilizing_storage::sim::{DelayModel, SimDuration};
+
+/// The full gauntlet: t Byzantine + transient corruption + link garbage,
+/// for each register family, over several seeds.
+#[test]
+fn gauntlet_regular() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(seed as usize % 9, ByzStrategy::Equivocate)
+            .build_regular(0u64);
+        sys.write(1);
+        sys.settle();
+        sys.corrupt_all_servers();
+        sys.pollute_links(2);
+        sys.run_for(SimDuration::millis(5));
+        sys.write(10);
+        assert!(sys.settle(), "seed {seed}");
+        let stab = sys.sim.now();
+        for v in 11..=15u64 {
+            sys.read();
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}");
+        }
+        let rep = check_regularity(&sys.history().suffix(stab), &[]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn gauntlet_atomic() {
+    for seed in 0..5 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine((seed as usize + 3) % 9, ByzStrategy::InversionHelper)
+            .build_atomic(0u64);
+        sys.write(1);
+        sys.settle();
+        sys.corrupt_all_servers();
+        sys.corrupt_clients();
+        sys.run_for(SimDuration::millis(5));
+        sys.write(10);
+        assert!(sys.settle(), "seed {seed}");
+        for v in 11..=15u64 {
+            sys.read();
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}");
+        }
+        let h = sys.history();
+        assert!(
+            atomic_stabilization_point(&h).unwrap().is_some(),
+            "seed {seed}: history must have a linearizable tail"
+        );
+    }
+}
+
+#[test]
+fn gauntlet_mwmr() {
+    for seed in 0..3 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(1, ByzStrategy::RandomGarbage)
+            .build_mwmr(0u64, 2, 1 << 20);
+        sys.write(0, 1);
+        sys.settle();
+        sys.corrupt_all_servers();
+        sys.run_for(SimDuration::millis(5));
+        sys.write(0, 10);
+        sys.write(1, 11);
+        assert!(sys.settle(), "seed {seed}");
+        let stab = sys.sim.now();
+        for v in 12..=16u64 {
+            sys.write((v % 2) as usize, v);
+            sys.read(((v + 1) % 2) as usize);
+            assert!(sys.settle(), "seed {seed}");
+        }
+        let tail = sys.history().suffix(stab);
+        let rep = check_linearizable(&tail, &InitialState::Any).unwrap();
+        assert!(rep.linearizable, "seed {seed}: {:?}", rep.failed_segment);
+    }
+}
+
+/// Figure 1 reproduced end-to-end: under an adversarial schedule — slow
+/// writer→server links to two thirds of the servers, fast reader links,
+/// so the write's propagation window spans several read round trips — the
+/// regular register exhibits new/old inversions that the atomic register
+/// eliminates on the *same* schedule.
+#[test]
+fn figure_1_inversion_exists_then_is_eliminated() {
+    fn engineer_links<M: stabilizing_storage::sim::Message, O: 'static>(
+        sim: &mut stabilizing_storage::sim::Simulation<M, O>,
+        writer: stabilizing_storage::sim::ProcessId,
+        reader: stabilizing_storage::sim::ProcessId,
+        servers: &[stabilizing_storage::sim::ProcessId],
+    ) {
+        for (i, &s) in servers.iter().enumerate() {
+            // One third of the servers learn of writes quickly, the rest
+            // only much later (the write stays "in flight" for a while).
+            let w_delay = if i % 3 == 0 {
+                DelayModel::Constant(SimDuration::micros(300))
+            } else {
+                DelayModel::Constant(SimDuration::millis(15))
+            };
+            sim.set_link_delay(writer, s, w_delay);
+            sim.set_link_delay(s, writer, DelayModel::Constant(SimDuration::micros(300)));
+            // The reader is fast in both directions.
+            let r_delay = DelayModel::Uniform {
+                lo: SimDuration::micros(50),
+                hi: SimDuration::micros(400),
+            };
+            sim.set_link_delay(reader, s, r_delay.clone());
+            sim.set_link_delay(s, reader, r_delay);
+        }
+    }
+
+    let mut regular_inversions = 0usize;
+    for seed in 0..40 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_regular(0u64);
+        let (w, r, servers) = (sys.writer, sys.reader, sys.servers.clone());
+        engineer_links(&mut sys.sim, w, r, &servers);
+        sys.write(1);
+        sys.settle();
+        for v in 2..=8u64 {
+            sys.write(v);
+            // Let the write reach the fast third of the servers before the
+            // reads fire — both reads then sit inside the window where the
+            // old and the new value both hold a quorum.
+            sys.run_for(SimDuration::micros(500));
+            sys.read();
+            // The second read must be *sequential* after the first (an
+            // inversion is only defined between non-overlapping reads),
+            // but still inside the write's 15 ms propagation window.
+            sys.run_for(SimDuration::millis(2));
+            sys.read();
+            assert!(sys.settle(), "seed {seed}");
+        }
+        regular_inversions += count_inversions(&sys.history()).len();
+    }
+    assert!(
+        regular_inversions > 0,
+        "the adversarial schedule must produce at least one new/old inversion \
+         on the regular register across 40 seeds"
+    );
+
+    let mut atomic_inversions = 0usize;
+    for seed in 0..40 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_atomic(0u64);
+        let swmr = sys.as_swmr();
+        let (w, r, servers) = (swmr.writer, swmr.readers[0], swmr.servers.clone());
+        engineer_links(&mut swmr.sim, w, r, &servers);
+        sys.write(1);
+        sys.settle();
+        for v in 2..=8u64 {
+            sys.write(v);
+            sys.run_for(SimDuration::micros(500));
+            sys.read();
+            // The second read must be *sequential* after the first (an
+            // inversion is only defined between non-overlapping reads),
+            // but still inside the write's 15 ms propagation window.
+            sys.run_for(SimDuration::millis(2));
+            sys.read();
+            assert!(sys.settle(), "seed {seed}");
+        }
+        atomic_inversions += count_inversions(&sys.history()).len();
+    }
+    assert_eq!(
+        atomic_inversions, 0,
+        "the practically-atomic register must show zero inversions on the same \
+         schedules (regular showed {regular_inversions})"
+    );
+}
+
+/// The three-way E8 story end-to-end through the façade.
+#[test]
+fn stabilizing_vs_baselines_after_server_corruption() {
+    use stabilizing_storage::baseline::{BaselineBuilder, BaselineKind};
+
+    // Ours: recovers at the first write, no quiescence needed.
+    let mut ours = SwsrBuilder::new(9, 1).seed(3).build_regular(0u64);
+    ours.write(1);
+    ours.settle();
+    ours.corrupt_all_servers();
+    ours.run_for(SimDuration::millis(5));
+    ours.write(100);
+    ours.settle();
+    ours.read();
+    assert!(ours.settle());
+    let h = ours.history();
+    assert_eq!(h.reads().last().map(|r| *r.kind.value()), Some(100));
+
+    // Masking baseline: permanently broken by the same fault.
+    let mut masking = BaselineBuilder::new(BaselineKind::Masking, 5, 1)
+        .seed(3)
+        .build(0u64);
+    masking.write(1);
+    masking.settle();
+    masking.corrupt_all_servers();
+    masking.run_for(SimDuration::millis(5));
+    masking.write(100);
+    masking.run_for(SimDuration::millis(200));
+    masking.read();
+    masking.run_for(SimDuration::secs(1));
+    let h = masking.history();
+    assert_ne!(
+        h.reads().last().map(|r| *r.kind.value()),
+        Some(100),
+        "masking quorums must not recover from inflated server timestamps"
+    );
+}

@@ -1,0 +1,100 @@
+//! Mobile Byzantine faults (footnote 1 of the paper): the Byzantine fault
+//! migrates between servers during operation-free periods. A healed server
+//! resumes correct behaviour with stale state; the newly infected one lies.
+//! The register must keep delivering correct values as long as at most `t`
+//! servers are Byzantine at any instant.
+
+use stabilizing_storage::check::{atomic_stabilization_point, check_regularity};
+use stabilizing_storage::core::harness::SwsrBuilder;
+use stabilizing_storage::core::{ByzStrategy, SeqVal};
+use stabilizing_storage::stamps::RingSeq;
+
+#[test]
+fn regular_register_survives_a_roaming_byzantine_fault() {
+    for seed in 0..8 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(0, ByzStrategy::RandomGarbage)
+            .build_regular(0u64);
+        sys.write(1);
+        sys.settle();
+        let mut home = 0usize;
+        for v in 2..=12u64 {
+            // The fault moves to the next server between operations.
+            let next = (home + 1) % 9;
+            sys.move_byzantine(home, next, ByzStrategy::RandomGarbage, 0u64);
+            home = next;
+            sys.write(v);
+            assert!(sys.settle(), "seed {seed}: write {v} must terminate");
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: read must terminate");
+        }
+        // Each move resets one server to stale initial state; together with
+        // the current liar that is 2 bad answers — below the 2t+1 quorum.
+        // Reads invoked after each write must be regular throughout.
+        let rep = check_regularity(&sys.history(), &[0]);
+        assert!(rep.is_regular(), "seed {seed}: {:?}", rep.violations);
+    }
+}
+
+#[test]
+fn atomic_register_survives_a_roaming_inversion_attacker() {
+    for seed in 0..8 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(4, ByzStrategy::InversionHelper)
+            .build_atomic(0u64);
+        sys.write(1);
+        sys.settle();
+        let initial = SeqVal::new(
+            RingSeq::zero(stabilizing_storage::stamps::PAPER_MODULUS),
+            0u64,
+        );
+        let mut home = 4usize;
+        for v in 2..=10u64 {
+            let next = (home + 3) % 9;
+            sys.as_swmr().move_byzantine(
+                home,
+                next,
+                ByzStrategy::InversionHelper,
+                initial.clone(),
+            );
+            home = next;
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let h = sys.history();
+        assert!(
+            atomic_stabilization_point(&h).unwrap().is_some(),
+            "seed {seed}: history must have a linearizable tail"
+        );
+    }
+}
+
+#[test]
+fn fault_mobility_faster_than_writes_still_respects_t() {
+    // Move the fault several times between each operation — the instantaneous
+    // Byzantine count never exceeds t, so correctness must hold even though
+    // over time *every* server has been Byzantine at least once.
+    let mut sys = SwsrBuilder::new(9, 1)
+        .seed(3)
+        .byzantine(0, ByzStrategy::Equivocate)
+        .build_regular(0u64);
+    sys.write(1);
+    sys.settle();
+    let mut home = 0usize;
+    for v in 2..=6u64 {
+        for _ in 0..4 {
+            let next = (home + 1) % 9;
+            sys.move_byzantine(home, next, ByzStrategy::Equivocate, 0u64);
+            home = next;
+        }
+        sys.write(v);
+        assert!(sys.settle(), "write {v} must terminate");
+        sys.read();
+        assert!(sys.settle(), "read must terminate");
+    }
+    let rep = check_regularity(&sys.history(), &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}

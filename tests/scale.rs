@@ -1,0 +1,113 @@
+//! Larger deployments: more servers, more readers, more writers — the
+//! constructions scale in n, r and m without behavioural change.
+
+use stabilizing_storage::check::{atomic_stabilization_point, check_regularity};
+use stabilizing_storage::core::harness::SwsrBuilder;
+use stabilizing_storage::core::ByzStrategy;
+use stabilizing_storage::sim::SimTime;
+
+#[test]
+fn regular_register_with_33_servers_and_4_byzantine() {
+    // n = 33, t = 4 (the asynchronous bound: 33 = 8·4 + 1), four different
+    // adversaries at once.
+    let mut sys = SwsrBuilder::new(33, 4)
+        .seed(1)
+        .byzantine(0, ByzStrategy::Silent)
+        .byzantine(8, ByzStrategy::RandomGarbage)
+        .byzantine(16, ByzStrategy::StaleReplay)
+        .byzantine(24, ByzStrategy::InversionHelper)
+        .build_regular(0u64);
+    for v in 1..=5u64 {
+        sys.write(v);
+        assert!(sys.settle(), "write {v} must terminate");
+        sys.read();
+        assert!(sys.settle(), "read must terminate");
+    }
+    let rep = check_regularity(&sys.history(), &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}
+
+#[test]
+fn swmr_with_five_readers() {
+    let mut sys = SwsrBuilder::new(9, 1).seed(2).build_swmr(0u64, 5);
+    sys.write(1);
+    sys.settle();
+    for v in 2..=4u64 {
+        sys.write(v);
+        for r in 0..5 {
+            sys.read(r);
+        }
+        assert!(sys.settle(), "ops must terminate");
+    }
+    let h = sys.history();
+    assert!(atomic_stabilization_point(&h).unwrap().is_some());
+    // Every reader's final read agrees with the final write.
+    let after_last_write = h
+        .writes()
+        .last()
+        .map(|w| w.responded)
+        .unwrap_or(SimTime::ZERO);
+    for r in h.reads().filter(|r| r.invoked > after_last_write) {
+        assert_eq!(*r.kind.value(), 4);
+    }
+}
+
+#[test]
+fn mwmr_with_five_processes() {
+    let mut sys = SwsrBuilder::new(9, 1).seed(3).build_mwmr(0u64, 5, 1 << 20);
+    let mut v = 0u64;
+    for round in 0..2 {
+        for i in 0..5usize {
+            v += 1;
+            sys.write(i, v);
+            assert!(sys.settle(), "write by p{i} must terminate");
+            sys.read((i + round + 1) % 5);
+            assert!(sys.settle(), "read must terminate");
+        }
+    }
+    assert!(atomic_stabilization_point(&sys.history()).unwrap().is_some());
+}
+
+#[test]
+fn crash_at_strategy_end_to_end() {
+    use stabilizing_storage::sim::SimDuration;
+    // The server is correct for the first 20ms of the run, then crashes —
+    // the quorums must keep working throughout.
+    let mut sys = SwsrBuilder::new(9, 1)
+        .seed(4)
+        .byzantine(2, ByzStrategy::CrashAt(SimTime::from_nanos(20_000_000)))
+        .build_regular(0u64);
+    for v in 1..=3u64 {
+        sys.write(v);
+        sys.read();
+        assert!(sys.settle(), "before the crash");
+    }
+    sys.run_for(SimDuration::millis(25)); // crash point passes
+    for v in 4..=6u64 {
+        sys.write(v);
+        sys.read();
+        assert!(sys.settle(), "after the crash");
+    }
+    let rep = check_regularity(&sys.history(), &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}
+
+#[test]
+fn sync_mode_with_13_servers_and_4_byzantine() {
+    use stabilizing_storage::sim::SimDuration;
+    let mut sys = SwsrBuilder::new(13, 4)
+        .seed(5)
+        .sync(SimDuration::millis(1))
+        .byzantine(1, ByzStrategy::Silent)
+        .byzantine(4, ByzStrategy::RandomGarbage)
+        .byzantine(7, ByzStrategy::Equivocate)
+        .byzantine(10, ByzStrategy::AckFlood { copies: 2 })
+        .build_regular(0u64);
+    for v in 1..=4u64 {
+        sys.write(v);
+        sys.read();
+        assert!(sys.settle(), "sync ops must terminate");
+    }
+    let rep = check_regularity(&sys.history(), &[0]);
+    assert!(rep.is_regular(), "{:?}", rep.violations);
+}

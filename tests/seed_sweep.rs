@@ -1,0 +1,167 @@
+//! Broad randomized sweeps: many seeds, randomized fault schedules,
+//! every register family — the statistical backbone behind the theorem
+//! claims. (Deterministic per seed, so failures are reproducible.)
+
+use stabilizing_storage::check::{
+    atomic_stabilization_point, check_regularity, count_inversions,
+};
+use stabilizing_storage::core::harness::SwsrBuilder;
+use stabilizing_storage::core::ByzStrategy;
+use stabilizing_storage::sim::{DetRng, SimDuration};
+
+fn random_strategy(rng: &mut DetRng) -> ByzStrategy {
+    match rng.next_u64() % 6 {
+        0 => ByzStrategy::Silent,
+        1 => ByzStrategy::RandomGarbage,
+        2 => ByzStrategy::StaleReplay,
+        3 => ByzStrategy::Equivocate,
+        4 => ByzStrategy::AckFlood { copies: 3 },
+        _ => ByzStrategy::InversionHelper,
+    }
+}
+
+#[test]
+fn regular_register_sweep() {
+    for seed in 0..20 {
+        let mut meta = DetRng::derive(0xFEED, seed);
+        let byz_at = (meta.next_u64() % 9) as usize;
+        let strat = random_strategy(&mut meta);
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(byz_at, strat.clone())
+            .build_regular(0u64);
+
+        sys.write(1);
+        sys.settle();
+        if meta.chance(0.5) {
+            sys.corrupt_all_servers();
+            sys.run_for(SimDuration::millis(3));
+        }
+        sys.write(2);
+        assert!(sys.settle(), "seed {seed} ({strat:?}): write must terminate");
+        let stab = sys.sim.now();
+        for v in 3..=8u64 {
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed} ({strat:?}): ops must terminate");
+        }
+        let rep = check_regularity(&sys.history().suffix(stab), &[]);
+        assert!(
+            rep.is_regular(),
+            "seed {seed} ({strat:?}): {:?}",
+            rep.violations
+        );
+    }
+}
+
+#[test]
+fn atomic_register_sweep() {
+    for seed in 0..20 {
+        let mut meta = DetRng::derive(0xBEEF, seed);
+        let byz_at = (meta.next_u64() % 9) as usize;
+        let strat = random_strategy(&mut meta);
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .byzantine(byz_at, strat.clone())
+            .build_atomic(0u64);
+
+        sys.write(1);
+        sys.settle();
+        if meta.chance(0.5) {
+            sys.corrupt_all_servers();
+            sys.corrupt_clients();
+            sys.run_for(SimDuration::millis(3));
+        }
+        sys.write(2);
+        assert!(sys.settle(), "seed {seed} ({strat:?}): write must terminate");
+        for v in 3..=8u64 {
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed} ({strat:?}): ops must terminate");
+        }
+        let h = sys.history();
+        assert!(
+            atomic_stabilization_point(&h).unwrap().is_some(),
+            "seed {seed} ({strat:?}): no linearizable tail"
+        );
+        // Inversions may exist only before the stabilization point; count
+        // them on the stabilized suffix.
+        let stab = atomic_stabilization_point(&h).unwrap().unwrap();
+        assert!(
+            count_inversions(&h.suffix(stab)).is_empty(),
+            "seed {seed} ({strat:?}): inversions after stabilization"
+        );
+    }
+}
+
+#[test]
+fn sync_register_sweep() {
+    for seed in 0..10 {
+        let mut meta = DetRng::derive(0xCAFE, seed);
+        let byz_at = (meta.next_u64() % 4) as usize;
+        let strat = random_strategy(&mut meta);
+        let mut sys = SwsrBuilder::new(4, 1)
+            .seed(seed)
+            .sync(SimDuration::millis(1))
+            .byzantine(byz_at, strat.clone())
+            .build_regular(0u64);
+        sys.write(1);
+        assert!(sys.settle(), "seed {seed} ({strat:?})");
+        let stab = sys.sim.now();
+        for v in 2..=6u64 {
+            sys.write(v);
+            sys.read();
+            assert!(sys.settle(), "seed {seed} ({strat:?}): ops must terminate");
+        }
+        let rep = check_regularity(&sys.history().suffix(stab), &[]);
+        assert!(
+            rep.is_regular(),
+            "seed {seed} ({strat:?}): {:?}",
+            rep.violations
+        );
+    }
+}
+
+#[test]
+fn swmr_sweep() {
+    for seed in 0..10 {
+        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_swmr(0u64, 3);
+        sys.write(1);
+        sys.settle();
+        for v in 2..=6u64 {
+            sys.write(v);
+            sys.read(0);
+            sys.read(1);
+            sys.read(2);
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let h = sys.history();
+        assert!(
+            atomic_stabilization_point(&h).unwrap().is_some(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mwmr_sweep() {
+    for seed in 0..8 {
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .build_mwmr(0u64, 3, 1 << 20);
+        sys.write(0, 1);
+        sys.settle();
+        let mut v = 1u64;
+        for round in 0..3 {
+            v += 1;
+            sys.write((round % 3) as usize, v * 10);
+            sys.read(((round + 1) % 3) as usize);
+            assert!(sys.settle(), "seed {seed}: ops must terminate");
+        }
+        let h = sys.history();
+        assert!(
+            atomic_stabilization_point(&h).unwrap().is_some(),
+            "seed {seed}"
+        );
+    }
+}
