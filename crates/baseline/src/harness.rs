@@ -170,7 +170,9 @@ impl<V: Payload> BaselineSwsr<V> {
     /// Runs until the queue drains or the horizon passes (only meaningful
     /// for the masking family — see [`BaselineSwsr::run_for`]).
     pub fn settle(&mut self) -> bool {
-        let quiet = self.sim.run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
+        let quiet = self
+            .sim
+            .run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
         self.drain();
         quiet
     }

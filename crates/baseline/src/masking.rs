@@ -33,7 +33,10 @@ pub struct MaskingServer<V> {
 impl<V: Payload> MaskingServer<V> {
     /// Creates a server holding `(0, initial)`.
     pub fn new(initial: V) -> Self {
-        MaskingServer { ts: 0, val: initial }
+        MaskingServer {
+            ts: 0,
+            val: initial,
+        }
     }
 
     /// The stored pair (for assertions).
@@ -116,12 +119,7 @@ impl<V: Payload> MaskingWriter<V> {
     }
 
     /// Invokes `write(v)`.
-    pub fn invoke_write(
-        &mut self,
-        op: OpId,
-        v: V,
-        ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>,
-    ) {
+    pub fn invoke_write(&mut self, op: OpId, v: V, ctx: &mut Context<'_, BMsg<V>, ClientOut<V>>) {
         self.pending.push_back((op, v));
         self.try_start(ctx);
     }
@@ -137,10 +135,7 @@ impl<V: Payload> MaskingWriter<V> {
         let ts = self.ts;
         ctx.send_all(
             self.servers.iter().copied(),
-            BMsg::Write {
-                ts,
-                val: v.clone(),
-            },
+            BMsg::Write { ts, val: v.clone() },
         );
         let timer = ctx.set_timer(RETRY);
         self.active = Some(ActiveWrite {

@@ -70,7 +70,12 @@ mod tests {
         assert_eq!(BMsg::<u64>::AckWrite { ts: 1 }.label(), "B_ACK_WRITE");
         assert_eq!(BMsg::<u64>::Read { rid: 1 }.label(), "B_READ");
         assert_eq!(
-            BMsg::AckRead { rid: 1, ts: 2, val: 3u64 }.label(),
+            BMsg::AckRead {
+                rid: 1,
+                ts: 2,
+                val: 3u64
+            }
+            .label(),
             "B_ACK_READ"
         );
         assert_eq!(BMsg::Gossip { ts: 1, val: 2u64 }.label(), "B_GOSSIP");

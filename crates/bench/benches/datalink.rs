@@ -1,49 +1,38 @@
-//! Criterion: the self-stabilizing data link — cost per delivered message
+//! Micro: the self-stabilizing data link — cost per delivered message
 //! across channel capacities and loss rates (the micro view of E9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_bench::micro::{bench, section};
 use sbs_link::DataLinkSim;
 
-fn bench_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datalink_10_messages");
+fn main() {
+    section("datalink_10_messages");
     for cap in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("lossless", cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let mut dl = DataLinkSim::new(cap, 0.0, 0.0, 7);
-                for m in 0..10u64 {
-                    dl.sender.send(m);
-                }
-                assert!(dl.run_until_idle(10_000_000));
-                dl.packets_sent()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("lossy_20pct", cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let mut dl = DataLinkSim::new(cap, 0.2, 0.05, 7);
-                for m in 0..10u64 {
-                    dl.sender.send(m);
-                }
-                assert!(dl.run_until_idle(10_000_000));
-                dl.packets_sent()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_stabilization_from_garbage(c: &mut Criterion) {
-    c.bench_function("datalink_scrambled_start", |b| {
-        b.iter(|| {
-            let mut dl = DataLinkSim::new(4, 0.1, 0.05, 9);
-            dl.scramble(|r| r.next_u64());
+        bench(&format!("datalink/lossless/cap={cap}"), || {
+            let mut dl = DataLinkSim::new(cap, 0.0, 0.0, 7);
             for m in 0..10u64 {
                 dl.sender.send(m);
             }
             assert!(dl.run_until_idle(10_000_000));
-            dl.delivered().len()
+            dl.packets_sent()
         });
+        bench(&format!("datalink/lossy_20pct/cap={cap}"), || {
+            let mut dl = DataLinkSim::new(cap, 0.2, 0.05, 7);
+            for m in 0..10u64 {
+                dl.sender.send(m);
+            }
+            assert!(dl.run_until_idle(10_000_000));
+            dl.packets_sent()
+        });
+    }
+
+    section("stabilization");
+    bench("datalink/scrambled_start", || {
+        let mut dl = DataLinkSim::new(4, 0.1, 0.05, 9);
+        dl.scramble(|r| r.next_u64());
+        for m in 0..10u64 {
+            dl.sender.send(m);
+        }
+        assert!(dl.run_until_idle(10_000_000));
+        dl.delivered().len()
     });
 }
-
-criterion_group!(benches, bench_transfer, bench_stabilization_from_garbage);
-criterion_main!(benches);

@@ -1,107 +1,80 @@
-//! Criterion: operation cost of the register constructions vs n and mode
-//! (the micro view of experiment E7).
+//! Micro: operation cost of the register constructions vs n and mode
+//! (the micro view of experiment E7). System construction happens in the
+//! untimed setup phase ([`bench_batched`]); only the write+read+settle
+//! cycle is measured.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_bench::micro::{bench_batched, section};
 use sbs_core::harness::SwsrBuilder;
 use sbs_sim::SimDuration;
 
-fn bench_regular_write_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("regular_swsr_op_pair");
+fn main() {
+    section("regular_swsr_op_pair");
     for n in [9usize, 17, 33] {
         let t = (n - 1) / 8;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || SwsrBuilder::new(n, t).seed(7).build_regular(0u64),
-                |mut sys| {
-                    sys.write(1);
-                    sys.read();
-                    assert!(sys.settle());
-                    sys
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
-    }
-    group.finish();
-}
-
-fn bench_atomic_write_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("atomic_swsr_op_pair");
-    for n in [9usize, 17, 33] {
-        let t = (n - 1) / 8;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || SwsrBuilder::new(n, t).seed(7).build_atomic(0u64),
-                |mut sys| {
-                    sys.write(1);
-                    sys.read();
-                    assert!(sys.settle());
-                    sys
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
-    }
-    group.finish();
-}
-
-fn bench_sync_vs_async(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_vs_async_t1");
-    group.bench_function("async_n9", |b| {
-        b.iter_batched(
-            || SwsrBuilder::new(9, 1).seed(7).build_regular(0u64),
+        bench_batched(
+            &format!("regular/write+read/n={n}"),
+            || SwsrBuilder::new(n, t).seed(7).build_regular(0u64),
             |mut sys| {
                 sys.write(1);
                 sys.read();
                 assert!(sys.settle());
-                sys
+                sys.history().len()
             },
-            criterion::BatchSize::SmallInput,
         );
-    });
-    group.bench_function("sync_n4", |b| {
-        b.iter_batched(
-            || {
-                SwsrBuilder::new(4, 1)
-                    .seed(7)
-                    .sync(SimDuration::millis(1))
-                    .build_regular(0u64)
-            },
+    }
+
+    section("atomic_swsr_op_pair");
+    for n in [9usize, 17, 33] {
+        let t = (n - 1) / 8;
+        bench_batched(
+            &format!("atomic/write+read/n={n}"),
+            || SwsrBuilder::new(n, t).seed(7).build_atomic(0u64),
             |mut sys| {
                 sys.write(1);
                 sys.read();
                 assert!(sys.settle());
-                sys
+                sys.history().len()
             },
-            criterion::BatchSize::SmallInput,
         );
-    });
-    group.finish();
-}
+    }
 
-fn bench_mwmr_op(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mwmr_write");
+    section("sync_vs_async_t1");
+    bench_batched(
+        "async/n=9",
+        || SwsrBuilder::new(9, 1).seed(7).build_regular(0u64),
+        |mut sys| {
+            sys.write(1);
+            sys.read();
+            assert!(sys.settle());
+            sys.history().len()
+        },
+    );
+    bench_batched(
+        "sync/n=4",
+        || {
+            SwsrBuilder::new(4, 1)
+                .seed(7)
+                .sync(SimDuration::millis(1))
+                .build_regular(0u64)
+        },
+        |mut sys| {
+            sys.write(1);
+            sys.read();
+            assert!(sys.settle());
+            sys.history().len()
+        },
+    );
+
+    section("mwmr_write");
     for m in [2usize, 3, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter_batched(
-                || SwsrBuilder::new(9, 1).seed(7).build_mwmr(0u64, m, 1 << 20),
-                |mut sys| {
-                    sys.write(0, 1);
-                    assert!(sys.settle());
-                    sys
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        bench_batched(
+            &format!("mwmr/write/m={m}"),
+            || SwsrBuilder::new(9, 1).seed(7).build_mwmr(0u64, m, 1 << 20),
+            |mut sys| {
+                sys.write(0, 1);
+                assert!(sys.settle());
+                sys.history().len()
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_regular_write_read,
-    bench_atomic_write_read,
-    bench_sync_vs_async,
-    bench_mwmr_op
-);
-criterion_main!(benches);

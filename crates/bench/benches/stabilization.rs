@@ -1,35 +1,31 @@
-//! Criterion: end-to-end stabilization cost — the full
+//! Micro: end-to-end stabilization cost — the full
 //! corrupt-everything → first-write → verified-recovery cycle (the micro
 //! view of E2), plus the checker itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_bench::micro::{bench, section};
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
 use sbs_core::harness::SwsrBuilder;
 use sbs_sim::{OpId, ProcessId, SimDuration, SimTime};
 
-fn bench_recovery_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery_cycle");
+fn main() {
+    section("recovery_cycle");
     for n in [9usize, 17] {
         let t = (n - 1) / 8;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sys = SwsrBuilder::new(n, t).seed(3).build_regular(0u64);
-                sys.write(1);
-                sys.settle();
-                sys.corrupt_all_servers();
-                sys.run_for(SimDuration::millis(1));
-                sys.write(2);
-                assert!(sys.settle());
-                sys.read();
-                assert!(sys.settle());
-                sys.history().len()
-            });
+        bench(&format!("recovery_cycle/n={n}"), || {
+            let mut sys = SwsrBuilder::new(n, t).seed(3).build_regular(0u64);
+            sys.write(1);
+            sys.settle();
+            sys.corrupt_all_servers();
+            sys.run_for(SimDuration::millis(1));
+            sys.write(2);
+            assert!(sys.settle());
+            sys.read();
+            assert!(sys.settle());
+            sys.history().len()
         });
     }
-    group.finish();
-}
 
-fn bench_linearizability_checker(c: &mut Criterion) {
+    section("checker");
     // A history with a 12-op concurrent segment — representative of the
     // densest windows our workloads produce.
     let mk = |id: u64, a: u64, b: u64, kind: OpKind<u64>| OpRecord {
@@ -44,14 +40,9 @@ fn bench_linearizability_checker(c: &mut Criterion) {
         ops.push(mk(1 + i, 100 + i, 1_900 - i, OpKind::Read(1)));
     }
     let h = History::new(ops);
-    c.bench_function("linearizability_12op_segment", |b| {
-        b.iter(|| {
-            check_linearizable(&h, &InitialState::Any)
-                .unwrap()
-                .linearizable
-        });
+    bench("linearizability/12op_segment", || {
+        check_linearizable(&h, &InitialState::Any)
+            .unwrap()
+            .linearizable
     });
 }
-
-criterion_group!(benches, bench_recovery_cycle, bench_linearizability_checker);
-criterion_main!(benches);

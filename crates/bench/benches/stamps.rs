@@ -1,25 +1,18 @@
-//! Criterion: the bounded-timestamp primitives — clockwise-distance
+//! Micro: the bounded-timestamp primitives — clockwise-distance
 //! comparison, epoch domination, next_epoch generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_bench::micro::{bench, section};
 use sbs_stamps::{EpochDomain, RingSeq, Timestamp, PAPER_MODULUS};
 use std::hint::black_box;
 
-fn bench_ring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ring_seq");
+fn main() {
+    section("ring_seq");
     let a = RingSeq::new(123_456_789, PAPER_MODULUS);
     let b = RingSeq::new((1u128 << 63) + 17, PAPER_MODULUS);
-    group.bench_function("cd_gt", |bch| {
-        bch.iter(|| black_box(a).cd_gt(black_box(b)));
-    });
-    group.bench_function("succ", |bch| {
-        bch.iter(|| black_box(a).succ());
-    });
-    group.finish();
-}
+    bench("ring_seq/cd_gt", || black_box(a).cd_gt(black_box(b)));
+    bench("ring_seq/succ", || black_box(a).succ());
 
-fn bench_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("epoch");
+    section("epoch");
     for k in [3u32, 8, 16] {
         let dom = EpochDomain::new(k);
         let mut chain = vec![dom.initial()];
@@ -27,30 +20,23 @@ fn bench_epoch(c: &mut Criterion) {
             let next = dom.next_epoch(chain.iter());
             chain.push(next);
         }
-        group.bench_with_input(BenchmarkId::new("succeeds", k), &k, |bch, _| {
-            let (x, y) = (&chain[chain.len() - 1], &chain[0]);
-            bch.iter(|| black_box(x).succeeds(black_box(y)));
+        let (x, y) = (chain[chain.len() - 1].clone(), chain[0].clone());
+        bench(&format!("epoch/succeeds/k={k}"), || {
+            black_box(&x).succeeds(black_box(&y))
         });
-        group.bench_with_input(BenchmarkId::new("next_epoch", k), &k, |bch, _| {
-            bch.iter(|| dom.next_epoch(black_box(&chain)));
+        bench(&format!("epoch/next_epoch/k={k}"), || {
+            dom.next_epoch(black_box(&chain))
         });
-        group.bench_with_input(BenchmarkId::new("max_epoch", k), &k, |bch, _| {
-            bch.iter(|| dom.max_epoch(black_box(&chain)));
+        bench(&format!("epoch/max_epoch/k={k}"), || {
+            dom.max_epoch(black_box(&chain))
         });
     }
-    group.finish();
-}
 
-fn bench_timestamp(c: &mut Criterion) {
+    section("timestamp");
     let dom = EpochDomain::new(4);
     let e0 = dom.initial();
     let e1 = dom.next_epoch([&e0]);
     let a = Timestamp::new(e0, 100, 1);
     let b = Timestamp::new(e1, 2, 0);
-    c.bench_function("timestamp_cmp_to", |bch| {
-        bch.iter(|| black_box(&a).cmp_to(black_box(&b)));
-    });
+    bench("timestamp/cmp_to", || black_box(&a).cmp_to(black_box(&b)));
 }
-
-criterion_group!(benches, bench_ring, bench_epoch, bench_timestamp);
-criterion_main!(benches);

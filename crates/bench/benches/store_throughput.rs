@@ -1,0 +1,58 @@
+//! The store-scaling bench: sustained throughput (operations per
+//! *simulated* second) of a fixed 64-key YCSB workload as the keyspace is
+//! sharded over 1, 4, and 8 registers on the same shared 9-server fleet,
+//! plus wall-clock cost per simulated operation.
+//!
+//! ```sh
+//! cargo bench -p sbs-bench --bench store_throughput
+//! ```
+
+use sbs_store::{KeyDist, LoopMode, OpMix, StoreBuilder, Workload, WorkloadReport};
+use std::time::Instant;
+
+fn run_case(shards: u32, writers: usize, mix: OpMix, label: &str) -> (WorkloadReport, f64) {
+    let builder = StoreBuilder::new(9, 1)
+        .seed(2015)
+        .shards(shards)
+        .writers(writers)
+        .extra_readers(2);
+    let wl = Workload {
+        ops: 1000,
+        keys: 64,
+        mix,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        loop_mode: LoopMode::Closed,
+        seed: 42,
+        faults: sbs_store::FaultPlan::none(),
+    };
+    let t0 = Instant::now();
+    let (report, _sys) = wl.run(&builder);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(report.completed, 1000, "{label}: workload must complete");
+    (report, wall)
+}
+
+fn main() {
+    println!("store_throughput: 1000-op Zipfian workloads, 64 keys, 9 servers (t=1), closed loop");
+    println!(
+        "{:<10} {:>7} {:>9} {:>16} {:>14} {:>12} {:>10}",
+        "mix", "shards", "writers", "ops/sim-second", "sim elapsed", "deliveries", "wall ms"
+    );
+    for (mix, mix_name) in [(OpMix::ycsb_b(), "ycsb-b"), (OpMix::ycsb_a(), "ycsb-a")] {
+        for (shards, writers) in [(1u32, 1usize), (4, 2), (8, 4)] {
+            let (report, wall) = run_case(shards, writers, mix, mix_name);
+            println!(
+                "{:<10} {:>7} {:>9} {:>16.0} {:>14?} {:>12} {:>10.1}",
+                mix_name,
+                shards,
+                writers,
+                report.ops_per_sim_sec,
+                report.sim_elapsed,
+                report.messages_delivered,
+                wall * 1e3,
+            );
+        }
+    }
+    println!("\nexpected shape: ops/sim-second grows with shards (writer parallelism),");
+    println!("most visibly under the write-heavier ycsb-a mix.");
+}

@@ -8,14 +8,26 @@
 
 use sbs_bench::{run_experiment, ALL_EXPERIMENTS};
 
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments [--seeds N] [all | e1 e2 ...]");
+    eprintln!("valid experiments: {ALL_EXPERIMENTS:?}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut seeds: u64 = 25;
     if let Some(pos) = args.iter().position(|a| a == "--seeds") {
         args.remove(pos);
-        if pos < args.len() {
-            seeds = args.remove(pos).parse().unwrap_or(25);
+        if pos >= args.len() {
+            usage_error("--seeds requires a value");
         }
+        let raw = args.remove(pos);
+        seeds = match raw.parse() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!("--seeds needs a positive integer, got '{raw}'")),
+        };
     }
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
@@ -27,10 +39,7 @@ fn main() {
             Some(table) => {
                 println!("{}", table.render());
             }
-            None => {
-                eprintln!("unknown experiment '{id}'; valid: {ALL_EXPERIMENTS:?} or 'all'");
-                std::process::exit(2);
-            }
+            None => usage_error(&format!("unknown experiment '{id}'")),
         }
     }
 }

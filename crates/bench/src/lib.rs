@@ -1,4 +1,4 @@
-//! Experiment runners behind the `experiments` binary and the Criterion
+//! Experiment runners behind the `experiments` binary and the micro
 //! benches. Each `eN` function regenerates one row-set of EXPERIMENTS.md.
 //!
 //! The paper is an extended abstract with proofs and no empirical section,
@@ -6,10 +6,10 @@
 //! experiment operationalizes one theorem/lemma/figure (see DESIGN.md §5
 //! for the mapping) and prints the measured shape.
 
+pub mod micro;
+
 use sbs_baseline::{BaselineBuilder, BaselineKind, CLEANING_PERIOD};
-use sbs_check::{
-    atomic_stabilization_point, check_regularity, count_inversions, summarize, Ratio,
-};
+use sbs_check::{atomic_stabilization_point, check_regularity, count_inversions, summarize, Ratio};
 use sbs_core::harness::{RegularSwsr, SwsrBuilder};
 use sbs_core::ByzStrategy;
 use sbs_link::DataLinkSim;
@@ -274,7 +274,12 @@ pub fn e3(seeds: u64) -> Table {
 pub fn e4(seeds: u64) -> Table {
     let mut t = Table::new(
         "E4  Theorem 3 / Lemma 13: practically-atomic register and the wsn life-span",
-        &["scenario", "trials", "linearizable tail", "stale final read"],
+        &[
+            "scenario",
+            "trials",
+            "linearizable tail",
+            "stale final read",
+        ],
     );
 
     // (a) Within the life span: corruption + ops → linearizable tail.
@@ -339,7 +344,9 @@ pub fn e4(seeds: u64) -> Table {
         "-".into(),
         Ratio::new(stale, seeds as usize).to_string(),
     ]);
-    t.note("expected shape: (a) 100% linearizable; (b) stale reads appear exactly past (B−1)/2 writes");
+    t.note(
+        "expected shape: (a) 100% linearizable; (b) stale reads appear exactly past (B−1)/2 writes",
+    );
     t
 }
 
@@ -456,7 +463,13 @@ pub fn e5(seeds: u64) -> Table {
 pub fn e6(seeds: u64) -> Table {
     let mut t = Table::new(
         "E6  Bounds probed: reads under a saturating writer, shrinking n (t = 1)",
-        &["mode", "n", "trials", "reads completed", "stale/irregular reads"],
+        &[
+            "mode",
+            "n",
+            "trials",
+            "reads completed",
+            "stale/irregular reads",
+        ],
     );
 
     // Saturate with queued writes, attempt 3 reads mid-burst, give a fixed
@@ -545,7 +558,13 @@ pub fn e6(seeds: u64) -> Table {
 pub fn e7(seeds: u64) -> Table {
     let mut t = Table::new(
         "E7  Cost: messages/op and latency vs n (async)",
-        &["n", "msgs/write", "msgs/read", "mean write lat", "mean read lat"],
+        &[
+            "n",
+            "msgs/write",
+            "msgs/read",
+            "mean write lat",
+            "mean read lat",
+        ],
     );
     for n in [9usize, 17, 25, 33] {
         let tt = (n - 1) / 8;
@@ -709,7 +728,14 @@ pub fn e8(seeds: u64) -> Table {
 pub fn e9(seeds: u64) -> Table {
     let mut t = Table::new(
         "E9  Data link (footnote 3): packets per delivered message; stabilization from garbage",
-        &["cap", "loss", "dup", "pkts/msg", "spurious (≤cap+1)", "exact after 1st"],
+        &[
+            "cap",
+            "loss",
+            "dup",
+            "pkts/msg",
+            "spurious (≤cap+1)",
+            "exact after 1st",
+        ],
     );
     for cap in [2usize, 4, 8, 16] {
         for loss in [0.0, 0.1, 0.3] {

@@ -66,7 +66,10 @@ impl fmt::Display for LinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinError::SegmentTooLarge { len } => {
-                write!(f, "segment of {len} concurrent operations exceeds the 64-op cap")
+                write!(
+                    f,
+                    "segment of {len} concurrent operations exceeds the 64-op cap"
+                )
             }
             LinError::DuplicateWrites => write!(f, "history writes duplicate values"),
         }
@@ -171,10 +174,7 @@ fn boundary_values<V>(h: &History<V>, cut: SimTime) -> Feasible<V>
 where
     V: Clone + Eq + Hash + Ord + fmt::Debug,
 {
-    let done: Vec<&OpRecord<V>> = h
-        .writes()
-        .filter(|w| w.responded < cut)
-        .collect();
+    let done: Vec<&OpRecord<V>> = h.writes().filter(|w| w.responded < cut).collect();
     if done.is_empty() {
         return Feasible::Any;
     }
@@ -473,7 +473,7 @@ mod tests {
     fn stabilization_point_skips_the_corrupt_prefix() {
         let h = History::new(vec![
             write(1, 0, 10, 100),
-            read(2, 20, 30, 666),  // corrupted read pre-stabilization
+            read(2, 20, 30, 666), // corrupted read pre-stabilization
             write(3, 40, 50, 200),
             read(4, 60, 70, 200),
             read(5, 80, 90, 200),

@@ -188,7 +188,13 @@ pub(crate) mod fixtures {
 
     /// Builds a record with explicit times; `client` defaults to p0 for
     /// writes and p1 for reads in most tests.
-    pub fn op<V>(client: u32, op_id: u64, invoked: u64, responded: u64, kind: OpKind<V>) -> OpRecord<V> {
+    pub fn op<V>(
+        client: u32,
+        op_id: u64,
+        invoked: u64,
+        responded: u64,
+        kind: OpKind<V>,
+    ) -> OpRecord<V> {
         OpRecord {
             client: ProcessId(client),
             op: OpId(op_id),

@@ -41,7 +41,9 @@ mod history;
 mod regularity;
 mod stats;
 
-pub use atomic::{atomic_stabilization_point, check_linearizable, InitialState, LinError, LinReport};
+pub use atomic::{
+    atomic_stabilization_point, check_linearizable, InitialState, LinError, LinReport,
+};
 pub use history::{DuplicateWrite, History, OpKind, OpRecord};
 pub use regularity::{
     check_regularity, count_inversions, Inversion, RegularityReport, RegularityViolation,

@@ -230,9 +230,9 @@ mod tests {
     fn concurrent_write_values_are_allowed() {
         let h = History::new(vec![
             write(1, 0, 10, 100),
-            write(2, 20, 60, 200),  // concurrent with the read
-            read(3, 30, 50, 200),   // may see the in-flight write
-            read(4, 70, 80, 100),   // read after? no—write 200 completed at 60, so this IS stale
+            write(2, 20, 60, 200), // concurrent with the read
+            read(3, 30, 50, 200),  // may see the in-flight write
+            read(4, 70, 80, 100),  // read after? no—write 200 completed at 60, so this IS stale
         ]);
         let rep = check_regularity(&h, &[]);
         // read 3 ok (concurrent), read 4 violates (200 completed before it).
@@ -276,8 +276,8 @@ mod tests {
     fn first_clean_from_is_after_the_last_violation() {
         let h = History::new(vec![
             write(1, 0, 10, 100),
-            read(2, 20, 30, 666),  // violation (pre-stabilization garbage)
-            read(3, 40, 50, 100),  // clean from here on
+            read(2, 20, 30, 666), // violation (pre-stabilization garbage)
+            read(3, 40, 50, 100), // clean from here on
             read(4, 60, 70, 100),
         ]);
         let rep = check_regularity(&h, &[]);

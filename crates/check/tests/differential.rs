@@ -2,9 +2,8 @@
 //! histories, `check_linearizable` must agree with a brute-force reference
 //! that enumerates every permutation.
 
-use proptest::prelude::*;
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
-use sbs_sim::{OpId, ProcessId, SimTime};
+use sbs_sim::{DetRng, OpId, ProcessId, SimTime};
 use std::collections::BTreeSet;
 
 /// Brute force: try every permutation of the operations; a permutation is a
@@ -62,59 +61,51 @@ fn register_semantics(order: &[usize], ops: &[OpRecord<u64>]) -> bool {
 /// Random small histories: up to 6 operations with random intervals over a
 /// small time range, writes with unique values, reads returning values from
 /// a small pool (so both linearizable and non-linearizable cases arise).
-fn arb_history() -> impl Strategy<Value = Vec<OpRecord<u64>>> {
-    proptest::collection::vec(
-        (
-            0u64..50,      // invocation
-            1u64..30,      // duration
-            0u32..3,       // client
-            any::<bool>(), // is write
-            0u64..4,       // value selector
-        ),
-        1..6,
-    )
-    .prop_map(|raw| {
-        let mut used_write_values: BTreeSet<u64> = BTreeSet::new();
-        let mut ops = Vec::new();
-        for (i, (start, dur, client, is_write, val)) in raw.into_iter().enumerate() {
-            let kind = if is_write {
-                // Make write values unique by offsetting duplicates.
-                let mut v = val;
-                while used_write_values.contains(&v) {
-                    v += 10;
-                }
-                used_write_values.insert(v);
-                OpKind::Write(v)
-            } else {
-                OpKind::Read(val)
-            };
-            ops.push(OpRecord {
-                client: ProcessId(client),
-                op: OpId(i as u64),
-                invoked: SimTime::from_nanos(start),
-                responded: SimTime::from_nanos(start + dur),
-                kind,
-            });
-        }
-        ops
-    })
+fn arb_history(rng: &mut DetRng) -> Vec<OpRecord<u64>> {
+    let len = rng.range_inclusive(1, 5) as usize;
+    let mut used_write_values: BTreeSet<u64> = BTreeSet::new();
+    let mut ops = Vec::new();
+    for i in 0..len {
+        let start = rng.range_inclusive(0, 49);
+        let dur = rng.range_inclusive(1, 29);
+        let client = rng.range_inclusive(0, 2) as u32;
+        let is_write = rng.chance(0.5);
+        let val = rng.range_inclusive(0, 3);
+        let kind = if is_write {
+            // Make write values unique by offsetting duplicates.
+            let mut v = val;
+            while used_write_values.contains(&v) {
+                v += 10;
+            }
+            used_write_values.insert(v);
+            OpKind::Write(v)
+        } else {
+            OpKind::Read(val)
+        };
+        ops.push(OpRecord {
+            client: ProcessId(client),
+            op: OpId(i as u64),
+            invoked: SimTime::from_nanos(start),
+            responded: SimTime::from_nanos(start + dur),
+            kind,
+        });
+    }
+    ops
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(400))]
-
-    #[test]
-    fn checker_agrees_with_brute_force(ops in arb_history()) {
+#[test]
+fn checker_agrees_with_brute_force() {
+    let mut rng = DetRng::from_seed(0xD1FF);
+    for case in 0..400 {
+        let ops = arb_history(&mut rng);
         let expected = brute_force_linearizable(&ops);
         let h = History::new(ops);
         let got = check_linearizable(&h, &InitialState::Any)
             .expect("unique writes by construction")
             .linearizable;
-        prop_assert_eq!(
-            got,
-            expected,
-            "checker disagrees with brute force on {:?}",
-            h
+        assert_eq!(
+            got, expected,
+            "case {case}: checker disagrees with brute force on {h:?}"
         );
     }
 }

@@ -93,12 +93,7 @@ impl<P: Payload, O: 'static> Node for ByzServerNode<P, O> {
     type Msg = RegMsg<P>;
     type Out = O;
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: RegMsg<P>,
-        ctx: &mut Context<'_, RegMsg<P>, O>,
-    ) {
+    fn on_message(&mut self, from: ProcessId, msg: RegMsg<P>, ctx: &mut Context<'_, RegMsg<P>, O>) {
         match self.strategy.clone() {
             ByzStrategy::Silent => {}
             ByzStrategy::CrashAt(when) => {
@@ -278,10 +273,7 @@ mod tests {
 
     #[test]
     fn crash_at_flips_behavior() {
-        let mut node = ByzServerNode::new(
-            ByzStrategy::CrashAt(SimTime::from_nanos(100)),
-            0u64,
-        );
+        let mut node = ByzServerNode::new(ByzStrategy::CrashAt(SimTime::from_nanos(100)), 0u64);
         let before = drive(&mut node, W, write_msg(1, 5), SimTime::from_nanos(50));
         assert_eq!(before.len(), 2, "correct before the crash");
         let after = drive(&mut node, W, write_msg(2, 6), SimTime::from_nanos(150));
@@ -364,6 +356,9 @@ mod tests {
                 }
             }
         }
-        assert!(honest > 0 && garbled > 0, "honest={honest} garbled={garbled}");
+        assert!(
+            honest > 0 && garbled > 0,
+            "honest={honest} garbled={garbled}"
+        );
     }
 }

@@ -94,7 +94,10 @@ impl RegisterConfig {
     /// Asynchronous configuration without the resilience assertion — for
     /// probing beyond the proven bound (experiment E6).
     pub fn asynchronous_unchecked(n: usize, t: usize) -> Self {
-        assert!(n > 2 * t, "even unchecked configs need n > 2t to make quorums meaningful");
+        assert!(
+            n > 2 * t,
+            "even unchecked configs need n > 2t to make quorums meaningful"
+        );
         RegisterConfig {
             n,
             t,

@@ -296,9 +296,7 @@ impl<P: Payload> WriteEngine<P> {
                 *counts.entry(w).or_insert(0) += 1;
             }
         }
-        counts
-            .values()
-            .any(|&c| c >= self.cfg.writer_help_quorum())
+        counts.values().any(|&c| c >= self.cfg.writer_help_quorum())
     }
 
     fn round_timer(&self) -> sbs_sim::SimDuration {

@@ -24,9 +24,7 @@ use crate::swsr::{
 };
 use crate::value::{Payload, SeqVal};
 use sbs_check::{History, OpKind, OpRecord};
-use sbs_sim::{
-    DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation,
-};
+use sbs_sim::{DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation};
 use sbs_stamps::{EpochDomain, RingSeq, PAPER_MODULUS};
 use std::collections::HashMap;
 
@@ -391,7 +389,9 @@ macro_rules! scenario_common {
             /// passes), then records completions. Returns `true` on
             /// quiescence.
             pub fn settle(&mut self) -> bool {
-                let quiet = self.sim.run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
+                let quiet = self
+                    .sim
+                    .run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
                 self.drain();
                 quiet
             }

@@ -51,7 +51,7 @@ impl<V: Payload> Payload for Triple<V> {
     fn scramble(&mut self, rng: &mut DetRng) {
         self.val.scramble(rng);
         let k = (self.epoch.aset().len() as u32).max(2);
-        self.epoch = EpochDomain::new(k).arbitrary(rng);
+        self.epoch = EpochDomain::new(k).arbitrary(&mut || rng.next_u64());
         self.seq = rng.next_u64();
     }
 }
@@ -96,10 +96,15 @@ enum MPhase<V> {
         view: Vec<Option<Triple<V>>>,
     },
     /// Final `swmr_write` of a `mwmr_write` (line 07).
-    Writing { op: OpId },
+    Writing {
+        op: OpId,
+    },
     /// Epoch-renewal `swmr_write` on the read path (line 11); afterwards
     /// the read returns `result`.
-    Renewing { op: OpId, result: V },
+    Renewing {
+        op: OpId,
+        result: V,
+    },
 }
 
 /// One MWMR process: reader + writer of the shared register.
@@ -150,7 +155,10 @@ impl<V: Payload> MwmrProcessNode<V> {
         wsn_modulus: u128,
         initial: V,
     ) -> Self {
-        assert!((idx as usize) < m, "process index {idx} out of range (m={m})");
+        assert!(
+            (idx as usize) < m,
+            "process index {idx} out of range (m={m})"
+        );
         assert!(
             dom.k() as usize >= m,
             "epoch domain k={} must cover m={m} concurrent labels",
@@ -346,11 +354,7 @@ impl<V: Payload> MwmrProcessNode<V> {
                         .unwrap_or(0);
                     (epoch, seqmax + 1)
                 };
-                let triple = Triple {
-                    val: v,
-                    epoch,
-                    seq,
-                };
+                let triple = Triple { val: v, epoch, seq };
                 self.start_own_write(triple, ctx);
                 self.phase = MPhase::Writing { op };
             }
@@ -404,8 +408,7 @@ impl<V: Payload> MwmrProcessNode<V> {
 
     fn start_own_write(&mut self, triple: Triple<V>, ctx: &mut MwmrCtx<'_, V>) {
         self.last_written = triple.clone();
-        self.write_engine =
-            WriteEngine::new(RegId(self.idx), self.cfg, self.processes.clone());
+        self.write_engine = WriteEngine::new(RegId(self.idx), self.cfg, self.processes.clone());
         let stamped = self.stamper.stamp(triple);
         self.write_engine.start(stamped, &mut self.link, ctx);
     }

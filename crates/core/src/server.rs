@@ -180,7 +180,9 @@ impl<P: Payload, O> ServerNode<P, O> {
 
 impl<P: Payload, O> std::fmt::Debug for ServerNode<P, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerNode").field("core", &self.core).finish()
+        f.debug_struct("ServerNode")
+            .field("core", &self.core)
+            .finish()
     }
 }
 
@@ -188,12 +190,7 @@ impl<P: Payload, O: 'static> Node for ServerNode<P, O> {
     type Msg = RegMsg<P>;
     type Out = O;
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: RegMsg<P>,
-        ctx: &mut Context<'_, RegMsg<P>, O>,
-    ) {
+    fn on_message(&mut self, from: ProcessId, msg: RegMsg<P>, ctx: &mut Context<'_, RegMsg<P>, O>) {
         self.core.handle(from, msg, ctx);
     }
 
@@ -255,10 +252,26 @@ mod tests {
     fn duplicate_write_acks_without_redelivering() {
         let mut core = ServerCore::new(0u64);
         let _ = run(&mut core, |c, ctx| {
-            c.handle(W, RegMsg::Write { reg: RegId(0), tag: 7, val: 42 }, ctx);
+            c.handle(
+                W,
+                RegMsg::Write {
+                    reg: RegId(0),
+                    tag: 7,
+                    val: 42,
+                },
+                ctx,
+            );
         });
         let sends = run(&mut core, |c, ctx| {
-            c.handle(W, RegMsg::Write { reg: RegId(0), tag: 7, val: 43 }, ctx);
+            c.handle(
+                W,
+                RegMsg::Write {
+                    reg: RegId(0),
+                    tag: 7,
+                    val: 43,
+                },
+                ctx,
+            );
         });
         // Same tag: no state change, SS_ACK only.
         assert_eq!(core.slot(RegId(0)).unwrap().last, 42);
@@ -272,23 +285,30 @@ mod tests {
         let _ = run(&mut core, |c, ctx| {
             c.handle(
                 W,
-                RegMsg::NewHelpVal { reg: RegId(0), tag: 1, val: 9, readers: vec![R] },
+                RegMsg::NewHelpVal {
+                    reg: RegId(0),
+                    tag: 1,
+                    val: 9,
+                    readers: vec![R],
+                },
                 ctx,
             );
         });
-        assert_eq!(
-            core.slot(RegId(0)).unwrap().helping.get(&R),
-            Some(&Some(9))
-        );
+        assert_eq!(core.slot(RegId(0)).unwrap().helping.get(&R), Some(&Some(9)));
         let sends = run(&mut core, |c, ctx| {
-            c.handle(R, RegMsg::Read { reg: RegId(0), tag: 2, new_read: true }, ctx);
+            c.handle(
+                R,
+                RegMsg::Read {
+                    reg: RegId(0),
+                    tag: 2,
+                    new_read: true,
+                },
+                ctx,
+            );
         });
         // Helping reset to ⊥ before answering (lines 22-23).
         assert_eq!(core.slot(RegId(0)).unwrap().helping.get(&R), Some(&None));
-        assert!(matches!(
-            sends[1].1,
-            RegMsg::AckRead { helping: None, .. }
-        ));
+        assert!(matches!(sends[1].1, RegMsg::AckRead { helping: None, .. }));
     }
 
     #[test]
@@ -297,16 +317,32 @@ mod tests {
         let _ = run(&mut core, |c, ctx| {
             c.handle(
                 W,
-                RegMsg::NewHelpVal { reg: RegId(0), tag: 1, val: 9, readers: vec![R] },
+                RegMsg::NewHelpVal {
+                    reg: RegId(0),
+                    tag: 1,
+                    val: 9,
+                    readers: vec![R],
+                },
                 ctx,
             );
         });
         let sends = run(&mut core, |c, ctx| {
-            c.handle(R, RegMsg::Read { reg: RegId(0), tag: 2, new_read: false }, ctx);
+            c.handle(
+                R,
+                RegMsg::Read {
+                    reg: RegId(0),
+                    tag: 2,
+                    new_read: false,
+                },
+                ctx,
+            );
         });
         assert!(matches!(
             sends[1].1,
-            RegMsg::AckRead { helping: Some(9), .. }
+            RegMsg::AckRead {
+                helping: Some(9),
+                ..
+            }
         ));
     }
 
@@ -317,13 +353,26 @@ mod tests {
         let _ = run(&mut core, |c, ctx| {
             c.handle(
                 W,
-                RegMsg::NewHelpVal { reg: RegId(0), tag: 1, val: 9, readers: vec![R, r2] },
+                RegMsg::NewHelpVal {
+                    reg: RegId(0),
+                    tag: 1,
+                    val: 9,
+                    readers: vec![R, r2],
+                },
                 ctx,
             );
         });
         // R starts a new read: only R's slot resets.
         let _ = run(&mut core, |c, ctx| {
-            c.handle(R, RegMsg::Read { reg: RegId(0), tag: 2, new_read: true }, ctx);
+            c.handle(
+                R,
+                RegMsg::Read {
+                    reg: RegId(0),
+                    tag: 2,
+                    new_read: true,
+                },
+                ctx,
+            );
         });
         let slot = core.slot(RegId(0)).unwrap();
         assert_eq!(slot.helping.get(&R), Some(&None));
@@ -334,8 +383,24 @@ mod tests {
     fn registers_are_independent() {
         let mut core = ServerCore::new(0u64);
         let _ = run(&mut core, |c, ctx| {
-            c.handle(W, RegMsg::Write { reg: RegId(0), tag: 1, val: 1 }, ctx);
-            c.handle(W, RegMsg::Write { reg: RegId(1), tag: 2, val: 2 }, ctx);
+            c.handle(
+                W,
+                RegMsg::Write {
+                    reg: RegId(0),
+                    tag: 1,
+                    val: 1,
+                },
+                ctx,
+            );
+            c.handle(
+                W,
+                RegMsg::Write {
+                    reg: RegId(1),
+                    tag: 2,
+                    val: 2,
+                },
+                ctx,
+            );
         });
         assert_eq!(core.slot(RegId(0)).unwrap().last, 1);
         assert_eq!(core.slot(RegId(1)).unwrap().last, 2);
@@ -345,7 +410,15 @@ mod tests {
     fn corruption_scrambles_state() {
         let mut core = ServerCore::new(0u64);
         let _ = run(&mut core, |c, ctx| {
-            c.handle(W, RegMsg::Write { reg: RegId(0), tag: 1, val: 42 }, ctx);
+            c.handle(
+                W,
+                RegMsg::Write {
+                    reg: RegId(0),
+                    tag: 1,
+                    val: 42,
+                },
+                ctx,
+            );
         });
         let mut rng = DetRng::from_seed(9);
         core.corrupt(&mut rng);
@@ -361,7 +434,11 @@ mod tests {
             c.handle(R, RegMsg::SsAck { tag: 3 }, ctx);
             c.handle(
                 R,
-                RegMsg::AckRead { reg: RegId(0), last: 1, helping: None },
+                RegMsg::AckRead {
+                    reg: RegId(0),
+                    last: 1,
+                    helping: None,
+                },
                 ctx,
             );
         });

@@ -3,7 +3,7 @@
 //! phase transitions of Figures 2/3 lines 01–18.
 
 use sbs_core::{
-    ClientLink, ReadEngine, ReadProgress, ReadSource, RegId, RegisterConfig, RegMsg, WriteEngine,
+    ClientLink, ReadEngine, ReadProgress, ReadSource, RegId, RegMsg, RegisterConfig, WriteEngine,
 };
 use sbs_sim::{Context, DetRng, Effects, ProcessId, SimTime, TimerId};
 
@@ -85,7 +85,12 @@ fn write_completes_with_quorum_and_agreed_helping() {
     // (≥ 4t+1 = 5 identical) — the writer must finish without helping.
     ack_session(&mut link, &srv, tag);
     for &s in &srv[..8] {
-        eng.on_ack_write(s, RegId(0), vec![(READER, Some(7u64))], link.anchored_tag(s));
+        eng.on_ack_write(
+            s,
+            RegId(0),
+            vec![(READER, Some(7u64))],
+            link.anchored_tag(s),
+        );
     }
     let (done, eff) = rig.with_ctx(|ctx| eng.poll(&mut link, ctx));
     assert!(done, "write must complete at n−t acks with agreed helping");
@@ -138,10 +143,20 @@ fn stale_and_misanchored_acks_are_ignored() {
     let tag = broadcast_tag(&eff);
     // Server 0 acks a *stale* session tag: its protocol ack must not count.
     link.on_ss_ack(srv[0], tag.wrapping_add(999));
-    eng.on_ack_write(srv[0], RegId(0), vec![(READER, Some(7))], link.anchored_tag(srv[0]));
+    eng.on_ack_write(
+        srv[0],
+        RegId(0),
+        vec![(READER, Some(7))],
+        link.anchored_tag(srv[0]),
+    );
     // Wrong register id must not count either.
     link.on_ss_ack(srv[1], tag);
-    eng.on_ack_write(srv[1], RegId(5), vec![(READER, Some(7))], link.anchored_tag(srv[1]));
+    eng.on_ack_write(
+        srv[1],
+        RegId(5),
+        vec![(READER, Some(7))],
+        link.anchored_tag(srv[1]),
+    );
     let (done, _) = rig.with_ctx(|ctx| eng.poll(&mut link, ctx));
     assert!(!done, "neither ack may count toward the quorum");
 }
@@ -203,9 +218,13 @@ fn read_falls_back_to_helping_then_loops() {
     let (progress, eff) = rig.with_ctx(|ctx| eng.poll(&mut link, ctx));
     assert_eq!(progress, None, "no quorum: keep looping");
     assert!(
-        eff.sends()
-            .iter()
-            .all(|(_, m)| matches!(m, RegMsg::Read { new_read: false, .. })),
+        eff.sends().iter().all(|(_, m)| matches!(
+            m,
+            RegMsg::Read {
+                new_read: false,
+                ..
+            }
+        )),
         "subsequent rounds carry new_read = false (line 10)"
     );
     assert_eq!(eng.rounds(), 2);
@@ -222,9 +241,13 @@ fn sanity_probe_reports_agreed_helping_without_touching_last() {
     let ((), eff) = rig.with_ctx(|ctx| eng.start_sanity(&mut link, ctx));
     let tag = broadcast_tag(&eff);
     assert!(
-        eff.sends()
-            .iter()
-            .all(|(_, m)| matches!(m, RegMsg::Read { new_read: false, .. })),
+        eff.sends().iter().all(|(_, m)| matches!(
+            m,
+            RegMsg::Read {
+                new_read: false,
+                ..
+            }
+        )),
         "the probe must not reset helping (line N2 sends READ(false))"
     );
     ack_session(&mut link, &srv, tag);
@@ -314,10 +337,18 @@ fn sync_write_completes_on_all_n_before_timeout() {
     ack_session(&mut link, &srv, tag);
     // All four answer with an agreed helping value (t+1 = 2 suffices).
     for &s in &srv {
-        eng.on_ack_write(s, RegId(0), vec![(READER, Some(5u64))], link.anchored_tag(s));
+        eng.on_ack_write(
+            s,
+            RegId(0),
+            vec![(READER, Some(5u64))],
+            link.anchored_tag(s),
+        );
     }
     let (done, _) = rig.with_ctx(|ctx| eng.poll(&mut link, ctx));
-    assert!(done, "all n acks complete the round early (Fig. 5 line 02.M)");
+    assert!(
+        done,
+        "all n acks complete the round early (Fig. 5 line 02.M)"
+    );
 }
 
 #[test]

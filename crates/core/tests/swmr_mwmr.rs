@@ -185,7 +185,10 @@ fn mwmr_epoch_renewal_on_seq_exhaustion() {
     let mut sys = SwsrBuilder::new(9, 1).seed(7).build_mwmr(0u64, 2, 3);
     for v in 1..=10u64 {
         sys.write((v % 2) as usize, v);
-        assert!(sys.settle(), "write {v} must terminate across epoch renewal");
+        assert!(
+            sys.settle(),
+            "write {v} must terminate across epoch renewal"
+        );
         sys.read(((v + 1) % 2) as usize);
         assert!(sys.settle(), "read after {v} must terminate");
     }

@@ -38,7 +38,11 @@ fn concurrent_reads_and_writes_linearize() {
         }
         let h = sys.history();
         let rep = check_linearizable(&h, &InitialState::Any).unwrap();
-        assert!(rep.linearizable, "seed {seed}: failed segment {:?}", rep.failed_segment);
+        assert!(
+            rep.linearizable,
+            "seed {seed}: failed segment {:?}",
+            rep.failed_segment
+        );
     }
 }
 

@@ -155,7 +155,12 @@ impl<T: Clone> DlReceiver<T> {
             None
         };
         self.last_bit = Some(p.bit);
-        (delivered, AckPacket { bit: self.last_bit.unwrap() })
+        (
+            delivered,
+            AckPacket {
+                bit: self.last_bit.unwrap(),
+            },
+        )
     }
 
     /// Transient-fault hook: arbitrary last-bit memory.
@@ -438,16 +443,31 @@ mod tests {
     #[test]
     fn receiver_delivers_only_on_zero_to_one_transition() {
         let mut r: DlReceiver<&str> = DlReceiver::new();
-        let (d, a) = r.on_packet(DataPacket { bit: 1, payload: "x" });
+        let (d, a) = r.on_packet(DataPacket {
+            bit: 1,
+            payload: "x",
+        });
         assert_eq!(d, None, "1 without preceding 0 must not deliver");
         assert_eq!(a.bit, 1);
-        let (d, _) = r.on_packet(DataPacket { bit: 0, payload: "m" });
+        let (d, _) = r.on_packet(DataPacket {
+            bit: 0,
+            payload: "m",
+        });
         assert_eq!(d, None);
-        let (d, _) = r.on_packet(DataPacket { bit: 0, payload: "m" });
+        let (d, _) = r.on_packet(DataPacket {
+            bit: 0,
+            payload: "m",
+        });
         assert_eq!(d, None, "repeated 0s do not deliver");
-        let (d, _) = r.on_packet(DataPacket { bit: 1, payload: "m" });
+        let (d, _) = r.on_packet(DataPacket {
+            bit: 1,
+            payload: "m",
+        });
         assert_eq!(d, Some("m"));
-        let (d, _) = r.on_packet(DataPacket { bit: 1, payload: "m" });
+        let (d, _) = r.on_packet(DataPacket {
+            bit: 1,
+            payload: "m",
+        });
         assert_eq!(d, None, "repeated 1s do not re-deliver");
     }
 }

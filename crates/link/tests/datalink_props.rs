@@ -2,49 +2,59 @@
 //! delivery must hold across the whole parameter space — any capacity,
 //! loss rate, duplication rate, message count, and seed — and the
 //! stabilization guarantee must hold from any scrambled start.
+//!
+//! Cases are sampled deterministically from a seeded [`DetRng`] so every
+//! failure reproduces exactly (the workspace carries no property-testing
+//! dependency).
 
-use proptest::prelude::*;
 use sbs_link::DataLinkSim;
+use sbs_sim::DetRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Clean start: every message delivered exactly once, in order,
-    /// regardless of channel parameters.
-    #[test]
-    fn prop_exactly_once_in_order(
-        cap in 1usize..12,
-        loss in 0.0f64..0.4,
-        dup in 0.0f64..0.3,
-        k in 1u64..25,
-        seed in any::<u64>(),
-    ) {
+/// Clean start: every message delivered exactly once, in order, regardless
+/// of channel parameters.
+#[test]
+fn prop_exactly_once_in_order() {
+    let mut rng = DetRng::from_seed(0xDA7A);
+    for case in 0..64u64 {
+        let cap = rng.range_inclusive(1, 11) as usize;
+        let loss = rng.next_f64() * 0.4;
+        let dup = rng.next_f64() * 0.3;
+        let k = rng.range_inclusive(1, 24);
+        let seed = rng.next_u64();
         let mut dl = DataLinkSim::new(cap, loss, dup, seed);
         for m in 0..k {
             dl.sender.send(m);
         }
-        prop_assert!(dl.run_until_idle(30_000_000), "link must drain");
+        assert!(
+            dl.run_until_idle(30_000_000),
+            "case {case}: link must drain"
+        );
         let expected: Vec<u64> = (0..k).collect();
-        prop_assert_eq!(dl.delivered(), expected.as_slice());
+        assert_eq!(dl.delivered(), expected.as_slice(), "case {case}");
     }
+}
 
-    /// Arbitrary initial configuration: after at most one sacrificial
-    /// message, delivery is exact; spurious deliveries are bounded by the
-    /// initial channel content plus the corrupted in-flight transfer.
-    #[test]
-    fn prop_stabilizes_from_garbage(
-        cap in 1usize..10,
-        loss in 0.0f64..0.3,
-        k in 2u64..20,
-        seed in any::<u64>(),
-    ) {
-        const GARBAGE: u64 = 1 << 32;
+/// Arbitrary initial configuration: after at most one sacrificial message,
+/// delivery is exact; spurious deliveries are bounded by the initial
+/// channel content plus the corrupted in-flight transfer.
+#[test]
+fn prop_stabilizes_from_garbage() {
+    const GARBAGE: u64 = 1 << 32;
+    let mut rng = DetRng::from_seed(0x6A5B);
+    for case in 0..64u64 {
+        let cap = rng.range_inclusive(1, 9) as usize;
+        let loss = rng.next_f64() * 0.3;
+        let k = rng.range_inclusive(2, 19);
+        let seed = rng.next_u64();
         let mut dl = DataLinkSim::new(cap, loss, 0.05, seed);
         dl.scramble(|r| GARBAGE + r.next_u64() % 1000);
         for m in 0..k {
             dl.sender.send(m);
         }
-        prop_assert!(dl.run_until_idle(30_000_000), "link must drain");
+        assert!(
+            dl.run_until_idle(30_000_000),
+            "case {case}: link must drain"
+        );
         let real: Vec<u64> = dl
             .delivered()
             .iter()
@@ -52,42 +62,50 @@ proptest! {
             .filter(|&m| m < GARBAGE)
             .collect();
         let tail: Vec<u64> = real.iter().copied().filter(|&m| m >= 1).collect();
-        prop_assert_eq!(tail, (1..k).collect::<Vec<_>>(),
-            "from message 1 on, delivery must be exact; got {:?}", dl.delivered());
-        prop_assert!(
+        assert_eq!(
+            tail,
+            (1..k).collect::<Vec<_>>(),
+            "case {case}: from message 1 on, delivery must be exact; got {:?}",
+            dl.delivered()
+        );
+        assert!(
             real.iter().filter(|&&m| m == 0).count() <= 1,
-            "the sacrificial message may be lost but never duplicated"
+            "case {case}: the sacrificial message may be lost but never duplicated"
         );
         let spurious = dl.delivered().iter().filter(|&&m| m >= GARBAGE).count();
-        prop_assert!(spurious <= cap + 1, "spurious deliveries bounded by cap+1");
+        assert!(
+            spurious <= cap + 1,
+            "case {case}: spurious deliveries bounded by cap+1"
+        );
     }
+}
 
-    /// Mid-run corruption of both endpoints: everything after the next
-    /// completed transfer is exact again.
-    #[test]
-    fn prop_recovers_from_midrun_corruption(
-        cap in 1usize..8,
-        seed in any::<u64>(),
-    ) {
-        use sbs_sim::DetRng;
+/// Mid-run corruption of both endpoints: everything after the next
+/// completed transfer is exact again.
+#[test]
+fn prop_recovers_from_midrun_corruption() {
+    let mut rng = DetRng::from_seed(0xC0DE);
+    for case in 0..64u64 {
+        let cap = rng.range_inclusive(1, 7) as usize;
+        let seed = rng.next_u64();
         let mut dl = DataLinkSim::new(cap, 0.1, 0.05, seed);
         for m in 0..5u64 {
             dl.sender.send(m);
         }
-        prop_assert!(dl.run_until_idle(30_000_000));
-        let mut rng = DetRng::derive(seed, 1234);
-        dl.sender.corrupt(&mut rng);
-        dl.receiver.corrupt(&mut rng);
+        assert!(dl.run_until_idle(30_000_000), "case {case}");
+        let mut corrupt_rng = DetRng::derive(seed, 1234);
+        dl.sender.corrupt(&mut corrupt_rng);
+        dl.receiver.corrupt(&mut corrupt_rng);
         for m in 100..108u64 {
             dl.sender.send(m);
         }
-        prop_assert!(dl.run_until_idle(30_000_000));
+        assert!(dl.run_until_idle(30_000_000), "case {case}");
         let after: Vec<u64> = dl
             .delivered()
             .iter()
             .copied()
             .filter(|&m| m > 100)
             .collect();
-        prop_assert_eq!(after, (101..108).collect::<Vec<_>>());
+        assert_eq!(after, (101..108).collect::<Vec<_>>(), "case {case}");
     }
 }

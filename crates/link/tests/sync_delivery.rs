@@ -150,10 +150,9 @@ fn synchronized_delivery_holds_with_t_mute_servers() {
     for seed in 0..20 {
         let mut w = build(n, t, t, seed);
         let start = w.sim.now();
-        w.sim
-            .with_node::<Client, _>(w.client, |c, ctx| {
-                c.broadcast(7, ctx);
-            });
+        w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(7, ctx);
+        });
         assert!(w.sim.run_until_quiescent(HORIZON));
         let outs = w.sim.take_outputs();
 
@@ -186,10 +185,9 @@ fn synchronized_delivery_holds_with_t_mute_servers() {
 fn eventual_delivery_reaches_all_correct_servers() {
     let (n, t) = (9, 1);
     let mut w = build(n, t, t, 3);
-    w.sim
-        .with_node::<Client, _>(w.client, |c, ctx| {
-            c.broadcast(9, ctx);
-        });
+    w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+        c.broadcast(9, ctx);
+    });
     assert!(w.sim.run_until_quiescent(HORIZON));
     let outs = w.sim.take_outputs();
     let delivered = outs
@@ -205,10 +203,9 @@ fn order_delivery_per_sender() {
     let (n, t) = (9, 1);
     let mut w = build(n, t, 0, 11);
     for body in 0..10u64 {
-        w.sim
-            .with_node::<Client, _>(w.client, |c, ctx| {
-                c.broadcast(body, ctx);
-            });
+        w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+            c.broadcast(body, ctx);
+        });
         // Interleave: let some (but not necessarily all) traffic flow.
         w.sim.run_for(SimDuration::micros(300));
     }
@@ -233,15 +230,15 @@ fn order_delivery_per_sender() {
 fn no_duplication_even_with_reinjected_packets() {
     let (n, t) = (5, 1);
     let mut w = build(n, t, 0, 13);
-    w.sim
-        .with_node::<Client, _>(w.client, |c, ctx| {
-            c.broadcast(1, ctx);
-        });
+    w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+        c.broadcast(1, ctx);
+    });
     assert!(w.sim.run_until_quiescent(HORIZON));
     // A transient fault re-injects a stale copy of the same payload
     // (same tag) into one server's link.
     let victim = w.servers[0];
-    w.sim.set_garbage_gen(|_, _, _| Msg::Payload { tag: 0, body: 1 });
+    w.sim
+        .set_garbage_gen(|_, _, _| Msg::Payload { tag: 0, body: 1 });
     w.sim
         .schedule_link_garbage(w.sim.now() + SimDuration::micros(1), w.client, victim, 1);
     assert!(w.sim.run_until_quiescent(HORIZON));
@@ -261,10 +258,9 @@ fn termination_despite_byzantine_silence_up_to_t() {
     // With exactly t mute servers, completion still happens (quorum n - t).
     let (n, t) = (9, 1);
     let mut w = build(n, t, t, 17);
-    w.sim
-        .with_node::<Client, _>(w.client, |c, ctx| {
-            c.broadcast(2, ctx);
-        });
+    w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+        c.broadcast(2, ctx);
+    });
     assert!(w.sim.run_until_quiescent(HORIZON));
     let completed = w
         .sim
@@ -280,10 +276,9 @@ fn more_than_t_mute_servers_blocks_completion() {
     // termination property genuinely depends on the failure bound.
     let (n, t) = (9, 1);
     let mut w = build(n, t, t + 1, 19);
-    w.sim
-        .with_node::<Client, _>(w.client, |c, ctx| {
-            c.broadcast(3, ctx);
-        });
+    w.sim.with_node::<Client, _>(w.client, |c, ctx| {
+        c.broadcast(3, ctx);
+    });
     assert!(w.sim.run_until_quiescent(HORIZON));
     let completed = w
         .sim

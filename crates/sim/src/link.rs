@@ -227,9 +227,6 @@ mod tests {
         link.set_delay(DelayModel::Constant(SimDuration::millis(1)));
         let t2 = link.schedule(t1, &mut rng);
         assert_eq!(t2, t1 + SimDuration::millis(1));
-        assert_eq!(
-            link.delay(),
-            &DelayModel::Constant(SimDuration::millis(1))
-        );
+        assert_eq!(link.delay(), &DelayModel::Constant(SimDuration::millis(1)));
     }
 }

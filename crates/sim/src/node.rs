@@ -111,6 +111,27 @@ impl<M, O> Effects<M, O> {
     pub fn timers_set(&self) -> &[(TimerId, SimDuration)] {
         &self.timers_set
     }
+
+    /// Decomposes the buffer into `(sends, timers set, timers cancelled,
+    /// outputs)`, each in emission order. Multiplexing wrappers use this to
+    /// translate the effects of an embedded state machine — run under
+    /// [`Context::with_effects`] — into their own wire/output types.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<(ProcessId, M)>,
+        Vec<(TimerId, SimDuration)>,
+        Vec<TimerId>,
+        Vec<O>,
+    ) {
+        (
+            self.sends,
+            self.timers_set,
+            self.timers_cancelled,
+            self.outputs,
+        )
+    }
 }
 
 impl<M, O> Default for Effects<M, O> {
@@ -207,6 +228,32 @@ impl<'a, M, O> Context<'a, M, O> {
     pub fn output(&mut self, out: O) {
         self.effects.outputs.push(out);
     }
+
+    /// Runs `f` with a sub-context that shares this context's time,
+    /// identity, RNG, and timer counter, but records effects — possibly of
+    /// *different* message/output types — into `effects`.
+    ///
+    /// This is the embedding hook for multiplexing wrappers (see
+    /// `sbs-store`): an inner state machine speaks its own wire type; the
+    /// wrapper collects its effects here, then re-emits them translated
+    /// (e.g. batched into an envelope). Because the timer counter is
+    /// shared, timer ids allocated by the sub-context stay unique and can be
+    /// re-armed verbatim with [`Context::forward_timer`].
+    pub fn with_effects<M2, O2, R>(
+        &mut self,
+        effects: &mut Effects<M2, O2>,
+        f: impl FnOnce(&mut Context<'_, M2, O2>) -> R,
+    ) -> R {
+        let mut sub = Context::new(self.now, self.me, self.rng, self.next_timer, effects);
+        f(&mut sub)
+    }
+
+    /// Arms a timer under an id already allocated by a sub-context sharing
+    /// this context's timer counter (see [`Context::with_effects`]). The
+    /// node's `on_timer` will observe exactly `id`.
+    pub fn forward_timer(&mut self, id: TimerId, delay: SimDuration) {
+        self.effects.timers_set.push((id, delay));
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +298,10 @@ mod tests {
                 (ProcessId(4), Ping(11)),
             ]
         );
-        assert_eq!(effects.timers_set, vec![(TimerId(0), SimDuration::millis(1))]);
+        assert_eq!(
+            effects.timers_set,
+            vec![(TimerId(0), SimDuration::millis(1))]
+        );
         assert_eq!(effects.timers_cancelled, vec![TimerId(0)]);
         assert_eq!(effects.outputs, vec!["done"]);
         assert_eq!(next_timer, 1);
@@ -262,11 +312,23 @@ mod tests {
         let mut rng = DetRng::from_seed(0);
         let mut next_timer = 0u64;
         let mut e1: Effects<Ping, ()> = Effects::new();
-        let t1 = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut next_timer, &mut e1)
-            .set_timer(SimDuration::nanos(1));
+        let t1 = Context::new(
+            SimTime::ZERO,
+            ProcessId(0),
+            &mut rng,
+            &mut next_timer,
+            &mut e1,
+        )
+        .set_timer(SimDuration::nanos(1));
         let mut e2: Effects<Ping, ()> = Effects::new();
-        let t2 = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut next_timer, &mut e2)
-            .set_timer(SimDuration::nanos(1));
+        let t2 = Context::new(
+            SimTime::ZERO,
+            ProcessId(0),
+            &mut rng,
+            &mut next_timer,
+            &mut e2,
+        )
+        .set_timer(SimDuration::nanos(1));
         assert_ne!(t1, t2);
     }
 

@@ -4,9 +4,20 @@
 //! process receives its own [`DetRng`] derived from the master seed and its
 //! [`ProcessId`](crate::ProcessId), so adding a process or reordering handler
 //! executions does not perturb the random streams of unrelated processes.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman–Vigna), with its
+//! state expanded from the seed by SplitMix64 — no external crates, so the
+//! whole workspace builds offline and the streams are stable across
+//! toolchains.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step: mixes `state` forward and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random number generator owned by one process (or by the
 /// fault injector).
@@ -19,15 +30,22 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator directly from a seed.
     pub fn from_seed(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        // SplitMix64 expansion guarantees a non-zero xoshiro state for
+        // every seed (all-zero would be a fixed point).
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
     }
 
     /// Derives an independent per-stream generator from a master seed and a
@@ -41,9 +59,30 @@ impl DetRng {
         DetRng::from_seed(z)
     }
 
-    /// A uniformly random `u64`.
+    /// A uniformly random `u64` (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniformly random integer in `[lo, hi]` (inclusive on both ends).
@@ -53,13 +92,25 @@ impl DetRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = (hi - lo) as u128 + 1;
+        if span > u64::MAX as u128 {
+            return self.next_u64(); // the full u64 range
+        }
+        // Lemire's multiply-shift map onto [0, span); the ~2^-64 bias is
+        // far below anything the experiments can observe.
+        lo + ((self.next_u64() as u128 * span) >> 64) as u64
     }
 
     /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
     }
 
     /// Picks a uniformly random element of `slice`, or `None` if empty.
@@ -67,30 +118,9 @@ impl DetRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.range_inclusive(0, slice.len() as u64 - 1) as usize;
             Some(&slice[i])
         }
-    }
-
-    /// Mutable access to the underlying `RngCore` for interop with `rand`
-    /// distributions.
-    pub fn as_rng_core(&mut self) -> &mut dyn RngCore {
-        &mut self.inner
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -116,6 +146,15 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = DetRng::from_seed(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn range_inclusive_hits_endpoints() {
         let mut r = DetRng::from_seed(1);
         let mut seen_lo = false;
@@ -132,6 +171,13 @@ mod tests {
     }
 
     #[test]
+    fn range_inclusive_full_span_and_singleton() {
+        let mut r = DetRng::from_seed(2);
+        assert_eq!(r.range_inclusive(9, 9), 9);
+        let _ = r.range_inclusive(0, u64::MAX); // must not overflow
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::from_seed(1);
         assert!(!r.chance(0.0));
@@ -139,6 +185,22 @@ mod tests {
         // Out-of-range probabilities are clamped, not panicking.
         assert!(r.chance(2.0));
         assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = DetRng::from_seed(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn next_f64_stays_in_unit_interval() {
+        let mut r = DetRng::from_seed(13);
+        for _ in 0..1_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! simulator hosts.
 //!
 //! Every node runs on its own OS thread; messages travel over unbounded
-//! crossbeam channels (reliable and FIFO per sender→receiver pair, matching
-//! the paper's link assumptions); timers are serviced with `recv_timeout`.
-//! There is no virtual time — [`Context::now`] reports wall-clock time since
-//! the runtime started, mapped onto [`SimTime`].
+//! `std::sync::mpsc` channels (reliable and FIFO per sender→receiver pair,
+//! matching the paper's link assumptions); timers are serviced with
+//! `recv_timeout`. There is no virtual time — [`Context::now`] reports
+//! wall-clock time since the runtime started, mapped onto [`SimTime`].
 //!
 //! The runtime exists to demonstrate that protocol implementations written
 //! against [`Node`]/[`Context`] are not simulator-bound: the integration
@@ -13,10 +13,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::id::{ProcessId, TimerId};
 use crate::node::{Context, Effects, Message, Node};
@@ -66,11 +65,11 @@ where
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Ctl<M, O>>();
+            let (tx, rx) = channel::<Ctl<M, O>>();
             senders.push(tx);
             receivers.push(rx);
         }
-        let (out_tx, out_rx) = unbounded::<(ProcessId, O)>();
+        let (out_tx, out_rx) = channel::<(ProcessId, O)>();
         let epoch = Instant::now();
 
         let mut handles = Vec::with_capacity(n);
@@ -190,44 +189,42 @@ fn node_main<M, O>(
     let mut timers: BinaryHeap<Reverse<(Instant, TimerId)>> = BinaryHeap::new();
     let mut cancelled: HashSet<TimerId> = HashSet::new();
 
-    let run_handler = |node: &mut Box<dyn Node<Msg = M, Out = O> + Send>,
-                           rng: &mut DetRng,
-                           next_timer: &mut u64,
-                           timers: &mut BinaryHeap<Reverse<(Instant, TimerId)>>,
-                           cancelled: &mut HashSet<TimerId>,
-                           f: &mut dyn FnMut(
-        &mut dyn Node<Msg = M, Out = O>,
-        &mut Context<'_, M, O>,
-    )| {
-        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-        let mut effects: Effects<M, O> = Effects::new();
-        {
-            let mut ctx = Context::new(now, me, rng, next_timer, &mut effects);
-            f(node.as_mut(), &mut ctx);
-        }
-        let Effects {
-            sends,
-            timers_set,
-            timers_cancelled,
-            outputs,
-        } = effects;
-        for (to, msg) in sends {
-            if let Some(tx) = senders.get(to.index()) {
-                let _ = tx.send(Ctl::Msg { from: me, msg });
+    let run_handler =
+        |node: &mut Box<dyn Node<Msg = M, Out = O> + Send>,
+         rng: &mut DetRng,
+         next_timer: &mut u64,
+         timers: &mut BinaryHeap<Reverse<(Instant, TimerId)>>,
+         cancelled: &mut HashSet<TimerId>,
+         f: &mut dyn FnMut(&mut dyn Node<Msg = M, Out = O>, &mut Context<'_, M, O>)| {
+            let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+            let mut effects: Effects<M, O> = Effects::new();
+            {
+                let mut ctx = Context::new(now, me, rng, next_timer, &mut effects);
+                f(node.as_mut(), &mut ctx);
             }
-        }
-        let base = Instant::now();
-        for (id, delay) in timers_set {
-            let deadline = base + Duration::from_nanos(delay.as_nanos());
-            timers.push(Reverse((deadline, id)));
-        }
-        for id in timers_cancelled {
-            cancelled.insert(id);
-        }
-        for out in outputs {
-            let _ = out_tx.send((me, out));
-        }
-    };
+            let Effects {
+                sends,
+                timers_set,
+                timers_cancelled,
+                outputs,
+            } = effects;
+            for (to, msg) in sends {
+                if let Some(tx) = senders.get(to.index()) {
+                    let _ = tx.send(Ctl::Msg { from: me, msg });
+                }
+            }
+            let base = Instant::now();
+            for (id, delay) in timers_set {
+                let deadline = base + Duration::from_nanos(delay.as_nanos());
+                timers.push(Reverse((deadline, id)));
+            }
+            for id in timers_cancelled {
+                cancelled.insert(id);
+            }
+            for out in outputs {
+                let _ = out_tx.send((me, out));
+            }
+        };
 
     // on_start
     run_handler(

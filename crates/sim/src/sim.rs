@@ -216,8 +216,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     pub fn reserve_id(&mut self) -> ProcessId {
         let id = ProcessId(self.nodes.len() as u32);
         self.nodes.push(None);
-        self.rngs
-            .push(DetRng::derive(self.cfg.seed, id.0 as u64));
+        self.rngs.push(DetRng::derive(self.cfg.seed, id.0 as u64));
         id
     }
 
@@ -650,7 +649,11 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::with_seed(seed));
         let server = sim.add_node(Echo);
         let client = sim.add_node(Pinger { server, state: 0 });
-        sim.add_duplex(client, server, DelayModel::Constant(SimDuration::micros(10)));
+        sim.add_duplex(
+            client,
+            server,
+            DelayModel::Constant(SimDuration::micros(10)),
+        );
         (sim, client, server)
     }
 

@@ -23,8 +23,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use rand::Rng;
-
 /// The parameter `k` of a bounded labeling scheme: how many epochs
 /// [`EpochDomain::next_epoch`] can dominate at once. For the MWMR register
 /// with `m` writers, `k = m` suffices (a writer's view holds `m` labels).
@@ -189,13 +187,15 @@ impl EpochDomain {
     }
 
     /// A uniformly random (valid) epoch — used by fault injection to model
-    /// arbitrarily corrupted labels.
-    pub fn arbitrary(self, rng: &mut impl Rng) -> Epoch {
+    /// arbitrarily corrupted labels. `next_u64` is any entropy source (the
+    /// simulator passes its deterministic per-process stream; this crate
+    /// stays free of RNG dependencies).
+    pub fn arbitrary(self, next_u64: &mut dyn FnMut() -> u64) -> Epoch {
         let kk = self.ground_size();
-        let s = rng.gen_range(1..=kk);
+        let s = 1 + (next_u64() % kk as u64) as u32;
         let mut a = BTreeSet::new();
         while a.len() < self.k as usize {
-            a.insert(rng.gen_range(1..=kk));
+            a.insert(1 + (next_u64() % kk as u64) as u32);
         }
         Epoch {
             s,
@@ -248,8 +248,19 @@ impl fmt::Display for Epoch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+
+    /// A tiny deterministic entropy stream (SplitMix64) for sampling test
+    /// cases — keeps the crate free of dev-dependencies.
+    fn entropy(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
 
     #[test]
     fn initial_epoch_is_valid() {
@@ -273,7 +284,7 @@ mod tests {
     #[test]
     fn next_epoch_dominates_k_labels() {
         let dom = EpochDomain::new(4);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = entropy(5);
         let labels: Vec<Epoch> = (0..4).map(|_| dom.arbitrary(&mut rng)).collect();
         let next = dom.next_epoch(labels.iter());
         for l in &labels {
@@ -284,7 +295,7 @@ mod tests {
     #[test]
     fn succession_is_antisymmetric_by_construction() {
         let dom = EpochDomain::new(3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = entropy(6);
         for _ in 0..200 {
             let x = dom.arbitrary(&mut rng);
             let y = dom.arbitrary(&mut rng);
@@ -338,13 +349,31 @@ mod tests {
     #[test]
     fn validate_rejects_malformed() {
         let dom = EpochDomain::new(2);
-        assert!(!dom.validate(&Epoch { s: 0, a: vec![1, 2] })); // s out of range
-        assert!(!dom.validate(&Epoch { s: 6, a: vec![1, 2] })); // s > K=5
+        assert!(!dom.validate(&Epoch {
+            s: 0,
+            a: vec![1, 2]
+        })); // s out of range
+        assert!(!dom.validate(&Epoch {
+            s: 6,
+            a: vec![1, 2]
+        })); // s > K=5
         assert!(!dom.validate(&Epoch { s: 1, a: vec![2] })); // |A| != k
-        assert!(!dom.validate(&Epoch { s: 1, a: vec![2, 2] })); // dup
-        assert!(!dom.validate(&Epoch { s: 1, a: vec![3, 2] })); // unsorted
-        assert!(!dom.validate(&Epoch { s: 1, a: vec![2, 9] })); // element > K
-        assert!(dom.validate(&Epoch { s: 1, a: vec![2, 3] }));
+        assert!(!dom.validate(&Epoch {
+            s: 1,
+            a: vec![2, 2]
+        })); // dup
+        assert!(!dom.validate(&Epoch {
+            s: 1,
+            a: vec![3, 2]
+        })); // unsorted
+        assert!(!dom.validate(&Epoch {
+            s: 1,
+            a: vec![2, 9]
+        })); // element > K
+        assert!(dom.validate(&Epoch {
+            s: 1,
+            a: vec![2, 3]
+        }));
     }
 
     #[test]
@@ -372,50 +401,49 @@ mod tests {
         }
     }
 
-    fn arb_epoch(k: u32) -> impl Strategy<Value = Epoch> {
-        let kk = k * k + 1;
-        (1..=kk, proptest::collection::btree_set(1..=kk, k as usize))
-            .prop_map(move |(s, a)| EpochDomain::new(k).epoch(s, a))
-    }
-
-    proptest! {
-        /// next_epoch dominates every input label, for k in 2..=5 and any
-        /// valid labels.
-        #[test]
-        fn prop_next_dominates(
-            k in 2u32..=5,
-            seeds in proptest::collection::vec(any::<u64>(), 1..5),
-        ) {
+    /// next_epoch dominates every input label, for k in 2..=5 and any
+    /// valid labels.
+    #[test]
+    fn prop_next_dominates() {
+        let mut rng = entropy(0xE10C);
+        for case in 0..200u64 {
+            let k = 2 + (rng() % 4) as u32; // 2..=5
             let dom = EpochDomain::new(k);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seeds[0]);
-            let count = (seeds.len()).min(k as usize);
+            let count = 1 + (rng() % k as u64) as usize;
             let labels: Vec<Epoch> = (0..count).map(|_| dom.arbitrary(&mut rng)).collect();
             let next = dom.next_epoch(labels.iter());
-            prop_assert!(dom.validate(&next));
+            assert!(dom.validate(&next), "case {case}");
             for l in &labels {
-                prop_assert!(next.succeeds(l));
+                assert!(next.succeeds(l), "case {case}: {next:?} vs {l:?}");
             }
         }
+    }
 
-        /// ≻ is antisymmetric on arbitrary valid labels.
-        #[test]
-        fn prop_antisymmetry(x in arb_epoch(3), y in arb_epoch(3)) {
-            prop_assert!(!(x.succeeds(&y) && y.succeeds(&x)));
+    /// ≻ is antisymmetric and succeeds_or_eq reflexive on arbitrary valid
+    /// labels.
+    #[test]
+    fn prop_antisymmetry_and_reflexivity() {
+        let dom = EpochDomain::new(3);
+        let mut rng = entropy(0xA5);
+        for _ in 0..400 {
+            let x = dom.arbitrary(&mut rng);
+            let y = dom.arbitrary(&mut rng);
+            assert!(!(x.succeeds(&y) && y.succeeds(&x)));
+            assert!(x.succeeds_or_eq(&x));
         }
+    }
 
-        /// succeeds_or_eq is reflexive.
-        #[test]
-        fn prop_reflexive(x in arb_epoch(4)) {
-            prop_assert!(x.succeeds_or_eq(&x));
-        }
-
-        /// max_epoch, when it exists, indeed dominates all labels.
-        #[test]
-        fn prop_max_is_max(labels in proptest::collection::vec(arb_epoch(3), 1..6)) {
-            let dom = EpochDomain::new(3);
+    /// max_epoch, when it exists, indeed dominates all labels.
+    #[test]
+    fn prop_max_is_max() {
+        let dom = EpochDomain::new(3);
+        let mut rng = entropy(0x3A);
+        for _ in 0..400 {
+            let count = 1 + (rng() % 5) as usize;
+            let labels: Vec<Epoch> = (0..count).map(|_| dom.arbitrary(&mut rng)).collect();
             if let Some(i) = dom.max_epoch(&labels) {
                 for l in &labels {
-                    prop_assert!(labels[i].succeeds_or_eq(l));
+                    assert!(labels[i].succeeds_or_eq(l), "{labels:?}");
                 }
             }
         }

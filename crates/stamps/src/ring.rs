@@ -49,7 +49,10 @@ impl RingSeq {
     /// `value >= modulus`.
     pub fn new(value: u128, modulus: u128) -> Self {
         assert!(modulus >= 3, "ring modulus must be at least 3");
-        assert!(modulus % 2 == 1, "ring modulus must be odd (no distance ties)");
+        assert!(
+            modulus % 2 == 1,
+            "ring modulus must be odd (no distance ties)"
+        );
         assert!(value < modulus, "value {value} out of ring [0, {modulus})");
         RingSeq { value, modulus }
     }
@@ -158,7 +161,18 @@ impl fmt::Display for RingSeq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic SplitMix64 stream for sampled property tests.
+    fn entropy(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
 
     #[test]
     fn succ_wraps_at_modulus() {
@@ -245,51 +259,49 @@ mod tests {
         let _ = RingSeq::new(0, 257).cd_gt(RingSeq::new(0, 259));
     }
 
-    proptest! {
-        /// >cd is antisymmetric and total: distinct values compare one way.
-        #[test]
-        fn prop_antisymmetric_total(x in 0u128..1021, y in 0u128..1021) {
-            let b = 1021u128; // odd
+    /// The `>cd` relation is antisymmetric and total, `cd_cmp` is
+    /// consistent with `cd_gt`/`cd_ge`, and cw distances are complementary
+    /// — sampled over the whole b=1021 ring.
+    #[test]
+    fn prop_pairwise_relations() {
+        let b = 1021u128;
+        let mut rng = entropy(0x41B5);
+        for _ in 0..2_000 {
+            let (x, y) = (rng() as u128 % b, rng() as u128 % b);
             let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            // Antisymmetric and total.
             if x == y {
-                prop_assert!(!sx.cd_gt(sy) && !sy.cd_gt(sx));
+                assert!(!sx.cd_gt(sy) && !sy.cd_gt(sx));
             } else {
-                prop_assert!(sx.cd_gt(sy) ^ sy.cd_gt(sx));
+                assert!(sx.cd_gt(sy) ^ sy.cd_gt(sx), "{x} vs {y}");
             }
-        }
-
-        /// Advancing by 1..=life_span preserves order relative to the start.
-        #[test]
-        fn prop_half_ring_monotone(start in 0u128..1021, k in 1u128..=510) {
-            let b = 1021u128;
-            let x = RingSeq::new(start, b);
-            prop_assert!(x.advance(k).cd_gt(x));
-        }
-
-        /// cd_cmp is consistent with cd_gt/cd_ge.
-        #[test]
-        fn prop_cmp_consistency(x in 0u128..1021, y in 0u128..1021) {
-            let b = 1021u128;
-            let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            // cd_cmp consistency.
             match sx.cd_cmp(sy) {
-                Ordering::Equal => prop_assert!(sx == sy),
-                Ordering::Greater => prop_assert!(sx.cd_gt(sy) && sx.cd_ge(sy)),
-                Ordering::Less => prop_assert!(sy.cd_gt(sx)),
+                Ordering::Equal => assert!(sx == sy),
+                Ordering::Greater => assert!(sx.cd_gt(sy) && sx.cd_ge(sy)),
+                Ordering::Less => assert!(sy.cd_gt(sx)),
             }
-        }
-
-        /// Distances are complementary: cw(y→x) + cw(x→y) == modulus for x≠y.
-        #[test]
-        fn prop_distance_complement(x in 0u128..1021, y in 0u128..1021) {
-            let b = 1021u128;
-            let (sx, sy) = (RingSeq::new(x, b), RingSeq::new(y, b));
+            // Distance complement: cw(y→x) + cw(x→y) == b for x ≠ y.
             let d1 = sx.cw_distance_from(sy);
             let d2 = sy.cw_distance_from(sx);
             if x == y {
-                prop_assert_eq!(d1 + d2, 0);
+                assert_eq!(d1 + d2, 0);
             } else {
-                prop_assert_eq!(d1 + d2, b);
+                assert_eq!(d1 + d2, b);
             }
+        }
+    }
+
+    /// Advancing by 1..=life_span preserves order relative to the start.
+    #[test]
+    fn prop_half_ring_monotone() {
+        let b = 1021u128;
+        let mut rng = entropy(0x1F5);
+        for _ in 0..2_000 {
+            let start = rng() as u128 % b;
+            let k = 1 + rng() as u128 % 510;
+            let x = RingSeq::new(start, b);
+            assert!(x.advance(k).cd_gt(x), "start={start} k={k}");
         }
     }
 }

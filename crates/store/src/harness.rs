@@ -1,0 +1,520 @@
+//! One-call construction of a complete store deployment inside the
+//! simulator: the shared server fleet, the writer/reader clients, fault
+//! hooks, and per-key history extraction for the checkers.
+
+use crate::map::ShardMap;
+use crate::msg::{StoreMsg, StoreOut};
+use crate::node::{StoreClientNode, StorePayload, StoreServerNode, StoreWire};
+use crate::router::KeyRouter;
+use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
+use sbs_core::{
+    ByzServerNode, ByzStrategy, Payload, RegId, RegMsg, RegisterConfig, SeqVal, ServerNode,
+};
+use sbs_sim::{DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation};
+use sbs_stamps::{RingSeq, PAPER_MODULUS};
+use std::collections::{BTreeSet, HashMap};
+
+/// How long `settle` simulates before declaring the store non-quiescent.
+const SETTLE_HORIZON: SimDuration = SimDuration::secs(600);
+
+/// Builder for a [`StoreSystem`].
+#[derive(Clone, Debug)]
+pub struct StoreBuilder {
+    n: usize,
+    t: usize,
+    seed: u64,
+    shards: u32,
+    writers: usize,
+    extra_readers: usize,
+    delay: DelayModel,
+    byz: Vec<(usize, ByzStrategy)>,
+    retry_after: Option<SimDuration>,
+    wsn_modulus: u128,
+}
+
+impl StoreBuilder {
+    /// A store on `n` servers tolerating `t` Byzantine ones (asynchronous
+    /// model, `n ≥ 8t + 1`), with one shard and one writer by default.
+    pub fn new(n: usize, t: usize) -> Self {
+        StoreBuilder {
+            n,
+            t,
+            seed: 1,
+            shards: 1,
+            writers: 1,
+            extra_readers: 0,
+            delay: DelayModel::Uniform {
+                lo: SimDuration::micros(50),
+                hi: SimDuration::millis(2),
+            },
+            byz: Vec::new(),
+            retry_after: None,
+            wsn_modulus: PAPER_MODULUS,
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of register shards the keyspace is hashed onto.
+    pub fn shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1);
+        self.shards = shards;
+        self
+    }
+
+    /// Number of writer clients the shards are partitioned over
+    /// (round-robin; each shard keeps a single writer — the SWMR rule).
+    pub fn writers(mut self, writers: usize) -> Self {
+        assert!(writers >= 1);
+        self.writers = writers;
+        self
+    }
+
+    /// Additional read-only clients.
+    pub fn extra_readers(mut self, readers: usize) -> Self {
+        self.extra_readers = readers;
+        self
+    }
+
+    /// Overrides the link delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Makes server `index` Byzantine with the given strategy.
+    pub fn byzantine(mut self, index: usize, strategy: ByzStrategy) -> Self {
+        self.byz.push((index, strategy));
+        self
+    }
+
+    /// Overrides the asynchronous retransmission period.
+    pub fn retry_after(mut self, d: SimDuration) -> Self {
+        self.retry_after = Some(d);
+        self
+    }
+
+    /// Overrides the bounded sequence-number modulus (must be odd).
+    pub fn wsn_modulus(mut self, modulus: u128) -> Self {
+        self.wsn_modulus = modulus;
+        self
+    }
+
+    /// Builds the deployment: `n` servers, `writers + extra_readers`
+    /// clients, every client↔server link installed, Byzantine slots
+    /// filled, and the garbage generator armed for link-corruption drills.
+    pub fn build<V: Payload>(&self) -> StoreSystem<V> {
+        let cfg = {
+            let mut cfg = RegisterConfig::asynchronous(self.n, self.t);
+            if let Some(r) = self.retry_after {
+                cfg = cfg.with_retry_after(r);
+            }
+            cfg
+        };
+        let router = KeyRouter::new(self.shards, self.writers as u32);
+        let mut sim: Simulation<StoreWire<V>, StoreOut<V>> =
+            Simulation::new(SimConfig::with_seed(self.seed));
+        let clients: Vec<ProcessId> = (0..self.writers + self.extra_readers)
+            .map(|_| sim.reserve_id())
+            .collect();
+        let servers: Vec<ProcessId> = (0..self.n).map(|_| sim.reserve_id()).collect();
+        for &s in &servers {
+            for &c in &clients {
+                sim.add_duplex(c, s, self.delay.clone());
+            }
+        }
+        let initial: StorePayload<V> =
+            SeqVal::new(RingSeq::zero(self.wsn_modulus), ShardMap::new());
+        for (i, &s) in servers.iter().enumerate() {
+            match self.byz.iter().find(|(bi, _)| *bi == i) {
+                Some((_, strat)) => sim.add_node_at(
+                    s,
+                    StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                        strat.clone(),
+                        initial.clone(),
+                    )),
+                ),
+                None => sim.add_node_at(
+                    s,
+                    StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                        initial.clone(),
+                    )),
+                ),
+            }
+        }
+        for (i, &c) in clients.iter().enumerate() {
+            let owned = if i < self.writers {
+                router.shards_of_writer(i)
+            } else {
+                Vec::new()
+            };
+            sim.add_node_at(
+                c,
+                StoreClientNode::<V>::new(
+                    cfg,
+                    router,
+                    servers.clone(),
+                    clients.clone(),
+                    &owned,
+                    self.wsn_modulus,
+                ),
+            );
+        }
+        install_garbage_gen(&mut sim, initial, self.shards);
+        StoreSystem {
+            sim,
+            clients,
+            servers,
+            router,
+            writers: self.writers,
+            log: StoreLog::new(),
+        }
+    }
+}
+
+/// Arms the garbage generator: arbitrary initial link contents are batches
+/// of fabricated protocol messages over random shards.
+fn install_garbage_gen<V: Payload>(
+    sim: &mut Simulation<StoreWire<V>, StoreOut<V>>,
+    template: StorePayload<V>,
+    shards: u32,
+) {
+    sim.set_garbage_gen(move |rng: &mut DetRng, _from, _to| {
+        let mut val = template.clone();
+        val.scramble(rng);
+        let reg = RegId((rng.next_u64() % shards as u64) as u32);
+        let msg = match rng.next_u64() % 5 {
+            0 => RegMsg::Write {
+                reg,
+                tag: rng.next_u64(),
+                val,
+            },
+            1 => RegMsg::Read {
+                reg,
+                tag: rng.next_u64(),
+                new_read: rng.chance(0.5),
+            },
+            2 => RegMsg::SsAck {
+                tag: rng.next_u64(),
+            },
+            3 => RegMsg::AckWrite {
+                reg,
+                helping: vec![(ProcessId(0), Some(val))],
+            },
+            _ => RegMsg::AckRead {
+                reg,
+                last: val,
+                helping: None,
+            },
+        };
+        StoreMsg { batch: vec![msg] }
+    });
+}
+
+/// What one completed store operation did to its key.
+#[derive(Clone, Debug)]
+struct KeyedRecord<V> {
+    key: String,
+    record: OpRecord<Option<V>>,
+}
+
+/// Store operation bookkeeping: invocation intervals plus the key each
+/// operation touched, so per-key histories can be extracted.
+#[derive(Debug)]
+struct StoreLog<V> {
+    next_op: u64,
+    invoked: HashMap<OpId, (ProcessId, SimTime, String, Option<V>)>,
+    completed: Vec<KeyedRecord<V>>,
+}
+
+impl<V: Payload> StoreLog<V> {
+    fn new() -> Self {
+        StoreLog {
+            next_op: 0,
+            invoked: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, client: ProcessId, now: SimTime, key: &str, put_val: Option<V>) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        self.invoked
+            .insert(op, (client, now, key.to_string(), put_val));
+        op
+    }
+
+    fn complete(&mut self, op: OpId, at: SimTime, read_value: Option<Option<V>>) {
+        let Some((client, invoked, key, put_val)) = self.invoked.remove(&op) else {
+            return; // duplicate completion after corruption — ignore
+        };
+        let kind = match put_val {
+            Some(v) => OpKind::Write(Some(v)),
+            None => OpKind::Read(read_value.expect("get completion carries a value")),
+        };
+        self.completed.push(KeyedRecord {
+            key,
+            record: OpRecord {
+                client,
+                op,
+                invoked,
+                responded: at,
+                kind,
+            },
+        });
+    }
+}
+
+/// A running store deployment.
+#[derive(Debug)]
+pub struct StoreSystem<V: Payload> {
+    /// The underlying simulation (exposed for custom scheduling).
+    pub sim: Simulation<StoreWire<V>, StoreOut<V>>,
+    /// All clients: the `writers` shard owners first, then the read-only
+    /// clients.
+    pub clients: Vec<ProcessId>,
+    /// The shared server fleet.
+    pub servers: Vec<ProcessId>,
+    router: KeyRouter,
+    writers: usize,
+    log: StoreLog<V>,
+}
+
+impl<V: Payload> StoreSystem<V> {
+    /// The key router in force.
+    pub fn router(&self) -> &KeyRouter {
+        &self.router
+    }
+
+    /// Number of writer clients.
+    pub fn writers(&self) -> usize {
+        self.writers
+    }
+
+    /// Invokes `put(key, val)` on the shard's owning writer (per the
+    /// router). Values must be unique per key across the run so the
+    /// checkers can identify which write a read observed.
+    pub fn put(&mut self, key: &str, val: V) -> OpId {
+        let w = self.router.writer_of(key);
+        let client = self.clients[w];
+        let now = self.sim.now();
+        let op = self.log.fresh(client, now, key, Some(val.clone()));
+        let key = key.to_string();
+        self.sim
+            .with_node::<StoreClientNode<V>, _>(client, |n, ctx| n.invoke_put(op, key, val, ctx));
+        op
+    }
+
+    /// Invokes `get(key)` at client `client_idx` (any client may read any
+    /// key).
+    pub fn get(&mut self, client_idx: usize, key: &str) -> OpId {
+        let client = self.clients[client_idx];
+        let now = self.sim.now();
+        let op = self.log.fresh(client, now, key, None);
+        let key = key.to_string();
+        self.sim
+            .with_node::<StoreClientNode<V>, _>(client, |n, ctx| n.invoke_get(op, key, ctx));
+        op
+    }
+
+    /// Runs until the event queue drains (or the settle horizon passes),
+    /// then records completions. Returns `true` on quiescence.
+    pub fn settle(&mut self) -> bool {
+        let quiet = self
+            .sim
+            .run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
+        self.drain();
+        quiet
+    }
+
+    /// Runs for `d` of virtual time, then records completions. Returns the
+    /// completions of this slice as `(client process, operation)` pairs —
+    /// closed-loop drivers use them to refill clients.
+    pub fn run_for(&mut self, d: SimDuration) -> Vec<(ProcessId, OpId)> {
+        self.sim.run_for(d);
+        self.drain()
+    }
+
+    /// Records completions emitted so far; returns `(client process,
+    /// operation)` per completion, in completion order — the hook
+    /// closed-loop workload drivers use to refill clients.
+    pub fn drain(&mut self) -> Vec<(ProcessId, OpId)> {
+        let mut done = Vec::new();
+        for (at, pid, out) in self.sim.take_outputs() {
+            match out {
+                StoreOut::PutDone { op } => {
+                    self.log.complete(op, at, None);
+                    done.push((pid, op));
+                }
+                StoreOut::GetDone { op, value } => {
+                    self.log.complete(op, at, Some(value));
+                    done.push((pid, op));
+                }
+            }
+        }
+        done
+    }
+
+    /// Operations invoked but not yet completed.
+    pub fn pending_ops(&self) -> usize {
+        self.log.invoked.len()
+    }
+
+    /// Completed operations so far.
+    pub fn completed_ops(&self) -> usize {
+        self.log.completed.len()
+    }
+
+    /// Every key touched by a completed operation.
+    pub fn keys_touched(&self) -> BTreeSet<String> {
+        self.log.completed.iter().map(|r| r.key.clone()).collect()
+    }
+
+    /// The extracted history of one key: its puts as writes, its gets as
+    /// reads (`None` = key absent). Judged independently per key — the
+    /// store's correctness claim is per-key regularity/atomicity.
+    pub fn history_for_key(&self, key: &str) -> History<Option<V>> {
+        History::new(
+            self.log
+                .completed
+                .iter()
+                .filter(|r| r.key == key)
+                .map(|r| r.record.clone())
+                .collect(),
+        )
+    }
+
+    /// Checks every touched key's history for register linearizability
+    /// (initial state: absent). Returns the offending key and diagnosis on
+    /// failure.
+    ///
+    /// Intended for closed-loop histories, whose concurrency is bounded by
+    /// the client count. Open-loop runs queue operations at the clients,
+    /// so a backlogged client's operations all overlap — the exact search
+    /// then has no quiescent points to divide at and can blow up (or
+    /// return [`LinError::SegmentTooLarge`](sbs_check::LinError)); judge
+    /// such runs with `sbs_check::check_regularity` per key instead.
+    pub fn check_per_key_atomicity(&self) -> Result<usize, String> {
+        let mut checked = 0;
+        for key in self.keys_touched() {
+            let h = self.history_for_key(&key);
+            h.validate_unique_writes()
+                .map_err(|e| format!("key {key}: {e}"))?;
+            let initial = InitialState::OneOf(std::iter::once(None).collect());
+            let rep = check_linearizable(&h, &initial).map_err(|e| format!("key {key}: {e}"))?;
+            if !rep.linearizable {
+                return Err(format!(
+                    "key {key}: history not linearizable (failed segment {:?}) — {h:?}",
+                    rep.failed_segment
+                ));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+
+    /// Applies a transient fault to server `i` *now*.
+    pub fn corrupt_server(&mut self, i: usize) {
+        let now = self.sim.now();
+        let s = self.servers[i];
+        self.sim.schedule_corruption(now, s);
+    }
+
+    /// Applies a transient fault to every server *now*.
+    pub fn corrupt_all_servers(&mut self) {
+        let now = self.sim.now();
+        for s in self.servers.clone() {
+            self.sim.schedule_corruption(now, s);
+        }
+    }
+
+    /// Injects `count` garbage batches into every client⇄server link *now*.
+    pub fn pollute_links(&mut self, count: usize) {
+        self.pollute_links_at(self.sim.now(), count);
+    }
+
+    /// Schedules `count` garbage batches on every client⇄server link at
+    /// absolute time `at` (fault plans schedule these upfront, exactly).
+    pub fn pollute_links_at(&mut self, at: SimTime, count: usize) {
+        for s in self.servers.clone() {
+            for c in self.clients.clone() {
+                self.sim.schedule_link_garbage(at, c, s, count);
+                self.sim.schedule_link_garbage(at, s, c, count);
+            }
+        }
+    }
+
+    /// Queued + in-flight operations at client `i`.
+    pub fn client_backlog(&mut self, i: usize) -> usize {
+        let pid = self.clients[i];
+        self.sim
+            .node_ref::<StoreClientNode<V>, _>(pid, |n| n.backlog())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_put_get_round_trip() {
+        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1).seed(7).shards(4).build();
+        sys.put("alpha", 11);
+        assert!(sys.settle());
+        sys.get(0, "alpha");
+        sys.get(0, "beta");
+        assert!(sys.settle());
+        let h = sys.history_for_key("alpha");
+        assert_eq!(h.len(), 2);
+        let read = h.reads().next().unwrap();
+        assert_eq!(read.kind.value(), &Some(11));
+        // An unwritten key reads as absent.
+        let hb = sys.history_for_key("beta");
+        assert_eq!(hb.reads().next().unwrap().kind.value(), &None);
+        assert_eq!(sys.check_per_key_atomicity().unwrap(), 2);
+        assert_eq!(sys.pending_ops(), 0);
+    }
+
+    #[test]
+    fn multi_writer_routing_honors_shard_ownership() {
+        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1)
+            .seed(3)
+            .shards(8)
+            .writers(4)
+            .extra_readers(2)
+            .build();
+        for i in 0..16u64 {
+            sys.put(&format!("key{i}"), 100 + i);
+        }
+        assert!(sys.settle());
+        for i in 0..16u64 {
+            // Read each key from a different client, including read-only ones.
+            sys.get((i % 6) as usize, &format!("key{i}"));
+        }
+        assert!(sys.settle());
+        assert_eq!(sys.completed_ops(), 32);
+        assert_eq!(sys.check_per_key_atomicity().unwrap(), 16);
+    }
+
+    #[test]
+    fn batching_reduces_delivery_events() {
+        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1).seed(5).build();
+        sys.put("k", 1);
+        assert!(sys.settle());
+        let m = sys.sim.metrics();
+        // The put runs a WRITE round (9 requests, 9 two-message reply
+        // batches) and a NEW_HELP_VAL round (9 requests, 9 acks): 36
+        // delivery events. Un-batched, the reply pairs would be separate
+        // events — 45 deliveries. Batching must stay below that.
+        assert!(m.messages_delivered >= 9 * 4, "both rounds must run");
+        assert!(
+            m.messages_delivered < 45,
+            "un-batched this put would cost 45 delivery events, got {}",
+            m.messages_delivered
+        );
+    }
+}

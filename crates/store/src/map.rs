@@ -1,0 +1,128 @@
+//! The per-shard register payload: a small ordered key→value map.
+//!
+//! A shard's register stores the *whole* shard map, not a single value.
+//! The shard's unique writer (SWMR rule, see [`KeyRouter`]) keeps the
+//! authoritative copy locally and publishes a full snapshot per `put`, so
+//! a read of the register is simultaneously a read of every key in the
+//! shard — per-key atomicity then falls out of register atomicity by
+//! projection.
+//!
+//! [`KeyRouter`]: crate::KeyRouter
+
+use sbs_core::Payload;
+use sbs_sim::DetRng;
+use std::fmt;
+
+/// An ordered map of the keys living in one shard. Entries are kept sorted
+/// by key so equality — which the quorum predicates count — is canonical.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ShardMap<V> {
+    entries: Vec<(String, V)>,
+}
+
+impl<V: Payload> ShardMap<V> {
+    /// The empty map (every shard's initial register value).
+    pub fn new() -> Self {
+        ShardMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn insert(&mut self, key: &str, val: V) {
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.entries[i].1 = val,
+            Err(i) => self.entries.insert(i, (key.to_string(), val)),
+        }
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, sorted by key.
+    pub fn entries(&self) -> &[(String, V)] {
+        &self.entries
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for ShardMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (k, v) in &self.entries {
+            m.entry(k, v);
+        }
+        m.finish()
+    }
+}
+
+impl<V: Payload> Payload for ShardMap<V> {
+    /// Transient fault: entries may vanish and surviving values become
+    /// arbitrary. Keys stay structurally valid (sorted, unique) — the
+    /// corruption model scrambles variable *contents*, not the type.
+    fn scramble(&mut self, rng: &mut DetRng) {
+        self.entries.retain(|_| rng.chance(0.8));
+        for (_, v) in &mut self.entries {
+            v.scramble(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m: ShardMap<u64> = ShardMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get("a"), None);
+        m.insert("b", 2);
+        m.insert("a", 1);
+        m.insert("c", 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("a"), Some(&1));
+        m.insert("a", 9);
+        assert_eq!(m.get("a"), Some(&9));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn entries_stay_sorted_so_equality_is_canonical() {
+        let mut x: ShardMap<u64> = ShardMap::new();
+        x.insert("b", 2);
+        x.insert("a", 1);
+        let mut y: ShardMap<u64> = ShardMap::new();
+        y.insert("a", 1);
+        y.insert("b", 2);
+        assert_eq!(x, y);
+        assert!(x.entries().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scramble_keeps_structure() {
+        let mut rng = DetRng::from_seed(4);
+        let mut m: ShardMap<u64> = ShardMap::new();
+        for i in 0..10 {
+            m.insert(&format!("k{i}"), i);
+        }
+        let before = m.clone();
+        m.scramble(&mut rng);
+        assert!(m.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_ne!(m, before, "deterministic seed: contents must change");
+    }
+}

@@ -1,0 +1,87 @@
+//! The store's wire envelope and client-visible completions.
+//!
+//! Store nodes speak [`StoreMsg`]: a **batch** of shard-tagged register
+//! messages bound for one destination. Every protocol message already
+//! carries its [`RegId`](sbs_core::RegId) (the shard tag), so the envelope
+//! adds only the batching dimension: all messages one handler execution
+//! emits toward the same peer travel as a single simulator delivery event.
+//! A server answering a read, for instance, sends `SS_ACK` + `ACK_READ` as
+//! one event instead of two — at scale this halves the event-queue load of
+//! the fleet (and in a deployment would halve the packet count).
+
+use sbs_core::{Payload, RegMsg};
+use sbs_sim::{Message, OpId};
+
+/// A batch of register-protocol messages for one destination, delivered as
+/// one event. Order within the batch is the order the messages were sent,
+/// preserving the FIFO reasoning of the underlying protocol (a server's
+/// `SS_ACK` still precedes the protocol acknowledgement it anchors).
+#[derive(Clone, Debug)]
+pub struct StoreMsg<P> {
+    /// The bundled protocol messages, in send order.
+    pub batch: Vec<RegMsg<P>>,
+}
+
+impl<P: Payload> Message for StoreMsg<P> {
+    fn label(&self) -> &'static str {
+        "BATCH"
+    }
+}
+
+/// Client-visible store operation completions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreOut<V> {
+    /// A `put` finished.
+    PutDone {
+        /// The operation, as assigned at invocation.
+        op: OpId,
+    },
+    /// A `get` finished. `None` means the key was absent (never written on
+    /// this shard).
+    GetDone {
+        /// The operation, as assigned at invocation.
+        op: OpId,
+        /// The value found, if any.
+        value: Option<V>,
+    },
+}
+
+impl<V> StoreOut<V> {
+    /// The completed operation's id.
+    pub fn op(&self) -> OpId {
+        match self {
+            StoreOut::PutDone { op } | StoreOut::GetDone { op, .. } => *op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_core::RegId;
+
+    #[test]
+    fn batch_label_and_out_op() {
+        let m: StoreMsg<u64> = StoreMsg {
+            batch: vec![
+                RegMsg::SsAck { tag: 1 },
+                RegMsg::AckRead {
+                    reg: RegId(0),
+                    last: 5,
+                    helping: None,
+                },
+            ],
+        };
+        assert_eq!(m.label(), "BATCH");
+        assert_eq!(m.batch.len(), 2);
+        assert_eq!(StoreOut::<u64>::PutDone { op: OpId(7) }.op(), OpId(7));
+        assert_eq!(
+            StoreOut::GetDone {
+                op: OpId(8),
+                value: Some(1u64)
+            }
+            .op(),
+            OpId(8)
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! The multiplexing store nodes: existing register state machines wrapped
+//! behind the batched [`StoreMsg`] envelope.
+//!
+//! Neither wrapper reimplements any protocol logic. The embedded machines —
+//! [`ServerCore`]-based servers, the client-side [`ReadEngine`] /
+//! [`WriteEngine`] — run unmodified inside a sub-context
+//! ([`Context::with_effects`]) speaking their native [`RegMsg`] wire type;
+//! the wrapper then re-emits their effects with all messages to one
+//! destination coalesced into a single [`StoreMsg`] batch. Timer ids are
+//! allocated from the shared counter, so forwarding them preserves
+//! identity and the engines' stale-timer filtering keeps working.
+
+use crate::map::ShardMap;
+use crate::msg::{StoreMsg, StoreOut};
+use crate::router::KeyRouter;
+use sbs_core::{
+    AtomicPolicy, ClientLink, Payload, ReadEngine, ReadPolicy, ReadProgress, RegId, RegMsg,
+    RegisterConfig, SeqVal, WriteEngine, WriteStamper, WsnStamp,
+};
+use sbs_sim::{Context, DetRng, Effects, Node, OpId, ProcessId, TimerId};
+use sbs_stamps::RingSeq;
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+
+/// The wire payload of every store shard: a sequence-stamped shard map
+/// (the practically-atomic SWMR register of Figure 3 / §5.1, with the map
+/// as the stored value).
+pub type StorePayload<V> = SeqVal<ShardMap<V>>;
+
+/// The store's simulation-wide message type.
+pub type StoreWire<V> = StoreMsg<StorePayload<V>>;
+
+type StoreCtx<'a, V> = Context<'a, StoreWire<V>, StoreOut<V>>;
+
+/// Re-emits the effects an embedded [`RegMsg`] state machine recorded:
+/// sends are coalesced into one [`StoreMsg`] per destination (in first-send
+/// order), timers are forwarded under their original ids, cancellations
+/// pass through. Returns the embedded machine's outputs for the caller to
+/// translate.
+fn forward_batched<P, OInner, OOuter>(
+    eff: Effects<RegMsg<P>, OInner>,
+    ctx: &mut Context<'_, StoreMsg<P>, OOuter>,
+) -> Vec<OInner>
+where
+    P: Payload,
+{
+    let (sends, timers, cancels, outs) = eff.into_parts();
+    let mut by_dest: Vec<(ProcessId, Vec<RegMsg<P>>)> = Vec::new();
+    for (to, m) in sends {
+        match by_dest.iter_mut().find(|(d, _)| *d == to) {
+            Some((_, batch)) => batch.push(m),
+            None => by_dest.push((to, vec![m])),
+        }
+    }
+    for (to, batch) in by_dest {
+        ctx.send(to, StoreMsg { batch });
+    }
+    for (id, delay) in timers {
+        ctx.forward_timer(id, delay);
+    }
+    for id in cancels {
+        ctx.cancel_timer(id);
+    }
+    outs
+}
+
+/// A server slot of the store fleet: any [`RegMsg`]-speaking server node
+/// (correct [`ServerNode`](sbs_core::ServerNode) or a
+/// [`ByzServerNode`](sbs_core::ByzServerNode) adversary), unwrapping
+/// incoming batches and re-batching its replies.
+pub struct StoreServerNode<P, Inner> {
+    inner: Inner,
+    _p: PhantomData<fn() -> P>,
+}
+
+impl<P: Payload, Inner> StoreServerNode<P, Inner> {
+    /// Wraps `inner`.
+    pub fn new(inner: Inner) -> Self {
+        StoreServerNode {
+            inner,
+            _p: PhantomData,
+        }
+    }
+
+    /// The wrapped node (for assertions in tests).
+    pub fn inner(&self) -> &Inner {
+        &self.inner
+    }
+}
+
+impl<P: Payload, Inner: std::fmt::Debug> std::fmt::Debug for StoreServerNode<P, Inner> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServerNode")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<P, Inner> Node for StoreServerNode<P, Inner>
+where
+    P: Payload,
+    Inner: Node<Msg = RegMsg<P>>,
+{
+    type Msg = StoreMsg<P>;
+    type Out = Inner::Out;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>) {
+        let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
+        let inner = &mut self.inner;
+        ctx.with_effects(&mut eff, |sub| inner.on_start(sub));
+        for o in forward_batched(eff, ctx) {
+            ctx.output(o);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: StoreMsg<P>,
+        ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>,
+    ) {
+        let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
+        let inner = &mut self.inner;
+        ctx.with_effects(&mut eff, |sub| {
+            for m in msg.batch {
+                inner.on_message(from, m, sub);
+            }
+        });
+        for o in forward_batched(eff, ctx) {
+            ctx.output(o);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>) {
+        let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
+        let inner = &mut self.inner;
+        ctx.with_effects(&mut eff, |sub| inner.on_timer(timer, sub));
+        for o in forward_batched(eff, ctx) {
+            ctx.output(o);
+        }
+    }
+
+    fn on_corrupt(&mut self, rng: &mut DetRng) {
+        self.inner.on_corrupt(rng);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One store operation, as queued at a client.
+#[derive(Clone, Debug)]
+enum StoreOp<V> {
+    Put { key: String, val: V },
+    Get { key: String },
+}
+
+/// Writer-side state for one owned shard: the bounded sequence stamper and
+/// the authoritative local copy of the shard map.
+#[derive(Debug)]
+struct OwnedShard<V> {
+    stamper: WsnStamp,
+    map: ShardMap<V>,
+}
+
+#[derive(Debug)]
+enum CPhase {
+    Idle,
+    /// A `get` in flight: the sanity probe + read loop on `shard`.
+    Reading {
+        op: OpId,
+        key: String,
+        shard: u32,
+    },
+    /// A `put` in flight: the SWMR write of the updated shard map.
+    Writing {
+        op: OpId,
+    },
+}
+
+/// A store client: sequential `put`/`get` operations against any number of
+/// shards, multiplexed over one [`ClientLink`] to the shared fleet.
+///
+/// Each shard this client **owns** (per the [`KeyRouter`] writer
+/// assignment) gets a [`WsnStamp`] and the authoritative local map; each
+/// shard it can read gets its own [`AtomicPolicy`] (`pwsn`/`pv`
+/// inversion-prevention state is per register). Operations run one at a
+/// time per client — exactly the paper's sequential-client model; store
+/// concurrency comes from deploying many clients.
+pub struct StoreClientNode<V: Payload> {
+    cfg: RegisterConfig,
+    router: KeyRouter,
+    link: ClientLink,
+    /// All store clients (the reader set every shard write must help).
+    clients: Vec<ProcessId>,
+    policies: Vec<AtomicPolicy<ShardMap<V>>>,
+    owned: BTreeMap<u32, OwnedShard<V>>,
+    read_engine: ReadEngine<StorePayload<V>>,
+    write_engine: WriteEngine<StorePayload<V>>,
+    phase: CPhase,
+    pending: VecDeque<(OpId, StoreOp<V>)>,
+}
+
+impl<V: Payload> std::fmt::Debug for StoreClientNode<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClientNode")
+            .field("owned", &self.owned.keys().collect::<Vec<_>>())
+            .field("phase", &self.phase)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<V: Payload> StoreClientNode<V> {
+    /// Creates a client over `servers`, owning `owned_shards` (empty for a
+    /// read-only client). `clients` is the full client set of the store —
+    /// the helping mechanism of every owned shard serves all of them.
+    pub fn new(
+        cfg: RegisterConfig,
+        router: KeyRouter,
+        servers: Vec<ProcessId>,
+        clients: Vec<ProcessId>,
+        owned_shards: &[u32],
+        wsn_modulus: u128,
+    ) -> Self {
+        let owned = owned_shards
+            .iter()
+            .map(|&s| {
+                assert!(s < router.shards(), "shard {s} out of range");
+                (
+                    s,
+                    OwnedShard {
+                        stamper: WsnStamp::new(RingSeq::zero(wsn_modulus)),
+                        map: ShardMap::new(),
+                    },
+                )
+            })
+            .collect();
+        StoreClientNode {
+            cfg,
+            router,
+            link: ClientLink::new(servers, cfg.t),
+            clients,
+            policies: (0..router.shards()).map(|_| AtomicPolicy::new()).collect(),
+            owned,
+            read_engine: ReadEngine::new(RegId(0), cfg),
+            write_engine: WriteEngine::new(RegId(0), cfg, Vec::new()),
+            phase: CPhase::Idle,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Invokes `put(key, val)`; completion arrives as
+    /// [`StoreOut::PutDone`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this client does not own the key's shard (the router must
+    /// direct every put to the shard's writer).
+    pub fn invoke_put(&mut self, op: OpId, key: String, val: V, ctx: &mut StoreCtx<'_, V>) {
+        let shard = self.router.shard_of(&key);
+        assert!(
+            self.owned.contains_key(&shard),
+            "put({key}) routed to a client that does not own shard {shard}"
+        );
+        self.pending.push_back((op, StoreOp::Put { key, val }));
+        self.step(ctx);
+    }
+
+    /// Invokes `get(key)`; completion arrives as [`StoreOut::GetDone`].
+    pub fn invoke_get(&mut self, op: OpId, key: String, ctx: &mut StoreCtx<'_, V>) {
+        self.pending.push_back((op, StoreOp::Get { key }));
+        self.step(ctx);
+    }
+
+    /// Operations queued or in flight at this client.
+    pub fn backlog(&self) -> usize {
+        self.pending.len() + usize::from(!matches!(self.phase, CPhase::Idle))
+    }
+
+    /// The shards this client writes.
+    pub fn owned_shards(&self) -> Vec<u32> {
+        self.owned.keys().copied().collect()
+    }
+
+    /// Runs the engine pump inside a sub-context, then re-emits batched
+    /// sends, forwarded timers, and operation completions.
+    fn step(&mut self, ctx: &mut StoreCtx<'_, V>) {
+        let mut eff: Effects<RegMsg<StorePayload<V>>, ()> = Effects::new();
+        let mut outs: Vec<StoreOut<V>> = Vec::new();
+        {
+            let this = &mut *self;
+            ctx.with_effects(&mut eff, |sub| this.pump(sub, &mut outs));
+        }
+        let _ = forward_batched(eff, ctx);
+        for o in outs {
+            ctx.output(o);
+        }
+    }
+
+    fn pump(
+        &mut self,
+        sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
+        outs: &mut Vec<StoreOut<V>>,
+    ) {
+        loop {
+            match std::mem::replace(&mut self.phase, CPhase::Idle) {
+                CPhase::Idle => {
+                    let Some((op, kind)) = self.pending.pop_front() else {
+                        return;
+                    };
+                    match kind {
+                        StoreOp::Get { key } => {
+                            let shard = self.router.shard_of(&key);
+                            self.read_engine = ReadEngine::new(RegId(shard), self.cfg);
+                            // Figure 3 read: sanity probe first (N2–N7),
+                            // then the read loop.
+                            self.read_engine.start_sanity(&mut self.link, sub);
+                            self.phase = CPhase::Reading { op, key, shard };
+                        }
+                        StoreOp::Put { key, val } => {
+                            let shard = self.router.shard_of(&key);
+                            let owned = self.owned.get_mut(&shard).expect("checked at invoke_put");
+                            owned.map.insert(&key, val);
+                            let payload = WriteStamper::<ShardMap<V>, StorePayload<V>>::stamp(
+                                &mut owned.stamper,
+                                owned.map.clone(),
+                            );
+                            self.write_engine =
+                                WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
+                            self.write_engine.start(payload, &mut self.link, sub);
+                            self.phase = CPhase::Writing { op };
+                        }
+                    }
+                }
+                CPhase::Reading { op, key, shard } => {
+                    match self.read_engine.poll(&mut self.link, sub) {
+                        Some(ReadProgress::SanityDone(agreed)) => {
+                            self.policies[shard as usize].on_sanity(agreed.as_ref());
+                            self.read_engine.start_read(&mut self.link, sub);
+                            self.phase = CPhase::Reading { op, key, shard };
+                        }
+                        Some(ReadProgress::Done(source, p)) => {
+                            let stamped = self.policies[shard as usize].transform(source, p);
+                            let value = stamped.val.get(&key).cloned();
+                            outs.push(StoreOut::GetDone { op, value });
+                            // phase stays Idle; keep pumping the queue.
+                        }
+                        None => {
+                            self.phase = CPhase::Reading { op, key, shard };
+                            return;
+                        }
+                    }
+                }
+                CPhase::Writing { op } => {
+                    if self.write_engine.poll(&mut self.link, sub) {
+                        outs.push(StoreOut::PutDone { op });
+                        // phase stays Idle; keep pumping the queue.
+                    } else {
+                        self.phase = CPhase::Writing { op };
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V: Payload> Node for StoreClientNode<V> {
+    type Msg = StoreWire<V>;
+    type Out = StoreOut<V>;
+
+    fn on_message(&mut self, from: ProcessId, msg: StoreWire<V>, ctx: &mut StoreCtx<'_, V>) {
+        for m in msg.batch {
+            match m {
+                RegMsg::SsAck { tag } => {
+                    self.link.on_ss_ack(from, tag);
+                }
+                RegMsg::AckRead { reg, last, helping } => {
+                    let anchored = self.link.anchored_tag(from);
+                    self.read_engine
+                        .on_ack_read(from, reg, last, helping, anchored);
+                }
+                RegMsg::AckWrite { reg, helping } => {
+                    let anchored = self.link.anchored_tag(from);
+                    self.write_engine.on_ack_write(from, reg, helping, anchored);
+                }
+                // Requests are server-bound; receiving one is garbage.
+                RegMsg::Write { .. } | RegMsg::NewHelpVal { .. } | RegMsg::Read { .. } => {}
+            }
+        }
+        self.step(ctx);
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut StoreCtx<'_, V>) {
+        self.read_engine.on_timer(id);
+        self.write_engine.on_timer(id);
+        self.step(ctx);
+    }
+
+    fn on_corrupt(&mut self, rng: &mut DetRng) {
+        // Scramble the recoverable protocol state: broadcast anchors,
+        // in-flight acknowledgements, sequence stampers, and the
+        // inversion-prevention pairs. The owner maps are durable writer
+        // state; republishing them after corruption (the MWMR refresh rule
+        // generalized to the store) is an open ROADMAP item.
+        self.link.corrupt(rng);
+        self.read_engine.corrupt(rng);
+        self.write_engine.corrupt(rng);
+        for o in self.owned.values_mut() {
+            WriteStamper::<ShardMap<V>, StorePayload<V>>::corrupt(&mut o.stamper, rng);
+        }
+        for p in &mut self.policies {
+            ReadPolicy::<StorePayload<V>>::corrupt(p, rng);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_sim::SimTime;
+
+    #[test]
+    fn forward_batched_groups_per_destination_preserving_order() {
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut outer: Effects<StoreMsg<u64>, ()> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut outer);
+
+        let mut inner: Effects<RegMsg<u64>, u32> = Effects::new();
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        ctx.with_effects(&mut inner, |sub| {
+            sub.send(a, RegMsg::SsAck { tag: 1 });
+            sub.send(b, RegMsg::SsAck { tag: 2 });
+            sub.send(
+                a,
+                RegMsg::AckRead {
+                    reg: RegId(0),
+                    last: 7,
+                    helping: None,
+                },
+            );
+            sub.output(42);
+        });
+        let outs = forward_batched(inner, &mut ctx);
+        assert_eq!(outs, vec![42]);
+
+        let sends = outer.sends();
+        assert_eq!(sends.len(), 2, "three messages coalesce into two batches");
+        assert_eq!(sends[0].0, a);
+        assert_eq!(sends[0].1.batch.len(), 2);
+        assert!(matches!(sends[0].1.batch[0], RegMsg::SsAck { tag: 1 }));
+        assert!(matches!(sends[0].1.batch[1], RegMsg::AckRead { .. }));
+        assert_eq!(sends[1].0, b);
+        assert_eq!(sends[1].1.batch.len(), 1);
+    }
+
+    #[test]
+    fn forward_batched_preserves_timer_ids() {
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut outer: Effects<StoreMsg<u64>, ()> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut outer);
+        let mut inner: Effects<RegMsg<u64>, ()> = Effects::new();
+        let id = ctx.with_effects(&mut inner, |sub| {
+            sub.set_timer(sbs_sim::SimDuration::millis(5))
+        });
+        let _ = forward_batched(inner, &mut ctx);
+        assert_eq!(outer.timers_set(), &[(id, sbs_sim::SimDuration::millis(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own shard")]
+    fn put_on_non_owner_panics() {
+        let cfg = RegisterConfig::asynchronous(9, 1);
+        let router = KeyRouter::new(4, 2);
+        let servers: Vec<ProcessId> = (2..11).map(ProcessId).collect();
+        let clients = vec![ProcessId(0), ProcessId(1)];
+        // Find a key owned by writer 1, then invoke its put on writer 0.
+        let key = (0..64)
+            .map(|i| format!("key{i}"))
+            .find(|k| router.writer_of(k) == 1)
+            .unwrap();
+        let mut node: StoreClientNode<u64> = StoreClientNode::new(
+            cfg,
+            router,
+            servers,
+            clients,
+            &router.shards_of_writer(0),
+            257,
+        );
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut eff: Effects<StoreWire<u64>, StoreOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut nt, &mut eff);
+        node.invoke_put(OpId(0), key, 5, &mut ctx);
+    }
+}

@@ -1,0 +1,145 @@
+//! The keyspace router: deterministic hash-sharding of string keys onto
+//! register shards, plus the per-shard writer assignment.
+//!
+//! Every key lives in exactly one **shard**; each shard is one logical
+//! register ([`RegId`]) multiplexed over the shared server fleet. Because
+//! each shard is an SWMR register (§5.1 of the paper), it has exactly one
+//! writer — the router assigns shards to writer clients round-robin, which
+//! is what "honoring the SWMR rule" means at the store layer: a `put` is
+//! always executed by the owning writer, while any client may `get`.
+//!
+//! The hash is FNV-1a (64-bit), chosen because it is tiny, dependency-free,
+//! and — critically for reproducible experiments — **stable across runs,
+//! platforms, and process restarts** (unlike `std`'s randomized `SipHash`).
+
+use sbs_core::RegId;
+
+/// 64-bit FNV-1a over arbitrary bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic key → shard → (register, writer) routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyRouter {
+    shards: u32,
+    writers: u32,
+}
+
+impl KeyRouter {
+    /// A router over `shards` register shards owned by `writers` writer
+    /// clients (round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(shards: u32, writers: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(writers >= 1, "need at least one writer");
+        KeyRouter { shards, writers }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of writer clients.
+    pub fn writers(&self) -> u32 {
+        self.writers
+    }
+
+    /// The shard a key lives in.
+    pub fn shard_of(&self, key: &str) -> u32 {
+        (fnv1a64(key.as_bytes()) % self.shards as u64) as u32
+    }
+
+    /// The logical register backing a shard.
+    pub fn reg_of_shard(&self, shard: u32) -> RegId {
+        debug_assert!(shard < self.shards);
+        RegId(shard)
+    }
+
+    /// The logical register a key lives in.
+    pub fn reg_of(&self, key: &str) -> RegId {
+        self.reg_of_shard(self.shard_of(key))
+    }
+
+    /// The writer-client index owning a shard (round-robin assignment; the
+    /// SWMR single-writer rule at the store layer).
+    pub fn writer_of_shard(&self, shard: u32) -> usize {
+        (shard % self.writers) as usize
+    }
+
+    /// The writer-client index that must execute a `put` of this key.
+    pub fn writer_of(&self, key: &str) -> usize {
+        self.writer_of_shard(self.shard_of(key))
+    }
+
+    /// All shards owned by writer `w`.
+    pub fn shards_of_writer(&self, w: usize) -> Vec<u32> {
+        (0..self.shards)
+            .filter(|&s| self.writer_of_shard(s) == w)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_answers() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = KeyRouter::new(8, 4);
+        for i in 0..256 {
+            let key = format!("key{i}");
+            let s = r.shard_of(&key);
+            assert!(s < 8);
+            assert_eq!(s, r.shard_of(&key), "same key, same shard");
+            assert_eq!(r.reg_of(&key), RegId(s));
+            assert_eq!(r.writer_of(&key), (s % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn every_shard_has_exactly_one_writer() {
+        let r = KeyRouter::new(8, 3);
+        let mut owned = [0usize; 8];
+        for w in 0..3 {
+            for s in r.shards_of_writer(w) {
+                owned[s as usize] += 1;
+                assert_eq!(r.writer_of_shard(s), w);
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1), "partition must be exact");
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let r = KeyRouter::new(8, 2);
+        let mut hit = [false; 8];
+        for i in 0..64 {
+            hit[r.shard_of(&format!("key{i}")) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 keys must touch all 8 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        KeyRouter::new(0, 1);
+    }
+}

@@ -1,0 +1,464 @@
+//! The workload engine: YCSB-style operation mixes, key-popularity
+//! distributions, open- and closed-loop clients, and pluggable fault
+//! plans — the load generator that exercises the store the way a
+//! benchmark exercises a production system.
+//!
+//! A [`Workload`] is fully declarative: build one, point it at a
+//! [`StoreBuilder`], and [`Workload::run`] deploys the fleet, schedules
+//! the fault plan, drives the clients, and returns the measured
+//! [`WorkloadReport`] together with the finished [`StoreSystem`] so the
+//! caller can hand per-key histories to `sbs-check`.
+
+use crate::harness::{StoreBuilder, StoreSystem};
+use sbs_core::ByzStrategy;
+use sbs_sim::{DetRng, SimDuration};
+
+/// Key-popularity distribution over the key space.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian popularity: key ranked `r` (0-based) has weight
+    /// `1 / (r+1)^theta`. YCSB's default skew is `theta ≈ 0.99`.
+    Zipfian {
+        /// The skew exponent (`0` degenerates to uniform).
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Precomputes the sampling table over global ranks `0..n`.
+    fn sampler(&self, n: usize) -> DistSampler {
+        self.sampler_for_ranks((0..n).collect())
+    }
+
+    /// Precomputes a sampling table restricted to the given *global*
+    /// ranks: item `i` of the result keeps the weight of global rank
+    /// `ranks[i]`, so a restricted distribution (e.g. one writer's owned
+    /// keys) stays the renormalized slice of the global one rather than
+    /// being re-ranked locally.
+    fn sampler_for_ranks(&self, ranks: Vec<usize>) -> DistSampler {
+        assert!(!ranks.is_empty(), "cannot sample from an empty key space");
+        let weights: Vec<f64> = match self {
+            KeyDist::Uniform => vec![1.0; ranks.len()],
+            KeyDist::Zipfian { theta } => ranks
+                .iter()
+                .map(|&r| 1.0 / ((r + 1) as f64).powf(*theta))
+                .collect(),
+        };
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(ranks.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        DistSampler { cdf }
+    }
+}
+
+/// A precomputed inverse-CDF sampler.
+#[derive(Clone, Debug)]
+struct DistSampler {
+    cdf: Vec<f64>,
+}
+
+impl DistSampler {
+    /// Samples a rank in `[0, n)`.
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// The read/write operation mix.
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+}
+
+impl OpMix {
+    /// YCSB workload A analogue: 50% reads / 50% writes (update-heavy).
+    pub fn ycsb_a() -> Self {
+        OpMix { read_fraction: 0.5 }
+    }
+
+    /// YCSB workload B analogue: 95% reads / 5% writes (read-heavy).
+    pub fn ycsb_b() -> Self {
+        OpMix {
+            read_fraction: 0.95,
+        }
+    }
+
+    /// YCSB workload C analogue: 100% reads.
+    pub fn ycsb_c() -> Self {
+        OpMix { read_fraction: 1.0 }
+    }
+}
+
+/// How clients issue operations.
+#[derive(Clone, Copy, Debug)]
+pub enum LoopMode {
+    /// Closed loop: every client keeps exactly one operation in flight
+    /// (throughput is completion-driven).
+    Closed,
+    /// Open loop: operations arrive at exponentially distributed
+    /// interarrival times (mean per client) regardless of completions;
+    /// late clients queue.
+    Open {
+        /// Mean interarrival time per client.
+        mean_interarrival: SimDuration,
+    },
+}
+
+/// A declarative fault schedule, driving the existing [`ByzStrategy`]
+/// adversaries and the simulator's transient-fault hooks.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Servers that are Byzantine from the start: `(server index,
+    /// strategy)`.
+    pub byzantine: Vec<(usize, ByzStrategy)>,
+    /// Transient state corruption of one server at a virtual-time offset:
+    /// `(offset from start, server index)`.
+    pub corruptions: Vec<(SimDuration, usize)>,
+    /// Garbage injection into every client⇄server link at a virtual-time
+    /// offset: `(offset from start, batches per link direction)`.
+    pub link_garbage: Vec<(SimDuration, usize)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// One Byzantine server with the given strategy.
+    pub fn one_byzantine(index: usize, strategy: ByzStrategy) -> Self {
+        FaultPlan {
+            byzantine: vec![(index, strategy)],
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// A declarative workload over a [`StoreSystem`].
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Total operations to issue.
+    pub ops: u64,
+    /// Number of keys (`key0`, `key1`, …).
+    pub keys: usize,
+    /// The read/write mix.
+    pub mix: OpMix,
+    /// Key popularity.
+    pub dist: KeyDist,
+    /// Open or closed loop.
+    pub loop_mode: LoopMode,
+    /// Seed for operation/key sampling (independent of the simulator
+    /// seed).
+    pub seed: u64,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+}
+
+impl Workload {
+    /// A closed-loop YCSB-B workload over `keys` keys with YCSB's default
+    /// Zipfian skew — the canonical smoke-test shape.
+    pub fn ycsb_b(ops: u64, keys: usize) -> Self {
+        Workload {
+            ops,
+            keys,
+            mix: OpMix::ycsb_b(),
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            loop_mode: LoopMode::Closed,
+            seed: 42,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Deploys `builder` (plus this workload's Byzantine plan), drives the
+    /// load to completion, and returns the measurements and the finished
+    /// system.
+    pub fn run(&self, builder: &StoreBuilder) -> (WorkloadReport, StoreSystem<u64>) {
+        let mut builder = builder.clone();
+        for (i, s) in &self.faults.byzantine {
+            builder = builder.byzantine(*i, s.clone());
+        }
+        let mut sys: StoreSystem<u64> = builder.build();
+        let start = sys.sim.now();
+        for &(offset, server) in &self.faults.corruptions {
+            let s = sys.servers[server];
+            sys.sim.schedule_corruption(start + offset, s);
+        }
+        // Garbage is scheduled upfront at its exact offsets, like the
+        // corruptions — the drive loops never need to know about it.
+        for &(offset, count) in &self.faults.link_garbage {
+            sys.pollute_links_at(start + offset, count);
+        }
+
+        let mut driver = Driver::new(self, &sys);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+
+        match self.loop_mode {
+            LoopMode::Closed => {
+                // Prime every client with one operation, then refill on
+                // completion.
+                for c in 0..sys.clients.len() {
+                    driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                }
+                let mut idle_slices = 0;
+                while driver.completed < driver.issued || driver.issued < self.ops {
+                    let done = sys.run_for(DRIVE_SLICE);
+                    if done.is_empty() {
+                        idle_slices += 1;
+                        assert!(
+                            idle_slices < STALL_SLICES,
+                            "workload stalled: {} of {} ops completed",
+                            driver.completed,
+                            self.ops
+                        );
+                        continue;
+                    }
+                    idle_slices = 0;
+                    driver.completed += done.len() as u64;
+                    for (pid, _) in done {
+                        let c = sys.clients.iter().position(|&p| p == pid).expect("client");
+                        driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                    }
+                }
+            }
+            LoopMode::Open { mean_interarrival } => {
+                // Precompute one exponential arrival sequence per client,
+                // merge-sorted, and inject on schedule.
+                let mut arrivals: Vec<(SimDuration, usize)> = Vec::new();
+                let clients = sys.clients.len();
+                for c in 0..clients {
+                    let mut t = SimDuration::ZERO;
+                    let per_client = self.ops / clients as u64
+                        + u64::from((self.ops % clients as u64) > c as u64);
+                    for _ in 0..per_client {
+                        let u = driver.rng.next_f64().max(1e-12);
+                        let gap = mean_interarrival.as_nanos() as f64 * -u.ln();
+                        t += SimDuration::nanos(gap.max(1.0) as u64);
+                        arrivals.push((t, c));
+                    }
+                }
+                arrivals.sort_by_key(|&(t, _)| t);
+                for (at, c) in arrivals {
+                    let target = start + at;
+                    if sys.sim.now() < target {
+                        let done = sys.run_for(target - sys.sim.now());
+                        driver.completed += done.len() as u64;
+                    }
+                    driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                }
+                let mut idle_slices = 0;
+                while driver.completed < driver.issued {
+                    let done = sys.run_for(DRIVE_SLICE).len() as u64;
+                    driver.completed += done;
+                    idle_slices = if done == 0 { idle_slices + 1 } else { 0 };
+                    assert!(
+                        idle_slices < STALL_SLICES,
+                        "open-loop drain stalled: {} of {} ops completed",
+                        driver.completed,
+                        driver.issued
+                    );
+                }
+            }
+        }
+
+        let elapsed = sys.sim.now() - start;
+        let secs = elapsed.as_nanos() as f64 / 1e9;
+        let report = WorkloadReport {
+            issued: driver.issued,
+            completed: driver.completed,
+            reads,
+            writes,
+            sim_elapsed: elapsed,
+            ops_per_sim_sec: if secs > 0.0 {
+                driver.completed as f64 / secs
+            } else {
+                0.0
+            },
+            messages_delivered: sys.sim.metrics().messages_delivered,
+            events_processed: sys.sim.metrics().events_processed,
+        };
+        (report, sys)
+    }
+}
+
+/// Virtual-time slice between completion sweeps of the drive loop.
+const DRIVE_SLICE: SimDuration = SimDuration::millis(5);
+/// Consecutive completion-free slices after which the driver declares a
+/// stall (liveness tripwire — 5 simulated minutes).
+const STALL_SLICES: u32 = 60_000;
+
+/// Per-run sampling state.
+struct Driver {
+    rng: DetRng,
+    issued: u64,
+    completed: u64,
+    target: u64,
+    keys: Vec<String>,
+    global: DistSampler,
+    /// Keys each writer client owns, by popularity rank (the write-side
+    /// restriction of the SWMR rule), with a matching sampler.
+    owned_keys: Vec<Vec<usize>>,
+    owned_samplers: Vec<Option<DistSampler>>,
+    read_fraction: f64,
+}
+
+impl Driver {
+    fn new(w: &Workload, sys: &StoreSystem<u64>) -> Self {
+        let keys: Vec<String> = (0..w.keys).map(|i| format!("key{i}")).collect();
+        let router = *sys.router();
+        let mut owned_keys: Vec<Vec<usize>> = vec![Vec::new(); sys.clients.len()];
+        for (rank, key) in keys.iter().enumerate() {
+            owned_keys[router.writer_of(key)].push(rank);
+        }
+        let owned_samplers = owned_keys
+            .iter()
+            .map(|ranks| {
+                if ranks.is_empty() {
+                    None
+                } else {
+                    // Restricted to the owned keys but weighted by their
+                    // *global* popularity ranks.
+                    Some(w.dist.sampler_for_ranks(ranks.clone()))
+                }
+            })
+            .collect();
+        Driver {
+            rng: DetRng::from_seed(w.seed),
+            issued: 0,
+            completed: 0,
+            target: w.ops,
+            keys,
+            global: w.dist.sampler(w.keys),
+            owned_keys,
+            owned_samplers,
+            read_fraction: w.mix.read_fraction,
+        }
+    }
+
+    /// Issues the next operation on client `c`, honoring the mix and the
+    /// writer assignment: reads draw from the global key distribution,
+    /// writes draw from the distribution restricted to the client's owned
+    /// keys (a read-only client always reads).
+    fn issue_next_for(
+        &mut self,
+        c: usize,
+        sys: &mut StoreSystem<u64>,
+        reads: &mut u64,
+        writes: &mut u64,
+    ) {
+        if self.issued >= self.target {
+            return;
+        }
+        let wants_read = self.rng.chance(self.read_fraction);
+        let can_write = self.owned_samplers[c].is_some();
+        if wants_read || !can_write {
+            let key = self.keys[self.global.sample(&mut self.rng)].clone();
+            sys.get(c, &key);
+            *reads += 1;
+        } else {
+            let sampler = self.owned_samplers[c].as_ref().expect("checked");
+            let rank = self.owned_keys[c][sampler.sample(&mut self.rng)];
+            let key = self.keys[rank].clone();
+            // Values are globally unique (op sequence + 1), as the
+            // checkers require.
+            sys.put(&key, self.issued + 1);
+            *writes += 1;
+        }
+        self.issued += 1;
+    }
+}
+
+/// Measurements from one [`Workload::run`].
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Writes issued.
+    pub writes: u64,
+    /// Virtual time from first invocation to last completion sweep.
+    pub sim_elapsed: SimDuration,
+    /// Completed operations per simulated second.
+    pub ops_per_sim_sec: f64,
+    /// Delivery events the run cost (batches, not inner messages).
+    pub messages_delivered: u64,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let sampler = KeyDist::Zipfian { theta: 0.99 }.sampler(64);
+        let mut rng = DetRng::from_seed(9);
+        let mut counts = [0usize; 64];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[40],
+            "head must dominate: {counts:?}"
+        );
+        // Sanity: Zipf(0.99) head mass — rank 0 draws roughly 1/H_64 ≈ 21%.
+        assert!(counts[0] > 1_500);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let sampler = KeyDist::Uniform.sampler(16);
+        let mut rng = DetRng::from_seed(10);
+        let mut counts = [0usize; 16];
+        for _ in 0..16_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700 && c < 1_300), "{counts:?}");
+    }
+
+    #[test]
+    fn restricted_sampler_keeps_global_weights() {
+        // A writer owning global ranks {5, 13} must weight them
+        // 1/6^θ : 1/14^θ — NOT re-ranked locally as 1 : 1/2^θ.
+        let dist = KeyDist::Zipfian { theta: 1.0 };
+        let sampler = dist.sampler_for_ranks(vec![5, 13]);
+        let mut rng = DetRng::from_seed(3);
+        let mut first = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if sampler.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        // Expected share of rank 5: (1/6) / (1/6 + 1/14) = 0.7.
+        let share = first as f64 / n as f64;
+        assert!(
+            (share - 0.7).abs() < 0.02,
+            "rank-5 share {share:.3}, want ≈0.70 (local re-ranking would give ≈0.667)"
+        );
+    }
+
+    #[test]
+    fn mixes_have_expected_fractions() {
+        assert_eq!(OpMix::ycsb_a().read_fraction, 0.5);
+        assert_eq!(OpMix::ycsb_b().read_fraction, 0.95);
+        assert_eq!(OpMix::ycsb_c().read_fraction, 1.0);
+    }
+}

@@ -81,7 +81,10 @@ fn main() {
         .map(|r| *r.kind.value())
         .collect();
     println!("reads after the settling write: {finals:?}");
-    assert!(finals.iter().all(|&v| v == 102), "all consoles agree on 102");
+    assert!(
+        finals.iter().all(|&v| v == 102),
+        "all consoles agree on 102"
+    );
 
     let tail = history.suffix(stab_marker);
     let rep = check_linearizable(&tail, &InitialState::Any).expect("checkable");

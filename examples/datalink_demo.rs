@@ -27,9 +27,7 @@ fn main() {
     println!("delivered: {delivered:?}");
     let spurious = delivered.iter().filter(|&&m| m >= GARBAGE).count();
     let real: Vec<u64> = delivered.iter().copied().filter(|&m| m < GARBAGE).collect();
-    println!(
-        "  spurious deliveries from initial garbage: {spurious} (bounded by cap)",
-    );
+    println!("  spurious deliveries from initial garbage: {spurious} (bounded by cap)",);
     println!("  genuine deliveries: {real:?}");
     println!(
         "  packets sent for 10 messages: {} ({}x overhead — the price of cap+1 acknowledgements per phase)",

@@ -1,0 +1,61 @@
+//! The sharded key-value store under a YCSB-B load with a Byzantine
+//! server: 64 keys hash-sharded over 8 registers, all multiplexed on one
+//! shared 9-server fleet (t = 1), then every key's history independently
+//! verified atomic.
+//!
+//! ```sh
+//! cargo run --release --example kv_store
+//! ```
+
+use stabilizing_storage::core::ByzStrategy;
+use stabilizing_storage::store::{FaultPlan, StoreBuilder, Workload};
+
+fn main() {
+    // One shared fleet: 9 servers, 1 Byzantine (async bound n >= 8t+1).
+    // 8 shards partitioned over 4 writer clients; 2 extra read-only
+    // clients join the fray.
+    let builder = StoreBuilder::new(9, 1)
+        .seed(2015)
+        .shards(8)
+        .writers(4)
+        .extra_readers(2);
+
+    // 1000 operations, 95% reads, Zipfian key popularity over 64 keys,
+    // closed-loop clients; server 4 garbles every payload it returns.
+    let mut workload = Workload::ycsb_b(1000, 64);
+    workload.faults = FaultPlan::one_byzantine(4, ByzStrategy::RandomGarbage);
+
+    println!("running 1000-op YCSB-B over 64 keys / 8 shards / 9 servers (1 Byzantine)…");
+    let (report, sys) = workload.run(&builder);
+
+    println!("  issued:      {}", report.issued);
+    println!("  completed:   {}", report.completed);
+    println!("  reads:       {}", report.reads);
+    println!("  writes:      {}", report.writes);
+    println!("  sim elapsed: {:?}", report.sim_elapsed);
+    println!(
+        "  throughput:  {:.0} ops/simulated-second",
+        report.ops_per_sim_sec
+    );
+    println!(
+        "  transport:   {} delivery events ({} simulator events)",
+        report.messages_delivered, report.events_processed
+    );
+
+    // The store's correctness claim: every key's extracted history is
+    // independently linearizable, Byzantine server notwithstanding.
+    let keys = sys
+        .check_per_key_atomicity()
+        .expect("per-key atomicity must hold within n >= 8t+1");
+    println!("  verified:    {keys} per-key histories all atomic ✓");
+
+    // A peek at data placement.
+    let router = sys.router();
+    println!(
+        "  routing:     e.g. key0 → shard {} (writer {}), key1 → shard {} (writer {})",
+        router.shard_of("key0"),
+        router.writer_of("key0"),
+        router.shard_of("key1"),
+        router.writer_of("key1"),
+    );
+}

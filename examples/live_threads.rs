@@ -8,7 +8,9 @@
 
 use stabilizing_storage::core::harness::SwsrBuilder;
 use stabilizing_storage::core::{ClientOut, RegId, RegMsg, RegisterConfig};
-use stabilizing_storage::core::{PlainStamp, RegularPolicy, RegularReader, RegularWriter, ServerNode};
+use stabilizing_storage::core::{
+    PlainStamp, RegularPolicy, RegularReader, RegularWriter, ServerNode,
+};
 use stabilizing_storage::sim::{Node, OpId, ProcessId, ThreadRuntime};
 use std::time::Duration;
 

@@ -15,6 +15,7 @@
 //! | [`stamps`] | `sbs-stamps` | bounded sequence numbers, epochs, timestamps |
 //! | [`check`] | `sbs-check` | regularity / atomicity / inversion checkers |
 //! | [`baseline`] | `sbs-baseline` | masking-quorum and quiescence-dependent comparison registers |
+//! | [`store`] | `sbs-store` | sharded multi-register key-value store + YCSB-style workload engine |
 //!
 //! ## Quickstart
 //!
@@ -33,9 +34,28 @@
 //! assert!(check_linearizable(&history, &InitialState::Any).unwrap().linearizable);
 //! ```
 //!
+//! ## Scaling up: the key-value store
+//!
+//! Above the single-register constructions sits [`store`]: string keys are
+//! hash-sharded onto many logical registers multiplexed over one shared
+//! server fleet, driven by a YCSB-style workload engine with Zipfian and
+//! uniform popularity, open/closed-loop clients, and pluggable fault
+//! plans.
+//!
+//! ```
+//! use stabilizing_storage::store::{StoreBuilder, Workload};
+//!
+//! // 16 keys on 4 shards, one shared 9-server fleet (t = 1).
+//! let builder = StoreBuilder::new(9, 1).seed(1).shards(4).writers(2);
+//! let (report, sys) = Workload::ycsb_b(50, 16).run(&builder);
+//! assert_eq!(report.completed, 50);
+//! sys.check_per_key_atomicity().unwrap();
+//! ```
+//!
 //! See the `examples/` directory for fault drills, the MWMR configuration
-//! store, the synchronous/asynchronous resilience gap, the data-link demo,
-//! and running the same protocol code on OS threads.
+//! store, the sharded key-value store under load (`kv_store`), the
+//! synchronous/asynchronous resilience gap, the data-link demo, and
+//! running the same protocol code on OS threads.
 
 pub use sbs_baseline as baseline;
 pub use sbs_check as check;
@@ -43,3 +63,4 @@ pub use sbs_core as core;
 pub use sbs_link as link;
 pub use sbs_sim as sim;
 pub use sbs_stamps as stamps;
+pub use sbs_store as store;

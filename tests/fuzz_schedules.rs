@@ -3,13 +3,13 @@
 //! random Byzantine strategy, corruption bursts at arbitrary points, link
 //! garbage, overlapping operations — every operation must terminate once a
 //! post-fault write exists, and the history must end in a linearizable
-//! tail. Deterministic per proptest case (the schedule *is* the seed).
+//! tail. Schedules are sampled from a seeded [`DetRng`], so each case is
+//! deterministic (the schedule *is* the seed).
 
-use proptest::prelude::*;
 use stabilizing_storage::check::atomic_stabilization_point;
 use stabilizing_storage::core::harness::SwsrBuilder;
 use stabilizing_storage::core::ByzStrategy;
-use stabilizing_storage::sim::SimDuration;
+use stabilizing_storage::sim::{DetRng, SimDuration};
 
 #[derive(Clone, Debug)]
 enum Step {
@@ -21,38 +21,41 @@ enum Step {
     Pause(u64),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => Just(Step::Write),
-        4 => Just(Step::Read),
-        1 => Just(Step::CorruptServers),
-        1 => Just(Step::CorruptClients),
-        1 => Just(Step::PolluteLinks),
-        2 => (1u64..2000).prop_map(Step::Pause),
-    ]
+/// Weighted step sampling: 4:4:1:1:1:2 as in the original proptest
+/// distribution.
+fn arb_step(rng: &mut DetRng) -> Step {
+    match rng.range_inclusive(0, 12) {
+        0..=3 => Step::Write,
+        4..=7 => Step::Read,
+        8 => Step::CorruptServers,
+        9 => Step::CorruptClients,
+        10 => Step::PolluteLinks,
+        _ => Step::Pause(rng.range_inclusive(1, 1999)),
+    }
 }
 
-fn arb_strategy() -> impl Strategy<Value = ByzStrategy> {
-    prop_oneof![
-        Just(ByzStrategy::Silent),
-        Just(ByzStrategy::RandomGarbage),
-        Just(ByzStrategy::StaleReplay),
-        Just(ByzStrategy::Equivocate),
-        Just(ByzStrategy::AckFlood { copies: 3 }),
-        Just(ByzStrategy::InversionHelper),
-    ]
+fn arb_strategy(rng: &mut DetRng) -> ByzStrategy {
+    match rng.range_inclusive(0, 5) {
+        0 => ByzStrategy::Silent,
+        1 => ByzStrategy::RandomGarbage,
+        2 => ByzStrategy::StaleReplay,
+        3 => ByzStrategy::Equivocate,
+        4 => ByzStrategy::AckFlood { copies: 3 },
+        _ => ByzStrategy::InversionHelper,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn atomic_register_survives_random_schedules() {
+    let mut rng = DetRng::from_seed(0xF022);
+    for case in 0..24 {
+        let seed = rng.range_inclusive(0, 9_999);
+        let byz_at = rng.range_inclusive(0, 8) as usize;
+        let strat = arb_strategy(&mut rng);
+        let steps: Vec<Step> = (0..rng.range_inclusive(4, 19))
+            .map(|_| arb_step(&mut rng))
+            .collect();
 
-    #[test]
-    fn atomic_register_survives_random_schedules(
-        seed in 0u64..10_000,
-        byz_at in 0usize..9,
-        strat in arb_strategy(),
-        steps in proptest::collection::vec(arb_step(), 4..20),
-    ) {
         let mut sys = SwsrBuilder::new(9, 1)
             .seed(seed)
             .byzantine(byz_at, strat.clone())
@@ -76,30 +79,58 @@ proptest! {
         // The stabilization trigger: one final write, then verified reads.
         v += 1;
         sys.write(v);
-        prop_assert!(sys.settle(), "post-fault write must terminate ({strat:?})");
+        assert!(
+            sys.settle(),
+            "case {case}: post-fault write must terminate ({strat:?})"
+        );
         for _ in 0..2 {
             sys.read();
             v += 1;
             sys.write(v);
-            prop_assert!(sys.settle(), "tail ops must terminate ({strat:?})");
+            assert!(
+                sys.settle(),
+                "case {case}: tail ops must terminate ({strat:?})"
+            );
         }
-        prop_assert_eq!(sys.pending_ops(), 0, "no operation may be left dangling");
-        let h = sys.history();
-        let stab = atomic_stabilization_point(&h).expect("unique writes");
-        prop_assert!(
-            stab.is_some(),
-            "history must end linearizable; strategy {:?}, steps {:?}",
-            strat,
-            steps
+        assert_eq!(
+            sys.pending_ops(),
+            0,
+            "case {case}: no operation may be left dangling"
         );
+        // The linearizable-tail claim holds from server/link faults alone.
+        // After *client* corruption the register is only **practically**
+        // stabilizing: the writer's wsn counter and the reader's
+        // remembered (pwsn, pv) pair land on arbitrary ring points, and
+        // the 13M3 inversion guard may keep substituting the remembered
+        // pair until the counter passes it clockwise — an anomaly window
+        // bounded by the life span (B−1)/2 ≈ 2^63 writes (Lemma 13), far
+        // beyond any test horizon. So the tail assertion applies only to
+        // schedules without client corruption; with it, termination (just
+        // verified above) is the guarantee.
+        let clients_corrupted = steps.iter().any(|s| matches!(s, Step::CorruptClients));
+        if !clients_corrupted {
+            let h = sys.history();
+            let stab = atomic_stabilization_point(&h).expect("unique writes");
+            assert!(
+                stab.is_some(),
+                "case {case}: history must end linearizable; strategy {strat:?}, steps {steps:?}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn mwmr_survives_random_schedules(
-        seed in 0u64..10_000,
-        steps in proptest::collection::vec(arb_step(), 3..10),
-    ) {
-        let mut sys = SwsrBuilder::new(9, 1).seed(seed).build_mwmr(0u64, 2, 1 << 20);
+#[test]
+fn mwmr_survives_random_schedules() {
+    let mut rng = DetRng::from_seed(0xF023);
+    for case in 0..24 {
+        let seed = rng.range_inclusive(0, 9_999);
+        let steps: Vec<Step> = (0..rng.range_inclusive(3, 9))
+            .map(|_| arb_step(&mut rng))
+            .collect();
+
+        let mut sys = SwsrBuilder::new(9, 1)
+            .seed(seed)
+            .build_mwmr(0u64, 2, 1 << 20);
         let mut v = 0u64;
         for step in &steps {
             match step {
@@ -121,12 +152,18 @@ proptest! {
         v += 1;
         sys.write(0, 1000 + v);
         sys.write(1, 2000 + v);
-        prop_assert!(sys.settle(), "post-fault writes must terminate");
+        assert!(
+            sys.settle(),
+            "case {case}: post-fault writes must terminate"
+        );
         sys.read(0);
         sys.read(1);
-        prop_assert!(sys.settle(), "tail reads must terminate");
-        prop_assert_eq!(sys.pending_ops(), 0);
+        assert!(sys.settle(), "case {case}: tail reads must terminate");
+        assert_eq!(sys.pending_ops(), 0, "case {case}");
         let stab = atomic_stabilization_point(&sys.history()).expect("unique writes");
-        prop_assert!(stab.is_some(), "MWMR history must end linearizable");
+        assert!(
+            stab.is_some(),
+            "case {case}: MWMR history must end linearizable"
+        );
     }
 }

@@ -53,12 +53,8 @@ fn atomic_register_survives_a_roaming_inversion_attacker() {
         let mut home = 4usize;
         for v in 2..=10u64 {
             let next = (home + 3) % 9;
-            sys.as_swmr().move_byzantine(
-                home,
-                next,
-                ByzStrategy::InversionHelper,
-                initial.clone(),
-            );
+            sys.as_swmr()
+                .move_byzantine(home, next, ByzStrategy::InversionHelper, initial.clone());
             home = next;
             sys.write(v);
             sys.read();

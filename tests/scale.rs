@@ -65,7 +65,9 @@ fn mwmr_with_five_processes() {
             assert!(sys.settle(), "read must terminate");
         }
     }
-    assert!(atomic_stabilization_point(&sys.history()).unwrap().is_some());
+    assert!(atomic_stabilization_point(&sys.history())
+        .unwrap()
+        .is_some());
 }
 
 #[test]

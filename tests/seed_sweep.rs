@@ -2,9 +2,7 @@
 //! every register family — the statistical backbone behind the theorem
 //! claims. (Deterministic per seed, so failures are reproducible.)
 
-use stabilizing_storage::check::{
-    atomic_stabilization_point, check_regularity, count_inversions,
-};
+use stabilizing_storage::check::{atomic_stabilization_point, check_regularity, count_inversions};
 use stabilizing_storage::core::harness::SwsrBuilder;
 use stabilizing_storage::core::ByzStrategy;
 use stabilizing_storage::sim::{DetRng, SimDuration};
@@ -38,7 +36,10 @@ fn regular_register_sweep() {
             sys.run_for(SimDuration::millis(3));
         }
         sys.write(2);
-        assert!(sys.settle(), "seed {seed} ({strat:?}): write must terminate");
+        assert!(
+            sys.settle(),
+            "seed {seed} ({strat:?}): write must terminate"
+        );
         let stab = sys.sim.now();
         for v in 3..=8u64 {
             sys.write(v);
@@ -73,7 +74,10 @@ fn atomic_register_sweep() {
             sys.run_for(SimDuration::millis(3));
         }
         sys.write(2);
-        assert!(sys.settle(), "seed {seed} ({strat:?}): write must terminate");
+        assert!(
+            sys.settle(),
+            "seed {seed} ({strat:?}): write must terminate"
+        );
         for v in 3..=8u64 {
             sys.write(v);
             sys.read();

@@ -3,14 +3,22 @@
 //! the simulated one.
 
 use stabilizing_storage::core::{
-    AtomicPolicy, AtomicReader, AtomicWriter, ClientOut, PlainStamp, RegId, RegMsg,
-    RegisterConfig, RegularPolicy, RegularReader, RegularWriter, ServerNode, WsnStamp,
+    AtomicPolicy, AtomicReader, AtomicWriter, ClientOut, PlainStamp, RegId, RegMsg, RegisterConfig,
+    RegularPolicy, RegularReader, RegularWriter, ServerNode, WsnStamp,
 };
 use stabilizing_storage::sim::{Node, OpId, ProcessId, ThreadRuntime};
 use stabilizing_storage::stamps::RingSeq;
 use std::time::Duration;
 
-fn spawn_regular(n: usize, t: usize, seed: u64) -> (ThreadRuntime<RegMsg<u64>, ClientOut<u64>>, ProcessId, ProcessId) {
+fn spawn_regular(
+    n: usize,
+    t: usize,
+    seed: u64,
+) -> (
+    ThreadRuntime<RegMsg<u64>, ClientOut<u64>>,
+    ProcessId,
+    ProcessId,
+) {
     let cfg = RegisterConfig::asynchronous(n, t);
     let writer = ProcessId(0);
     let reader = ProcessId(1);
@@ -40,9 +48,7 @@ fn spawn_regular(n: usize, t: usize, seed: u64) -> (ThreadRuntime<RegMsg<u64>, C
 fn regular_register_on_threads() {
     let (rt, writer, reader) = spawn_regular(9, 1, 1);
     for v in 1..=5u64 {
-        rt.invoke::<RegularWriter<u64>>(writer, move |w, ctx| {
-            w.invoke_write(OpId(v * 2), v, ctx)
-        });
+        rt.invoke::<RegularWriter<u64>>(writer, move |w, ctx| w.invoke_write(OpId(v * 2), v, ctx));
         let (_, out) = rt.recv_output(Duration::from_secs(10)).expect("write done");
         assert_eq!(out.op(), OpId(v * 2));
 
