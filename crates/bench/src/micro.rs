@@ -3,7 +3,7 @@
 //! median-of-samples report.
 //!
 //! Each `[[bench]]` target is a plain `fn main()` (`harness = false`) that
-//! calls [`bench`] per case. Run with `cargo bench -p sbs-bench`.
+//! calls [`bench()`](fn@bench) per case. Run with `cargo bench -p sbs-bench`.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -43,7 +43,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     median
 }
 
-/// Like [`bench`], but excludes per-iteration setup from the measurement
+/// Like [`bench()`](fn@bench), but excludes per-iteration setup from the measurement
 /// (Criterion's `iter_batched`): `setup` builds the input, only `routine`
 /// is timed. Use when constructing the system under test would otherwise
 /// dominate the number (e.g. building an n-node simulation to measure one

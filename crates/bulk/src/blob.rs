@@ -1,0 +1,118 @@
+//! The per-replica blob store: digest-keyed bytes, verified on the way in.
+//!
+//! A correct data replica recomputes the content address before storing,
+//! so fabricated blobs (link garbage, Byzantine writers announcing a
+//! digest their bytes do not match) are *unstorable* — the store can only
+//! ever hold self-consistent `(digest, bytes)` pairs. Storage is
+//! content-addressed and idempotent: re-putting a held digest is a no-op
+//! acknowledgement, which also makes duplicate `BULK_PUT` deliveries and
+//! republished identical maps harmless.
+
+use crate::digest::{digest_of, BulkDigest};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What [`BulkStore::put`] did with an incoming blob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Verified and stored.
+    Stored,
+    /// Already held (content addressing makes this equality, not
+    /// overwrite).
+    AlreadyHeld,
+    /// The bytes do not hash to the announced digest — refused.
+    DigestMismatch,
+}
+
+impl PutOutcome {
+    /// True if the replica now holds the digest (either outcome that
+    /// warrants an acknowledgement).
+    pub fn held(self) -> bool {
+        !matches!(self, PutOutcome::DigestMismatch)
+    }
+}
+
+/// One replica's content-addressed blob storage.
+#[derive(Clone, Debug, Default)]
+pub struct BulkStore {
+    blobs: BTreeMap<BulkDigest, (u32, Vec<u8>)>,
+    bytes_stored: u64,
+}
+
+impl BulkStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BulkStore::default()
+    }
+
+    /// Verifies `bytes` against `digest` and stores them under it (tagged
+    /// with the owning `shard` for placement accounting).
+    pub fn put(&mut self, shard: u32, digest: BulkDigest, bytes: Vec<u8>) -> PutOutcome {
+        if digest_of(&bytes) != digest {
+            return PutOutcome::DigestMismatch;
+        }
+        if self.blobs.contains_key(&digest) {
+            return PutOutcome::AlreadyHeld;
+        }
+        self.bytes_stored += bytes.len() as u64;
+        self.blobs.insert(digest, (shard, bytes));
+        PutOutcome::Stored
+    }
+
+    /// The bytes stored under `digest`, if held.
+    pub fn get(&self, digest: &BulkDigest) -> Option<&[u8]> {
+        self.blobs.get(digest).map(|(_, b)| b.as_slice())
+    }
+
+    /// True if `digest` is held.
+    pub fn holds(&self, digest: &BulkDigest) -> bool {
+        self.blobs.contains_key(digest)
+    }
+
+    /// Number of blobs held.
+    pub fn blob_count(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Total payload bytes held (overwrites of a shard map accumulate —
+    /// garbage-collecting digests orphaned by newer writes is future
+    /// work, see ROADMAP).
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// The shards this replica holds at least one blob for.
+    pub fn shards_held(&self) -> BTreeSet<u32> {
+        self.blobs.values().map(|(s, _)| *s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_verifies_and_is_idempotent() {
+        let mut s = BulkStore::new();
+        let bytes = b"shard map bytes".to_vec();
+        let d = digest_of(&bytes);
+        assert_eq!(s.put(3, d, bytes.clone()), PutOutcome::Stored);
+        assert_eq!(s.put(3, d, bytes.clone()), PutOutcome::AlreadyHeld);
+        assert!(PutOutcome::AlreadyHeld.held());
+        assert_eq!(s.get(&d), Some(bytes.as_slice()));
+        assert!(s.holds(&d));
+        assert_eq!(s.blob_count(), 1);
+        assert_eq!(s.bytes_stored(), bytes.len() as u64);
+        assert_eq!(s.shards_held().into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn fabricated_blobs_are_unstorable() {
+        let mut s = BulkStore::new();
+        let d = digest_of(b"the real bytes");
+        let out = s.put(0, d, b"not those bytes".to_vec());
+        assert_eq!(out, PutOutcome::DigestMismatch);
+        assert!(!out.held());
+        assert_eq!(s.blob_count(), 0);
+        assert_eq!(s.get(&d), None);
+    }
+}

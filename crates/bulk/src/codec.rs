@@ -1,0 +1,149 @@
+//! Deterministic byte serialization for bulk payloads.
+//!
+//! Content addressing only works if the same logical value always
+//! serializes to the same bytes, on every platform and in every process —
+//! the same reason the keyspace router uses FNV instead of `std`'s
+//! randomized SipHash. [`BulkCodec`] is therefore a tiny fixed-endian
+//! (little) codec with no reflection and no external dependencies, plus
+//! free-function helpers for composite implementations.
+
+/// A value with a canonical byte serialization.
+///
+/// Laws:
+/// - `decode_from(&mut encode(x).as_slice()) == Some(x)` (round trip);
+/// - encoding is a pure function of the value (determinism — required for
+///   content addressing);
+/// - `decode_from` consumes exactly the bytes `encode_into` produced and
+///   returns `None` on any malformed input instead of panicking.
+pub trait BulkCodec: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `buf`, advancing it past the
+    /// consumed bytes. `None` on malformed input.
+    fn decode_from(buf: &mut &[u8]) -> Option<Self>;
+
+    /// The canonical encoding as a fresh vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a value that must consume `bytes` exactly; trailing bytes
+    /// are malformed (a garbled blob must never silently half-decode).
+    fn decode_all(bytes: &[u8]) -> Option<Self> {
+        let mut buf = bytes;
+        let v = Self::decode_from(&mut buf)?;
+        buf.is_empty().then_some(v)
+    }
+}
+
+/// Appends `v` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u64` from the front of `buf`.
+pub fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_first_chunk::<8>()?;
+    *buf = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+/// Appends `v` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` from the front of `buf`.
+pub fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Appends `bytes` length-prefixed (`u32` length).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte string from the front of `buf`.
+pub fn get_bytes<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return None;
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Some(head)
+}
+
+impl BulkCodec for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        get_u64(buf)
+    }
+}
+
+impl BulkCodec for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        get_u32(buf)
+    }
+}
+
+impl BulkCodec for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_bytes(out, self.as_bytes());
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        let bytes = get_bytes(buf)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(u64::decode_all(&v.encode_to_vec()), Some(v));
+        }
+        assert_eq!(u32::decode_all(&7u32.encode_to_vec()), Some(7));
+        let s = String::from("héllo, wörld");
+        assert_eq!(String::decode_all(&s.encode_to_vec()), Some(s));
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        assert_eq!(u64::decode_all(&[1, 2, 3]), None, "short");
+        assert_eq!(u64::decode_all(&[0; 9]), None, "trailing byte");
+        // Length prefix promising more bytes than present.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 10);
+        bad.extend_from_slice(b"abc");
+        assert_eq!(String::decode_all(&bad), None);
+        // Invalid UTF-8.
+        let mut utf = Vec::new();
+        put_bytes(&mut utf, &[0xFF, 0xFE]);
+        assert_eq!(String::decode_all(&utf), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let s = String::from("same");
+        assert_eq!(s.encode_to_vec(), s.encode_to_vec());
+        assert_eq!(42u64.encode_to_vec(), 42u64.encode_to_vec());
+    }
+}

@@ -1,0 +1,42 @@
+//! # sbs-bulk — the content-addressed bulk-value plane
+//!
+//! The paper's registers replicate every write's *full* value to all
+//! `n ≥ 8t + 1` servers, so payload traffic and server memory scale with
+//! `n` even though only the timestamp/metadata quorum needs that width.
+//! Following Cachin–Dobre–Vukolić ("Asynchronous BFT Storage with 2t+1
+//! Data Replicas") and PoWerStore, the bulk payload only ever needs
+//! **2t + 1 data replicas**, provided the metadata carried through the
+//! full quorum pins the payload by content address.
+//!
+//! This crate is the protocol-independent substrate of that split:
+//!
+//! - [`BulkDigest`] / [`digest_of`] — a 256-bit wide FNV-1a content
+//!   address (in-repo, offline-friendly; see the module docs for the
+//!   adversary model it is sound against).
+//! - [`BulkRef`] — the fixed-size `(digest, len)` pair the metadata
+//!   quorum carries in place of the value.
+//! - [`BulkCodec`] — deterministic byte serialization, so the same
+//!   logical value always hashes to the same address.
+//! - [`BulkStore`] — a per-replica blob store that **verifies the content
+//!   address before storing**, making fabricated blobs unstorable.
+//! - [`data_replica_slots`] — the deterministic per-shard choice of data
+//!   replicas out of the `n` servers.
+//!
+//! The store layer (`sbs-store`) composes these into a two-plane put/get
+//! path: payload bytes to the `2t + 1` data replicas, the [`BulkRef`]
+//! through the unmodified register metadata quorum, and digest
+//! verification on every fetch so a Byzantine data replica serving
+//! garbage bytes is detected and routed around.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod blob;
+mod codec;
+mod digest;
+mod placement;
+
+pub use blob::{BulkStore, PutOutcome};
+pub use codec::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64, BulkCodec};
+pub use digest::{digest_of, BulkDigest, BulkRef};
+pub use placement::{data_replica_count, data_replica_slots, push_quorum};

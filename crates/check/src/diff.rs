@@ -1,0 +1,212 @@
+//! Differential comparison of two executions of the same logical
+//! workload.
+//!
+//! When a storage system grows a second implementation of the same
+//! contract (e.g. full replication vs the content-addressed bulk plane),
+//! the strongest cheap check is **differential**: run the identical
+//! declarative workload against both, extract per-key histories, and
+//! demand they agree on everything the workload determines. Timing-level
+//! facts (which value a racing read returned) legitimately differ between
+//! implementations; what must *not* differ is
+//!
+//! - the key set touched,
+//! - each key's **write sequence** — the values written, in invocation
+//!   order (per-key writes are issued by one sequential owner, so the
+//!   order is total and implementation-independent), and
+//! - per-key operation counts.
+//!
+//! [`equivalent_write_histories`] checks exactly that and reports the
+//! first divergence precisely enough to debug it. Each history should
+//! additionally pass its own atomicity check — equivalence of two wrong
+//! executions proves nothing.
+
+use crate::history::History;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// The first divergence between two keyed execution histories.
+#[derive(Clone, Debug)]
+pub enum HistoryDivergence<V> {
+    /// A key was touched by one execution only.
+    KeySetMismatch {
+        /// Keys only the first execution touched.
+        only_in_a: Vec<String>,
+        /// Keys only the second execution touched.
+        only_in_b: Vec<String>,
+    },
+    /// A key's write sequences differ.
+    WriteSequenceMismatch {
+        /// The diverging key.
+        key: String,
+        /// Position of the first differing write (in invocation order).
+        index: usize,
+        /// First execution's value at that position (`None` = sequence
+        /// ended).
+        a: Option<V>,
+        /// Second execution's value at that position.
+        b: Option<V>,
+    },
+    /// A key completed different numbers of operations.
+    OpCountMismatch {
+        /// The diverging key.
+        key: String,
+        /// `(reads, writes)` completed in the first execution.
+        a: (usize, usize),
+        /// `(reads, writes)` completed in the second execution.
+        b: (usize, usize),
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for HistoryDivergence<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryDivergence::KeySetMismatch {
+                only_in_a,
+                only_in_b,
+            } => write!(
+                f,
+                "key sets diverge: only in A {only_in_a:?}, only in B {only_in_b:?}"
+            ),
+            HistoryDivergence::WriteSequenceMismatch { key, index, a, b } => write!(
+                f,
+                "key {key}: write #{index} diverges (A wrote {a:?}, B wrote {b:?})"
+            ),
+            HistoryDivergence::OpCountMismatch { key, a, b } => write!(
+                f,
+                "key {key}: op counts diverge (A {}r/{}w, B {}r/{}w)",
+                a.0, a.1, b.0, b.1
+            ),
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for HistoryDivergence<V> {}
+
+/// Checks that two keyed executions agree on key set, per-key write
+/// sequence, and per-key operation counts. Returns the number of keys
+/// compared, or the first divergence.
+pub fn equivalent_write_histories<V: Clone + Eq + Hash + fmt::Debug>(
+    a: &BTreeMap<String, History<V>>,
+    b: &BTreeMap<String, History<V>>,
+) -> Result<usize, HistoryDivergence<V>> {
+    let only_in_a: Vec<String> = a.keys().filter(|k| !b.contains_key(*k)).cloned().collect();
+    let only_in_b: Vec<String> = b.keys().filter(|k| !a.contains_key(*k)).cloned().collect();
+    if !(only_in_a.is_empty() && only_in_b.is_empty()) {
+        return Err(HistoryDivergence::KeySetMismatch {
+            only_in_a,
+            only_in_b,
+        });
+    }
+    for (key, ha) in a {
+        let hb = &b[key];
+        let wa: Vec<&V> = ha.writes().map(|w| w.kind.value()).collect();
+        let wb: Vec<&V> = hb.writes().map(|w| w.kind.value()).collect();
+        if wa != wb {
+            let index = wa
+                .iter()
+                .zip(&wb)
+                .position(|(x, y)| x != y)
+                .unwrap_or(wa.len().min(wb.len()));
+            return Err(HistoryDivergence::WriteSequenceMismatch {
+                key: key.clone(),
+                index,
+                a: wa.get(index).map(|v| (*v).clone()),
+                b: wb.get(index).map(|v| (*v).clone()),
+            });
+        }
+        let counts = |h: &History<V>| (h.reads().count(), h.writes().count());
+        if counts(ha) != counts(hb) {
+            return Err(HistoryDivergence::OpCountMismatch {
+                key: key.clone(),
+                a: counts(ha),
+                b: counts(hb),
+            });
+        }
+    }
+    Ok(a.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::fixtures::{read, write};
+
+    fn keyed(entries: Vec<(&str, History<u64>)>) -> BTreeMap<String, History<u64>> {
+        entries
+            .into_iter()
+            .map(|(k, h)| (k.to_string(), h))
+            .collect()
+    }
+
+    #[test]
+    fn identical_write_sequences_pass_despite_timing_differences() {
+        // Same writes in the same order; read values and all timings
+        // differ — still equivalent.
+        let a = keyed(vec![(
+            "k",
+            History::new(vec![
+                write(1, 0, 10, 5),
+                write(2, 20, 30, 6),
+                read(3, 40, 50, 6),
+            ]),
+        )]);
+        let b = keyed(vec![(
+            "k",
+            History::new(vec![
+                write(1, 0, 90, 5),
+                write(2, 95, 130, 6),
+                read(3, 10, 20, 5),
+            ]),
+        )]);
+        assert_eq!(equivalent_write_histories(&a, &b).unwrap(), 1);
+    }
+
+    #[test]
+    fn diverging_write_order_is_reported_at_the_index() {
+        let a = keyed(vec![(
+            "k",
+            History::new(vec![write(1, 0, 10, 5), write(2, 20, 30, 6)]),
+        )]);
+        let b = keyed(vec![(
+            "k",
+            History::new(vec![write(1, 0, 10, 5), write(2, 20, 30, 7)]),
+        )]);
+        let err = equivalent_write_histories(&a, &b).unwrap_err();
+        match &err {
+            HistoryDivergence::WriteSequenceMismatch { key, index, a, b } => {
+                assert_eq!(key, "k");
+                assert_eq!(*index, 1);
+                assert_eq!((*a, *b), (Some(6), Some(7)));
+            }
+            other => panic!("wrong divergence: {other}"),
+        }
+        assert!(format!("{err}").contains("write #1 diverges"));
+    }
+
+    #[test]
+    fn missing_writes_and_keys_are_divergences() {
+        let a = keyed(vec![("k", History::new(vec![write(1, 0, 10, 5)]))]);
+        let b = keyed(vec![("k", History::new(vec![]))]);
+        assert!(matches!(
+            equivalent_write_histories(&a, &b),
+            Err(HistoryDivergence::WriteSequenceMismatch { index: 0, .. })
+        ));
+        let c = keyed(vec![("other", History::new(vec![write(1, 0, 10, 5)]))]);
+        let err = equivalent_write_histories(&a, &c).unwrap_err();
+        assert!(format!("{err}").contains("key sets diverge"));
+    }
+
+    #[test]
+    fn read_count_mismatch_is_a_divergence() {
+        let a = keyed(vec![(
+            "k",
+            History::new(vec![write(1, 0, 10, 5), read(2, 20, 30, 5)]),
+        )]);
+        let b = keyed(vec![("k", History::new(vec![write(1, 0, 10, 5)]))]);
+        assert!(matches!(
+            equivalent_write_histories(&a, &b),
+            Err(HistoryDivergence::OpCountMismatch { .. })
+        ));
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod atomic;
+mod diff;
 mod history;
 mod regularity;
 mod stats;
@@ -44,6 +45,7 @@ mod stats;
 pub use atomic::{
     atomic_stabilization_point, check_linearizable, InitialState, LinError, LinReport,
 };
+pub use diff::{equivalent_write_histories, HistoryDivergence};
 pub use history::{DuplicateWrite, History, OpKind, OpRecord};
 pub use regularity::{
     check_regularity, count_inversions, Inversion, RegularityReport, RegularityViolation,

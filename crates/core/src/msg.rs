@@ -79,6 +79,32 @@ pub enum RegMsg<P> {
     },
 }
 
+impl<P: Payload> RegMsg<P> {
+    /// Estimated serialized size: a fixed per-message header (kind tag,
+    /// register id, session tag) plus the carried payloads' wire sizes.
+    pub fn wire_size(&self) -> u64 {
+        const HEADER: u64 = 16;
+        match self {
+            RegMsg::Write { val, .. } => HEADER + val.wire_size(),
+            RegMsg::NewHelpVal { val, readers, .. } => {
+                HEADER + val.wire_size() + 4 * readers.len() as u64
+            }
+            RegMsg::Read { .. } => HEADER + 1,
+            RegMsg::SsAck { .. } => HEADER,
+            RegMsg::AckWrite { helping, .. } => {
+                HEADER
+                    + helping
+                        .iter()
+                        .map(|(_, h)| 5 + h.as_ref().map_or(0, Payload::wire_size))
+                        .sum::<u64>()
+            }
+            RegMsg::AckRead { last, helping, .. } => {
+                HEADER + last.wire_size() + 1 + helping.as_ref().map_or(0, Payload::wire_size)
+            }
+        }
+    }
+}
+
 impl<P: Payload> Message for RegMsg<P> {
     fn label(&self) -> &'static str {
         match self {
@@ -89,6 +115,10 @@ impl<P: Payload> Message for RegMsg<P> {
             RegMsg::AckWrite { .. } => "ACK_WRITE",
             RegMsg::AckRead { .. } => "ACK_READ",
         }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_size()
     }
 }
 

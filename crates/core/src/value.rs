@@ -18,6 +18,14 @@ pub trait Payload: Clone + Eq + Ord + std::hash::Hash + fmt::Debug + 'static {
     /// Overwrites `self` with adversarially random (but structurally valid)
     /// contents.
     fn scramble(&mut self, rng: &mut DetRng);
+
+    /// Estimated serialized size of this value on the wire, in bytes —
+    /// consumed by the byte-accounting metrics (bulk vs metadata planes).
+    /// The default, `size_of::<Self>()`, is exact for plain-old-data
+    /// payloads; heap-owning payloads (strings, maps) override it.
+    fn wire_size(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
 }
 
 macro_rules! impl_payload_int {
@@ -44,6 +52,10 @@ impl Payload for String {
         *self = (0..len)
             .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
             .collect();
+    }
+
+    fn wire_size(&self) -> u64 {
+        4 + self.len() as u64 // length prefix + UTF-8 bytes
     }
 }
 
@@ -79,6 +91,10 @@ impl<V: Payload> Payload for SeqVal<V> {
         let raw = rng.next_u64() as u128 % modulus;
         self.wsn = RingSeq::new(raw, modulus);
         self.val.scramble(rng);
+    }
+
+    fn wire_size(&self) -> u64 {
+        16 + self.val.wire_size() // the bounded wsn travels as a u128
     }
 }
 

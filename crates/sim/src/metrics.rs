@@ -23,6 +23,12 @@ pub struct Metrics {
     pub by_label: BTreeMap<&'static str, u64>,
     /// Sent-message counts per directed link.
     pub per_link: HashMap<(ProcessId, ProcessId), u64>,
+    /// Estimated bytes sent by **metadata-plane** messages (see
+    /// [`Message::is_bulk`](crate::Message::is_bulk); messages whose type
+    /// does not override `wire_bytes` contribute 0).
+    pub metadata_bytes_sent: u64,
+    /// Estimated bytes sent by **bulk data-plane** messages.
+    pub bulk_bytes_sent: u64,
     /// Timers that actually fired (cancelled timers excluded).
     pub timers_fired: u64,
     /// Transient-fault corruptions applied to nodes.
@@ -32,11 +38,29 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Records one send of a message with the given label.
-    pub(crate) fn record_send(&mut self, from: ProcessId, to: ProcessId, label: &'static str) {
+    /// Records one send of a message with the given label, estimated wire
+    /// size, and plane.
+    pub(crate) fn record_send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        label: &'static str,
+        bytes: u64,
+        bulk: bool,
+    ) {
         self.messages_sent += 1;
+        if bulk {
+            self.bulk_bytes_sent += bytes;
+        } else {
+            self.metadata_bytes_sent += bytes;
+        }
         *self.by_label.entry(label).or_insert(0) += 1;
         *self.per_link.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// Total estimated bytes sent across both planes.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.metadata_bytes_sent + self.bulk_bytes_sent
     }
 
     /// Total messages sent with `label`.
@@ -57,11 +81,14 @@ mod tests {
     #[test]
     fn record_send_updates_all_views() {
         let mut m = Metrics::default();
-        m.record_send(ProcessId(0), ProcessId(1), "WRITE");
-        m.record_send(ProcessId(0), ProcessId(2), "WRITE");
-        m.record_send(ProcessId(1), ProcessId(0), "ACK_WRITE");
+        m.record_send(ProcessId(0), ProcessId(1), "WRITE", 100, false);
+        m.record_send(ProcessId(0), ProcessId(2), "WRITE", 100, false);
+        m.record_send(ProcessId(1), ProcessId(0), "ACK_WRITE", 1024, true);
 
         assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.metadata_bytes_sent, 200);
+        assert_eq!(m.bulk_bytes_sent, 1024);
+        assert_eq!(m.total_bytes_sent(), 1224);
         assert_eq!(m.sent_with_label("WRITE"), 2);
         assert_eq!(m.sent_with_label("ACK_WRITE"), 1);
         assert_eq!(m.sent_with_label("NOPE"), 0);

@@ -25,6 +25,22 @@ pub trait Message: Clone + std::fmt::Debug + 'static {
     fn label(&self) -> &'static str {
         "msg"
     }
+
+    /// Estimated serialized size of this message on the wire, in bytes.
+    /// The metrics layer accumulates it per plane (see
+    /// [`Message::is_bulk`]) so byte savings — e.g. of metadata/data
+    /// separation — are measurable. The default `0` means "unmeasured";
+    /// message types that want byte accounting override it.
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+
+    /// True if this message travels on the **bulk data plane** (payload
+    /// bytes between clients and data replicas) rather than the metadata
+    /// plane. The metrics layer splits byte counts on this flag.
+    fn is_bulk(&self) -> bool {
+        false
+    }
 }
 
 /// One protocol participant: a deterministic state machine driven by

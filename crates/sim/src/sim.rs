@@ -512,7 +512,8 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             .unwrap_or_else(|| panic!("send over missing link {from} -> {to}"));
         let at = link.schedule(self.now, &mut self.net_rng);
         let generation = link.generation();
-        self.metrics.record_send(from, to, msg.label());
+        self.metrics
+            .record_send(from, to, msg.label(), msg.wire_bytes(), msg.is_bulk());
         self.push(
             at,
             EventKind::Deliver {

@@ -2,17 +2,18 @@
 //! simulator: the shared server fleet, the writer/reader clients, fault
 //! hooks, and per-key history extraction for the checkers.
 
-use crate::map::ShardMap;
 use crate::msg::{StoreMsg, StoreOut};
-use crate::node::{StoreClientNode, StorePayload, StoreServerNode, StoreWire};
+use crate::node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 use crate::router::KeyRouter;
+use crate::val::StoreVal;
+use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore};
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
 use sbs_core::{
     ByzServerNode, ByzStrategy, Payload, RegId, RegMsg, RegisterConfig, SeqVal, ServerNode,
 };
 use sbs_sim::{DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation};
 use sbs_stamps::{RingSeq, PAPER_MODULUS};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How long `settle` simulates before declaring the store non-quiescent.
 const SETTLE_HORIZON: SimDuration = SimDuration::secs(600);
@@ -30,6 +31,7 @@ pub struct StoreBuilder {
     byz: Vec<(usize, ByzStrategy)>,
     retry_after: Option<SimDuration>,
     wsn_modulus: u128,
+    plane: DataPlane,
 }
 
 impl StoreBuilder {
@@ -50,7 +52,34 @@ impl StoreBuilder {
             byz: Vec::new(),
             retry_after: None,
             wsn_modulus: PAPER_MODULUS,
+            plane: DataPlane::Full,
         }
+    }
+
+    /// Switches the payload to the content-addressed **bulk data plane**
+    /// with the canonical `2t + 1` data replicas per shard (the
+    /// Cachin–Dobre–Vukolić bound); the metadata quorum then carries only
+    /// fixed-size references. The default remains [`DataPlane::Full`] —
+    /// full replication, the paper's original scheme.
+    pub fn bulk(self) -> Self {
+        let r = data_replica_count(self.t);
+        self.data_replicas(r)
+    }
+
+    /// Like [`StoreBuilder::bulk`] with an explicit replication factor
+    /// (experiments probing below/above `2t + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ replicas ≤ n`.
+    pub fn data_replicas(mut self, replicas: usize) -> Self {
+        assert!(
+            (1..=self.n).contains(&replicas),
+            "replication factor {replicas} out of range for n={}",
+            self.n
+        );
+        self.plane = DataPlane::Bulk { replicas };
+        self
     }
 
     /// Sets the deterministic seed.
@@ -106,8 +135,10 @@ impl StoreBuilder {
 
     /// Builds the deployment: `n` servers, `writers + extra_readers`
     /// clients, every client↔server link installed, Byzantine slots
-    /// filled, and the garbage generator armed for link-corruption drills.
-    pub fn build<V: Payload>(&self) -> StoreSystem<V> {
+    /// filled (Byzantine at *both* planes: register strategy + garbled
+    /// bulk serving), and the garbage generator armed for link-corruption
+    /// drills.
+    pub fn build<V: Payload + BulkCodec>(&self) -> StoreSystem<V> {
         let cfg = {
             let mut cfg = RegisterConfig::asynchronous(self.n, self.t);
             if let Some(r) = self.retry_after {
@@ -128,16 +159,21 @@ impl StoreBuilder {
             }
         }
         let initial: StorePayload<V> =
-            SeqVal::new(RingSeq::zero(self.wsn_modulus), ShardMap::new());
+            SeqVal::new(RingSeq::zero(self.wsn_modulus), StoreVal::empty());
+        let mut byz_set = BTreeSet::new();
         for (i, &s) in servers.iter().enumerate() {
             match self.byz.iter().find(|(bi, _)| *bi == i) {
-                Some((_, strat)) => sim.add_node_at(
-                    s,
-                    StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
-                        strat.clone(),
-                        initial.clone(),
-                    )),
-                ),
+                Some((_, strat)) => {
+                    byz_set.insert(i);
+                    sim.add_node_at(
+                        s,
+                        StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                            strat.clone(),
+                            initial.clone(),
+                        ))
+                        .byzantine_bulk(),
+                    )
+                }
                 None => sim.add_node_at(
                     s,
                     StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
@@ -161,6 +197,7 @@ impl StoreBuilder {
                     clients.clone(),
                     &owned,
                     self.wsn_modulus,
+                    self.plane,
                 ),
             );
         }
@@ -171,14 +208,18 @@ impl StoreBuilder {
             servers,
             router,
             writers: self.writers,
+            plane: self.plane,
+            byz_servers: byz_set,
             log: StoreLog::new(),
         }
     }
 }
 
 /// Arms the garbage generator: arbitrary initial link contents are batches
-/// of fabricated protocol messages over random shards.
-fn install_garbage_gen<V: Payload>(
+/// of fabricated protocol messages over random shards — or fabricated
+/// bulk-plane transfers, whose forged digests the verified blob stores
+/// and the client-side digest check must reject.
+fn install_garbage_gen<V: Payload + BulkCodec>(
     sim: &mut Simulation<StoreWire<V>, StoreOut<V>>,
     template: StorePayload<V>,
     shards: u32,
@@ -186,8 +227,9 @@ fn install_garbage_gen<V: Payload>(
     sim.set_garbage_gen(move |rng: &mut DetRng, _from, _to| {
         let mut val = template.clone();
         val.scramble(rng);
-        let reg = RegId((rng.next_u64() % shards as u64) as u32);
-        let msg = match rng.next_u64() % 5 {
+        let shard = (rng.next_u64() % shards as u64) as u32;
+        let reg = RegId(shard);
+        let msg = match rng.next_u64() % 7 {
             0 => RegMsg::Write {
                 reg,
                 tag: rng.next_u64(),
@@ -205,13 +247,41 @@ fn install_garbage_gen<V: Payload>(
                 reg,
                 helping: vec![(ProcessId(0), Some(val))],
             },
-            _ => RegMsg::AckRead {
+            4 => RegMsg::AckRead {
                 reg,
                 last: val,
                 helping: None,
             },
+            5 => {
+                // Forged blob push: bytes that (almost surely) do not
+                // match the announced digest.
+                let mut fake = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut fake, rng);
+                return StoreMsg::BulkPut {
+                    shard,
+                    digest: fake.digest,
+                    bytes: (0..(rng.next_u64() % 32))
+                        .map(|_| rng.next_u64() as u8)
+                        .collect(),
+                };
+            }
+            _ => {
+                // Forged fetch reply with garbage bytes and tag.
+                let mut fake = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut fake, rng);
+                return StoreMsg::BulkGetAck {
+                    shard,
+                    digest: fake.digest,
+                    tag: rng.next_u64(),
+                    bytes: rng.chance(0.5).then(|| {
+                        (0..(rng.next_u64() % 32))
+                            .map(|_| rng.next_u64() as u8)
+                            .collect()
+                    }),
+                };
+            }
         };
-        StoreMsg { batch: vec![msg] }
+        StoreMsg::Batch(vec![msg])
     });
 }
 
@@ -271,7 +341,7 @@ impl<V: Payload> StoreLog<V> {
 
 /// A running store deployment.
 #[derive(Debug)]
-pub struct StoreSystem<V: Payload> {
+pub struct StoreSystem<V: Payload + BulkCodec> {
     /// The underlying simulation (exposed for custom scheduling).
     pub sim: Simulation<StoreWire<V>, StoreOut<V>>,
     /// All clients: the `writers` shard owners first, then the read-only
@@ -281,10 +351,12 @@ pub struct StoreSystem<V: Payload> {
     pub servers: Vec<ProcessId>,
     router: KeyRouter,
     writers: usize,
+    plane: DataPlane,
+    byz_servers: BTreeSet<usize>,
     log: StoreLog<V>,
 }
 
-impl<V: Payload> StoreSystem<V> {
+impl<V: Payload + BulkCodec> StoreSystem<V> {
     /// The key router in force.
     pub fn router(&self) -> &KeyRouter {
         &self.router
@@ -293,6 +365,11 @@ impl<V: Payload> StoreSystem<V> {
     /// Number of writer clients.
     pub fn writers(&self) -> usize {
         self.writers
+    }
+
+    /// The data plane this store was built with.
+    pub fn plane(&self) -> DataPlane {
+        self.plane
     }
 
     /// Invokes `put(key, val)` on the shard's owning writer (per the
@@ -424,6 +501,16 @@ impl<V: Payload> StoreSystem<V> {
         self.sim.schedule_corruption(now, s);
     }
 
+    /// Applies a transient fault to client `i` *now* — including a shard
+    /// owner, whose authoritative map is scrambled and then repaired by
+    /// the writer-map recovery rule (re-read own register, republish)
+    /// before its next put.
+    pub fn corrupt_client(&mut self, i: usize) {
+        let now = self.sim.now();
+        let c = self.clients[i];
+        self.sim.schedule_corruption(now, c);
+    }
+
     /// Applies a transient fault to every server *now*.
     pub fn corrupt_all_servers(&mut self) {
         let now = self.sim.now();
@@ -453,6 +540,46 @@ impl<V: Payload> StoreSystem<V> {
         let pid = self.clients[i];
         self.sim
             .node_ref::<StoreClientNode<V>, _>(pid, |n| n.backlog())
+    }
+
+    /// Writer-map recoveries (re-read + republish after transient
+    /// corruption) completed by client `i`.
+    pub fn client_recoveries(&mut self, i: usize) -> u64 {
+        let pid = self.clients[i];
+        self.sim
+            .node_ref::<StoreClientNode<V>, _>(pid, |n| n.recoveries())
+    }
+
+    /// Runs `f` against server `i`'s bulk blob store (dispatching on the
+    /// concrete wrapper type, which differs for Byzantine slots).
+    fn with_server_bulk<R>(&mut self, i: usize, f: impl FnOnce(&BulkStore) -> R) -> R {
+        type Correct<V> =
+            StoreServerNode<StorePayload<V>, ServerNode<StorePayload<V>, StoreOut<V>>>;
+        type Byz<V> = StoreServerNode<StorePayload<V>, ByzServerNode<StorePayload<V>, StoreOut<V>>>;
+        let pid = self.servers[i];
+        if self.byz_servers.contains(&i) {
+            self.sim.node_ref::<Byz<V>, _>(pid, |n| f(n.bulk()))
+        } else {
+            self.sim.node_ref::<Correct<V>, _>(pid, |n| f(n.bulk()))
+        }
+    }
+
+    /// Which server indices hold bulk blobs for each shard — the
+    /// placement the `2t + 1` windows promise. Empty under full
+    /// replication.
+    pub fn bulk_placement(&mut self) -> BTreeMap<u32, BTreeSet<usize>> {
+        let mut placement: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
+        for i in 0..self.servers.len() {
+            for shard in self.with_server_bulk(i, |b| b.shards_held()) {
+                placement.entry(shard).or_default().insert(i);
+            }
+        }
+        placement
+    }
+
+    /// Total bulk payload bytes stored on server `i`.
+    pub fn bulk_bytes_stored(&mut self, i: usize) -> u64 {
+        self.with_server_bulk(i, |b| b.bytes_stored())
     }
 }
 

@@ -28,6 +28,21 @@
 //! and [`StoreSystem::history_for_key`] extracts exactly the per-key
 //! history the `sbs-check` checkers judge.
 //!
+//! # The bulk data plane (metadata/data separation)
+//!
+//! Full replication ships every snapshot to all `n ≥ 8t + 1` servers.
+//! With [`StoreBuilder::bulk`] the store instead serializes each snapshot
+//! (via `sbs-bulk`'s canonical codec), stores the bytes under their
+//! content address on the shard's **`2t + 1` data replicas**, and carries
+//! only the fixed-size digest reference ([`StoreVal::Ref`]) through the
+//! *unmodified* register quorum — the Cachin–Dobre–Vukolić split. Reads
+//! resolve the reference against the data replicas and re-verify the
+//! digest, so a Byzantine data replica serving garbage bytes is detected
+//! and routed around; per-key histories are indistinguishable from
+//! full-replication runs (`tests/bulk_checks.rs` checks this
+//! differentially), while payload bytes on the wire shrink by roughly
+//! `n·rounds / (2t + 1)` (the `bulk_vs_full` bench measures it).
+//!
 //! ```
 //! use sbs_store::{StoreBuilder, Workload};
 //! use sbs_core::ByzStrategy;
@@ -57,11 +72,13 @@ mod map;
 mod msg;
 mod node;
 mod router;
+mod val;
 mod workload;
 
 pub use harness::{StoreBuilder, StoreSystem};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};
-pub use node::{StoreClientNode, StorePayload, StoreServerNode, StoreWire};
+pub use node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 pub use router::{fnv1a64, KeyRouter};
+pub use val::{SizedVal, StoreVal};
 pub use workload::{FaultPlan, KeyDist, LoopMode, OpMix, Workload, WorkloadReport};

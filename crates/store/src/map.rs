@@ -9,6 +9,7 @@
 //!
 //! [`KeyRouter`]: crate::KeyRouter
 
+use sbs_bulk::{get_u32, put_u32, BulkCodec};
 use sbs_core::Payload;
 use sbs_sim::DetRng;
 use std::fmt;
@@ -80,6 +81,46 @@ impl<V: Payload> Payload for ShardMap<V> {
             v.scramble(rng);
         }
     }
+
+    fn wire_size(&self) -> u64 {
+        4 + self
+            .entries
+            .iter()
+            .map(|(k, v)| 4 + k.len() as u64 + v.wire_size())
+            .sum::<u64>()
+    }
+}
+
+impl<V: Payload + BulkCodec> BulkCodec for ShardMap<V> {
+    /// Canonical encoding: entry count, then `(key, value)` pairs in key
+    /// order. Because [`ShardMap::insert`] keeps entries sorted, equal
+    /// maps always encode to equal bytes — the property content
+    /// addressing stands on.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.entries.len() as u32);
+        for (k, v) in &self.entries {
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        let n = get_u32(buf)? as usize;
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let k = String::decode_from(buf)?;
+            let v = V::decode_from(buf)?;
+            // Enforce the sorted-unique invariant: a blob that decodes but
+            // violates it is malformed, not a valid map.
+            if let Some((prev, _)) = entries.last() {
+                if *prev >= k {
+                    return None;
+                }
+            }
+            entries.push((k, v));
+        }
+        Some(ShardMap { entries })
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +152,40 @@ mod tests {
         y.insert("b", 2);
         assert_eq!(x, y);
         assert!(x.entries().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn codec_round_trips_and_is_canonical() {
+        let mut m: ShardMap<u64> = ShardMap::new();
+        m.insert("b", 2);
+        m.insert("a", 1);
+        let bytes = m.encode_to_vec();
+        assert_eq!(ShardMap::<u64>::decode_all(&bytes), Some(m.clone()));
+        // Insertion order must not matter: equal maps, equal bytes.
+        let mut n: ShardMap<u64> = ShardMap::new();
+        n.insert("a", 1);
+        n.insert("b", 2);
+        assert_eq!(bytes, n.encode_to_vec());
+        // Estimated wire size tracks content.
+        assert_eq!(Payload::wire_size(&m), 4 + (4 + 1 + 8) * 2);
+    }
+
+    #[test]
+    fn unsorted_or_truncated_blobs_do_not_decode() {
+        let mut m: ShardMap<u64> = ShardMap::new();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        let bytes = m.encode_to_vec();
+        assert_eq!(ShardMap::<u64>::decode_all(&bytes[..bytes.len() - 1]), None);
+        // Hand-craft an out-of-order encoding: count 2, entries "b" then
+        // "a" — must be rejected as malformed.
+        let mut bad = Vec::new();
+        sbs_bulk::put_u32(&mut bad, 2);
+        String::from("b").encode_into(&mut bad);
+        2u64.encode_into(&mut bad);
+        String::from("a").encode_into(&mut bad);
+        1u64.encode_into(&mut bad);
+        assert_eq!(ShardMap::<u64>::decode_all(&bad), None);
     }
 
     #[test]

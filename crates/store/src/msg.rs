@@ -1,30 +1,104 @@
 //! The store's wire envelope and client-visible completions.
 //!
-//! Store nodes speak [`StoreMsg`]: a **batch** of shard-tagged register
-//! messages bound for one destination. Every protocol message already
-//! carries its [`RegId`](sbs_core::RegId) (the shard tag), so the envelope
-//! adds only the batching dimension: all messages one handler execution
-//! emits toward the same peer travel as a single simulator delivery event.
-//! A server answering a read, for instance, sends `SS_ACK` + `ACK_READ` as
-//! one event instead of two — at scale this halves the event-queue load of
-//! the fleet (and in a deployment would halve the packet count).
+//! Store nodes speak [`StoreMsg`], which multiplexes **two planes** over
+//! the same links:
+//!
+//! - **Metadata plane** ([`StoreMsg::Batch`]) — a batch of shard-tagged
+//!   register messages bound for one destination. Every protocol message
+//!   already carries its [`RegId`](sbs_core::RegId) (the shard tag), so
+//!   the envelope adds only the batching dimension: all messages one
+//!   handler execution emits toward the same peer travel as a single
+//!   simulator delivery event. A server answering a read sends
+//!   `SS_ACK` + `ACK_READ` as one event instead of two.
+//! - **Bulk data plane** (`BulkPut` / `BulkPutAck` / `BulkGet` /
+//!   `BulkGetAck`) — content-addressed payload bytes between clients and
+//!   the shard's `2t + 1` data replicas. These never touch the register
+//!   state machines; the register only ever sees the fixed-size
+//!   [`BulkRef`](sbs_bulk::BulkRef) inside its payload.
+//!
+//! The metrics layer splits byte counts by plane
+//! ([`Message::is_bulk`]), which is how the bulk/full traffic comparison
+//! in `bulk_vs_full` is measured.
 
+use sbs_bulk::BulkDigest;
 use sbs_core::{Payload, RegMsg};
 use sbs_sim::{Message, OpId};
 
-/// A batch of register-protocol messages for one destination, delivered as
-/// one event. Order within the batch is the order the messages were sent,
-/// preserving the FIFO reasoning of the underlying protocol (a server's
-/// `SS_ACK` still precedes the protocol acknowledgement it anchors).
+/// One store-layer delivery: a metadata batch or a bulk-plane transfer.
 #[derive(Clone, Debug)]
-pub struct StoreMsg<P> {
-    /// The bundled protocol messages, in send order.
-    pub batch: Vec<RegMsg<P>>,
+pub enum StoreMsg<P> {
+    /// A batch of register-protocol messages for one destination,
+    /// delivered as one event. Order within the batch is send order,
+    /// preserving the FIFO reasoning of the underlying protocol (a
+    /// server's `SS_ACK` still precedes the protocol acknowledgement it
+    /// anchors).
+    Batch(Vec<RegMsg<P>>),
+    /// Client → data replica: store `bytes` under `digest`. A correct
+    /// replica verifies the digest before storing and acknowledging.
+    BulkPut {
+        /// The shard whose map these bytes serialize.
+        shard: u32,
+        /// The announced content address.
+        digest: BulkDigest,
+        /// The serialized shard map.
+        bytes: Vec<u8>,
+    },
+    /// Data replica → client: `digest` is held (verified).
+    BulkPutAck {
+        /// The shard of the acknowledged blob.
+        shard: u32,
+        /// The held content address.
+        digest: BulkDigest,
+    },
+    /// Client → data replica: send the bytes stored under `digest`.
+    BulkGet {
+        /// The shard being resolved.
+        shard: u32,
+        /// The content address from the metadata register.
+        digest: BulkDigest,
+        /// Round tag: replies carrying a stale tag are ignored.
+        tag: u64,
+    },
+    /// Data replica → client: the requested bytes, or `None` if the
+    /// replica does not hold the digest (yet). The **client** re-verifies
+    /// the digest — a Byzantine replica can put anything here.
+    BulkGetAck {
+        /// The shard being resolved.
+        shard: u32,
+        /// The requested content address.
+        digest: BulkDigest,
+        /// The round tag of the request this answers.
+        tag: u64,
+        /// The replica's bytes for the digest, if held.
+        bytes: Option<Vec<u8>>,
+    },
 }
 
 impl<P: Payload> Message for StoreMsg<P> {
     fn label(&self) -> &'static str {
-        "BATCH"
+        match self {
+            StoreMsg::Batch(_) => "BATCH",
+            StoreMsg::BulkPut { .. } => "BULK_PUT",
+            StoreMsg::BulkPutAck { .. } => "BULK_PUT_ACK",
+            StoreMsg::BulkGet { .. } => "BULK_GET",
+            StoreMsg::BulkGetAck { .. } => "BULK_GET_ACK",
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        // shard (4) + digest (32) [+ len/tag (8)] headers for the bulk
+        // plane; the metadata plane sums its inner protocol messages.
+        match self {
+            StoreMsg::Batch(batch) => batch.iter().map(RegMsg::wire_size).sum(),
+            StoreMsg::BulkPut { bytes, .. } => 44 + bytes.len() as u64,
+            StoreMsg::BulkPutAck { .. } => 36,
+            StoreMsg::BulkGet { .. } => 44,
+            StoreMsg::BulkGetAck { bytes, .. } => 45 + bytes.as_ref().map_or(0, |b| b.len() as u64),
+        }
+    }
+
+    fn is_bulk(&self) -> bool {
+        !matches!(self, StoreMsg::Batch(_))
     }
 }
 
@@ -58,22 +132,21 @@ impl<V> StoreOut<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbs_bulk::digest_of;
     use sbs_core::RegId;
 
     #[test]
     fn batch_label_and_out_op() {
-        let m: StoreMsg<u64> = StoreMsg {
-            batch: vec![
-                RegMsg::SsAck { tag: 1 },
-                RegMsg::AckRead {
-                    reg: RegId(0),
-                    last: 5,
-                    helping: None,
-                },
-            ],
-        };
+        let m: StoreMsg<u64> = StoreMsg::Batch(vec![
+            RegMsg::SsAck { tag: 1 },
+            RegMsg::AckRead {
+                reg: RegId(0),
+                last: 5,
+                helping: None,
+            },
+        ]);
         assert_eq!(m.label(), "BATCH");
-        assert_eq!(m.batch.len(), 2);
+        assert!(!m.is_bulk());
         assert_eq!(StoreOut::<u64>::PutDone { op: OpId(7) }.op(), OpId(7));
         assert_eq!(
             StoreOut::GetDone {
@@ -83,5 +156,28 @@ mod tests {
             .op(),
             OpId(8)
         );
+    }
+
+    #[test]
+    fn bulk_variants_are_bulk_plane_and_sized() {
+        let bytes = vec![0u8; 100];
+        let digest = digest_of(&bytes);
+        let put: StoreMsg<u64> = StoreMsg::BulkPut {
+            shard: 0,
+            digest,
+            bytes,
+        };
+        assert_eq!(put.label(), "BULK_PUT");
+        assert!(put.is_bulk());
+        assert_eq!(put.wire_bytes(), 144);
+        let miss: StoreMsg<u64> = StoreMsg::BulkGetAck {
+            shard: 0,
+            digest,
+            tag: 1,
+            bytes: None,
+        };
+        assert_eq!(miss.wire_bytes(), 45);
+        let batch: StoreMsg<u64> = StoreMsg::Batch(vec![RegMsg::SsAck { tag: 1 }]);
+        assert_eq!(batch.wire_bytes(), 16);
     }
 }

@@ -1,18 +1,39 @@
 //! The multiplexing store nodes: existing register state machines wrapped
-//! behind the batched [`StoreMsg`] envelope.
+//! behind the batched [`StoreMsg`] envelope, plus the content-addressed
+//! **bulk data plane**.
 //!
-//! Neither wrapper reimplements any protocol logic. The embedded machines —
-//! [`ServerCore`]-based servers, the client-side [`ReadEngine`] /
-//! [`WriteEngine`] — run unmodified inside a sub-context
-//! ([`Context::with_effects`]) speaking their native [`RegMsg`] wire type;
-//! the wrapper then re-emits their effects with all messages to one
-//! destination coalesced into a single [`StoreMsg`] batch. Timer ids are
+//! Neither wrapper reimplements any register-protocol logic. The embedded
+//! machines — [`ServerCore`]-based servers, the client-side
+//! [`ReadEngine`] / [`WriteEngine`] — run unmodified inside a sub-context
+//! ([`Context::with_effects`]) speaking their native [`RegMsg`] wire
+//! type; the wrapper then re-emits their effects with all messages to one
+//! destination coalesced into a single [`StoreMsg::Batch`]. Timer ids are
 //! allocated from the shared counter, so forwarding them preserves
 //! identity and the engines' stale-timer filtering keeps working.
+//!
+//! # The bulk data plane
+//!
+//! Under [`DataPlane::Bulk`] the register machines never see a shard
+//! map. A `put` first pushes the serialized map to the shard's `2t + 1`
+//! data replicas (`BULK_PUT`) and waits for `t + 1` verified-store
+//! acknowledgements — so at least one *correct* replica holds the bytes —
+//! before writing the fixed-size [`BulkRef`] through the metadata quorum.
+//! A `get` runs the unchanged metadata read, then resolves the reference
+//! by asking the data replicas (`BULK_GET`) and **re-verifying the
+//! digest** of whatever comes back: a Byzantine data replica serving
+//! garbage bytes fails verification and the client simply keeps waiting
+//! for an honest replica (falling back to a retransmission round, and
+//! ultimately to a metadata re-read, if every reply of a round is
+//! garbage or missing — the latter also recovers from fabricated
+//! references that transient corruption may have planted in a register).
+//!
+//! [`ServerCore`]: sbs_core::ServerCore
 
 use crate::map::ShardMap;
 use crate::msg::{StoreMsg, StoreOut};
 use crate::router::KeyRouter;
+use crate::val::StoreVal;
+use sbs_bulk::{data_replica_slots, push_quorum, BulkCodec, BulkRef, BulkStore};
 use sbs_core::{
     AtomicPolicy, ClientLink, Payload, ReadEngine, ReadPolicy, ReadProgress, RegId, RegMsg,
     RegisterConfig, SeqVal, WriteEngine, WriteStamper, WsnStamp,
@@ -20,24 +41,45 @@ use sbs_core::{
 use sbs_sim::{Context, DetRng, Effects, Node, OpId, ProcessId, TimerId};
 use sbs_stamps::RingSeq;
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::marker::PhantomData;
 
-/// The wire payload of every store shard: a sequence-stamped shard map
-/// (the practically-atomic SWMR register of Figure 3 / §5.1, with the map
-/// as the stored value).
-pub type StorePayload<V> = SeqVal<ShardMap<V>>;
+/// The wire payload of every store shard: a sequence-stamped
+/// [`StoreVal`] (the practically-atomic SWMR register of Figure 3 /
+/// §5.1, with the map — or its content-addressed reference — as the
+/// stored value).
+pub type StorePayload<V> = SeqVal<StoreVal<V>>;
 
 /// The store's simulation-wide message type.
 pub type StoreWire<V> = StoreMsg<StorePayload<V>>;
 
 type StoreCtx<'a, V> = Context<'a, StoreWire<V>, StoreOut<V>>;
 
+/// Where shard payload bytes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataPlane {
+    /// Every write carries the whole map to all `n` servers through the
+    /// register protocol (the paper's original scheme; compatibility
+    /// default).
+    Full,
+    /// Payload bytes on `replicas` content-addressed data replicas per
+    /// shard; the metadata quorum carries only `(digest, len)`.
+    Bulk {
+        /// Data replicas per shard — `2t + 1` for Byzantine tolerance.
+        replicas: usize,
+    },
+}
+
+/// Consecutive fetch retransmission rounds before the client falls back
+/// to re-reading the metadata register (which recovers from fabricated
+/// references and from metadata that has since moved on).
+const FETCH_ROUNDS_PER_READ: u32 = 2;
+
 /// Re-emits the effects an embedded [`RegMsg`] state machine recorded:
-/// sends are coalesced into one [`StoreMsg`] per destination (in first-send
-/// order), timers are forwarded under their original ids, cancellations
-/// pass through. Returns the embedded machine's outputs for the caller to
-/// translate.
+/// sends are coalesced into one [`StoreMsg::Batch`] per destination (in
+/// first-send order), timers are forwarded under their original ids,
+/// cancellations pass through. Returns the embedded machine's outputs for
+/// the caller to translate.
 fn forward_batched<P, OInner, OOuter>(
     eff: Effects<RegMsg<P>, OInner>,
     ctx: &mut Context<'_, StoreMsg<P>, OOuter>,
@@ -54,7 +96,7 @@ where
         }
     }
     for (to, batch) in by_dest {
-        ctx.send(to, StoreMsg { batch });
+        ctx.send(to, StoreMsg::Batch(batch));
     }
     for (id, delay) in timers {
         ctx.forward_timer(id, delay);
@@ -68,9 +110,12 @@ where
 /// A server slot of the store fleet: any [`RegMsg`]-speaking server node
 /// (correct [`ServerNode`](sbs_core::ServerNode) or a
 /// [`ByzServerNode`](sbs_core::ByzServerNode) adversary), unwrapping
-/// incoming batches and re-batching its replies.
+/// incoming batches and re-batching its replies — plus this server's slice
+/// of the bulk data plane (a verified [`BulkStore`]).
 pub struct StoreServerNode<P, Inner> {
     inner: Inner,
+    bulk: BulkStore,
+    byz_bulk: bool,
     _p: PhantomData<fn() -> P>,
 }
 
@@ -79,13 +124,29 @@ impl<P: Payload, Inner> StoreServerNode<P, Inner> {
     pub fn new(inner: Inner) -> Self {
         StoreServerNode {
             inner,
+            bulk: BulkStore::new(),
+            byz_bulk: false,
             _p: PhantomData,
         }
+    }
+
+    /// Makes this server's **data plane** Byzantine too: it stores blobs
+    /// like a correct replica (so its storage footprint is
+    /// indistinguishable) but garbles every byte string it serves —
+    /// exactly the attack the client-side digest check must catch.
+    pub fn byzantine_bulk(mut self) -> Self {
+        self.byz_bulk = true;
+        self
     }
 
     /// The wrapped node (for assertions in tests).
     pub fn inner(&self) -> &Inner {
         &self.inner
+    }
+
+    /// This server's bulk blob store (for placement assertions).
+    pub fn bulk(&self) -> &BulkStore {
+        &self.bulk
     }
 }
 
@@ -93,6 +154,8 @@ impl<P: Payload, Inner: std::fmt::Debug> std::fmt::Debug for StoreServerNode<P, 
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreServerNode")
             .field("inner", &self.inner)
+            .field("bulk_blobs", &self.bulk.blob_count())
+            .field("byz_bulk", &self.byz_bulk)
             .finish()
     }
 }
@@ -120,15 +183,56 @@ where
         msg: StoreMsg<P>,
         ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>,
     ) {
-        let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
-        let inner = &mut self.inner;
-        ctx.with_effects(&mut eff, |sub| {
-            for m in msg.batch {
-                inner.on_message(from, m, sub);
+        match msg {
+            StoreMsg::Batch(batch) => {
+                let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
+                let inner = &mut self.inner;
+                ctx.with_effects(&mut eff, |sub| {
+                    for m in batch {
+                        inner.on_message(from, m, sub);
+                    }
+                });
+                for o in forward_batched(eff, ctx) {
+                    ctx.output(o);
+                }
             }
-        });
-        for o in forward_batched(eff, ctx) {
-            ctx.output(o);
+            StoreMsg::BulkPut {
+                shard,
+                digest,
+                bytes,
+            } => {
+                // Verify-before-store: fabricated blobs (link garbage, a
+                // lying writer) are refused silently and never
+                // acknowledged.
+                if self.bulk.put(shard, digest, bytes).held() {
+                    ctx.send(from, StoreMsg::BulkPutAck { shard, digest });
+                }
+            }
+            StoreMsg::BulkGet { shard, digest, tag } => {
+                let bytes = self.bulk.get(&digest).map(|b| b.to_vec());
+                let bytes = if self.byz_bulk {
+                    // Serve *wrong* bytes: flip one byte with a non-zero
+                    // mask (guaranteed ≠ original), or fabricate some if
+                    // the digest is not even held.
+                    let mut g = bytes.unwrap_or_else(|| vec![0xAB; 16]);
+                    let i = (ctx.rng().next_u64() as usize) % g.len();
+                    g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
+                    Some(g)
+                } else {
+                    bytes
+                };
+                ctx.send(
+                    from,
+                    StoreMsg::BulkGetAck {
+                        shard,
+                        digest,
+                        tag,
+                        bytes,
+                    },
+                );
+            }
+            // Client-bound replies arriving at a server are garbage.
+            StoreMsg::BulkPutAck { .. } | StoreMsg::BulkGetAck { .. } => {}
         }
     }
 
@@ -165,19 +269,14 @@ struct OwnedShard<V> {
     map: ShardMap<V>,
 }
 
+/// Why a metadata read (and possibly a bulk fetch) is running.
 #[derive(Debug)]
-enum CPhase {
-    Idle,
-    /// A `get` in flight: the sanity probe + read loop on `shard`.
-    Reading {
-        op: OpId,
-        key: String,
-        shard: u32,
-    },
-    /// A `put` in flight: the SWMR write of the updated shard map.
-    Writing {
-        op: OpId,
-    },
+enum ReadGoal {
+    /// A client `get`: project `key` out of the resolved map.
+    Get { op: OpId, key: String },
+    /// Writer-map recovery after transient corruption: adopt the resolved
+    /// map as the authoritative copy, then republish it.
+    Recover,
 }
 
 /// A store client: sequential `put`/`get` operations against any number of
@@ -189,34 +288,88 @@ enum CPhase {
 /// inversion-prevention state is per register). Operations run one at a
 /// time per client — exactly the paper's sequential-client model; store
 /// concurrency comes from deploying many clients.
-pub struct StoreClientNode<V: Payload> {
+pub struct StoreClientNode<V: Payload + BulkCodec> {
     cfg: RegisterConfig,
     router: KeyRouter,
+    plane: DataPlane,
     link: ClientLink,
+    servers: Vec<ProcessId>,
     /// All store clients (the reader set every shard write must help).
     clients: Vec<ProcessId>,
-    policies: Vec<AtomicPolicy<ShardMap<V>>>,
+    policies: Vec<AtomicPolicy<StoreVal<V>>>,
     owned: BTreeMap<u32, OwnedShard<V>>,
     read_engine: ReadEngine<StorePayload<V>>,
     write_engine: WriteEngine<StorePayload<V>>,
-    phase: CPhase,
+    phase: Phase<V>,
     pending: VecDeque<(OpId, StoreOp<V>)>,
+    /// Owned shards whose authoritative map must be re-read and
+    /// republished before the next put (queued by `on_corrupt`).
+    need_recover: VecDeque<u32>,
+    recoveries: u64,
+    next_bulk_tag: u64,
 }
 
-impl<V: Payload> std::fmt::Debug for StoreClientNode<V> {
+/// The client's operation phase.
+#[derive(Debug)]
+enum Phase<V: Payload> {
+    Idle,
+    /// The metadata register read on `shard`: sanity probe (N2–N7), then
+    /// the read loop.
+    Reading {
+        goal: ReadGoal,
+        shard: u32,
+    },
+    /// Resolving a [`BulkRef`] against the shard's data replicas.
+    Fetching {
+        goal: ReadGoal,
+        shard: u32,
+        /// The metadata stamp the reference arrived under (recovery
+        /// resyncs the owner's stamper from it).
+        wsn: RingSeq,
+        bref: BulkRef,
+        /// Current round tag (stale replies are dropped by tag).
+        tag: u64,
+        /// Invalid/missing replies this round.
+        bad: usize,
+        /// Retransmission rounds run for this reference.
+        rounds: u32,
+        /// The round's retransmission timer.
+        timer: TimerId,
+        /// Set by a digest-verified reply; consumed by the pump.
+        resolved: Option<ShardMap<V>>,
+    },
+    /// Bulk mode: payload pushed to the data replicas; waiting for `t+1`
+    /// verified-store acknowledgements before the metadata write.
+    PushingBulk {
+        op: Option<OpId>,
+        shard: u32,
+        digest: sbs_bulk::BulkDigest,
+        payload: StorePayload<V>,
+        acks: BTreeSet<ProcessId>,
+    },
+    /// The metadata write (of the map or of its reference). `op` is
+    /// `None` for a recovery republish.
+    Writing {
+        op: Option<OpId>,
+    },
+}
+
+impl<V: Payload + BulkCodec> std::fmt::Debug for StoreClientNode<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreClientNode")
             .field("owned", &self.owned.keys().collect::<Vec<_>>())
+            .field("plane", &self.plane)
             .field("phase", &self.phase)
             .field("pending", &self.pending.len())
             .finish()
     }
 }
 
-impl<V: Payload> StoreClientNode<V> {
+impl<V: Payload + BulkCodec> StoreClientNode<V> {
     /// Creates a client over `servers`, owning `owned_shards` (empty for a
     /// read-only client). `clients` is the full client set of the store —
     /// the helping mechanism of every owned shard serves all of them.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: RegisterConfig,
         router: KeyRouter,
@@ -224,7 +377,15 @@ impl<V: Payload> StoreClientNode<V> {
         clients: Vec<ProcessId>,
         owned_shards: &[u32],
         wsn_modulus: u128,
+        plane: DataPlane,
     ) -> Self {
+        if let DataPlane::Bulk { replicas } = plane {
+            assert!(
+                (1..=servers.len()).contains(&replicas),
+                "bulk replication factor {replicas} out of range for {} servers",
+                servers.len()
+            );
+        }
         let owned = owned_shards
             .iter()
             .map(|&s| {
@@ -241,14 +402,19 @@ impl<V: Payload> StoreClientNode<V> {
         StoreClientNode {
             cfg,
             router,
-            link: ClientLink::new(servers, cfg.t),
+            plane,
+            link: ClientLink::new(servers.clone(), cfg.t),
+            servers,
             clients,
             policies: (0..router.shards()).map(|_| AtomicPolicy::new()).collect(),
             owned,
             read_engine: ReadEngine::new(RegId(0), cfg),
             write_engine: WriteEngine::new(RegId(0), cfg, Vec::new()),
-            phase: CPhase::Idle,
+            phase: Phase::Idle,
             pending: VecDeque::new(),
+            need_recover: VecDeque::new(),
+            recoveries: 0,
+            next_bulk_tag: 0,
         }
     }
 
@@ -277,7 +443,7 @@ impl<V: Payload> StoreClientNode<V> {
 
     /// Operations queued or in flight at this client.
     pub fn backlog(&self) -> usize {
-        self.pending.len() + usize::from(!matches!(self.phase, CPhase::Idle))
+        self.pending.len() + usize::from(!matches!(self.phase, Phase::Idle))
     }
 
     /// The shards this client writes.
@@ -285,18 +451,230 @@ impl<V: Payload> StoreClientNode<V> {
         self.owned.keys().copied().collect()
     }
 
+    /// The data plane this client writes/reads through.
+    pub fn plane(&self) -> DataPlane {
+        self.plane
+    }
+
+    /// Writer-map recoveries completed (re-read + republish after
+    /// transient corruption).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// The data replicas holding `shard`'s payload bytes (empty under
+    /// full replication).
+    fn data_replicas(&self, shard: u32) -> Vec<ProcessId> {
+        Self::replicas_for(self.plane, &self.servers, shard)
+    }
+
+    /// [`StoreClientNode::data_replicas`] over explicit fields, callable
+    /// while `self.phase` is mutably borrowed.
+    fn replicas_for(plane: DataPlane, servers: &[ProcessId], shard: u32) -> Vec<ProcessId> {
+        match plane {
+            DataPlane::Full => Vec::new(),
+            DataPlane::Bulk { replicas } => data_replica_slots(shard, servers.len(), replicas)
+                .into_iter()
+                .map(|i| servers[i])
+                .collect(),
+        }
+    }
+
+    /// Number of data replicas per shard (0 under full replication) —
+    /// allocation-free, for the per-message pump paths.
+    fn replica_count(&self) -> usize {
+        match self.plane {
+            DataPlane::Full => 0,
+            DataPlane::Bulk { replicas } => replicas,
+        }
+    }
+
+    /// True iff `pid` serves `shard`'s bulk window — membership by window
+    /// arithmetic, allocation-free (runs on every bulk acknowledgement).
+    fn is_data_replica(
+        plane: DataPlane,
+        servers: &[ProcessId],
+        shard: u32,
+        pid: ProcessId,
+    ) -> bool {
+        let DataPlane::Bulk { replicas } = plane else {
+            return false;
+        };
+        let n = servers.len();
+        let Some(idx) = servers.iter().position(|&s| s == pid) else {
+            return false;
+        };
+        let start = shard as usize % n;
+        (idx + n - start) % n < replicas
+    }
+
     /// Runs the engine pump inside a sub-context, then re-emits batched
-    /// sends, forwarded timers, and operation completions.
+    /// sends, forwarded timers, bulk-plane sends, and operation
+    /// completions.
     fn step(&mut self, ctx: &mut StoreCtx<'_, V>) {
         let mut eff: Effects<RegMsg<StorePayload<V>>, ()> = Effects::new();
         let mut outs: Vec<StoreOut<V>> = Vec::new();
+        let mut bulk_sends: Vec<(ProcessId, StoreWire<V>)> = Vec::new();
         {
             let this = &mut *self;
-            ctx.with_effects(&mut eff, |sub| this.pump(sub, &mut outs));
+            ctx.with_effects(&mut eff, |sub| this.pump(sub, &mut outs, &mut bulk_sends));
         }
         let _ = forward_batched(eff, ctx);
+        for (to, m) in bulk_sends {
+            ctx.send(to, m);
+        }
         for o in outs {
             ctx.output(o);
+        }
+    }
+
+    /// Starts the metadata read of `shard` for `goal`.
+    fn start_read(
+        &mut self,
+        goal: ReadGoal,
+        shard: u32,
+        sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
+    ) {
+        if matches!(goal, ReadGoal::Recover) {
+            // The recovery read must learn the *servers'* agreed state; the
+            // owner's own inversion-prevention pair was just scrambled, and
+            // trusting it could "prevent" the genuine quorum value in favor
+            // of corrupted local memory. Start from a clean policy (the
+            // sanity probe then re-anchors it on the servers).
+            self.policies[shard as usize] = AtomicPolicy::new();
+        }
+        self.read_engine = ReadEngine::new(RegId(shard), self.cfg);
+        // Figure 3 read: sanity probe first (N2–N7), then the read loop.
+        self.read_engine.start_sanity(&mut self.link, sub);
+        self.phase = Phase::Reading { goal, shard };
+    }
+
+    /// Publishes the authoritative map of `shard`: under full replication
+    /// one metadata write of the inline map; under the bulk plane a
+    /// `BULK_PUT` fan-out to the data replicas first, the reference write
+    /// gated on `t + 1` verified acknowledgements. `op` is `None` for a
+    /// recovery republish.
+    fn start_publish(
+        &mut self,
+        shard: u32,
+        op: Option<OpId>,
+        sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
+        bulk_sends: &mut Vec<(ProcessId, StoreWire<V>)>,
+    ) {
+        let replicas = self.data_replicas(shard);
+        let owned = self.owned.get_mut(&shard).expect("publish on owned shard");
+        match self.plane {
+            DataPlane::Full => {
+                let payload = WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
+                    &mut owned.stamper,
+                    StoreVal::Inline(owned.map.clone()),
+                );
+                self.write_engine = WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
+                self.write_engine.start(payload, &mut self.link, sub);
+                self.phase = Phase::Writing { op };
+            }
+            DataPlane::Bulk { .. } => {
+                let bytes = owned.map.encode_to_vec();
+                let bref = BulkRef::to_bytes(&bytes);
+                let payload = WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
+                    &mut owned.stamper,
+                    StoreVal::Ref(bref),
+                );
+                for &r in &replicas {
+                    bulk_sends.push((
+                        r,
+                        StoreMsg::BulkPut {
+                            shard,
+                            digest: bref.digest,
+                            bytes: bytes.clone(),
+                        },
+                    ));
+                }
+                self.phase = Phase::PushingBulk {
+                    op,
+                    shard,
+                    digest: bref.digest,
+                    payload,
+                    acks: BTreeSet::new(),
+                };
+            }
+        }
+    }
+
+    /// Starts a bulk fetch round for `bref` on `shard`.
+    #[allow(clippy::too_many_arguments)]
+    fn start_fetch(
+        &mut self,
+        goal: ReadGoal,
+        shard: u32,
+        wsn: RingSeq,
+        bref: BulkRef,
+        rounds: u32,
+        sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
+        bulk_sends: &mut Vec<(ProcessId, StoreWire<V>)>,
+    ) {
+        let tag = self.next_bulk_tag;
+        self.next_bulk_tag += 1;
+        for r in self.data_replicas(shard) {
+            bulk_sends.push((
+                r,
+                StoreMsg::BulkGet {
+                    shard,
+                    digest: bref.digest,
+                    tag,
+                },
+            ));
+        }
+        let timer = sub.set_timer(self.cfg.retry_after);
+        self.phase = Phase::Fetching {
+            goal,
+            shard,
+            wsn,
+            bref,
+            tag,
+            bad: 0,
+            rounds,
+            timer,
+            resolved: None,
+        };
+    }
+
+    /// Completes `goal` with the resolved map of `shard` (read under
+    /// metadata stamp `wsn`). For a `get` this emits the completion; for a
+    /// recovery it adopts the map and starts the republish (so the
+    /// caller's pump loop continues).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_resolve(
+        &mut self,
+        goal: ReadGoal,
+        shard: u32,
+        wsn: RingSeq,
+        map: ShardMap<V>,
+        sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
+        outs: &mut Vec<StoreOut<V>>,
+        bulk_sends: &mut Vec<(ProcessId, StoreWire<V>)>,
+    ) {
+        match goal {
+            ReadGoal::Get { op, key } => {
+                let value = map.get(&key).cloned();
+                outs.push(StoreOut::GetDone { op, value });
+                // phase stays Idle; the pump keeps draining the queue.
+            }
+            ReadGoal::Recover => {
+                // Adopt the register's (last published) map as the
+                // authoritative copy — and **resync the sequence stamper**
+                // onto the stamp the quorum agreed on, the MWMR
+                // read-before-write refresh rule generalized to recovery.
+                // Republishing under the scrambled counter instead would
+                // stamp values clockwise-*behind* the helping pairs still
+                // installed at the servers, and every reader's
+                // inversion-prevention state would pin the pre-corruption
+                // value essentially forever.
+                let owned = self.owned.get_mut(&shard).expect("recovering owned shard");
+                owned.map = map;
+                owned.stamper = WsnStamp::new(wsn);
+                self.start_publish(shard, None, sub, bulk_sends);
+            }
         }
     }
 
@@ -304,97 +682,281 @@ impl<V: Payload> StoreClientNode<V> {
         &mut self,
         sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
         outs: &mut Vec<StoreOut<V>>,
+        bulk_sends: &mut Vec<(ProcessId, StoreWire<V>)>,
     ) {
         loop {
-            match std::mem::replace(&mut self.phase, CPhase::Idle) {
-                CPhase::Idle => {
+            match std::mem::replace(&mut self.phase, Phase::Idle) {
+                Phase::Idle => {
+                    // Writer-map recovery runs ahead of queued operations:
+                    // a corrupted owner must not accept its next put on a
+                    // scrambled authoritative map.
+                    if let Some(shard) = self.need_recover.pop_front() {
+                        self.start_read(ReadGoal::Recover, shard, sub);
+                        continue;
+                    }
                     let Some((op, kind)) = self.pending.pop_front() else {
                         return;
                     };
                     match kind {
                         StoreOp::Get { key } => {
                             let shard = self.router.shard_of(&key);
-                            self.read_engine = ReadEngine::new(RegId(shard), self.cfg);
-                            // Figure 3 read: sanity probe first (N2–N7),
-                            // then the read loop.
-                            self.read_engine.start_sanity(&mut self.link, sub);
-                            self.phase = CPhase::Reading { op, key, shard };
+                            self.start_read(ReadGoal::Get { op, key }, shard, sub);
                         }
                         StoreOp::Put { key, val } => {
                             let shard = self.router.shard_of(&key);
                             let owned = self.owned.get_mut(&shard).expect("checked at invoke_put");
                             owned.map.insert(&key, val);
-                            let payload = WriteStamper::<ShardMap<V>, StorePayload<V>>::stamp(
-                                &mut owned.stamper,
-                                owned.map.clone(),
-                            );
-                            self.write_engine =
-                                WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
-                            self.write_engine.start(payload, &mut self.link, sub);
-                            self.phase = CPhase::Writing { op };
+                            self.start_publish(shard, Some(op), sub, bulk_sends);
                         }
                     }
                 }
-                CPhase::Reading { op, key, shard } => {
+                Phase::Reading { goal, shard } => {
                     match self.read_engine.poll(&mut self.link, sub) {
                         Some(ReadProgress::SanityDone(agreed)) => {
                             self.policies[shard as usize].on_sanity(agreed.as_ref());
                             self.read_engine.start_read(&mut self.link, sub);
-                            self.phase = CPhase::Reading { op, key, shard };
+                            self.phase = Phase::Reading { goal, shard };
                         }
                         Some(ReadProgress::Done(source, p)) => {
                             let stamped = self.policies[shard as usize].transform(source, p);
-                            let value = stamped.val.get(&key).cloned();
-                            outs.push(StoreOut::GetDone { op, value });
-                            // phase stays Idle; keep pumping the queue.
+                            let wsn = stamped.wsn;
+                            match stamped.val {
+                                StoreVal::Inline(map) => {
+                                    self.finish_resolve(
+                                        goal, shard, wsn, map, sub, outs, bulk_sends,
+                                    );
+                                }
+                                StoreVal::Ref(bref) => {
+                                    if self.data_replicas(shard).is_empty() {
+                                        // Full replication should never see
+                                        // a reference; if stabilizing
+                                        // garbage won a quorum anyway,
+                                        // re-read until real metadata does.
+                                        self.start_read(goal, shard, sub);
+                                    } else {
+                                        self.start_fetch(
+                                            goal, shard, wsn, bref, 0, sub, bulk_sends,
+                                        );
+                                        return;
+                                    }
+                                }
+                            }
                         }
                         None => {
-                            self.phase = CPhase::Reading { op, key, shard };
+                            self.phase = Phase::Reading { goal, shard };
                             return;
                         }
                     }
                 }
-                CPhase::Writing { op } => {
+                Phase::Fetching {
+                    goal,
+                    shard,
+                    wsn,
+                    bref,
+                    tag,
+                    bad,
+                    rounds,
+                    timer,
+                    resolved,
+                } => {
+                    if let Some(map) = resolved {
+                        sub.cancel_timer(timer);
+                        self.finish_resolve(goal, shard, wsn, map, sub, outs, bulk_sends);
+                        continue;
+                    }
+                    if bad >= self.replica_count() {
+                        // Every replica of this round answered garbage or
+                        // a miss: the reference may be stale (overwritten
+                        // metadata) or fabricated — fall back to the
+                        // metadata register.
+                        sub.cancel_timer(timer);
+                        self.start_read(goal, shard, sub);
+                        continue;
+                    }
+                    self.phase = Phase::Fetching {
+                        goal,
+                        shard,
+                        wsn,
+                        bref,
+                        tag,
+                        bad,
+                        rounds,
+                        timer,
+                        resolved,
+                    };
+                    return;
+                }
+                Phase::PushingBulk {
+                    op,
+                    shard,
+                    digest,
+                    payload,
+                    acks,
+                } => {
+                    // t+1 acks, capped by the factor actually configured:
+                    // sub-(2t+1) factors are experiment knobs that trade
+                    // the Byzantine guarantee away, not deadlocks.
+                    let needed = push_quorum(self.cfg.t).min(self.replica_count());
+                    if acks.len() >= needed {
+                        // t+1 verified stores ⇒ ≥1 correct replica holds
+                        // the bytes: the reference may become visible.
+                        self.write_engine =
+                            WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
+                        self.write_engine.start(payload, &mut self.link, sub);
+                        self.phase = Phase::Writing { op };
+                    } else {
+                        self.phase = Phase::PushingBulk {
+                            op,
+                            shard,
+                            digest,
+                            payload,
+                            acks,
+                        };
+                        return;
+                    }
+                }
+                Phase::Writing { op } => {
                     if self.write_engine.poll(&mut self.link, sub) {
-                        outs.push(StoreOut::PutDone { op });
+                        match op {
+                            Some(op) => outs.push(StoreOut::PutDone { op }),
+                            None => self.recoveries += 1,
+                        }
                         // phase stays Idle; keep pumping the queue.
                     } else {
-                        self.phase = CPhase::Writing { op };
+                        self.phase = Phase::Writing { op };
                         return;
                     }
                 }
             }
         }
     }
+
+    /// Validates one `BULK_GET` reply against the in-flight fetch;
+    /// digest-verified bytes resolve the fetch, anything else counts as a
+    /// bad reply (the fallback-to-other-replicas path).
+    fn on_bulk_get_ack(
+        &mut self,
+        shard: u32,
+        digest: sbs_bulk::BulkDigest,
+        tag: u64,
+        bytes: Option<Vec<u8>>,
+    ) {
+        let Phase::Fetching {
+            shard: s,
+            bref,
+            tag: t,
+            bad,
+            resolved,
+            ..
+        } = &mut self.phase
+        else {
+            return;
+        };
+        if tag != *t || shard != *s || digest != bref.digest || resolved.is_some() {
+            return; // stale round, wrong blob, or already resolved
+        }
+        match bytes {
+            Some(b) if bref.verifies(&b) => match ShardMap::<V>::decode_all(&b) {
+                Some(map) => *resolved = Some(map),
+                // Digest-passing but undecodable would need a digest
+                // collision; treat it as a bad replica all the same.
+                None => *bad += 1,
+            },
+            _ => *bad += 1,
+        }
+    }
 }
 
-impl<V: Payload> Node for StoreClientNode<V> {
+impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
     type Msg = StoreWire<V>;
     type Out = StoreOut<V>;
 
     fn on_message(&mut self, from: ProcessId, msg: StoreWire<V>, ctx: &mut StoreCtx<'_, V>) {
-        for m in msg.batch {
-            match m {
-                RegMsg::SsAck { tag } => {
-                    self.link.on_ss_ack(from, tag);
+        match msg {
+            StoreMsg::Batch(batch) => {
+                for m in batch {
+                    match m {
+                        RegMsg::SsAck { tag } => {
+                            self.link.on_ss_ack(from, tag);
+                        }
+                        RegMsg::AckRead { reg, last, helping } => {
+                            let anchored = self.link.anchored_tag(from);
+                            self.read_engine
+                                .on_ack_read(from, reg, last, helping, anchored);
+                        }
+                        RegMsg::AckWrite { reg, helping } => {
+                            let anchored = self.link.anchored_tag(from);
+                            self.write_engine.on_ack_write(from, reg, helping, anchored);
+                        }
+                        // Requests are server-bound; receiving one is garbage.
+                        RegMsg::Write { .. } | RegMsg::NewHelpVal { .. } | RegMsg::Read { .. } => {}
+                    }
                 }
-                RegMsg::AckRead { reg, last, helping } => {
-                    let anchored = self.link.anchored_tag(from);
-                    self.read_engine
-                        .on_ack_read(from, reg, last, helping, anchored);
-                }
-                RegMsg::AckWrite { reg, helping } => {
-                    let anchored = self.link.anchored_tag(from);
-                    self.write_engine.on_ack_write(from, reg, helping, anchored);
-                }
-                // Requests are server-bound; receiving one is garbage.
-                RegMsg::Write { .. } | RegMsg::NewHelpVal { .. } | RegMsg::Read { .. } => {}
             }
+            StoreMsg::BulkPutAck { shard, digest } => {
+                if let Phase::PushingBulk {
+                    shard: s,
+                    digest: d,
+                    acks,
+                    ..
+                } = &mut self.phase
+                {
+                    // Only replicas we actually asked may count toward the
+                    // push quorum (a content-addressed stale ack from an
+                    // earlier identical map is fine: held is held).
+                    if *s == shard
+                        && *d == digest
+                        && Self::is_data_replica(self.plane, &self.servers, shard, from)
+                    {
+                        acks.insert(from);
+                    }
+                }
+            }
+            StoreMsg::BulkGetAck {
+                shard,
+                digest,
+                tag,
+                bytes,
+            } => self.on_bulk_get_ack(shard, digest, tag, bytes),
+            // Server-bound bulk requests arriving at a client are garbage.
+            StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } => {}
         }
         self.step(ctx);
     }
 
     fn on_timer(&mut self, id: TimerId, ctx: &mut StoreCtx<'_, V>) {
+        if let Phase::Fetching {
+            shard,
+            bref,
+            tag,
+            bad,
+            rounds,
+            timer,
+            resolved,
+            ..
+        } = &mut self.phase
+        {
+            if *timer == id && resolved.is_none() {
+                if *rounds + 1 >= FETCH_ROUNDS_PER_READ {
+                    // Give up on this reference: force the all-bad path so
+                    // the pump re-reads the metadata register.
+                    *bad = usize::MAX;
+                } else {
+                    // Retransmission round: fresh tag, reset tally.
+                    *rounds += 1;
+                    *bad = 0;
+                    *tag = self.next_bulk_tag;
+                    self.next_bulk_tag += 1;
+                    let (shard, digest, tag) = (*shard, bref.digest, *tag);
+                    for r in Self::replicas_for(self.plane, &self.servers, shard) {
+                        ctx.send(r, StoreMsg::BulkGet { shard, digest, tag });
+                    }
+                    *timer = ctx.set_timer(self.cfg.retry_after);
+                }
+                self.step(ctx);
+                return;
+            }
+        }
         self.read_engine.on_timer(id);
         self.write_engine.on_timer(id);
         self.step(ctx);
@@ -402,19 +964,22 @@ impl<V: Payload> Node for StoreClientNode<V> {
 
     fn on_corrupt(&mut self, rng: &mut DetRng) {
         // Scramble the recoverable protocol state: broadcast anchors,
-        // in-flight acknowledgements, sequence stampers, and the
-        // inversion-prevention pairs. The owner maps are durable writer
-        // state; republishing them after corruption (the MWMR refresh rule
-        // generalized to the store) is an open ROADMAP item.
+        // in-flight acknowledgements, sequence stampers, the
+        // inversion-prevention pairs — and the owner's authoritative shard
+        // maps. The maps are repaired by the recovery rule: before the
+        // next put on an owned shard, the owner re-reads its own register
+        // and republishes (queued here, executed by the pump).
         self.link.corrupt(rng);
         self.read_engine.corrupt(rng);
         self.write_engine.corrupt(rng);
         for o in self.owned.values_mut() {
-            WriteStamper::<ShardMap<V>, StorePayload<V>>::corrupt(&mut o.stamper, rng);
+            WriteStamper::<StoreVal<V>, StorePayload<V>>::corrupt(&mut o.stamper, rng);
+            o.map.scramble(rng);
         }
         for p in &mut self.policies {
             ReadPolicy::<StorePayload<V>>::corrupt(p, rng);
         }
+        self.need_recover = self.owned.keys().copied().collect();
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -425,6 +990,7 @@ impl<V: Payload> Node for StoreClientNode<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbs_bulk::digest_of;
     use sbs_sim::SimTime;
 
     #[test]
@@ -455,11 +1021,17 @@ mod tests {
         let sends = outer.sends();
         assert_eq!(sends.len(), 2, "three messages coalesce into two batches");
         assert_eq!(sends[0].0, a);
-        assert_eq!(sends[0].1.batch.len(), 2);
-        assert!(matches!(sends[0].1.batch[0], RegMsg::SsAck { tag: 1 }));
-        assert!(matches!(sends[0].1.batch[1], RegMsg::AckRead { .. }));
+        let StoreMsg::Batch(batch_a) = &sends[0].1 else {
+            panic!("expected a batch");
+        };
+        assert_eq!(batch_a.len(), 2);
+        assert!(matches!(batch_a[0], RegMsg::SsAck { tag: 1 }));
+        assert!(matches!(batch_a[1], RegMsg::AckRead { .. }));
         assert_eq!(sends[1].0, b);
-        assert_eq!(sends[1].1.batch.len(), 1);
+        let StoreMsg::Batch(batch_b) = &sends[1].1 else {
+            panic!("expected a batch");
+        };
+        assert_eq!(batch_b.len(), 1);
     }
 
     #[test]
@@ -495,11 +1067,135 @@ mod tests {
             clients,
             &router.shards_of_writer(0),
             257,
+            DataPlane::Full,
         );
         let mut rng = DetRng::from_seed(1);
         let mut nt = 0u64;
         let mut eff: Effects<StoreWire<u64>, StoreOut<u64>> = Effects::new();
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(0), &mut rng, &mut nt, &mut eff);
         node.invoke_put(OpId(0), key, 5, &mut ctx);
+    }
+
+    #[test]
+    fn bulk_server_refuses_fabricated_blobs_and_serves_held_ones() {
+        use sbs_core::ServerNode;
+        type P = u64;
+        let mut node: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0));
+        let mut rng = DetRng::from_seed(2);
+        let mut nt = 0u64;
+        let client = ProcessId(0);
+
+        let bytes = b"real blob".to_vec();
+        let digest = digest_of(&bytes);
+        let run = |node: &mut StoreServerNode<P, ServerNode<P, ()>>,
+                   rng: &mut DetRng,
+                   nt: &mut u64,
+                   msg: StoreMsg<P>| {
+            let mut eff: Effects<StoreMsg<P>, ()> = Effects::new();
+            let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), rng, nt, &mut eff);
+            node.on_message(client, msg, &mut ctx);
+            eff
+        };
+
+        // A fabricated blob (bytes not matching the digest) is refused:
+        // no ack, nothing stored.
+        let eff = run(
+            &mut node,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkPut {
+                shard: 1,
+                digest,
+                bytes: b"forged".to_vec(),
+            },
+        );
+        assert!(eff.sends().is_empty(), "forged blob must not be acked");
+        assert_eq!(node.bulk().blob_count(), 0);
+
+        // The genuine blob stores and acks.
+        let eff = run(
+            &mut node,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkPut {
+                shard: 1,
+                digest,
+                bytes: bytes.clone(),
+            },
+        );
+        assert!(matches!(
+            eff.sends(),
+            [(_, StoreMsg::BulkPutAck { shard: 1, .. })]
+        ));
+        assert!(node.bulk().holds(&digest));
+
+        // A get returns the held bytes verbatim.
+        let eff = run(
+            &mut node,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkGet {
+                shard: 1,
+                digest,
+                tag: 7,
+            },
+        );
+        let [(
+            to,
+            StoreMsg::BulkGetAck {
+                tag: 7,
+                bytes: Some(served),
+                ..
+            },
+        )] = eff.sends()
+        else {
+            panic!("expected one BulkGetAck, got {:?}", eff.sends());
+        };
+        assert_eq!(*to, client);
+        assert_eq!(served, &bytes);
+    }
+
+    #[test]
+    fn byzantine_bulk_server_serves_garbled_bytes() {
+        use sbs_core::ServerNode;
+        type P = u64;
+        let mut node: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0)).byzantine_bulk();
+        let mut rng = DetRng::from_seed(3);
+        let mut nt = 0u64;
+        let bytes = b"honest bytes".to_vec();
+        let digest = digest_of(&bytes);
+
+        let mut eff: Effects<StoreMsg<P>, ()> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut eff);
+        node.on_message(
+            ProcessId(0),
+            StoreMsg::BulkPut {
+                shard: 0,
+                digest,
+                bytes: bytes.clone(),
+            },
+            &mut ctx,
+        );
+        node.on_message(
+            ProcessId(0),
+            StoreMsg::BulkGet {
+                shard: 0,
+                digest,
+                tag: 1,
+            },
+            &mut ctx,
+        );
+        let served = eff
+            .sends()
+            .iter()
+            .find_map(|(_, m)| match m {
+                StoreMsg::BulkGetAck { bytes, .. } => bytes.clone(),
+                _ => None,
+            })
+            .expect("byz replica still replies");
+        assert_ne!(served, bytes, "byz replica must serve wrong bytes");
+        assert_ne!(digest_of(&served), digest, "…which can never digest-pass");
     }
 }

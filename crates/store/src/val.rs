@@ -1,0 +1,197 @@
+//! The register-visible shard value: the whole map inline (full
+//! replication) or a fixed-size content-addressed reference to it (bulk
+//! mode), plus a synthetic sized value for payload-size sweeps.
+
+use crate::map::ShardMap;
+use sbs_bulk::{get_u32, get_u64, put_u32, put_u64, BulkCodec, BulkRef};
+use sbs_core::Payload;
+use sbs_sim::DetRng;
+use std::fmt;
+
+/// What a shard's metadata register stores.
+///
+/// Under **full replication** every write carries the whole
+/// [`ShardMap`] inline, so payload traffic scales with the fleet size
+/// `n`. Under the **bulk plane** the register carries only a
+/// [`BulkRef`] — `(digest, len)`, 40 bytes regardless of payload — and
+/// the map's bytes live on the shard's `2t + 1` data replicas. Both
+/// variants flow through the *unmodified* register state machines: to
+/// the protocol this is just an opaque, comparable payload.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StoreVal<V> {
+    /// The shard map, replicated in full through the metadata quorum.
+    Inline(ShardMap<V>),
+    /// A content-addressed reference; the bytes live on the data
+    /// replicas.
+    Ref(BulkRef),
+}
+
+impl<V: Payload> StoreVal<V> {
+    /// The empty inline map — every shard's initial register value in
+    /// *both* modes, so reading a never-written shard needs no bulk
+    /// fetch.
+    pub fn empty() -> Self {
+        StoreVal::Inline(ShardMap::new())
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for StoreVal<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreVal::Inline(m) => write!(f, "Inline({m:?})"),
+            StoreVal::Ref(r) => write!(f, "Ref({r:?})"),
+        }
+    }
+}
+
+impl<V: Payload> Payload for StoreVal<V> {
+    /// Transient fault: contents scramble, and occasionally the *variant*
+    /// flips — a corrupted or fabricated register cell may claim to be a
+    /// reference to bytes that exist nowhere (the fetch path must survive
+    /// that), or collapse to an inline map.
+    fn scramble(&mut self, rng: &mut DetRng) {
+        if rng.chance(0.25) {
+            *self = match self {
+                StoreVal::Inline(_) => {
+                    let mut r = BulkRef::to_bytes(&[]);
+                    r.scramble(rng);
+                    StoreVal::Ref(r)
+                }
+                StoreVal::Ref(_) => StoreVal::Inline(ShardMap::new()),
+            };
+            return;
+        }
+        match self {
+            StoreVal::Inline(m) => m.scramble(rng),
+            StoreVal::Ref(r) => r.scramble(rng),
+        }
+    }
+
+    fn wire_size(&self) -> u64 {
+        1 + match self {
+            StoreVal::Inline(m) => m.wire_size(),
+            StoreVal::Ref(r) => Payload::wire_size(r),
+        }
+    }
+}
+
+/// A value of tunable serialized size: a unique id plus `len` bytes of
+/// deterministic filler, **materialized only when encoded**. Workload
+/// sweeps use it to measure byte traffic as a function of payload size
+/// without cloning kilobytes through every map snapshot; the checkers
+/// only need the id for uniqueness.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizedVal {
+    /// Globally unique id (the checkers' unique-write-value requirement).
+    pub id: u64,
+    /// Filler bytes appended by the codec.
+    pub len: u32,
+}
+
+impl SizedVal {
+    /// A value of `len` filler bytes identified by `id`.
+    pub fn new(id: u64, len: u32) -> Self {
+        SizedVal { id, len }
+    }
+
+    fn filler_byte(&self, i: u32) -> u8 {
+        (self
+            .id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64)) as u8
+    }
+}
+
+impl fmt::Debug for SizedVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}+{}B", self.id, self.len)
+    }
+}
+
+impl Payload for SizedVal {
+    /// Corruption scrambles the identity; the size class is structural.
+    fn scramble(&mut self, rng: &mut DetRng) {
+        self.id = rng.next_u64();
+    }
+
+    fn wire_size(&self) -> u64 {
+        12 + self.len as u64
+    }
+}
+
+impl BulkCodec for SizedVal {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.id);
+        put_u32(out, self.len);
+        out.extend((0..self.len).map(|i| self.filler_byte(i)));
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        let id = get_u64(buf)?;
+        let len = get_u32(buf)?;
+        if buf.len() < len as usize {
+            return None;
+        }
+        let v = SizedVal { id, len };
+        let (filler, rest) = buf.split_at(len as usize);
+        // The filler is derived from the id; mismatches mean garbling.
+        if filler
+            .iter()
+            .enumerate()
+            .any(|(i, &b)| b != v.filler_byte(i as u32))
+        {
+            return None;
+        }
+        *buf = rest;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_val_wire_sizes() {
+        let mut m: ShardMap<u64> = ShardMap::new();
+        m.insert("k", 5);
+        let inline: StoreVal<u64> = StoreVal::Inline(m);
+        let r: StoreVal<u64> = StoreVal::Ref(BulkRef::to_bytes(b"bytes"));
+        assert!(inline.wire_size() > 1);
+        assert_eq!(r.wire_size(), 41);
+        assert_eq!(StoreVal::<u64>::empty().wire_size(), 5);
+    }
+
+    #[test]
+    fn store_val_scramble_flips_variants_eventually() {
+        let mut rng = DetRng::from_seed(11);
+        let mut v: StoreVal<u64> = StoreVal::empty();
+        let mut saw_ref = false;
+        for _ in 0..64 {
+            v.scramble(&mut rng);
+            saw_ref |= matches!(v, StoreVal::Ref(_));
+        }
+        assert!(saw_ref, "scramble must eventually fabricate a Ref");
+    }
+
+    #[test]
+    fn sized_val_round_trips_and_detects_garbling() {
+        let v = SizedVal::new(7, 100);
+        let bytes = v.encode_to_vec();
+        assert_eq!(bytes.len() as u64, Payload::wire_size(&v));
+        assert_eq!(SizedVal::decode_all(&bytes), Some(v));
+        let mut garbled = bytes.clone();
+        garbled[20] ^= 0x40;
+        assert_eq!(SizedVal::decode_all(&garbled), None);
+        assert_eq!(SizedVal::decode_all(&bytes[..50]), None);
+        assert_eq!(format!("{v:?}"), "v7+100B");
+    }
+
+    #[test]
+    fn sized_vals_are_unique_by_id() {
+        let a = SizedVal::new(1, 64);
+        let b = SizedVal::new(2, 64);
+        assert_ne!(a, b);
+        assert_ne!(a.encode_to_vec(), b.encode_to_vec());
+    }
+}

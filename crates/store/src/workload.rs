@@ -10,7 +10,8 @@
 //! caller can hand per-key histories to `sbs-check`.
 
 use crate::harness::{StoreBuilder, StoreSystem};
-use sbs_core::ByzStrategy;
+use sbs_bulk::BulkCodec;
+use sbs_core::{ByzStrategy, Payload};
 use sbs_sim::{DetRng, SimDuration};
 
 /// Key-popularity distribution over the key space.
@@ -127,6 +128,10 @@ pub struct FaultPlan {
     /// Transient state corruption of one server at a virtual-time offset:
     /// `(offset from start, server index)`.
     pub corruptions: Vec<(SimDuration, usize)>,
+    /// Transient state corruption of one **client** at a virtual-time
+    /// offset: `(offset from start, client index)`. Corrupting a shard
+    /// owner exercises the writer-map recovery rule.
+    pub client_corruptions: Vec<(SimDuration, usize)>,
     /// Garbage injection into every client⇄server link at a virtual-time
     /// offset: `(offset from start, batches per link direction)`.
     pub link_garbage: Vec<(SimDuration, usize)>,
@@ -184,17 +189,34 @@ impl Workload {
 
     /// Deploys `builder` (plus this workload's Byzantine plan), drives the
     /// load to completion, and returns the measurements and the finished
-    /// system.
+    /// system. Values are the operation sequence numbers themselves
+    /// (unique, as the checkers require); use [`Workload::run_with`] to
+    /// map them onto a custom value type (e.g. sized payloads).
     pub fn run(&self, builder: &StoreBuilder) -> (WorkloadReport, StoreSystem<u64>) {
+        self.run_with(builder, |id| id)
+    }
+
+    /// Like [`Workload::run`], but writes `mk(id)` for the `id`-th unique
+    /// value — the hook payload-size sweeps use (`mk` must stay
+    /// injective or the checkers will reject the history).
+    pub fn run_with<V: Payload + BulkCodec>(
+        &self,
+        builder: &StoreBuilder,
+        mk: impl Fn(u64) -> V,
+    ) -> (WorkloadReport, StoreSystem<V>) {
         let mut builder = builder.clone();
         for (i, s) in &self.faults.byzantine {
             builder = builder.byzantine(*i, s.clone());
         }
-        let mut sys: StoreSystem<u64> = builder.build();
+        let mut sys: StoreSystem<V> = builder.build();
         let start = sys.sim.now();
         for &(offset, server) in &self.faults.corruptions {
             let s = sys.servers[server];
             sys.sim.schedule_corruption(start + offset, s);
+        }
+        for &(offset, client) in &self.faults.client_corruptions {
+            let c = sys.clients[client];
+            sys.sim.schedule_corruption(start + offset, c);
         }
         // Garbage is scheduled upfront at its exact offsets, like the
         // corruptions — the drive loops never need to know about it.
@@ -211,7 +233,7 @@ impl Workload {
                 // Prime every client with one operation, then refill on
                 // completion.
                 for c in 0..sys.clients.len() {
-                    driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                    driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                 }
                 let mut idle_slices = 0;
                 while driver.completed < driver.issued || driver.issued < self.ops {
@@ -230,13 +252,16 @@ impl Workload {
                     driver.completed += done.len() as u64;
                     for (pid, _) in done {
                         let c = sys.clients.iter().position(|&p| p == pid).expect("client");
-                        driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                        driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                     }
                 }
             }
             LoopMode::Open { mean_interarrival } => {
                 // Precompute one exponential arrival sequence per client,
-                // merge-sorted, and inject on schedule.
+                // merge-sorted, and inject on schedule. Arrival times come
+                // from a dedicated scheduling stream so the per-client op
+                // streams stay schedule-independent.
+                let mut sched = DetRng::derive(self.seed, u64::MAX);
                 let mut arrivals: Vec<(SimDuration, usize)> = Vec::new();
                 let clients = sys.clients.len();
                 for c in 0..clients {
@@ -244,7 +269,7 @@ impl Workload {
                     let per_client = self.ops / clients as u64
                         + u64::from((self.ops % clients as u64) > c as u64);
                     for _ in 0..per_client {
-                        let u = driver.rng.next_f64().max(1e-12);
+                        let u = sched.next_f64().max(1e-12);
                         let gap = mean_interarrival.as_nanos() as f64 * -u.ln();
                         t += SimDuration::nanos(gap.max(1.0) as u64);
                         arrivals.push((t, c));
@@ -257,7 +282,7 @@ impl Workload {
                         let done = sys.run_for(target - sys.sim.now());
                         driver.completed += done.len() as u64;
                     }
-                    driver.issue_next_for(c, &mut sys, &mut reads, &mut writes);
+                    driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                 }
                 let mut idle_slices = 0;
                 while driver.completed < driver.issued {
@@ -289,6 +314,8 @@ impl Workload {
             },
             messages_delivered: sys.sim.metrics().messages_delivered,
             events_processed: sys.sim.metrics().events_processed,
+            metadata_bytes: sys.sim.metrics().metadata_bytes_sent,
+            bulk_bytes: sys.sim.metrics().bulk_bytes_sent,
         };
         (report, sys)
     }
@@ -300,12 +327,28 @@ const DRIVE_SLICE: SimDuration = SimDuration::millis(5);
 /// stall (liveness tripwire — 5 simulated minutes).
 const STALL_SLICES: u32 = 60_000;
 
+/// One client's deterministic operation stream.
+///
+/// Each client samples its operations from its **own** RNG stream
+/// (derived from the workload seed and the client index) and works
+/// through a fixed per-client quota. The issued operation sequence of
+/// every client is therefore a pure function of the `Workload` — *not* of
+/// scheduling, link delays, or which implementation serves the requests.
+/// That is what makes differential runs comparable: the same workload
+/// replayed against full replication and against the bulk data plane
+/// issues bit-identical per-client op streams even though completions
+/// interleave differently (it is also how YCSB's per-thread generators
+/// behave).
+struct ClientStream {
+    rng: DetRng,
+    remaining: u64,
+    writes_issued: u64,
+}
+
 /// Per-run sampling state.
 struct Driver {
-    rng: DetRng,
     issued: u64,
     completed: u64,
-    target: u64,
     keys: Vec<String>,
     global: DistSampler,
     /// Keys each writer client owns, by popularity rank (the write-side
@@ -313,13 +356,15 @@ struct Driver {
     owned_keys: Vec<Vec<usize>>,
     owned_samplers: Vec<Option<DistSampler>>,
     read_fraction: f64,
+    streams: Vec<ClientStream>,
 }
 
 impl Driver {
-    fn new(w: &Workload, sys: &StoreSystem<u64>) -> Self {
+    fn new<V: Payload + BulkCodec>(w: &Workload, sys: &StoreSystem<V>) -> Self {
         let keys: Vec<String> = (0..w.keys).map(|i| format!("key{i}")).collect();
         let router = *sys.router();
-        let mut owned_keys: Vec<Vec<usize>> = vec![Vec::new(); sys.clients.len()];
+        let clients = sys.clients.len();
+        let mut owned_keys: Vec<Vec<usize>> = vec![Vec::new(); clients];
         for (rank, key) in keys.iter().enumerate() {
             owned_keys[router.writer_of(key)].push(rank);
         }
@@ -335,46 +380,60 @@ impl Driver {
                 }
             })
             .collect();
+        let streams = (0..clients)
+            .map(|c| ClientStream {
+                rng: DetRng::derive(w.seed, c as u64),
+                remaining: w.ops / clients as u64 + u64::from((w.ops % clients as u64) > c as u64),
+                writes_issued: 0,
+            })
+            .collect();
         Driver {
-            rng: DetRng::from_seed(w.seed),
             issued: 0,
             completed: 0,
-            target: w.ops,
             keys,
             global: w.dist.sampler(w.keys),
             owned_keys,
             owned_samplers,
             read_fraction: w.mix.read_fraction,
+            streams,
         }
     }
 
-    /// Issues the next operation on client `c`, honoring the mix and the
-    /// writer assignment: reads draw from the global key distribution,
-    /// writes draw from the distribution restricted to the client's owned
-    /// keys (a read-only client always reads).
-    fn issue_next_for(
+    /// Issues the next operation of client `c`'s stream, honoring the mix
+    /// and the writer assignment: reads draw from the global key
+    /// distribution, writes draw from the distribution restricted to the
+    /// client's owned keys (a read-only client always reads). A client
+    /// whose quota is exhausted issues nothing.
+    fn issue_next_for<V: Payload + BulkCodec>(
         &mut self,
         c: usize,
-        sys: &mut StoreSystem<u64>,
+        sys: &mut StoreSystem<V>,
+        mk: &impl Fn(u64) -> V,
         reads: &mut u64,
         writes: &mut u64,
     ) {
-        if self.issued >= self.target {
+        let clients = self.streams.len() as u64;
+        let stream = &mut self.streams[c];
+        if stream.remaining == 0 {
             return;
         }
-        let wants_read = self.rng.chance(self.read_fraction);
+        stream.remaining -= 1;
+        let wants_read = stream.rng.chance(self.read_fraction);
         let can_write = self.owned_samplers[c].is_some();
         if wants_read || !can_write {
-            let key = self.keys[self.global.sample(&mut self.rng)].clone();
+            let key = self.keys[self.global.sample(&mut stream.rng)].clone();
             sys.get(c, &key);
             *reads += 1;
         } else {
             let sampler = self.owned_samplers[c].as_ref().expect("checked");
-            let rank = self.owned_keys[c][sampler.sample(&mut self.rng)];
+            let rank = self.owned_keys[c][sampler.sample(&mut stream.rng)];
             let key = self.keys[rank].clone();
-            // Values are globally unique (op sequence + 1), as the
-            // checkers require.
-            sys.put(&key, self.issued + 1);
+            // Ids are globally unique (checkers require unique write
+            // values) yet a pure function of (client, write count), so
+            // they replay identically across implementations.
+            let id = stream.writes_issued * clients + c as u64 + 1;
+            stream.writes_issued += 1;
+            sys.put(&key, mk(id));
             *writes += 1;
         }
         self.issued += 1;
@@ -400,6 +459,18 @@ pub struct WorkloadReport {
     pub messages_delivered: u64,
     /// Total simulator events processed.
     pub events_processed: u64,
+    /// Estimated metadata-plane bytes on the wire (register batches).
+    pub metadata_bytes: u64,
+    /// Estimated bulk-plane bytes on the wire (payload transfers to/from
+    /// the data replicas; `0` under full replication).
+    pub bulk_bytes: u64,
+}
+
+impl WorkloadReport {
+    /// Estimated total bytes on the wire across both planes.
+    pub fn total_bytes(&self) -> u64 {
+        self.metadata_bytes + self.bulk_bytes
+    }
 }
 
 #[cfg(test)]

@@ -158,6 +158,7 @@ fn fault_plan_corruption_and_garbage_keep_liveness() {
         faults: FaultPlan {
             byzantine: vec![],
             corruptions: vec![(SimDuration::millis(20), 0), (SimDuration::millis(40), 5)],
+            client_corruptions: vec![],
             link_garbage: vec![(SimDuration::millis(30), 2)],
         },
     };

@@ -13,8 +13,9 @@
 //! | [`sim`] | `sbs-sim` | deterministic discrete-event substrate + thread runtime |
 //! | [`link`] | `sbs-link` | ss-broadcast session layer + self-stabilizing data link |
 //! | [`stamps`] | `sbs-stamps` | bounded sequence numbers, epochs, timestamps |
-//! | [`check`] | `sbs-check` | regularity / atomicity / inversion checkers |
+//! | [`check`] | `sbs-check` | regularity / atomicity / inversion checkers + differential harness |
 //! | [`baseline`] | `sbs-baseline` | masking-quorum and quiescence-dependent comparison registers |
+//! | [`bulk`] | `sbs-bulk` | content-addressed bulk plane: wide FNV digests, verified blob stores, 2t+1 placement |
 //! | [`store`] | `sbs-store` | sharded multi-register key-value store + YCSB-style workload engine |
 //!
 //! ## Quickstart
@@ -40,7 +41,9 @@
 //! hash-sharded onto many logical registers multiplexed over one shared
 //! server fleet, driven by a YCSB-style workload engine with Zipfian and
 //! uniform popularity, open/closed-loop clients, and pluggable fault
-//! plans.
+//! plans. With `StoreBuilder::bulk` the payload bytes move to 2t+1
+//! content-addressed data replicas ([`bulk`]) while the register quorum
+//! carries fixed-size digest references.
 //!
 //! ```
 //! use stabilizing_storage::store::{StoreBuilder, Workload};
@@ -58,6 +61,7 @@
 //! running the same protocol code on OS threads.
 
 pub use sbs_baseline as baseline;
+pub use sbs_bulk as bulk;
 pub use sbs_check as check;
 pub use sbs_core as core;
 pub use sbs_link as link;
