@@ -25,7 +25,8 @@ struct Case {
 }
 
 fn run_case(case: &Case, bulk: bool) -> (WorkloadReport, f64) {
-    let mut builder = StoreBuilder::new(case.n, case.t)
+    let mut builder = StoreBuilder::asynchronous(case.t)
+        .n(case.n)
         .seed(2015)
         .shards(8)
         .writers(4)

@@ -194,8 +194,13 @@ impl RegisterConfig {
 /// Default asynchronous retransmission period.
 const DEFAULT_RETRY: SimDuration = SimDuration::millis(50);
 
-/// One request/acknowledgement round trip plus queueing slack.
-fn round_trip_timeout(link_bound: SimDuration) -> SimDuration {
+/// The synchronous-mode timeout derived from a known per-link delay
+/// bound: one request/acknowledgement round trip (`2 × link_bound`) plus
+/// half a bound of FIFO-queueing slack and a tick of slop. Public so
+/// higher layers (the store builder, experiment configs, operators sizing
+/// a deployment) can state or verify the exact timeout a link bound
+/// implies without re-deriving it.
+pub fn round_trip_timeout(link_bound: SimDuration) -> SimDuration {
     link_bound * 2 + link_bound / 2 + SimDuration::micros(1)
 }
 

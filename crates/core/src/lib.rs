@@ -38,7 +38,7 @@ pub mod harness;
 pub mod mwmr;
 
 pub use clientlink::ClientLink;
-pub use config::{RegId, RegisterConfig, SyncMode};
+pub use config::{round_trip_timeout, RegId, RegisterConfig, SyncMode};
 pub use engine::{ReadEngine, ReadProgress, ReadSource, WriteEngine};
 pub use msg::{ClientOut, RegMsg};
 pub use server::{RegSlot, ServerCore, ServerNode};

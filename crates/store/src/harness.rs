@@ -10,19 +10,96 @@ use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore};
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
 use sbs_core::{
     ByzServerNode, ByzStrategy, Payload, RegId, RegMsg, RegisterConfig, SeqVal, ServerNode,
+    SyncMode,
 };
 use sbs_sim::{DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation};
 use sbs_stamps::{RingSeq, PAPER_MODULUS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// How long `settle` simulates before declaring the store non-quiescent.
+/// How long `settle` simulates before declaring the store non-quiescent
+/// (the [`StoreBuilder::settle_horizon`] default).
 const SETTLE_HORIZON: SimDuration = SimDuration::secs(600);
 
+/// The communication assumption a store is built for, as carried by the
+/// builder: the synchronous variant keeps the *link bound* it was declared
+/// with (the per-round timeout is derived from it at build time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BuilderMode {
+    /// Figure 2/3: unbounded delays, `n ≥ 8t + 1`.
+    Async,
+    /// Figure 5 / Appendix A: delays bounded by `link_bound`, `n ≥ 3t + 1`.
+    Sync { link_bound: SimDuration },
+}
+
+/// A frozen snapshot of everything one deployment was built with: the
+/// communication mode (with its derived timeout), the data plane, the
+/// sharding shape, and the per-mode quorum sizes the embedded register
+/// engines will use. Obtained from [`StoreBuilder::config`] before
+/// building, or [`StoreSystem::config`] on a running deployment.
+///
+/// The quorum fields are *derived* values (they follow from `n`, `t` and
+/// `mode` per the Figure 2/5 table in `sbs_core::RegisterConfig`), frozen
+/// here so tests can pin them and operators can read them off a deployment
+/// without re-deriving the paper's arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of servers in the shared fleet.
+    pub n: usize,
+    /// Byzantine servers tolerated.
+    pub t: usize,
+    /// Communication assumption (the synchronous variant carries the
+    /// derived per-round timeout).
+    pub mode: SyncMode,
+    /// Where shard payload bytes travel.
+    pub plane: DataPlane,
+    /// Register shards the keyspace is hashed onto.
+    pub shards: u32,
+    /// Writer clients the shards are partitioned over.
+    pub writers: usize,
+    /// Additional read-only clients.
+    pub extra_readers: usize,
+    /// Acknowledgements a client round waits for (`n − t` async; all `n`
+    /// — or the timeout — sync).
+    pub ack_quorum: usize,
+    /// Identical `last_val` copies a read needs (`2t + 1` / `t + 1`).
+    pub last_quorum: usize,
+    /// Identical helping copies a read needs (`2t + 1` / `t + 1`).
+    pub help_quorum: usize,
+    /// Identical helping copies letting the writer skip `NEW_HELP_VAL`
+    /// (`4t + 1` / `t + 1`).
+    pub writer_help_quorum: usize,
+}
+
+impl StoreConfig {
+    /// True in synchronous mode.
+    pub fn is_sync(&self) -> bool {
+        matches!(self.mode, SyncMode::Sync { .. })
+    }
+
+    /// The derived per-round timeout, if operating synchronously.
+    pub fn timeout(&self) -> Option<SimDuration> {
+        match self.mode {
+            SyncMode::Async => None,
+            SyncMode::Sync { timeout } => Some(timeout),
+        }
+    }
+}
+
 /// Builder for a [`StoreSystem`].
+///
+/// Entry points carry the communication mode and derive the minimal fleet
+/// for it — [`StoreBuilder::asynchronous`] (`n = 8t + 1`) and
+/// [`StoreBuilder::synchronous`] (`n = 3t + 1`) — with [`StoreBuilder::n`]
+/// to deploy more servers than the minimum. Cross-knob consistency is
+/// validated when the deployment is built (or when
+/// [`StoreBuilder::config`] snapshots it): the resilience bound for the
+/// mode, a synchronous link bound that dominates the delay model, bulk
+/// replication that fits the fleet, and well-formed Byzantine slots.
 #[derive(Clone, Debug)]
 pub struct StoreBuilder {
     n: usize,
     t: usize,
+    mode: BuilderMode,
     seed: u64,
     shards: u32,
     writers: usize,
@@ -32,28 +109,75 @@ pub struct StoreBuilder {
     retry_after: Option<SimDuration>,
     wsn_modulus: u128,
     plane: DataPlane,
+    settle_horizon: SimDuration,
 }
 
 impl StoreBuilder {
-    /// A store on `n` servers tolerating `t` Byzantine ones (asynchronous
-    /// model, `n ≥ 8t + 1`), with one shard and one writer by default.
-    pub fn new(n: usize, t: usize) -> Self {
+    fn with_mode(n: usize, t: usize, mode: BuilderMode, delay: DelayModel) -> Self {
         StoreBuilder {
             n,
             t,
+            mode,
             seed: 1,
             shards: 1,
             writers: 1,
             extra_readers: 0,
-            delay: DelayModel::Uniform {
-                lo: SimDuration::micros(50),
-                hi: SimDuration::millis(2),
-            },
+            delay,
             byz: Vec::new(),
             retry_after: None,
             wsn_modulus: PAPER_MODULUS,
             plane: DataPlane::Full,
+            settle_horizon: SETTLE_HORIZON,
         }
+    }
+
+    /// An **asynchronous** store (Figure 2/3 registers: unbounded link
+    /// delays, rounds wait for `n − t` acknowledgements) tolerating `t`
+    /// Byzantine servers on the minimal fleet `n = 8t + 1`, with one shard
+    /// and one writer by default. Use [`StoreBuilder::n`] to deploy more
+    /// servers than the minimum.
+    pub fn asynchronous(t: usize) -> Self {
+        Self::with_mode(
+            8 * t + 1,
+            t,
+            BuilderMode::Async,
+            DelayModel::Uniform {
+                lo: SimDuration::micros(50),
+                hi: SimDuration::millis(2),
+            },
+        )
+    }
+
+    /// A **synchronous** store (Figure 5 / Appendix A registers: link
+    /// delays bounded by `link_bound`, rounds wait for all `n`
+    /// acknowledgements or the timeout derived from the bound) tolerating
+    /// `t` Byzantine servers on the minimal fleet `n = 3t + 1` — fewer
+    /// than half the asynchronous fleet for the same `t`, paying with
+    /// timeout-bound latency whenever a server is silent.
+    ///
+    /// The default delay model is uniform in `[link_bound / 10,
+    /// link_bound]`; overriding it with [`StoreBuilder::delay`] is
+    /// validated at build time — the model's upper bound must stay within
+    /// `link_bound`, otherwise the mode's "wait for all `n` or time out"
+    /// rule would wrongly suspect correct-but-slow servers.
+    pub fn synchronous(t: usize, link_bound: SimDuration) -> Self {
+        Self::with_mode(
+            3 * t + 1,
+            t,
+            BuilderMode::Sync { link_bound },
+            DelayModel::Uniform {
+                lo: SimDuration::nanos(link_bound.as_nanos() / 10),
+                hi: link_bound,
+            },
+        )
+    }
+
+    /// Deploys `n` servers instead of the mode's minimal fleet. The
+    /// mode's resilience bound (`n ≥ 8t + 1` asynchronous, `n ≥ 3t + 1`
+    /// synchronous) is still enforced at build time.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
     }
 
     /// Switches the payload to the content-addressed **bulk data plane**
@@ -115,7 +239,10 @@ impl StoreBuilder {
         self
     }
 
-    /// Makes server `index` Byzantine with the given strategy.
+    /// Makes server `index` Byzantine with the given strategy. Validated
+    /// at build time: the index must name a server (`index < n`), no
+    /// server may be assigned twice, and at most `t` servers may be
+    /// Byzantine (the resilience claim is meaningless beyond `t`).
     pub fn byzantine(mut self, index: usize, strategy: ByzStrategy) -> Self {
         self.byz.push((index, strategy));
         self
@@ -133,19 +260,125 @@ impl StoreBuilder {
         self
     }
 
+    /// Overrides how long [`StoreSystem::settle`] simulates before
+    /// declaring the store non-quiescent (default 600 simulated seconds).
+    /// Long open-loop runs and timeout-heavy synchronous deployments can
+    /// extend it; tests probing wedged states can shrink it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero horizon (settle could then never make progress).
+    pub fn settle_horizon(mut self, horizon: SimDuration) -> Self {
+        assert!(
+            horizon > SimDuration::ZERO,
+            "settle horizon must be positive"
+        );
+        self.settle_horizon = horizon;
+        self
+    }
+
+    /// Validates cross-knob consistency and derives the register
+    /// configuration the embedded engines will run with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency: the mode's resilience bound
+    /// (`n ≥ 8t + 1` / `n ≥ 3t + 1`), a synchronous link bound that the
+    /// delay model exceeds (or an unbounded delay model in synchronous
+    /// mode), a bulk replication factor outside `1..=n`, a Byzantine index
+    /// `≥ n`, a duplicated Byzantine index, or more than `t` Byzantine
+    /// slots.
+    fn register_config(&self) -> RegisterConfig {
+        let mut cfg = match self.mode {
+            BuilderMode::Async => RegisterConfig::asynchronous(self.n, self.t),
+            BuilderMode::Sync { link_bound } => {
+                let hi = self.delay.upper_bound().unwrap_or_else(|| {
+                    panic!(
+                        "synchronous mode requires a bounded delay model, got {:?}",
+                        self.delay
+                    )
+                });
+                assert!(
+                    hi <= link_bound,
+                    "synchronous link bound {link_bound} must dominate the delay model's \
+                     upper bound {hi} — a slower link would make correct servers look faulty"
+                );
+                RegisterConfig::synchronous(self.n, self.t, link_bound)
+            }
+        };
+        if let DataPlane::Bulk { replicas } = self.plane {
+            assert!(
+                (1..=self.n).contains(&replicas),
+                "bulk replication factor {replicas} out of range for n={}",
+                self.n
+            );
+        }
+        let mut seen = BTreeSet::new();
+        for &(i, _) in &self.byz {
+            assert!(
+                i < self.n,
+                "byzantine index {i} out of range: the fleet has servers 0..{}",
+                self.n
+            );
+            assert!(
+                seen.insert(i),
+                "byzantine index {i} assigned twice — each server takes one strategy"
+            );
+        }
+        assert!(
+            self.byz.len() <= self.t,
+            "{} byzantine servers exceed the tolerated t={}",
+            self.byz.len(),
+            self.t
+        );
+        if let Some(r) = self.retry_after {
+            cfg = cfg.with_retry_after(r);
+        }
+        cfg
+    }
+
+    /// Validates the builder and snapshots the [`StoreConfig`] a
+    /// deployment built from it would run with — mode, derived timeout,
+    /// plane, sharding shape, and the per-mode quorum sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any cross-knob inconsistency (see the builder docs).
+    pub fn config(&self) -> StoreConfig {
+        self.snapshot(self.register_config())
+    }
+
+    /// The [`StoreConfig`] for an already-validated register config
+    /// (keeps `build` from running the validation twice).
+    fn snapshot(&self, cfg: RegisterConfig) -> StoreConfig {
+        StoreConfig {
+            n: self.n,
+            t: self.t,
+            mode: cfg.mode,
+            plane: self.plane,
+            shards: self.shards,
+            writers: self.writers,
+            extra_readers: self.extra_readers,
+            ack_quorum: cfg.ack_quorum(),
+            last_quorum: cfg.last_quorum(),
+            help_quorum: cfg.help_quorum(),
+            writer_help_quorum: cfg.writer_help_quorum(),
+        }
+    }
+
     /// Builds the deployment: `n` servers, `writers + extra_readers`
     /// clients, every client↔server link installed, Byzantine slots
     /// filled (Byzantine at *both* planes: register strategy + garbled
     /// bulk serving), and the garbage generator armed for link-corruption
     /// drills.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any cross-knob inconsistency (see
+    /// [`StoreBuilder::config`]).
     pub fn build<V: Payload + BulkCodec>(&self) -> StoreSystem<V> {
-        let cfg = {
-            let mut cfg = RegisterConfig::asynchronous(self.n, self.t);
-            if let Some(r) = self.retry_after {
-                cfg = cfg.with_retry_after(r);
-            }
-            cfg
-        };
+        let cfg = self.register_config();
+        let snapshot = self.snapshot(cfg);
         let router = KeyRouter::new(self.shards, self.writers as u32);
         let mut sim: Simulation<StoreWire<V>, StoreOut<V>> =
             Simulation::new(SimConfig::with_seed(self.seed));
@@ -207,8 +440,8 @@ impl StoreBuilder {
             clients,
             servers,
             router,
-            writers: self.writers,
-            plane: self.plane,
+            config: snapshot,
+            settle_horizon: self.settle_horizon,
             byz_servers: byz_set,
             log: StoreLog::new(),
         }
@@ -350,8 +583,8 @@ pub struct StoreSystem<V: Payload + BulkCodec> {
     /// The shared server fleet.
     pub servers: Vec<ProcessId>,
     router: KeyRouter,
-    writers: usize,
-    plane: DataPlane,
+    config: StoreConfig,
+    settle_horizon: SimDuration,
     byz_servers: BTreeSet<usize>,
     log: StoreLog<V>,
 }
@@ -362,14 +595,21 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         &self.router
     }
 
+    /// The validated configuration snapshot this store was built with:
+    /// mode (and derived timeout), data plane, sharding shape, and the
+    /// per-mode quorum sizes.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
     /// Number of writer clients.
     pub fn writers(&self) -> usize {
-        self.writers
+        self.config.writers
     }
 
     /// The data plane this store was built with.
     pub fn plane(&self) -> DataPlane {
-        self.plane
+        self.config.plane
     }
 
     /// Invokes `put(key, val)` on the shard's owning writer (per the
@@ -398,12 +638,13 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         op
     }
 
-    /// Runs until the event queue drains (or the settle horizon passes),
-    /// then records completions. Returns `true` on quiescence.
+    /// Runs until the event queue drains (or the settle horizon passes —
+    /// see [`StoreBuilder::settle_horizon`]), then records completions.
+    /// Returns `true` on quiescence.
     pub fn settle(&mut self) -> bool {
         let quiet = self
             .sim
-            .run_until_quiescent(self.sim.now() + SETTLE_HORIZON);
+            .run_until_quiescent(self.sim.now() + self.settle_horizon);
         self.drain();
         quiet
     }
@@ -589,7 +830,7 @@ mod tests {
 
     #[test]
     fn single_key_put_get_round_trip() {
-        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1).seed(7).shards(4).build();
+        let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1).seed(7).shards(4).build();
         sys.put("alpha", 11);
         assert!(sys.settle());
         sys.get(0, "alpha");
@@ -608,7 +849,7 @@ mod tests {
 
     #[test]
     fn multi_writer_routing_honors_shard_ownership() {
-        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1)
+        let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
             .seed(3)
             .shards(8)
             .writers(4)
@@ -629,7 +870,7 @@ mod tests {
 
     #[test]
     fn batching_reduces_delivery_events() {
-        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1).seed(5).build();
+        let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1).seed(5).build();
         sys.put("k", 1);
         assert!(sys.settle());
         let m = sys.sim.metrics();

@@ -43,19 +43,48 @@
 //! differentially), while payload bytes on the wire shrink by roughly
 //! `n·rounds / (2t + 1)` (the `bulk_vs_full` bench measures it).
 //!
+//! # Communication modes
+//!
+//! Every construction exists in two variants, and the store builds
+//! either: [`StoreBuilder::asynchronous`] deploys the Figure 2/3
+//! configuration (`n = 8t + 1` servers, rounds wait for `n − t`
+//! acknowledgements), [`StoreBuilder::synchronous`] the Figure 5 /
+//! Appendix A one (`n = 3t + 1` servers — fewer than half the fleet for
+//! the same `t` — rounds wait for all `n` or a timeout derived from the
+//! declared link bound). The [`StoreConfig`] snapshot on every
+//! [`StoreSystem`] records the mode and the per-mode quorum sizes;
+//! workloads, fault plans, and the checkers are mode-generic.
+//!
 //! ```
 //! use sbs_store::{StoreBuilder, Workload};
 //! use sbs_core::ByzStrategy;
 //!
 //! // 16 keys on 4 shards over one 9-server fleet (t = 1), one Byzantine
 //! // server, 100-op YCSB-B (95% reads) with Zipfian popularity.
-//! let builder = StoreBuilder::new(9, 1).seed(7).shards(4).writers(2).extra_readers(1);
+//! let builder = StoreBuilder::asynchronous(1).seed(7).shards(4).writers(2).extra_readers(1);
 //! let mut wl = Workload::ycsb_b(100, 16);
 //! wl.faults = sbs_store::FaultPlan::one_byzantine(3, ByzStrategy::StaleReplay);
 //! let (report, sys) = wl.run(&builder);
 //! assert_eq!(report.completed, 100);
 //! // Every key's extracted history independently passes the atomicity
 //! // checker.
+//! sys.check_per_key_atomicity().unwrap();
+//! ```
+//!
+//! The same workload shape on the synchronous minimal fleet — 4 servers
+//! instead of 9 for `t = 1`:
+//!
+//! ```
+//! use sbs_store::{StoreBuilder, Workload};
+//! use sbs_sim::SimDuration;
+//!
+//! let builder = StoreBuilder::synchronous(1, SimDuration::millis(1))
+//!     .seed(7)
+//!     .shards(4)
+//!     .writers(2);
+//! assert_eq!(builder.config().n, 4);
+//! let (report, sys) = Workload::ycsb_b(60, 16).run(&builder);
+//! assert_eq!(report.completed, 60);
 //! sys.check_per_key_atomicity().unwrap();
 //! ```
 //!
@@ -75,10 +104,14 @@ mod router;
 mod val;
 mod workload;
 
-pub use harness::{StoreBuilder, StoreSystem};
+pub use harness::{StoreBuilder, StoreConfig, StoreSystem};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};
 pub use node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 pub use router::{fnv1a64, KeyRouter};
 pub use val::{SizedVal, StoreVal};
 pub use workload::{FaultPlan, KeyDist, LoopMode, OpMix, Workload, WorkloadReport};
+
+// The mode enum is `sbs-core`'s; re-exported so store users can match on
+// `StoreConfig::mode` without a second dependency.
+pub use sbs_core::SyncMode;

@@ -344,8 +344,14 @@ enum Phase<V: Payload> {
         op: Option<OpId>,
         shard: u32,
         digest: sbs_bulk::BulkDigest,
+        /// The serialized map, kept for ack-wait retransmissions.
+        bytes: Vec<u8>,
         payload: StorePayload<V>,
         acks: BTreeSet<ProcessId>,
+        /// The ack-wait's round timer: the derived timeout in synchronous
+        /// mode, the retransmission period in asynchronous mode. On
+        /// expiry the push is re-broadcast to the replicas still missing.
+        timer: TimerId,
     },
     /// The metadata write (of the map or of its reference). `op` is
     /// `None` for a recovery republish.
@@ -480,6 +486,14 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         }
     }
 
+    /// One bulk-plane round's timer span: the timeout derived from the
+    /// link bound in synchronous mode (the same "wait … or time-out"
+    /// discipline the register rounds follow, Fig. 5), the retransmission
+    /// period in asynchronous mode.
+    fn round_timer(&self) -> sbs_sim::SimDuration {
+        self.cfg.timeout().unwrap_or(self.cfg.retry_after)
+    }
+
     /// Number of data replicas per shard (0 under full replication) —
     /// allocation-free, for the per-message pump paths.
     fn replica_count(&self) -> usize {
@@ -590,12 +604,15 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         },
                     ));
                 }
+                let timer = sub.set_timer(self.round_timer());
                 self.phase = Phase::PushingBulk {
                     op,
                     shard,
                     digest: bref.digest,
+                    bytes,
                     payload,
                     acks: BTreeSet::new(),
+                    timer,
                 };
             }
         }
@@ -625,7 +642,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 },
             ));
         }
-        let timer = sub.set_timer(self.cfg.retry_after);
+        let timer = sub.set_timer(self.round_timer());
         self.phase = Phase::Fetching {
             goal,
             shard,
@@ -790,8 +807,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     op,
                     shard,
                     digest,
+                    bytes,
                     payload,
                     acks,
+                    timer,
                 } => {
                     // t+1 acks, capped by the factor actually configured:
                     // sub-(2t+1) factors are experiment knobs that trade
@@ -800,6 +819,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     if acks.len() >= needed {
                         // t+1 verified stores ⇒ ≥1 correct replica holds
                         // the bytes: the reference may become visible.
+                        sub.cancel_timer(timer);
                         self.write_engine =
                             WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
                         self.write_engine.start(payload, &mut self.link, sub);
@@ -809,8 +829,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                             op,
                             shard,
                             digest,
+                            bytes,
                             payload,
                             acks,
+                            timer,
                         };
                         return;
                     }
@@ -925,6 +947,7 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
     }
 
     fn on_timer(&mut self, id: TimerId, ctx: &mut StoreCtx<'_, V>) {
+        let round_timer = self.round_timer();
         if let Phase::Fetching {
             shard,
             bref,
@@ -951,8 +974,45 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     for r in Self::replicas_for(self.plane, &self.servers, shard) {
                         ctx.send(r, StoreMsg::BulkGet { shard, digest, tag });
                     }
-                    *timer = ctx.set_timer(self.cfg.retry_after);
+                    *timer = ctx.set_timer(round_timer);
                 }
+                self.step(ctx);
+                return;
+            }
+        }
+        if let Phase::PushingBulk {
+            shard,
+            digest,
+            bytes,
+            acks,
+            timer,
+            ..
+        } = &mut self.phase
+        {
+            if *timer == id {
+                // Ack-wait round expired with fewer than t+1 verified
+                // stores: re-push to the replicas still missing. In
+                // synchronous mode this is the Fig. 5 "wait … or time-out"
+                // rule applied to the data plane; in asynchronous mode it
+                // is the usual retransmission that keeps the push live
+                // across transient loss of in-flight state.
+                let (shard, digest) = (*shard, *digest);
+                let resend = bytes.clone();
+                let missing: Vec<ProcessId> = Self::replicas_for(self.plane, &self.servers, shard)
+                    .into_iter()
+                    .filter(|r| !acks.contains(r))
+                    .collect();
+                for r in missing {
+                    ctx.send(
+                        r,
+                        StoreMsg::BulkPut {
+                            shard,
+                            digest,
+                            bytes: resend.clone(),
+                        },
+                    );
+                }
+                *timer = ctx.set_timer(round_timer);
                 self.step(ctx);
                 return;
             }

@@ -8,6 +8,17 @@
 //! the fault plan, drives the clients, and returns the measured
 //! [`WorkloadReport`] together with the finished [`StoreSystem`] so the
 //! caller can hand per-key histories to `sbs-check`.
+//!
+//! Workloads are **mode-generic**: the same declarative workload runs
+//! unchanged against an asynchronous or a synchronous builder (and
+//! either data plane). Because each client samples its op stream from
+//! its own derived RNG stream with a fixed quota (see [`Workload::run`]),
+//! the issued per-client operation sequences are a pure function of the
+//! `Workload` — which is what makes *differential* runs across modes
+//! comparable: `sbs_check::equivalent_write_histories` can demand that a
+//! synchronous 4-server run and an asynchronous 9-server run of the same
+//! workload agree key by key, write sequence by write sequence
+//! (`tests/mode_sync.rs`).
 
 use crate::harness::{StoreBuilder, StoreSystem};
 use sbs_bulk::BulkCodec;

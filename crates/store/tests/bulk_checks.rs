@@ -31,7 +31,7 @@ fn keyed_histories(sys: &StoreSystem<u64>) -> BTreeMap<String, History<Option<u6
 /// bulk windows) garbling every byte string it serves.
 #[test]
 fn acceptance_bulk_1000op_ycsb_b_with_byzantine_data_replica() {
-    let full = StoreBuilder::new(9, 1)
+    let full = StoreBuilder::asynchronous(1)
         .seed(2015)
         .shards(8)
         .writers(4)
@@ -90,7 +90,7 @@ fn acceptance_bulk_1000op_ycsb_b_with_byzantine_data_replica() {
 /// 3 replicas once).
 #[test]
 fn bulk_at_least_halves_bytes_on_wire_for_1kib_values() {
-    let full = StoreBuilder::new(9, 1)
+    let full = StoreBuilder::asynchronous(1)
         .seed(7)
         .shards(8)
         .writers(4)
@@ -148,7 +148,7 @@ fn byzantine_data_replica_never_corrupts_a_get() {
         let mut rng = DetRng::from_seed(0x000F_E7C4 + seed);
         // Server 2 is a data replica for shards 0, 1, 2 (windows {s..s+2});
         // with 4 shards, most keys resolve through it.
-        let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1)
+        let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
             .seed(seed)
             .shards(4)
             .writers(2)
@@ -190,7 +190,7 @@ fn byzantine_data_replica_never_corrupts_a_get() {
 /// data replica (no Byzantine tolerance claimed).
 #[test]
 fn single_data_replica_works_without_byzantine_faults() {
-    let mut sys: StoreSystem<u64> = StoreBuilder::new(9, 1)
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
         .seed(5)
         .shards(2)
         .data_replicas(1)

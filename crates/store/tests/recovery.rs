@@ -11,7 +11,7 @@ use sbs_store::{FaultPlan, KeyDist, LoopMode, OpMix, StoreBuilder, StoreSystem, 
 #[test]
 fn owner_corruption_republishes_before_next_put() {
     for bulk in [false, true] {
-        let mut builder = StoreBuilder::new(9, 1)
+        let mut builder = StoreBuilder::asynchronous(1)
             .seed(41)
             .shards(2)
             .writers(1)
@@ -76,7 +76,7 @@ fn owner_corruption_republishes_before_next_put() {
 /// recovery) and every corrupted owner must have recovered.
 #[test]
 fn mid_workload_owner_corruption_recovers_and_stays_live() {
-    let builder = StoreBuilder::new(9, 1)
+    let builder = StoreBuilder::asynchronous(1)
         .seed(13)
         .shards(4)
         .writers(2)
@@ -114,7 +114,7 @@ fn mid_workload_owner_corruption_recovers_and_stays_live() {
 /// before republishing.
 #[test]
 fn mid_workload_owner_corruption_recovers_in_bulk_mode() {
-    let builder = StoreBuilder::new(9, 1)
+    let builder = StoreBuilder::asynchronous(1)
         .seed(17)
         .shards(4)
         .writers(2)

@@ -6,8 +6,11 @@
 
 use sbs_check::{check_linearizable, check_regularity, InitialState};
 use sbs_core::ByzStrategy;
-use sbs_sim::{DetRng, SimDuration};
-use sbs_store::{FaultPlan, KeyDist, KeyRouter, LoopMode, OpMix, StoreBuilder, Workload};
+use sbs_sim::{DelayModel, DetRng, SimDuration};
+use sbs_store::{
+    DataPlane, FaultPlan, KeyDist, KeyRouter, LoopMode, OpMix, StoreBuilder, StoreSystem, SyncMode,
+    Workload,
+};
 
 /// The acceptance run: a 64-key store sharded over 8 registers on one
 /// shared 9-server fleet (t = 1) sustains a 1000-op Zipfian YCSB-B mix
@@ -15,7 +18,7 @@ use sbs_store::{FaultPlan, KeyDist, KeyRouter, LoopMode, OpMix, StoreBuilder, Wo
 /// passes the atomicity checker.
 #[test]
 fn acceptance_64key_8shard_ycsb_b_with_byzantine_server() {
-    let builder = StoreBuilder::new(9, 1)
+    let builder = StoreBuilder::asynchronous(1)
         .seed(2015)
         .shards(8)
         .writers(4)
@@ -75,7 +78,7 @@ fn per_key_histories_linearizable_under_byzantine_strategies() {
         ByzStrategy::AckFlood { copies: 3 },
     ];
     for (i, strat) in strategies.into_iter().enumerate() {
-        let builder = StoreBuilder::new(9, 1)
+        let builder = StoreBuilder::asynchronous(1)
             .seed(77 + i as u64)
             .shards(4)
             .writers(2)
@@ -113,7 +116,7 @@ fn per_key_histories_linearizable_under_byzantine_strategies() {
 /// every in-flight operation.
 #[test]
 fn open_loop_workload_completes() {
-    let builder = StoreBuilder::new(9, 1)
+    let builder = StoreBuilder::asynchronous(1)
         .seed(31)
         .shards(4)
         .writers(2)
@@ -147,7 +150,7 @@ fn open_loop_workload_completes() {
 /// garbage) do not wedge the store: the workload still completes.
 #[test]
 fn fault_plan_corruption_and_garbage_keep_liveness() {
-    let builder = StoreBuilder::new(9, 1).seed(13).shards(2).writers(2);
+    let builder = StoreBuilder::asynchronous(1).seed(13).shards(2).writers(2);
     let wl = Workload {
         ops: 120,
         keys: 8,
@@ -171,13 +174,139 @@ fn fault_plan_corruption_and_garbage_keep_liveness() {
     // sbs-core gauntlet tests.)
 }
 
+/// Frozen snapshot of the store-layer quorum constants per mode (in the
+/// style of the `KeyRouter` placement snapshot above): any change to the
+/// derived quorum arithmetic alters what a deployed fleet accepts as
+/// agreement and must show up here. Values per the Figure 2/5 table for
+/// the two minimal t = 1 fleets.
+#[test]
+fn store_config_quorum_constants_frozen_snapshot() {
+    // Asynchronous, n = 8t + 1 = 9.
+    let a = StoreBuilder::asynchronous(1).shards(8).writers(4).config();
+    assert_eq!((a.n, a.t), (9, 1));
+    assert_eq!(a.mode, SyncMode::Async);
+    assert_eq!((a.shards, a.writers), (8, 4));
+    assert_eq!(a.plane, DataPlane::Full);
+    assert_eq!(
+        [
+            a.ack_quorum,
+            a.last_quorum,
+            a.help_quorum,
+            a.writer_help_quorum
+        ],
+        [8, 3, 3, 5],
+        "async t=1 quorum constants changed — existing deployments break"
+    );
+
+    // Synchronous, n = 3t + 1 = 4, 1 ms link bound.
+    let s = StoreBuilder::synchronous(1, SimDuration::millis(1)).config();
+    assert_eq!((s.n, s.t), (4, 1));
+    assert!(s.is_sync());
+    assert_eq!(
+        [
+            s.ack_quorum,
+            s.last_quorum,
+            s.help_quorum,
+            s.writer_help_quorum
+        ],
+        [4, 2, 2, 2],
+        "sync t=1 quorum constants changed — existing deployments break"
+    );
+    // The derived round-trip timeout is frozen too: 2·bound + bound/2 + 1µs.
+    assert_eq!(
+        s.timeout().unwrap(),
+        SimDuration::micros(2500) + SimDuration::micros(1)
+    );
+
+    // The bulk plane shows up in the snapshot.
+    let b = StoreBuilder::asynchronous(1).bulk().config();
+    assert_eq!(b.plane, DataPlane::Bulk { replicas: 3 });
+}
+
+/// A Byzantine index naming no server must fail loudly at build time —
+/// it used to be silently ignored, deploying an all-honest fleet while
+/// the test believed it was running under attack.
+#[test]
+#[should_panic(expected = "byzantine index 9 out of range")]
+fn byzantine_index_out_of_range_panics() {
+    let _: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .byzantine(9, ByzStrategy::Silent)
+        .build();
+}
+
+/// Assigning two strategies to one server is a misconfiguration, not a
+/// stronger adversary.
+#[test]
+#[should_panic(expected = "byzantine index 4 assigned twice")]
+fn duplicate_byzantine_index_panics() {
+    let _: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .byzantine(4, ByzStrategy::Silent)
+        .byzantine(4, ByzStrategy::StaleReplay)
+        .build();
+}
+
+/// More Byzantine slots than the tolerated `t` voids the resilience
+/// claim; the builder refuses.
+#[test]
+#[should_panic(expected = "exceed the tolerated t=1")]
+fn more_byzantine_slots_than_t_panics() {
+    let _: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .byzantine(0, ByzStrategy::Silent)
+        .byzantine(1, ByzStrategy::Silent)
+        .build();
+}
+
+/// A synchronous deployment whose delay model can exceed the declared
+/// link bound would wrongly suspect correct-but-slow servers; the builder
+/// refuses at build time.
+#[test]
+#[should_panic(expected = "must dominate the delay model")]
+fn sync_link_bound_below_delay_model_panics() {
+    let _: StoreSystem<u64> = StoreBuilder::synchronous(1, SimDuration::millis(1))
+        .delay(DelayModel::Uniform {
+            lo: SimDuration::micros(50),
+            hi: SimDuration::millis(2),
+        })
+        .build();
+}
+
+/// Shrinking the fleet below the mode's resilience bound via the `n`
+/// override is caught by the same validation.
+#[test]
+#[should_panic(expected = "n >= 8t+1")]
+fn n_override_below_resilience_bound_panics() {
+    let _: StoreSystem<u64> = StoreBuilder::asynchronous(1).n(8).build();
+}
+
+/// The settle horizon is a builder knob: a horizon shorter than one link
+/// delay makes `settle` give up mid-operation (and report
+/// non-quiescence); the default horizon finishes the same op.
+#[test]
+fn settle_horizon_knob_bounds_settle() {
+    let mut tight: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(3)
+        .settle_horizon(SimDuration::micros(10))
+        .build();
+    tight.put("k", 1);
+    assert!(
+        !tight.settle(),
+        "a 10µs horizon cannot cover a 50µs+ link delay"
+    );
+    assert_eq!(tight.pending_ops(), 1, "the put must still be in flight");
+
+    let mut roomy: StoreSystem<u64> = StoreBuilder::asynchronous(1).seed(3).build();
+    roomy.put("k", 1);
+    assert!(roomy.settle(), "the default horizon finishes the op");
+    assert_eq!(roomy.pending_ops(), 0);
+}
+
 /// Scaling sanity: more shards must not reduce the sustained
 /// ops/simulated-second of a fixed workload (they relieve the per-shard
 /// writer bottleneck).
 #[test]
 fn sharding_does_not_hurt_throughput() {
     let rate = |shards: u32, writers: usize| {
-        let builder = StoreBuilder::new(9, 1)
+        let builder = StoreBuilder::asynchronous(1)
             .seed(55)
             .shards(shards)
             .writers(writers)

@@ -39,7 +39,7 @@ fn main() {
     // Byzantine at *both* planes: garbage register replies and garbled
     // bulk bytes. 8 shards over 4 writer clients, 2 read-only clients,
     // 1000-op YCSB-B (95% reads), Zipfian popularity, 1 KiB values.
-    let full = StoreBuilder::new(9, 1)
+    let full = StoreBuilder::asynchronous(1)
         .seed(2015)
         .shards(8)
         .writers(4)

@@ -1,7 +1,10 @@
 //! The resilience gap: the same register needs `n ≥ 8t + 1` servers under
 //! asynchrony but only `n ≥ 3t + 1` when links are timely (§3.3 /
 //! Appendix A) — because timeouts let clients wait for *all* correct
-//! servers instead of the first `n − t`.
+//! servers instead of the first `n − t`. First at the single-register
+//! layer, then for the whole sharded key-value store, where the
+//! mode-carrying `StoreBuilder` runs the identical YCSB workload on
+//! either fleet.
 //!
 //! ```sh
 //! cargo run --example sync_vs_async
@@ -11,6 +14,7 @@ use stabilizing_storage::check::check_regularity;
 use stabilizing_storage::core::harness::SwsrBuilder;
 use stabilizing_storage::core::ByzStrategy;
 use stabilizing_storage::sim::SimDuration;
+use stabilizing_storage::store::{FaultPlan, StoreBuilder, Workload};
 
 fn run(label: &str, mut sys: stabilizing_storage::core::harness::RegularSwsr<u64>) {
     let start = std::time::Instant::now();
@@ -62,4 +66,34 @@ fn main() {
     println!();
     println!("the synchronous deployment uses fewer than half the servers,");
     println!("paying for it with timeout-bound operation latency.");
+
+    // The same gap at store scale: one declarative workload, two fleets.
+    println!();
+    println!("the whole store makes the same trade — 300-op YCSB-B, 16 keys / 4 shards,");
+    println!("one Byzantine server, both modes at t = 1:");
+    let mut wl = Workload::ycsb_b(300, 16);
+    wl.faults = FaultPlan::one_byzantine(0, ByzStrategy::Silent);
+    for (label, builder) in [
+        ("asynchronous n=9", StoreBuilder::asynchronous(t)),
+        (
+            "synchronous  n=4",
+            StoreBuilder::synchronous(t, SimDuration::millis(1)),
+        ),
+    ] {
+        let builder = builder.seed(5).shards(4).writers(2).extra_readers(1);
+        let cfg = builder.config();
+        let start = std::time::Instant::now();
+        let (report, sys) = wl.run(&builder);
+        let atomic = sys
+            .check_per_key_atomicity()
+            .expect("per-key atomicity in both modes");
+        println!(
+            "{label:<20} servers={:<3} ops/sim-s={:<8.0} wire={:>6.1} KiB \
+             atomic-keys={atomic} (wall {:?})",
+            cfg.n,
+            report.ops_per_sim_sec,
+            report.total_bytes() as f64 / 1024.0,
+            start.elapsed(),
+        );
+    }
 }

@@ -48,12 +48,19 @@
 //! ```
 //! use stabilizing_storage::store::{StoreBuilder, Workload};
 //!
-//! // 16 keys on 4 shards, one shared 9-server fleet (t = 1).
-//! let builder = StoreBuilder::new(9, 1).seed(1).shards(4).writers(2);
+//! // 16 keys on 4 shards, one shared 9-server fleet (t = 1, asynchronous).
+//! let builder = StoreBuilder::asynchronous(1).seed(1).shards(4).writers(2);
 //! let (report, sys) = Workload::ycsb_b(50, 16).run(&builder);
 //! assert_eq!(report.completed, 50);
 //! sys.check_per_key_atomicity().unwrap();
 //! ```
+//!
+//! The builder is **mode-carrying**: `StoreBuilder::synchronous(t,
+//! link_bound)` deploys the same store on the Figure-5 fleet — `n = 3t +
+//! 1` servers instead of `n = 8t + 1` — with every client round waiting
+//! for all `n` acknowledgements or the timeout derived from the declared
+//! link bound, and the whole workload/checker stack runs unchanged over
+//! either mode (the `sync_vs_async` example measures the trade).
 //!
 //! See the `examples/` directory for fault drills, the MWMR configuration
 //! store, the sharded key-value store under load (`kv_store`), the
