@@ -14,6 +14,7 @@
 //! metadata quorum. The interesting column is the `total` ratio: it
 //! grows with payload size and with `n`.
 
+use sbs_bench::trajectory::BenchTrajectory;
 use sbs_store::{SizedVal, StoreBuilder, Workload, WorkloadReport};
 use std::time::Instant;
 
@@ -52,6 +53,7 @@ fn kib(bytes: u64) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut traj = BenchTrajectory::new("bulk_vs_full", smoke);
     let cases: Vec<Case> = if smoke {
         // One seed, tiny op count: enough for CI to catch rot.
         vec![Case {
@@ -114,6 +116,24 @@ fn main() {
                 },
                 wall * 1e3,
             );
+            traj.row(vec![
+                ("n", case.n.into()),
+                ("t", case.t.into()),
+                ("value_len", case.value_len.into()),
+                ("mode", mode.into()),
+                ("ops", case.ops.into()),
+                ("metadata_bytes", report.metadata_bytes.into()),
+                ("bulk_bytes", report.bulk_bytes.into()),
+                ("total_bytes", report.total_bytes().into()),
+                ("ops_per_sim_sec", report.ops_per_sim_sec.into()),
+                ("metadata_messages", report.metadata_messages.into()),
+                (
+                    "metadata_messages_per_op",
+                    report.metadata_messages_per_op().into(),
+                ),
+                ("full_over_bulk_bytes", ratio.into()),
+                ("wall_ms", (wall * 1e3).into()),
+            ]);
         }
         if case.value_len >= 1024 {
             assert!(
@@ -121,6 +141,9 @@ fn main() {
                 "bulk must cut >=2x total bytes for >=1KiB values, got {ratio:.2}x"
             );
         }
+    }
+    if let Some(path) = traj.write_at_repo_root("bulk") {
+        println!("\ntrajectory written to {}", path.display());
     }
     println!("\nexpected shape: the total-bytes ratio grows with payload size (fixed-size");
     println!("references amortize better) and with n (metadata quorum widens, 2t+1 bulk");

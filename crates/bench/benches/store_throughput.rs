@@ -3,16 +3,24 @@
 //! sharded over 1, 4, and 8 registers — run in **both communication
 //! modes** at the same `t = 1`: the asynchronous fleet (9 servers,
 //! `n ≥ 8t + 1`) and the synchronous one (4 servers, `n ≥ 3t + 1`,
-//! timeout-bound rounds). Columns include wire bytes, so the table shows
-//! what the sync mode buys — fewer than half the servers and less
-//! traffic; fault-free it is even faster, and only pays its timeout
-//! price when a server goes silent (every round then waits the full
-//! derived timeout).
+//! timeout-bound rounds). Columns include wire bytes and metadata
+//! messages per op, so the table shows what each mode/knob buys.
+//!
+//! The second section is the **time-window batching sweep** (the PR 4
+//! acceptance metric): the same open-loop YCSB-A burst workload with the
+//! Nagle window off and on. With a tuned window, queued same-shard ops
+//! fold into shared register rounds — the sweep asserts ≥ 20% fewer
+//! metadata messages per op and a higher ops/sim-second than unbatched.
+//!
+//! Every measured row is appended to `BENCH_store.json` at the repo root
+//! (the persistent perf trajectory later PRs diff against).
 //!
 //! ```sh
-//! cargo bench -p sbs-bench --bench store_throughput
+//! cargo bench -p sbs-bench --bench store_throughput            # full
+//! cargo bench -p sbs-bench --bench store_throughput -- --smoke # CI
 //! ```
 
+use sbs_bench::trajectory::BenchTrajectory;
 use sbs_sim::SimDuration;
 use sbs_store::{KeyDist, LoopMode, OpMix, StoreBuilder, Workload, WorkloadReport};
 use std::time::Instant;
@@ -22,6 +30,8 @@ fn run_case(
     shards: u32,
     writers: usize,
     mix: OpMix,
+    ops: u64,
+    loop_mode: LoopMode,
     label: &str,
 ) -> (WorkloadReport, f64) {
     let builder = builder
@@ -30,63 +40,182 @@ fn run_case(
         .writers(writers)
         .extra_readers(2);
     let wl = Workload {
-        ops: 1000,
+        ops,
         keys: 64,
         mix,
         dist: KeyDist::Zipfian { theta: 0.99 },
-        loop_mode: LoopMode::Closed,
+        loop_mode,
         seed: 42,
         faults: sbs_store::FaultPlan::none(),
     };
     let t0 = Instant::now();
     let (report, _sys) = wl.run(&builder);
     let wall = t0.elapsed().as_secs_f64();
-    assert_eq!(report.completed, 1000, "{label}: workload must complete");
+    assert_eq!(report.completed, ops, "{label}: workload must complete");
     (report, wall)
 }
 
 fn main() {
-    println!("store_throughput: 1000-op Zipfian workloads, 64 keys, t=1, closed loop, both modes");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops: u64 = if smoke { 300 } else { 1000 };
+    let mut traj = BenchTrajectory::new("store_throughput", smoke);
+
+    println!("store_throughput: {ops}-op Zipfian workloads, 64 keys, t=1, closed loop, both modes");
     println!(
-        "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16} {:>14} {:>12} {:>10} {:>10}",
+        "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16} {:>12} {:>12} {:>10} {:>10}",
         "mix",
         "mode",
         "servers",
         "shards",
         "writers",
         "ops/sim-second",
-        "sim elapsed",
-        "deliveries",
+        "meta msgs",
+        "msgs/op",
         "wire KiB",
         "wall ms"
     );
+    let shard_cases: &[(u32, usize)] = if smoke {
+        &[(8, 4)]
+    } else {
+        &[(1, 1), (4, 2), (8, 4)]
+    };
     for (mix, mix_name) in [(OpMix::ycsb_b(), "ycsb-b"), (OpMix::ycsb_a(), "ycsb-a")] {
-        for (shards, writers) in [(1u32, 1usize), (4, 2), (8, 4)] {
+        for &(shards, writers) in shard_cases {
             for (mode, builder) in [
                 ("async", StoreBuilder::asynchronous(1)),
                 ("sync", StoreBuilder::synchronous(1, SimDuration::millis(1))),
             ] {
                 let servers = builder.config().n;
-                let (report, wall) = run_case(builder, shards, writers, mix, mix_name);
+                let (report, wall) = run_case(
+                    builder,
+                    shards,
+                    writers,
+                    mix,
+                    ops,
+                    LoopMode::Closed,
+                    mix_name,
+                );
                 println!(
-                    "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16.0} {:>14?} {:>12} {:>10.1} {:>10.1}",
+                    "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16.0} {:>12} {:>12.1} {:>10.1} {:>10.1}",
                     mix_name,
                     mode,
                     servers,
                     shards,
                     writers,
                     report.ops_per_sim_sec,
-                    report.sim_elapsed,
-                    report.messages_delivered,
+                    report.metadata_messages,
+                    report.metadata_messages_per_op(),
                     report.total_bytes() as f64 / 1024.0,
                     wall * 1e3,
                 );
+                traj.row(vec![
+                    ("section", "closed-loop".into()),
+                    ("mix", mix_name.into()),
+                    ("mode", mode.into()),
+                    ("plane", "full".into()),
+                    ("servers", servers.into()),
+                    ("shards", shards.into()),
+                    ("writers", writers.into()),
+                    ("ops", ops.into()),
+                    ("window_us", 0u64.into()),
+                    ("ops_per_sim_sec", report.ops_per_sim_sec.into()),
+                    ("metadata_messages", report.metadata_messages.into()),
+                    (
+                        "metadata_messages_per_op",
+                        report.metadata_messages_per_op().into(),
+                    ),
+                    ("deliveries", report.messages_delivered.into()),
+                    ("wire_bytes", report.total_bytes().into()),
+                    ("wall_ms", (wall * 1e3).into()),
+                ]);
             }
         }
     }
-    println!("\nexpected shape: ops/sim-second grows with shards (writer parallelism),");
-    println!("most visibly under the write-heavier ycsb-a mix. The sync rows use 4");
-    println!("servers instead of 9 and move fewer bytes; fault-free they are also");
-    println!("faster (all 4 acks arrive within the 1 ms bound), but a silent server");
-    println!("would make every sync round pay the full derived timeout.");
+
+    // ------------------------------------------------------------------
+    // Time-window batching sweep: open-loop YCSB-A bursts, window off/on.
+    // ------------------------------------------------------------------
+    let open = LoopMode::Open {
+        mean_interarrival: SimDuration::micros(300),
+    };
+    let sweep_ops: u64 = if smoke { 300 } else { 1000 };
+    println!("\nbatch-window sweep: open-loop YCSB-A bursts (300us mean interarrival), async n=9");
+    println!(
+        "{:<10} {:>16} {:>12} {:>12} {:>12} {:>10}",
+        "window", "ops/sim-second", "meta msgs", "msgs/op", "reduction", "wall ms"
+    );
+    let mut baseline: Option<WorkloadReport> = None;
+    let mut best_reduction = 0.0f64;
+    let mut best_speedup = 0.0f64;
+    for window_us in [0u64, 200, 500, 1000] {
+        let builder =
+            StoreBuilder::asynchronous(1).batch_window(SimDuration::micros(window_us as u32 as _));
+        let (report, wall) = run_case(
+            builder,
+            8,
+            4,
+            OpMix::ycsb_a(),
+            sweep_ops,
+            open,
+            "window sweep",
+        );
+        let (reduction, speedup) = match &baseline {
+            None => (0.0, 1.0),
+            Some(b) => (
+                1.0 - report.metadata_messages_per_op() / b.metadata_messages_per_op(),
+                report.ops_per_sim_sec / b.ops_per_sim_sec,
+            ),
+        };
+        best_reduction = best_reduction.max(reduction);
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "{:<10} {:>16.0} {:>12} {:>12.1} {:>11.0}% {:>10.1}",
+            format!("{window_us}us"),
+            report.ops_per_sim_sec,
+            report.metadata_messages,
+            report.metadata_messages_per_op(),
+            reduction * 100.0,
+            wall * 1e3,
+        );
+        traj.row(vec![
+            ("section", "window-sweep".into()),
+            ("mix", "ycsb-a".into()),
+            ("mode", "async".into()),
+            ("plane", "full".into()),
+            ("servers", 9u64.into()),
+            ("shards", 8u64.into()),
+            ("writers", 4u64.into()),
+            ("ops", sweep_ops.into()),
+            ("window_us", window_us.into()),
+            ("ops_per_sim_sec", report.ops_per_sim_sec.into()),
+            ("metadata_messages", report.metadata_messages.into()),
+            (
+                "metadata_messages_per_op",
+                report.metadata_messages_per_op().into(),
+            ),
+            ("deliveries", report.messages_delivered.into()),
+            ("wire_bytes", report.total_bytes().into()),
+            ("wall_ms", (wall * 1e3).into()),
+        ]);
+        if baseline.is_none() {
+            baseline = Some(report);
+        }
+    }
+    assert!(
+        best_reduction >= 0.20,
+        "acceptance: the tuned window must cut >=20% metadata messages/op, got {:.0}%",
+        best_reduction * 100.0
+    );
+    assert!(
+        best_speedup > 1.0,
+        "acceptance: the tuned window must raise ops/sim-second, got {best_speedup:.2}x"
+    );
+
+    if let Some(path) = traj.write_at_repo_root("store") {
+        println!("\ntrajectory written to {}", path.display());
+    }
+    println!("\nexpected shape: closed-loop ops/sim-second grows with shards (writer");
+    println!("parallelism); in the open-loop sweep the Nagle window folds queued");
+    println!("same-shard ops into shared rounds, cutting metadata messages/op and");
+    println!("raising throughput — the >=20% acceptance bar is asserted above.");
 }

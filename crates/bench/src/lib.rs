@@ -7,6 +7,7 @@
 //! for the mapping) and prints the measured shape.
 
 pub mod micro;
+pub mod trajectory;
 
 use sbs_baseline::{BaselineBuilder, BaselineKind, CLEANING_PERIOD};
 use sbs_check::{atomic_stabilization_point, check_regularity, count_inversions, summarize, Ratio};

@@ -1,0 +1,174 @@
+//! The persistent benchmark trajectory: machine-readable `BENCH_*.json`
+//! files at the repo root.
+//!
+//! Each bench run (full or `--smoke`) serializes its measured rows so
+//! later PRs can diff their numbers against the committed trajectory —
+//! regressions become a reviewable artifact instead of a vibe. The
+//! format is deliberately tiny (no serde in the tree): a top-level
+//! object with the bench name, the smoke flag, and an array of flat
+//! rows; every row value is a string, integer, or float.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One JSON scalar.
+#[derive(Clone, Debug)]
+pub enum JsonVal {
+    /// An integer counter.
+    Int(u64),
+    /// A float measurement (serialized with shortest round-trip).
+    Num(f64),
+    /// A string tag (escaped minimally: quotes and backslashes).
+    Str(String),
+}
+
+impl From<u64> for JsonVal {
+    fn from(v: u64) -> Self {
+        JsonVal::Int(v)
+    }
+}
+impl From<usize> for JsonVal {
+    fn from(v: usize) -> Self {
+        JsonVal::Int(v as u64)
+    }
+}
+impl From<u32> for JsonVal {
+    fn from(v: u32) -> Self {
+        JsonVal::Int(v as u64)
+    }
+}
+impl From<f64> for JsonVal {
+    fn from(v: f64) -> Self {
+        JsonVal::Num(v)
+    }
+}
+impl From<&str> for JsonVal {
+    fn from(v: &str) -> Self {
+        JsonVal::Str(v.to_string())
+    }
+}
+impl From<String> for JsonVal {
+    fn from(v: String) -> Self {
+        JsonVal::Str(v)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A bench's serialized trajectory: named, smoke-flagged, flat rows.
+#[derive(Clone, Debug)]
+pub struct BenchTrajectory {
+    name: &'static str,
+    smoke: bool,
+    rows: Vec<Vec<(&'static str, JsonVal)>>,
+}
+
+impl BenchTrajectory {
+    /// An empty trajectory for the bench `name`.
+    pub fn new(name: &'static str, smoke: bool) -> Self {
+        BenchTrajectory {
+            name,
+            smoke,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement row.
+    pub fn row(&mut self, fields: Vec<(&'static str, JsonVal)>) {
+        self.rows.push(fields);
+    }
+
+    /// Renders the whole trajectory as pretty-enough JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"bench\": ");
+        push_escaped(&mut out, self.name);
+        let _ = write!(out, ",\n  \"smoke\": {},\n  \"rows\": [\n", self.smoke);
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_escaped(&mut out, k);
+                out.push_str(": ");
+                match v {
+                    JsonVal::Int(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    JsonVal::Num(f) if f.is_finite() => {
+                        let _ = write!(out, "{f}");
+                    }
+                    JsonVal::Num(_) => out.push_str("null"),
+                    JsonVal::Str(s) => push_escaped(&mut out, s),
+                }
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<stem>.json` — or `BENCH_<stem>.smoke.json` for a
+    /// smoke run, so CI smoke passes never clobber the committed
+    /// full-run baseline later PRs diff against — at the repository
+    /// root; returns the path. Best-effort by design: a read-only
+    /// checkout must not fail the bench, so IO errors are reported, not
+    /// raised.
+    pub fn write_at_repo_root(&self, stem: &str) -> Option<PathBuf> {
+        // crates/bench -> crates -> repo root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2)?;
+        let suffix = if self.smoke { ".smoke.json" } else { ".json" };
+        let path = root.join(format!("BENCH_{stem}{suffix}"));
+        match std::fs::write(&path, self.render()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_rows_with_escaping() {
+        let mut t = BenchTrajectory::new("demo", true);
+        t.row(vec![
+            ("mix", "ycsb-\"a\"".into()),
+            ("ops", 1000u64.into()),
+            ("rate", 12.5f64.into()),
+        ]);
+        let s = t.render();
+        assert!(s.contains("\"bench\": \"demo\""));
+        assert!(s.contains("\"smoke\": true"));
+        assert!(s.contains("\"mix\": \"ycsb-\\\"a\\\"\""));
+        assert!(s.contains("\"ops\": 1000"));
+        assert!(s.contains("\"rate\": 12.5"));
+        // Non-finite floats degrade to null instead of invalid JSON.
+        let mut n = BenchTrajectory::new("n", false);
+        n.row(vec![("x", f64::NAN.into())]);
+        assert!(n.render().contains("\"x\": null"));
+    }
+}

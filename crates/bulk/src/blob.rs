@@ -7,9 +7,31 @@
 //! content-addressed and idempotent: re-putting a held digest is a no-op
 //! acknowledgement, which also makes duplicate `BULK_PUT` deliveries and
 //! republished identical maps harmless.
+//!
+//! Blobs are held as [`SharedBytes`] (`Arc<[u8]>`): storing and serving a
+//! blob shares the sender's allocation instead of copying it, so a fetch
+//! reply costs a reference-count bump regardless of payload size.
+//!
+//! # Retention (digest GC)
+//!
+//! By default every verified blob is kept forever — overwrites of a shard
+//! map orphan the old snapshot's blob, and [`BulkStore::bytes_stored`]
+//! only grows. [`BulkStore::with_retention`] bounds that: only the last
+//! `K` *distinct* digests per shard are retained, oldest-first eviction.
+//! `K ≥ 2` keeps the previous snapshot alive, so a concurrent reader that
+//! read the metadata register just before an overwrite still resolves its
+//! reference; readers chasing older (or evicted) references fall back to
+//! re-reading the metadata register, which names a live digest again.
+//! Re-putting a held digest refreshes its recency instead of double
+//! counting it.
 
 use crate::digest::{digest_of, BulkDigest};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Reference-counted immutable payload bytes, shared zero-copy between
+/// wire messages, replica storage, and retransmission buffers.
+pub type SharedBytes = Arc<[u8]>;
 
 /// What [`BulkStore::put`] did with an incoming blob.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,33 +56,91 @@ impl PutOutcome {
 /// One replica's content-addressed blob storage.
 #[derive(Clone, Debug, Default)]
 pub struct BulkStore {
-    blobs: BTreeMap<BulkDigest, (u32, Vec<u8>)>,
+    blobs: BTreeMap<BulkDigest, (u32, SharedBytes)>,
     bytes_stored: u64,
+    /// Distinct digests retained per shard (`None` = unbounded).
+    retain: Option<usize>,
+    /// Per-shard digest recency, oldest at the front. Only maintained
+    /// when a retention bound is set.
+    recency: BTreeMap<u32, VecDeque<BulkDigest>>,
 }
 
 impl BulkStore {
-    /// An empty store.
+    /// An empty store that retains every verified blob forever.
     pub fn new() -> Self {
         BulkStore::default()
     }
 
+    /// An empty store that retains only the last `retain` distinct
+    /// digests per shard, evicting oldest-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `retain == 0` (a replica that stores nothing could never
+    /// acknowledge a push).
+    pub fn with_retention(retain: usize) -> Self {
+        assert!(retain >= 1, "retention bound must be at least 1");
+        BulkStore {
+            retain: Some(retain),
+            ..BulkStore::default()
+        }
+    }
+
+    /// The per-shard retention bound, if one is set.
+    pub fn retention(&self) -> Option<usize> {
+        self.retain
+    }
+
     /// Verifies `bytes` against `digest` and stores them under it (tagged
-    /// with the owning `shard` for placement accounting).
-    pub fn put(&mut self, shard: u32, digest: BulkDigest, bytes: Vec<u8>) -> PutOutcome {
+    /// with the owning `shard` for placement accounting). Under a
+    /// retention bound, storing a fresh digest may evict the shard's
+    /// oldest one; re-putting a held digest refreshes its recency.
+    pub fn put(&mut self, shard: u32, digest: BulkDigest, bytes: SharedBytes) -> PutOutcome {
         if digest_of(&bytes) != digest {
             return PutOutcome::DigestMismatch;
         }
         if self.blobs.contains_key(&digest) {
+            self.touch(shard, digest);
             return PutOutcome::AlreadyHeld;
         }
         self.bytes_stored += bytes.len() as u64;
         self.blobs.insert(digest, (shard, bytes));
+        if let Some(k) = self.retain {
+            let recent = self.recency.entry(shard).or_default();
+            recent.push_back(digest);
+            while recent.len() > k {
+                let evicted = recent.pop_front().expect("len > k >= 1");
+                if let Some((_, b)) = self.blobs.remove(&evicted) {
+                    self.bytes_stored -= b.len() as u64;
+                }
+            }
+        }
         PutOutcome::Stored
+    }
+
+    /// Moves a re-put digest to the back of its shard's recency queue, so
+    /// an actively republished snapshot is not the next eviction victim.
+    fn touch(&mut self, shard: u32, digest: BulkDigest) {
+        if self.retain.is_none() {
+            return;
+        }
+        if let Some(recent) = self.recency.get_mut(&shard) {
+            if let Some(pos) = recent.iter().position(|d| *d == digest) {
+                recent.remove(pos);
+                recent.push_back(digest);
+            }
+        }
     }
 
     /// The bytes stored under `digest`, if held.
     pub fn get(&self, digest: &BulkDigest) -> Option<&[u8]> {
-        self.blobs.get(digest).map(|(_, b)| b.as_slice())
+        self.blobs.get(digest).map(|(_, b)| b.as_ref())
+    }
+
+    /// The shared handle to the bytes stored under `digest`, if held —
+    /// cloning it shares the allocation (a reply costs a refcount bump).
+    pub fn get_shared(&self, digest: &BulkDigest) -> Option<SharedBytes> {
+        self.blobs.get(digest).map(|(_, b)| b.clone())
     }
 
     /// True if `digest` is held.
@@ -73,9 +153,9 @@ impl BulkStore {
         self.blobs.len()
     }
 
-    /// Total payload bytes held (overwrites of a shard map accumulate —
-    /// garbage-collecting digests orphaned by newer writes is future
-    /// work, see ROADMAP).
+    /// Total payload bytes currently held. Without a retention bound this
+    /// only grows under overwrite churn (orphaned digests accumulate);
+    /// with one it plateaus at ≤ `retain` blobs per shard.
     pub fn bytes_stored(&self) -> u64 {
         self.bytes_stored
     }
@@ -90,29 +170,102 @@ impl BulkStore {
 mod tests {
     use super::*;
 
+    fn blob(label: u8, len: usize) -> (BulkDigest, SharedBytes) {
+        let bytes: SharedBytes = vec![label; len].into();
+        (digest_of(&bytes), bytes)
+    }
+
     #[test]
     fn put_verifies_and_is_idempotent() {
         let mut s = BulkStore::new();
-        let bytes = b"shard map bytes".to_vec();
+        let bytes: SharedBytes = b"shard map bytes".to_vec().into();
         let d = digest_of(&bytes);
         assert_eq!(s.put(3, d, bytes.clone()), PutOutcome::Stored);
         assert_eq!(s.put(3, d, bytes.clone()), PutOutcome::AlreadyHeld);
         assert!(PutOutcome::AlreadyHeld.held());
-        assert_eq!(s.get(&d), Some(bytes.as_slice()));
+        assert_eq!(s.get(&d), Some(bytes.as_ref()));
         assert!(s.holds(&d));
         assert_eq!(s.blob_count(), 1);
         assert_eq!(s.bytes_stored(), bytes.len() as u64);
         assert_eq!(s.shards_held().into_iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(s.retention(), None);
     }
 
     #[test]
     fn fabricated_blobs_are_unstorable() {
         let mut s = BulkStore::new();
         let d = digest_of(b"the real bytes");
-        let out = s.put(0, d, b"not those bytes".to_vec());
+        let out = s.put(0, d, b"not those bytes".to_vec().into());
         assert_eq!(out, PutOutcome::DigestMismatch);
         assert!(!out.held());
         assert_eq!(s.blob_count(), 0);
         assert_eq!(s.get(&d), None);
+    }
+
+    #[test]
+    fn get_shared_shares_the_allocation() {
+        let mut s = BulkStore::new();
+        let (d, bytes) = blob(7, 64);
+        s.put(0, d, bytes.clone());
+        let served = s.get_shared(&d).expect("held");
+        assert!(Arc::ptr_eq(&served, &bytes), "serving must not copy");
+    }
+
+    #[test]
+    fn retention_evicts_oldest_and_bytes_plateau() {
+        let mut s = BulkStore::with_retention(2);
+        let (d1, b1) = blob(1, 100);
+        let (d2, b2) = blob(2, 100);
+        let (d3, b3) = blob(3, 100);
+        s.put(0, d1, b1);
+        s.put(0, d2, b2);
+        assert_eq!(s.bytes_stored(), 200);
+        // The previous digest survives an overwrite (K = 2)…
+        s.put(0, d3, b3);
+        assert!(!s.holds(&d1), "oldest digest must be evicted");
+        assert!(s.holds(&d2), "the previous snapshot stays resolvable");
+        assert!(s.holds(&d3));
+        // …and total bytes plateau at K blobs per shard under churn.
+        for i in 4..40u8 {
+            let (d, b) = blob(i, 100);
+            s.put(0, d, b);
+            assert_eq!(s.bytes_stored(), 200, "bytes must plateau at K blobs");
+            assert_eq!(s.blob_count(), 2);
+        }
+    }
+
+    #[test]
+    fn retention_is_per_shard() {
+        let mut s = BulkStore::with_retention(1);
+        let (d1, b1) = blob(1, 10);
+        let (d2, b2) = blob(2, 10);
+        s.put(0, d1, b1);
+        s.put(1, d2, b2);
+        assert!(s.holds(&d1) && s.holds(&d2), "bounds apply per shard");
+        let (d3, b3) = blob(3, 10);
+        s.put(0, d3, b3);
+        assert!(!s.holds(&d1) && s.holds(&d2) && s.holds(&d3));
+    }
+
+    #[test]
+    fn reput_refreshes_recency_instead_of_double_counting() {
+        let mut s = BulkStore::with_retention(2);
+        let (d1, b1) = blob(1, 10);
+        let (d2, b2) = blob(2, 10);
+        s.put(0, d1, b1.clone());
+        s.put(0, d2, b2);
+        // Re-put of d1: now d2 is the oldest.
+        assert_eq!(s.put(0, d1, b1), PutOutcome::AlreadyHeld);
+        assert_eq!(s.bytes_stored(), 20, "re-put must not double count");
+        let (d3, b3) = blob(3, 10);
+        s.put(0, d3, b3);
+        assert!(s.holds(&d1), "refreshed digest must survive");
+        assert!(!s.holds(&d2), "stale digest is the eviction victim");
+    }
+
+    #[test]
+    #[should_panic(expected = "retention bound must be at least 1")]
+    fn zero_retention_is_refused() {
+        let _ = BulkStore::with_retention(0);
     }
 }

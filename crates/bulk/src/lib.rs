@@ -36,7 +36,7 @@ mod codec;
 mod digest;
 mod placement;
 
-pub use blob::{BulkStore, PutOutcome};
+pub use blob::{BulkStore, PutOutcome, SharedBytes};
 pub use codec::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64, BulkCodec};
 pub use digest::{digest_of, BulkDigest, BulkRef};
 pub use placement::{data_replica_count, data_replica_slots, push_quorum};

@@ -1,14 +1,18 @@
 //! Run-level counters: events, messages (total, per kind, per link), faults.
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! Recording sits on the per-send hot path, so the breakdowns are kept in
+//! flat structures: label counts in a tiny vector scanned linearly (a
+//! handful of `'static` labels per protocol — cheaper than any tree or
+//! hash lookup), per-link counts in a dense id-indexed matrix (process
+//! ids are small dense integers; no hashing, no allocation per send).
 
 use crate::id::ProcessId;
 
 /// Counters accumulated over one simulation run.
 ///
 /// Message counts are the raw number of point-to-point sends — a broadcast to
-/// `n` servers counts `n`. `by_label` breaks the same totals down by
-/// [`Message::label`](crate::Message::label).
+/// `n` servers counts `n`. [`Metrics::sent_with_label`] breaks the same
+/// totals down by [`Message::label`](crate::Message::label).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Events popped from the scheduler (deliveries, timers, faults).
@@ -19,10 +23,6 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages dropped because the link's content was wiped by a fault.
     pub messages_dropped: u64,
-    /// Sent-message counts per message label.
-    pub by_label: BTreeMap<&'static str, u64>,
-    /// Sent-message counts per directed link.
-    pub per_link: HashMap<(ProcessId, ProcessId), u64>,
     /// Estimated bytes sent by **metadata-plane** messages (see
     /// [`Message::is_bulk`](crate::Message::is_bulk); messages whose type
     /// does not override `wire_bytes` contribute 0).
@@ -35,6 +35,10 @@ pub struct Metrics {
     pub corruptions: u64,
     /// Garbage messages injected into links by the fault plan.
     pub garbage_injected: u64,
+    /// Sent-message counts per message label, in first-seen order.
+    by_label: Vec<(&'static str, u64)>,
+    /// Sent-message counts per directed link, dense: `per_link[from][to]`.
+    per_link: Vec<Vec<u64>>,
 }
 
 impl Metrics {
@@ -54,8 +58,19 @@ impl Metrics {
         } else {
             self.metadata_bytes_sent += bytes;
         }
-        *self.by_label.entry(label).or_insert(0) += 1;
-        *self.per_link.entry((from, to)).or_insert(0) += 1;
+        match self.by_label.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += 1,
+            None => self.by_label.push((label, 1)),
+        }
+        let (f, t) = (from.index(), to.index());
+        if self.per_link.len() <= f {
+            self.per_link.resize_with(f + 1, Vec::new);
+        }
+        let row = &mut self.per_link[f];
+        if row.len() <= t {
+            row.resize(t + 1, 0);
+        }
+        row[t] += 1;
     }
 
     /// Total estimated bytes sent across both planes.
@@ -65,12 +80,25 @@ impl Metrics {
 
     /// Total messages sent with `label`.
     pub fn sent_with_label(&self, label: &str) -> u64 {
-        self.by_label.get(label).copied().unwrap_or(0)
+        self.by_label
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Per-label send counts, in first-seen order.
+    pub fn label_counts(&self) -> &[(&'static str, u64)] {
+        &self.by_label
     }
 
     /// Messages sent on the directed link `from -> to`.
     pub fn sent_on_link(&self, from: ProcessId, to: ProcessId) -> u64 {
-        self.per_link.get(&(from, to)).copied().unwrap_or(0)
+        self.per_link
+            .get(from.index())
+            .and_then(|row| row.get(to.index()))
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -92,7 +120,9 @@ mod tests {
         assert_eq!(m.sent_with_label("WRITE"), 2);
         assert_eq!(m.sent_with_label("ACK_WRITE"), 1);
         assert_eq!(m.sent_with_label("NOPE"), 0);
+        assert_eq!(m.label_counts(), &[("WRITE", 2), ("ACK_WRITE", 1)]);
         assert_eq!(m.sent_on_link(ProcessId(0), ProcessId(1)), 1);
         assert_eq!(m.sent_on_link(ProcessId(2), ProcessId(0)), 0);
+        assert_eq!(m.sent_on_link(ProcessId(40), ProcessId(41)), 0);
     }
 }

@@ -16,7 +16,7 @@
 //! | Byzantine servers                     | adversarial `Node` impls, [`Simulation::replace_node`] |
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::id::{ProcessId, TimerId};
 use crate::link::{DelayModel, LinkState};
@@ -157,7 +157,9 @@ pub struct Simulation<M: Message, O> {
     queue: BinaryHeap<Scheduled<M>>,
     nodes: Vec<Option<Box<dyn Node<Msg = M, Out = O>>>>,
     rngs: Vec<DetRng>,
-    links: HashMap<(ProcessId, ProcessId), LinkState>,
+    /// Directed links, dense: `links[from][to]`. Process ids are small
+    /// dense integers, so the delivery path indexes instead of hashing.
+    links: Vec<Vec<Option<LinkState>>>,
     cancelled: HashSet<TimerId>,
     next_timer: u64,
     outputs: Vec<(SimTime, ProcessId, O)>,
@@ -165,6 +167,10 @@ pub struct Simulation<M: Message, O> {
     garbage_gen: Option<GarbageGen<M>>,
     net_rng: DetRng,
     fault_rng: DetRng,
+    /// Reused effect buffers: every dispatch borrows these, drains them,
+    /// and hands them back, so the per-event path stops allocating fresh
+    /// vectors once the run's high-water capacity is reached.
+    scratch: Effects<M, O>,
 }
 
 impl<M: Message, O: 'static> Simulation<M, O> {
@@ -179,7 +185,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             rngs: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             cancelled: HashSet::new(),
             next_timer: 0,
             outputs: Vec::new(),
@@ -187,6 +193,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             garbage_gen: None,
             net_rng,
             fault_rng,
+            scratch: Effects::new(),
         }
     }
 
@@ -269,7 +276,31 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     /// Adds the directed link `from -> to` with the given delay model,
     /// replacing any existing link.
     pub fn add_link(&mut self, from: ProcessId, to: ProcessId, delay: DelayModel) {
-        self.links.insert((from, to), LinkState::new(delay));
+        let (f, t) = (from.index(), to.index());
+        if self.links.len() <= f {
+            self.links.resize_with(f + 1, Vec::new);
+        }
+        let row = &mut self.links[f];
+        if row.len() <= t {
+            row.resize_with(t + 1, || None);
+        }
+        row[t] = Some(LinkState::new(delay));
+    }
+
+    /// The link `from -> to`, if registered.
+    fn link(&self, from: ProcessId, to: ProcessId) -> Option<&LinkState> {
+        self.links
+            .get(from.index())
+            .and_then(|row| row.get(to.index()))
+            .and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the link `from -> to`, if registered.
+    fn link_mut(&mut self, from: ProcessId, to: ProcessId) -> Option<&mut LinkState> {
+        self.links
+            .get_mut(from.index())
+            .and_then(|row| row.get_mut(to.index()))
+            .and_then(Option::as_mut)
     }
 
     /// Adds both directed links between `a` and `b`.
@@ -290,17 +321,14 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     ///
     /// Panics if the link does not exist.
     pub fn set_link_delay(&mut self, from: ProcessId, to: ProcessId, delay: DelayModel) {
-        self.links
-            .get_mut(&(from, to))
+        self.link_mut(from, to)
             .unwrap_or_else(|| panic!("no link {from} -> {to}"))
             .set_delay(delay);
     }
 
     /// The known delay upper bound of the link `from -> to`, if any.
     pub fn link_bound(&self, from: ProcessId, to: ProcessId) -> Option<SimDuration> {
-        self.links
-            .get(&(from, to))
-            .and_then(|l| l.delay().upper_bound())
+        self.link(from, to).and_then(|l| l.delay().upper_bound())
     }
 
     /// Installs the generator used by [`Simulation::schedule_link_garbage`]
@@ -338,7 +366,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     /// Immediately discards every message currently in flight on the link
     /// `from -> to` (transient fault wiping channel contents).
     pub fn wipe_link(&mut self, from: ProcessId, to: ProcessId) {
-        if let Some(link) = self.links.get_mut(&(from, to)) {
+        if let Some(link) = self.link_mut(from, to) {
             link.bump_generation();
         }
     }
@@ -418,8 +446,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                 generation,
             } => {
                 let live = self
-                    .links
-                    .get(&(from, to))
+                    .link(from, to)
                     .map(|l| l.generation() == generation)
                     .unwrap_or(false);
                 if live {
@@ -506,9 +533,13 @@ impl<M: Message, O: 'static> Simulation<M, O> {
 
     /// Routes one message over the link `from -> to`, enforcing FIFO.
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        // Field-level indexed access (not `link_mut`) so the link borrow
+        // stays disjoint from `net_rng`.
         let link = self
             .links
-            .get_mut(&(from, to))
+            .get_mut(from.index())
+            .and_then(|row| row.get_mut(to.index()))
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("send over missing link {from} -> {to}"));
         let at = link.schedule(self.now, &mut self.net_rng);
         let generation = link.generation();
@@ -533,7 +564,9 @@ impl<M: Message, O: 'static> Simulation<M, O> {
         let mut node = self.nodes[pid.index()]
             .take()
             .unwrap_or_else(|| panic!("{pid} has no node (reserved but never filled?)"));
-        let mut effects = Effects::new();
+        // Dispatches never nest, so every handler records into the same
+        // reusable buffers instead of allocating fresh ones per event.
+        let mut effects = std::mem::take(&mut self.scratch);
         let result = {
             let mut ctx = Context::new(
                 self.now,
@@ -545,30 +578,27 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             f(node.as_mut(), &mut ctx)
         };
         self.nodes[pid.index()] = Some(node);
-        self.apply_effects(pid, effects);
+        self.apply_effects(pid, &mut effects);
+        self.scratch = effects;
         result
     }
 
-    fn apply_effects(&mut self, pid: ProcessId, effects: Effects<M, O>) {
+    /// Applies and drains `effects`, leaving its buffers empty but with
+    /// their capacity intact (they are the dispatch scratch space).
+    fn apply_effects(&mut self, pid: ProcessId, effects: &mut Effects<M, O>) {
         if effects.is_empty() {
             return;
         }
-        let Effects {
-            sends,
-            timers_set,
-            timers_cancelled,
-            outputs,
-        } = effects;
-        for (to, msg) in sends {
+        for (to, msg) in effects.sends.drain(..) {
             self.route(pid, to, msg);
         }
-        for (id, delay) in timers_set {
+        for (id, delay) in effects.timers_set.drain(..) {
             self.push(self.now + delay, EventKind::Timer { pid, id });
         }
-        for id in timers_cancelled {
+        for id in effects.timers_cancelled.drain(..) {
             self.cancelled.insert(id);
         }
-        for out in outputs {
+        for out in effects.outputs.drain(..) {
             self.outputs.push((self.now, pid, out));
         }
     }
@@ -579,7 +609,14 @@ impl<M: Message, O> std::fmt::Debug for Simulation<M, O> {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("nodes", &self.nodes.len())
-            .field("links", &self.links.len())
+            .field(
+                "links",
+                &self
+                    .links
+                    .iter()
+                    .map(|row| row.iter().filter(|l| l.is_some()).count())
+                    .sum::<usize>(),
+            )
             .field("pending_events", &self.queue.len())
             .field("metrics", &self.metrics)
             .finish()

@@ -1,0 +1,172 @@
+//! Indexed per-destination coalescing of register messages into
+//! [`StoreMsg::Batch`] envelopes.
+//!
+//! Every store node re-emits the sends its embedded register machines
+//! record, with all messages bound for one peer coalesced into a single
+//! batch. [`DestBatcher`] is that coalescing step: staging is an indexed
+//! write into a dense per-[`ProcessId`] slot table (the previous
+//! implementation linearly scanned a `(dest, batch)` vec per message),
+//! and the slot vectors plus the touch list are owned by the node and
+//! reused across handler executions, so the hot path allocates only the
+//! batch vectors actually shipped.
+
+use crate::msg::StoreMsg;
+use sbs_core::{Payload, RegMsg};
+use sbs_sim::{Context, Effects, ProcessId};
+
+/// Reusable per-destination staging for one node's outgoing register
+/// messages. Destinations flush in first-touch order; messages within a
+/// destination keep their send order (the FIFO reasoning of the
+/// underlying protocol depends on it — a server's `SS_ACK` must precede
+/// the protocol acknowledgement it anchors).
+#[derive(Debug)]
+pub struct DestBatcher<P> {
+    /// Staged messages, indexed by destination process id.
+    slots: Vec<Vec<RegMsg<P>>>,
+    /// Destinations with staged messages, in first-touch order.
+    touched: Vec<ProcessId>,
+}
+
+impl<P: Payload> DestBatcher<P> {
+    /// An empty batcher.
+    pub fn new() -> Self {
+        DestBatcher {
+            slots: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Stages `msg` for `to`.
+    pub fn stage(&mut self, to: ProcessId, msg: RegMsg<P>) {
+        let i = to.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, Vec::new);
+        }
+        if self.slots[i].is_empty() {
+            self.touched.push(to);
+        }
+        self.slots[i].push(msg);
+    }
+
+    /// Emits one [`StoreMsg::Batch`] per staged destination (first-touch
+    /// order) and clears the staging state.
+    pub fn flush<O>(&mut self, ctx: &mut Context<'_, StoreMsg<P>, O>) {
+        for to in self.touched.drain(..) {
+            let batch = std::mem::take(&mut self.slots[to.index()]);
+            ctx.send(to, StoreMsg::Batch(batch));
+        }
+    }
+
+    /// Re-emits the effects an embedded [`RegMsg`] state machine
+    /// recorded: sends coalesce into one batch per destination, timers
+    /// are forwarded under their original ids, cancellations pass
+    /// through. Returns the embedded machine's outputs for the caller to
+    /// translate.
+    pub fn forward_batched<OInner, OOuter>(
+        &mut self,
+        eff: Effects<RegMsg<P>, OInner>,
+        ctx: &mut Context<'_, StoreMsg<P>, OOuter>,
+    ) -> Vec<OInner> {
+        let (sends, timers, cancels, outs) = eff.into_parts();
+        for (to, m) in sends {
+            self.stage(to, m);
+        }
+        self.flush(ctx);
+        for (id, delay) in timers {
+            ctx.forward_timer(id, delay);
+        }
+        for id in cancels {
+            ctx.cancel_timer(id);
+        }
+        outs
+    }
+}
+
+impl<P: Payload> Default for DestBatcher<P> {
+    fn default() -> Self {
+        DestBatcher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::StoreOut;
+    use sbs_core::RegId;
+    use sbs_sim::{DetRng, SimDuration, SimTime};
+
+    #[test]
+    fn forward_batched_groups_per_destination_preserving_order() {
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut outer: Effects<StoreMsg<u64>, StoreOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut outer);
+
+        let mut batcher: DestBatcher<u64> = DestBatcher::new();
+        let mut inner: Effects<RegMsg<u64>, u32> = Effects::new();
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        ctx.with_effects(&mut inner, |sub| {
+            sub.send(a, RegMsg::SsAck { tag: 1 });
+            sub.send(b, RegMsg::SsAck { tag: 2 });
+            sub.send(
+                a,
+                RegMsg::AckRead {
+                    reg: RegId(0),
+                    last: 7,
+                    helping: None,
+                },
+            );
+            sub.output(42);
+        });
+        let outs = batcher.forward_batched(inner, &mut ctx);
+        assert_eq!(outs, vec![42]);
+
+        let sends = outer.sends();
+        assert_eq!(sends.len(), 2, "three messages coalesce into two batches");
+        assert_eq!(sends[0].0, a);
+        let StoreMsg::Batch(batch_a) = &sends[0].1 else {
+            panic!("expected a batch");
+        };
+        assert_eq!(batch_a.len(), 2);
+        assert!(matches!(batch_a[0], RegMsg::SsAck { tag: 1 }));
+        assert!(matches!(batch_a[1], RegMsg::AckRead { .. }));
+        assert_eq!(sends[1].0, b);
+        let StoreMsg::Batch(batch_b) = &sends[1].1 else {
+            panic!("expected a batch");
+        };
+        assert_eq!(batch_b.len(), 1);
+    }
+
+    #[test]
+    fn forward_batched_preserves_timer_ids() {
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut outer: Effects<StoreMsg<u64>, StoreOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut outer);
+        let mut batcher: DestBatcher<u64> = DestBatcher::new();
+        let mut inner: Effects<RegMsg<u64>, ()> = Effects::new();
+        let id = ctx.with_effects(&mut inner, |sub| sub.set_timer(SimDuration::millis(5)));
+        let _ = batcher.forward_batched(inner, &mut ctx);
+        assert_eq!(outer.timers_set(), &[(id, SimDuration::millis(5))]);
+    }
+
+    #[test]
+    fn batcher_is_reusable_across_flushes() {
+        let mut rng = DetRng::from_seed(1);
+        let mut nt = 0u64;
+        let mut outer: Effects<StoreMsg<u64>, StoreOut<u64>> = Effects::new();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(9), &mut rng, &mut nt, &mut outer);
+        let mut batcher: DestBatcher<u64> = DestBatcher::new();
+        for round in 0..3u64 {
+            batcher.stage(ProcessId(4), RegMsg::SsAck { tag: round });
+            batcher.stage(ProcessId(1), RegMsg::SsAck { tag: round });
+            batcher.flush(&mut ctx);
+        }
+        let sends = outer.sends();
+        assert_eq!(sends.len(), 6, "each flush ships its staged batches");
+        // First-touch order holds per flush even with interleaved ids.
+        assert_eq!(sends[0].0, ProcessId(4));
+        assert_eq!(sends[1].0, ProcessId(1));
+        assert_eq!(sends[4].0, ProcessId(4));
+    }
+}

@@ -110,6 +110,8 @@ pub struct StoreBuilder {
     wsn_modulus: u128,
     plane: DataPlane,
     settle_horizon: SimDuration,
+    batch_window: SimDuration,
+    bulk_retain: Option<usize>,
 }
 
 impl StoreBuilder {
@@ -128,6 +130,8 @@ impl StoreBuilder {
             wsn_modulus: PAPER_MODULUS,
             plane: DataPlane::Full,
             settle_horizon: SETTLE_HORIZON,
+            batch_window: SimDuration::ZERO,
+            bulk_retain: None,
         }
     }
 
@@ -257,6 +261,37 @@ impl StoreBuilder {
     /// Overrides the bounded sequence-number modulus (must be odd).
     pub fn wsn_modulus(mut self, modulus: u128) -> Self {
         self.wsn_modulus = modulus;
+        self
+    }
+
+    /// Sets the clients' Nagle **batch window**: an operation arriving at
+    /// a fully idle client is held up to `window` so operations arriving
+    /// within it (open-loop bursts) fold into the same register round —
+    /// queued puts on one shard share a single map publish, queued gets
+    /// on one shard share a single metadata read. Zero (the default)
+    /// launches every operation immediately, reproducing the unbatched
+    /// behavior exactly. No operation is ever held past its flush
+    /// deadline, and queue order is preserved. Safe in both communication
+    /// modes: the hold delays only the *launch*, never a round in flight,
+    /// so the synchronous timeout discipline is untouched.
+    pub fn batch_window(mut self, window: SimDuration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Bounds every data replica's blob store to the last `retain`
+    /// distinct digests per shard (retain-last-K GC): overwrite churn
+    /// then plateaus instead of accumulating orphaned snapshots.
+    /// `retain ≥ 2` keeps the previous snapshot resolvable for concurrent
+    /// readers; readers chasing older references fall back to a metadata
+    /// re-read. Only meaningful together with [`StoreBuilder::bulk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on `retain == 0` at build time (a replica storing nothing
+    /// could never acknowledge a push).
+    pub fn bulk_retain(mut self, retain: usize) -> Self {
+        self.bulk_retain = Some(retain);
         self
     }
 
@@ -404,6 +439,7 @@ impl StoreBuilder {
                             strat.clone(),
                             initial.clone(),
                         ))
+                        .bulk_retention(self.bulk_retain)
                         .byzantine_bulk(),
                     )
                 }
@@ -411,7 +447,8 @@ impl StoreBuilder {
                     s,
                     StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
                         initial.clone(),
-                    )),
+                    ))
+                    .bulk_retention(self.bulk_retain),
                 ),
             }
         }
@@ -431,7 +468,8 @@ impl StoreBuilder {
                     &owned,
                     self.wsn_modulus,
                     self.plane,
-                ),
+                )
+                .batch_window(self.batch_window),
             );
         }
         install_garbage_gen(&mut sim, initial, self.shards);
@@ -495,7 +533,8 @@ fn install_garbage_gen<V: Payload + BulkCodec>(
                     digest: fake.digest,
                     bytes: (0..(rng.next_u64() % 32))
                         .map(|_| rng.next_u64() as u8)
-                        .collect(),
+                        .collect::<Vec<u8>>()
+                        .into(),
                 };
             }
             _ => {
@@ -509,7 +548,8 @@ fn install_garbage_gen<V: Payload + BulkCodec>(
                     bytes: rng.chance(0.5).then(|| {
                         (0..(rng.next_u64() % 32))
                             .map(|_| rng.next_u64() as u8)
-                            .collect()
+                            .collect::<Vec<u8>>()
+                            .into()
                     }),
                 };
             }
@@ -687,6 +727,12 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         self.log.completed.len()
     }
 
+    /// Every completed operation's id, in completion order (ties broken
+    /// by emission order — which is what the batching guarantees pin).
+    pub fn completion_order(&self) -> Vec<OpId> {
+        self.log.completed.iter().map(|r| r.record.op).collect()
+    }
+
     /// Every key touched by a completed operation.
     pub fn keys_touched(&self) -> BTreeSet<String> {
         self.log.completed.iter().map(|r| r.key.clone()).collect()
@@ -821,6 +867,12 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
     /// Total bulk payload bytes stored on server `i`.
     pub fn bulk_bytes_stored(&mut self, i: usize) -> u64 {
         self.with_server_bulk(i, |b| b.bytes_stored())
+    }
+
+    /// Number of bulk blobs held on server `i` (bounded by the
+    /// [`StoreBuilder::bulk_retain`] window when one is set).
+    pub fn bulk_blob_count(&mut self, i: usize) -> usize {
+        self.with_server_bulk(i, |b| b.blob_count())
     }
 }
 

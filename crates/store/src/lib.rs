@@ -96,6 +96,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batcher;
 mod harness;
 mod map;
 mod msg;
@@ -104,6 +105,7 @@ mod router;
 mod val;
 mod workload;
 
+pub use batcher::DestBatcher;
 pub use harness::{StoreBuilder, StoreConfig, StoreSystem};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};

@@ -20,7 +20,7 @@
 //! ([`Message::is_bulk`]), which is how the bulk/full traffic comparison
 //! in `bulk_vs_full` is measured.
 
-use sbs_bulk::BulkDigest;
+use sbs_bulk::{BulkDigest, SharedBytes};
 use sbs_core::{Payload, RegMsg};
 use sbs_sim::{Message, OpId};
 
@@ -40,8 +40,10 @@ pub enum StoreMsg<P> {
         shard: u32,
         /// The announced content address.
         digest: BulkDigest,
-        /// The serialized shard map.
-        bytes: Vec<u8>,
+        /// The serialized shard map, shared zero-copy: the fan-out to
+        /// every data replica and any ack-wait retransmission clone a
+        /// reference count, not the payload.
+        bytes: SharedBytes,
     },
     /// Data replica → client: `digest` is held (verified).
     BulkPutAck {
@@ -69,8 +71,9 @@ pub enum StoreMsg<P> {
         digest: BulkDigest,
         /// The round tag of the request this answers.
         tag: u64,
-        /// The replica's bytes for the digest, if held.
-        bytes: Option<Vec<u8>>,
+        /// The replica's bytes for the digest, if held — shared with the
+        /// replica's blob store (serving costs a refcount bump).
+        bytes: Option<SharedBytes>,
     },
 }
 
@@ -165,7 +168,7 @@ mod tests {
         let put: StoreMsg<u64> = StoreMsg::BulkPut {
             shard: 0,
             digest,
-            bytes,
+            bytes: bytes.into(),
         };
         assert_eq!(put.label(), "BULK_PUT");
         assert!(put.is_bulk());

@@ -7,6 +7,7 @@ use sbs_bulk::{get_u32, get_u64, put_u32, put_u64, BulkCodec, BulkRef};
 use sbs_core::Payload;
 use sbs_sim::DetRng;
 use std::fmt;
+use std::sync::Arc;
 
 /// What a shard's metadata register stores.
 ///
@@ -17,10 +18,21 @@ use std::fmt;
 /// the map's bytes live on the shard's `2t + 1` data replicas. Both
 /// variants flow through the *unmodified* register state machines: to
 /// the protocol this is just an opaque, comparable payload.
+///
+/// The inline map is held behind an [`Arc`]: the writer snapshots its
+/// authoritative map **once** per publish, and every hop that used to
+/// deep-clone it — the per-server broadcast fan-out, retransmissions,
+/// server `last_val`/helping copies, duplicate deliveries — now shares
+/// that one allocation. Comparison, ordering, and hashing go through the
+/// pointee, so quorum predicates count identical *values* exactly as
+/// before; Byzantine/transient mutation paths copy-on-write via
+/// [`Arc::make_mut`], so garbling one in-flight copy can never reach the
+/// writer's (or another message's) snapshot.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StoreVal<V> {
-    /// The shard map, replicated in full through the metadata quorum.
-    Inline(ShardMap<V>),
+    /// The shard map, replicated in full through the metadata quorum —
+    /// one shared allocation per published snapshot.
+    Inline(Arc<ShardMap<V>>),
     /// A content-addressed reference; the bytes live on the data
     /// replicas.
     Ref(BulkRef),
@@ -31,7 +43,7 @@ impl<V: Payload> StoreVal<V> {
     /// *both* modes, so reading a never-written shard needs no bulk
     /// fetch.
     pub fn empty() -> Self {
-        StoreVal::Inline(ShardMap::new())
+        StoreVal::Inline(Arc::new(ShardMap::new()))
     }
 }
 
@@ -48,7 +60,9 @@ impl<V: Payload> Payload for StoreVal<V> {
     /// Transient fault: contents scramble, and occasionally the *variant*
     /// flips — a corrupted or fabricated register cell may claim to be a
     /// reference to bytes that exist nowhere (the fetch path must survive
-    /// that), or collapse to an inline map.
+    /// that), or collapse to an inline map. Scrambling an inline map is
+    /// copy-on-write: the corrupted copy detaches from the shared
+    /// snapshot instead of mutating it under every other holder.
     fn scramble(&mut self, rng: &mut DetRng) {
         if rng.chance(0.25) {
             *self = match self {
@@ -57,12 +71,12 @@ impl<V: Payload> Payload for StoreVal<V> {
                     r.scramble(rng);
                     StoreVal::Ref(r)
                 }
-                StoreVal::Ref(_) => StoreVal::Inline(ShardMap::new()),
+                StoreVal::Ref(_) => StoreVal::Inline(Arc::new(ShardMap::new())),
             };
             return;
         }
         match self {
-            StoreVal::Inline(m) => m.scramble(rng),
+            StoreVal::Inline(m) => Arc::make_mut(m).scramble(rng),
             StoreVal::Ref(r) => r.scramble(rng),
         }
     }
@@ -155,11 +169,27 @@ mod tests {
     fn store_val_wire_sizes() {
         let mut m: ShardMap<u64> = ShardMap::new();
         m.insert("k", 5);
-        let inline: StoreVal<u64> = StoreVal::Inline(m);
+        let inline: StoreVal<u64> = StoreVal::Inline(Arc::new(m));
         let r: StoreVal<u64> = StoreVal::Ref(BulkRef::to_bytes(b"bytes"));
         assert!(inline.wire_size() > 1);
         assert_eq!(r.wire_size(), 41);
         assert_eq!(StoreVal::<u64>::empty().wire_size(), 5);
+    }
+
+    #[test]
+    fn scramble_is_copy_on_write_for_shared_snapshots() {
+        let mut m: ShardMap<u64> = ShardMap::new();
+        m.insert("k", 1);
+        let shared = Arc::new(m);
+        let mut rng = DetRng::from_seed(5);
+        // Garble many in-flight copies of the same snapshot; the shared
+        // allocation (the writer's published value, every other message)
+        // must never observe the mutation.
+        for _ in 0..32 {
+            let mut v: StoreVal<u64> = StoreVal::Inline(shared.clone());
+            v.scramble(&mut rng);
+        }
+        assert_eq!(shared.get("k"), Some(&1), "shared snapshot mutated");
     }
 
     #[test]

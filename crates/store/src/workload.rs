@@ -325,6 +325,7 @@ impl Workload {
             },
             messages_delivered: sys.sim.metrics().messages_delivered,
             events_processed: sys.sim.metrics().events_processed,
+            metadata_messages: sys.sim.metrics().sent_with_label("BATCH"),
             metadata_bytes: sys.sim.metrics().metadata_bytes_sent,
             bulk_bytes: sys.sim.metrics().bulk_bytes_sent,
         };
@@ -470,6 +471,9 @@ pub struct WorkloadReport {
     pub messages_delivered: u64,
     /// Total simulator events processed.
     pub events_processed: u64,
+    /// Metadata-plane sends: `StoreMsg::Batch` envelopes handed to links.
+    /// The per-op quotient is the batching-efficiency headline.
+    pub metadata_messages: u64,
     /// Estimated metadata-plane bytes on the wire (register batches).
     pub metadata_bytes: u64,
     /// Estimated bulk-plane bytes on the wire (payload transfers to/from
@@ -481,6 +485,11 @@ impl WorkloadReport {
     /// Estimated total bytes on the wire across both planes.
     pub fn total_bytes(&self) -> u64 {
         self.metadata_bytes + self.bulk_bytes
+    }
+
+    /// Metadata-plane messages per completed operation.
+    pub fn metadata_messages_per_op(&self) -> f64 {
+        self.metadata_messages as f64 / self.completed.max(1) as f64
     }
 }
 

@@ -1,0 +1,172 @@
+//! Time-window batching acceptance: the Nagle flush window must change
+//! the store's *economics* (fewer rounds, fewer metadata messages per
+//! op) without changing anything the workload determines — verified
+//! differentially against the unbatched run of the identical declarative
+//! workload, plus direct unit checks of the flush-deadline and ordering
+//! guarantees.
+
+use sbs_check::{check_regularity, equivalent_write_histories, History};
+use sbs_sim::SimDuration;
+use sbs_store::{
+    FaultPlan, KeyDist, LoopMode, OpMix, StoreBuilder, StoreSystem, Workload, WorkloadReport,
+};
+use std::collections::BTreeMap;
+
+fn keyed_histories(sys: &StoreSystem<u64>) -> BTreeMap<String, History<Option<u64>>> {
+    sys.keys_touched()
+        .into_iter()
+        .map(|k| {
+            let h = sys.history_for_key(&k);
+            (k, h)
+        })
+        .collect()
+}
+
+/// The open-loop burst workload of the acceptance criterion: YCSB-A
+/// (50% writes), Zipfian keys, arrivals far faster than the per-op
+/// service time so client backlogs build.
+fn bursty_ycsb_a(ops: u64) -> Workload {
+    Workload {
+        ops,
+        keys: 64,
+        mix: OpMix::ycsb_a(),
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        loop_mode: LoopMode::Open {
+            mean_interarrival: SimDuration::micros(300),
+        },
+        seed: 42,
+        faults: FaultPlan::none(),
+    }
+}
+
+fn base_builder() -> StoreBuilder {
+    StoreBuilder::asynchronous(1)
+        .seed(2015)
+        .shards(8)
+        .writers(4)
+        .extra_readers(2)
+}
+
+fn run(builder: &StoreBuilder, ops: u64) -> (WorkloadReport, StoreSystem<u64>) {
+    let (report, sys) = bursty_ycsb_a(ops).run(builder);
+    assert_eq!(report.completed, ops, "workload must complete");
+    (report, sys)
+}
+
+/// Batched-with-window vs unbatched over the same schedule-independent
+/// op streams: identical key sets, identical per-key write sequences,
+/// identical per-key op counts — and the windowed run pays measurably
+/// fewer metadata messages per op (the ≥ 20% headline is pinned by the
+/// `store_throughput` bench; this guards the direction).
+#[test]
+fn windowed_and_unbatched_runs_are_differentially_equivalent() {
+    let ops = 400;
+    let (plain_report, plain_sys) = run(&base_builder(), ops);
+    let windowed = base_builder().batch_window(SimDuration::micros(500));
+    let (win_report, win_sys) = run(&windowed, ops);
+
+    let keys = equivalent_write_histories(&keyed_histories(&plain_sys), &keyed_histories(&win_sys))
+        .expect("batching must not change observable write histories");
+    assert!(keys > 20, "Zipfian mix must touch many keys: {keys}");
+
+    // Open-loop histories overlap heavily; judge per-key regularity (the
+    // exact atomicity search has no quiescent cut points to divide at).
+    for key in win_sys.keys_touched() {
+        let h = win_sys.history_for_key(&key);
+        let rep = check_regularity(&h, &[None]);
+        assert!(rep.is_regular(), "key {key}: {:?}", rep.violations);
+    }
+
+    assert!(
+        win_report.metadata_messages < plain_report.metadata_messages,
+        "the window must cut metadata messages: {} vs {}",
+        win_report.metadata_messages,
+        plain_report.metadata_messages,
+    );
+}
+
+/// The same differential claim on the bulk data plane: folding queued
+/// puts into one push+publish and queued gets into one read+fetch must
+/// leave write histories untouched there too.
+#[test]
+fn windowed_bulk_runs_are_differentially_equivalent() {
+    let ops = 250;
+    let (_, plain_sys) = run(&base_builder().bulk(), ops);
+    let windowed = base_builder().bulk().batch_window(SimDuration::micros(500));
+    let (_, win_sys) = run(&windowed, ops);
+    equivalent_write_histories(&keyed_histories(&plain_sys), &keyed_histories(&win_sys))
+        .expect("bulk batching must not change observable write histories");
+}
+
+/// No op is held past its flush deadline: an operation arriving at a
+/// fully idle client launches exactly when the window expires — not a
+/// nanosecond later, and (with no companions) not earlier.
+#[test]
+fn no_op_is_held_past_its_flush_deadline() {
+    let window = SimDuration::micros(300);
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(7)
+        .batch_window(window)
+        .build();
+    let start = sys.sim.now();
+    sys.put("k", 1);
+    // Held: nothing hits the wire before the deadline…
+    sys.sim.run_until(start + (window - SimDuration::nanos(1)));
+    assert_eq!(
+        sys.sim.metrics().messages_sent,
+        0,
+        "the op must be held for the full window"
+    );
+    // …and the flush fires exactly at it.
+    sys.sim.run_until(start + window);
+    assert!(
+        sys.sim.metrics().messages_sent > 0,
+        "the op must launch at the flush deadline, not after"
+    );
+    assert!(sys.settle());
+    assert_eq!(sys.completed_ops(), 1);
+}
+
+/// Queue order is preserved through folding: a run of puts and the gets
+/// behind them complete in invocation order, and a folded overwrite is
+/// observed by the following get.
+#[test]
+fn batch_order_is_preserved_across_folded_runs() {
+    // One shard, so every op is fold-eligible with its neighbors.
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(11)
+        .batch_window(SimDuration::millis(1))
+        .build();
+    let ops = [
+        sys.put("a", 1),
+        sys.put("a", 2), // overwrites the first put within the fold
+        sys.put("b", 3),
+        sys.get(0, "a"),
+        sys.get(0, "b"),
+    ];
+    assert!(sys.settle());
+    assert_eq!(
+        sys.completion_order(),
+        ops.to_vec(),
+        "completions must keep invocation order"
+    );
+    let ha = sys.history_for_key("a");
+    assert_eq!(ha.reads().next().unwrap().kind.value(), &Some(2));
+    let hb = sys.history_for_key("b");
+    assert_eq!(hb.reads().next().unwrap().kind.value(), &Some(3));
+    sys.check_per_key_atomicity()
+        .expect("folded runs stay atomic");
+}
+
+/// A zero window is bit-for-bit the old behavior: same message counts,
+/// same histories as a builder that never mentions the knob.
+#[test]
+fn zero_window_is_identical_to_unbatched() {
+    let ops = 120;
+    let (a, sys_a) = run(&base_builder(), ops);
+    let (b, sys_b) = run(&base_builder().batch_window(SimDuration::ZERO), ops);
+    assert_eq!(a.metadata_messages, b.metadata_messages);
+    assert_eq!(a.sim_elapsed, b.sim_elapsed);
+    equivalent_write_histories(&keyed_histories(&sys_a), &keyed_histories(&sys_b))
+        .expect("zero window must not diverge");
+}
