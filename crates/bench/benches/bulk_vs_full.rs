@@ -1,7 +1,8 @@
-//! The metadata/data-separation bench: bytes-on-wire and throughput of
-//! the same Zipfian YCSB-B workload under full replication vs the
-//! content-addressed 2t+1 bulk plane, swept over payload size × fleet
-//! size.
+//! The metadata/data-separation bench: bytes-on-wire, per-replica
+//! storage, and throughput of the same Zipfian YCSB-B workload under
+//! full replication, the whole-copy 2t+1 bulk plane, and the
+//! erasure-coded (k-of-m fragment) bulk plane, swept over payload size ×
+//! fleet size.
 //!
 //! ```sh
 //! cargo bench -p sbs-bench --bench bulk_vs_full            # full sweep
@@ -11,11 +12,17 @@
 //! Full replication ships every shard-map snapshot to all `n` servers
 //! (twice, counting the helping refresh); the bulk plane ships it to
 //! `2t + 1` data replicas once and moves 40-byte references through the
-//! metadata quorum. The interesting column is the `total` ratio: it
-//! grows with payload size and with `n`.
+//! metadata quorum; the coded plane ships each of those replicas only a
+//! `1/k` fragment. The interesting columns are the `total` ratio (grows
+//! with payload size and with `n`) and `repl KiB` — the *per-replica
+//! stored* bytes the coded mode cuts by ~`k`×. Every coded run is also
+//! checked differentially against the full-replication run: same key
+//! sets, same per-key write sequences.
 
 use sbs_bench::trajectory::BenchTrajectory;
-use sbs_store::{SizedVal, StoreBuilder, Workload, WorkloadReport};
+use sbs_check::{equivalent_write_histories, History};
+use sbs_store::{SizedVal, StoreBuilder, StoreSystem, Workload, WorkloadReport};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 struct Case {
@@ -25,16 +32,35 @@ struct Case {
     ops: u64,
 }
 
-fn run_case(case: &Case, bulk: bool) -> (WorkloadReport, f64) {
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Full,
+    Bulk,
+    Coded { k: usize },
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Bulk => "bulk",
+            Mode::Coded { .. } => "coded",
+        }
+    }
+}
+
+fn run_case(case: &Case, mode: Mode) -> (WorkloadReport, StoreSystem<SizedVal>, f64) {
     let mut builder = StoreBuilder::asynchronous(case.t)
         .n(case.n)
         .seed(2015)
         .shards(8)
         .writers(4)
         .extra_readers(2);
-    if bulk {
-        builder = builder.bulk();
-    }
+    builder = match mode {
+        Mode::Full => builder,
+        Mode::Bulk => builder.bulk(),
+        Mode::Coded { k } => builder.bulk_coded(k),
+    };
     let mut wl = Workload::ycsb_b(case.ops, 64);
     wl.seed = 42;
     let len = case.value_len;
@@ -43,8 +69,24 @@ fn run_case(case: &Case, bulk: bool) -> (WorkloadReport, f64) {
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(report.completed, case.ops, "workload must complete");
     sys.check_per_key_atomicity()
-        .expect("per-key atomicity in both modes");
-    (report, wall)
+        .expect("per-key atomicity in every mode");
+    (report, sys, wall)
+}
+
+fn keyed_histories(sys: &StoreSystem<SizedVal>) -> BTreeMap<String, History<Option<SizedVal>>> {
+    sys.keys_touched()
+        .into_iter()
+        .map(|k| {
+            let h = sys.history_for_key(&k);
+            (k, h)
+        })
+        .collect()
+}
+
+/// The largest per-server stored payload footprint — the replica a
+/// capacity planner has to size for.
+fn max_replica_stored(sys: &mut StoreSystem<SizedVal>, n: usize) -> u64 {
+    (0..n).map(|i| sys.bulk_bytes_stored(i)).max().unwrap_or(0)
 }
 
 fn kib(bytes: u64) -> f64 {
@@ -77,9 +119,12 @@ fn main() {
         cases
     };
 
-    println!("bulk_vs_full: Zipfian YCSB-B, 64 keys / 8 shards, payload size × fleet sweep");
     println!(
-        "{:<5} {:>5} {:>7} {:>6} {:>12} {:>12} {:>12} {:>14} {:>7} {:>9}",
+        "bulk_vs_full: Zipfian YCSB-B, 64 keys / 8 shards, payload size x fleet sweep \
+         (coded = k-of-2t+1 fragments, k = t+1)"
+    );
+    println!(
+        "{:<5} {:>5} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10} {:>14} {:>7} {:>9}",
         "n",
         "t",
         "value",
@@ -87,58 +132,100 @@ fn main() {
         "meta KiB",
         "bulk KiB",
         "total KiB",
+        "repl KiB",
         "ops/sim-sec",
         "ratio",
         "wall ms"
     );
     for case in &cases {
-        let (full, wall_full) = run_case(case, false);
-        let (bulk, wall_bulk) = run_case(case, true);
+        // k = t + 1 is the largest threshold the Byzantine bound admits
+        // on a 2t+1 window (k + t <= m), i.e. the biggest byte cut.
+        let k = case.t + 1;
+        let (full, sys_full, wall_full) = run_case(case, Mode::Full);
+        let (bulk, mut sys_bulk, wall_bulk) = run_case(case, Mode::Bulk);
+        let (coded, mut sys_coded, wall_coded) = run_case(case, Mode::Coded { k });
+
+        // The coded plane must run the same logical workload as full
+        // replication — write sequence by write sequence.
+        equivalent_write_histories(&keyed_histories(&sys_full), &keyed_histories(&sys_coded))
+            .expect("full and coded executions must be equivalent");
+
+        let stored_bulk = max_replica_stored(&mut sys_bulk, case.n);
+        let stored_coded = max_replica_stored(&mut sys_coded, case.n);
         let ratio = full.total_bytes() as f64 / bulk.total_bytes().max(1) as f64;
-        for (mode, report, wall, show_ratio) in [
-            ("full", &full, wall_full, false),
-            ("bulk", &bulk, wall_bulk, true),
+        let ratio_coded = full.total_bytes() as f64 / coded.total_bytes().max(1) as f64;
+        for (mode, report, wall, stored, show_ratio) in [
+            (Mode::Full, &full, wall_full, 0u64, None),
+            (Mode::Bulk, &bulk, wall_bulk, stored_bulk, Some(ratio)),
+            (
+                Mode::Coded { k },
+                &coded,
+                wall_coded,
+                stored_coded,
+                Some(ratio_coded),
+            ),
         ] {
             println!(
-                "{:<5} {:>5} {:>6}B {:>6} {:>12.1} {:>12.1} {:>12.1} {:>14.0} {:>7} {:>9.1}",
+                "{:<5} {:>5} {:>6}B {:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>14.0} {:>7} {:>9.1}",
                 case.n,
                 case.t,
                 case.value_len,
-                mode,
+                mode.name(),
                 kib(report.metadata_bytes),
                 kib(report.bulk_bytes),
                 kib(report.total_bytes()),
+                kib(stored),
                 report.ops_per_sim_sec,
-                if show_ratio {
-                    format!("{ratio:.1}x")
-                } else {
-                    String::from("-")
-                },
+                show_ratio.map_or(String::from("-"), |r| format!("{r:.1}x")),
                 wall * 1e3,
             );
             traj.row(vec![
                 ("n", case.n.into()),
                 ("t", case.t.into()),
                 ("value_len", case.value_len.into()),
-                ("mode", mode.into()),
+                ("mode", mode.name().into()),
+                (
+                    "k",
+                    match mode {
+                        Mode::Coded { k } => k as u64,
+                        _ => 1u64,
+                    }
+                    .into(),
+                ),
                 ("ops", case.ops.into()),
                 ("metadata_bytes", report.metadata_bytes.into()),
                 ("bulk_bytes", report.bulk_bytes.into()),
                 ("total_bytes", report.total_bytes().into()),
+                ("max_replica_stored_bytes", stored.into()),
                 ("ops_per_sim_sec", report.ops_per_sim_sec.into()),
                 ("metadata_messages", report.metadata_messages.into()),
                 (
                     "metadata_messages_per_op",
                     report.metadata_messages_per_op().into(),
                 ),
-                ("full_over_bulk_bytes", ratio.into()),
+                ("full_over_mode_bytes", show_ratio.unwrap_or(1.0).into()),
                 ("wall_ms", (wall * 1e3).into()),
             ]);
         }
+        // The coded storage cut: each replica stores 1/k of every
+        // snapshot instead of a whole copy (>= because retention-free
+        // runs accumulate identical snapshot *sets* in both modes; the
+        // only coded overhead is <= k-1 padding bytes per dispersal).
+        let storage_cut = stored_bulk as f64 / stored_coded.max(1) as f64;
+        assert!(
+            storage_cut >= k as f64 * 0.9,
+            "coded mode must cut per-replica stored bytes ~{k}x, got {storage_cut:.2}x \
+             ({stored_bulk} vs {stored_coded})"
+        );
         if case.value_len >= 1024 {
             assert!(
                 ratio >= 2.0,
                 "bulk must cut >=2x total bytes for >=1KiB values, got {ratio:.2}x"
+            );
+            assert!(
+                ratio_coded >= ratio,
+                "coded dispersal must not cost more wire bytes than whole copies: \
+                 {ratio_coded:.2}x vs {ratio:.2}x"
             );
         }
     }
@@ -147,5 +234,6 @@ fn main() {
     }
     println!("\nexpected shape: the total-bytes ratio grows with payload size (fixed-size");
     println!("references amortize better) and with n (metadata quorum widens, 2t+1 bulk");
-    println!("replicas stay narrow).");
+    println!("replicas stay narrow); coded mode divides per-replica stored bytes by k on");
+    println!("top of that, at the cost of a k-fragment reconstruction per read.");
 }

@@ -1,0 +1,178 @@
+//! The bench-trajectory regression gate: diffs a fresh `--smoke` bench
+//! run against the committed `BENCH_*.json` baseline and fails on a
+//! large simulated-throughput regression — so perf drift is caught in
+//! the PR that causes it instead of post-merge.
+//!
+//! ```sh
+//! cargo bench -p sbs-bench --bench store_throughput -- --smoke
+//! cargo bench -p sbs-bench --bench bulk_vs_full -- --smoke
+//! cargo run --release -p sbs-bench --bin trajcheck            # gate
+//! cargo run ... --bin trajcheck -- --threshold=5              # custom
+//! ```
+//!
+//! Rows are matched between the smoke file and the committed baseline on
+//! their *identity* fields (the workload shape: fleet, mode, mix, value
+//! size, window, …) — measurement fields and the op count, which differs
+//! between smoke and full runs, are ignored for matching. For each
+//! matched pair the gate compares `ops_per_sim_sec`, which is a property
+//! of the simulated schedule, not the host: a drop beyond the threshold
+//! (default 3×) means the *protocol* got chattier or slower per simulated
+//! second, which is exactly the drift the committed trajectory exists to
+//! catch. Smoke rows with no committed counterpart (new configurations)
+//! are reported but never fail the gate; a missing or unparsable file
+//! always does.
+
+use sbs_bench::trajectory::{parse, JsonVal, ParsedRow, ParsedTrajectory};
+use std::path::Path;
+
+/// One gated bench: committed baseline, smoke output, identity fields.
+struct Gate {
+    committed: &'static str,
+    smoke: &'static str,
+    id_keys: &'static [&'static str],
+}
+
+const GATES: &[Gate] = &[
+    Gate {
+        committed: "BENCH_store.json",
+        smoke: "BENCH_store.smoke.json",
+        id_keys: &[
+            "section",
+            "mix",
+            "mode",
+            "plane",
+            "servers",
+            "shards",
+            "writers",
+            "window_us",
+        ],
+    },
+    Gate {
+        committed: "BENCH_bulk.json",
+        smoke: "BENCH_bulk.smoke.json",
+        id_keys: &["n", "t", "value_len", "mode"],
+    },
+];
+
+/// The measurement the gate compares.
+const METRIC: &str = "ops_per_sim_sec";
+
+fn identity(row: &ParsedRow, keys: &[&str]) -> String {
+    keys.iter()
+        .map(|k| {
+            let v = ParsedTrajectory::field(row, k);
+            format!(
+                "{k}={}",
+                match v {
+                    Some(JsonVal::Str(s)) => s.clone(),
+                    Some(JsonVal::Int(n)) => n.to_string(),
+                    Some(JsonVal::Num(f)) => f.to_string(),
+                    None => String::from("?"),
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn matches(smoke: &ParsedRow, committed: &ParsedRow, keys: &[&str]) -> bool {
+    keys.iter().all(|k| {
+        match (
+            ParsedTrajectory::field(smoke, k),
+            ParsedTrajectory::field(committed, k),
+        ) {
+            (Some(JsonVal::Str(x)), Some(JsonVal::Str(y))) => x == y,
+            (Some(a), Some(b)) => a.as_f64() == b.as_f64(),
+            _ => false,
+        }
+    })
+}
+
+fn load(root: &Path, name: &str, failures: &mut Vec<String>) -> Option<ParsedTrajectory> {
+    let path = root.join(name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            failures.push(format!(
+                "{name}: unreadable ({e}) — run the smoke benches before the gate, \
+                 and keep the committed baselines in the repo"
+            ));
+            return None;
+        }
+    };
+    match parse(&text) {
+        Some(t) => Some(t),
+        None => {
+            failures.push(format!("{name}: malformed trajectory JSON"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let threshold: f64 = std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("--threshold=").and_then(|v| v.parse().ok()))
+        .unwrap_or(3.0);
+    // crates/bench -> crates -> repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    let mut unmatched = 0usize;
+    for gate in GATES {
+        let (Some(base), Some(smoke)) = (
+            load(&root, gate.committed, &mut failures),
+            load(&root, gate.smoke, &mut failures),
+        ) else {
+            continue;
+        };
+        for row in &smoke.rows {
+            let id = identity(row, gate.id_keys);
+            let Some(pair) = base.rows.iter().find(|b| matches(row, b, gate.id_keys)) else {
+                println!("note: {}: no committed baseline for [{id}]", gate.smoke);
+                unmatched += 1;
+                continue;
+            };
+            let fresh = ParsedTrajectory::field(row, METRIC).and_then(JsonVal::as_f64);
+            let committed = ParsedTrajectory::field(pair, METRIC).and_then(JsonVal::as_f64);
+            let (Some(fresh), Some(committed)) = (fresh, committed) else {
+                failures.push(format!("{}: [{id}] lacks {METRIC}", gate.smoke));
+                continue;
+            };
+            compared += 1;
+            if committed > fresh * threshold {
+                failures.push(format!(
+                    "{}: [{id}] {METRIC} regressed >{threshold}x: committed {committed:.0}, \
+                     smoke {fresh:.0}",
+                    gate.smoke
+                ));
+            } else {
+                println!("ok: [{id}] {METRIC} committed {committed:.0} vs smoke {fresh:.0}",);
+            }
+        }
+    }
+
+    println!("\ntrajcheck: {compared} rows compared, {unmatched} without baseline");
+    if compared == 0 {
+        // Zero matches means the identity schema drifted (a renamed
+        // column, a reshaped sweep) — the gate must fail loudly rather
+        // than silently stop gating.
+        failures.push(String::from(
+            "no smoke row matched any committed baseline row — \
+             identity fields out of sync with the bench output",
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("trajectory regression gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("trajectory regression gate passed (threshold {threshold}x)");
+}

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// One JSON scalar.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum JsonVal {
     /// An integer counter.
     Int(u64),
@@ -148,9 +148,283 @@ impl BenchTrajectory {
     }
 }
 
+impl JsonVal {
+    /// The value as a float, whatever the numeric representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::Int(n) => Some(*n as f64),
+            JsonVal::Num(f) => Some(*f),
+            JsonVal::Str(_) => None,
+        }
+    }
+}
+
+/// One parsed measurement row: field name → scalar, in file order.
+pub type ParsedRow = Vec<(String, JsonVal)>;
+
+/// A `BENCH_*.json` file read back: the bench name, the smoke flag, and
+/// its flat rows — the input side of the trajectory-regression gate
+/// (`trajcheck`), which diffs a fresh `--smoke` run against the
+/// committed baseline.
+#[derive(Clone, Debug)]
+pub struct ParsedTrajectory {
+    /// The bench that wrote the file.
+    pub name: String,
+    /// Whether the file came from a `--smoke` run.
+    pub smoke: bool,
+    /// The measurement rows.
+    pub rows: Vec<ParsedRow>,
+}
+
+impl ParsedTrajectory {
+    /// The field `key` of `row`, if present.
+    pub fn field<'a>(row: &'a ParsedRow, key: &str) -> Option<&'a JsonVal> {
+        row.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Parses the exact shape [`BenchTrajectory::render`] emits (plus
+/// arbitrary whitespace): a top-level object with `bench`, `smoke`, and
+/// a `rows` array of flat objects whose values are strings, numbers, or
+/// `null` (parsed back as NaN). Returns `None` on anything malformed —
+/// the gate treats that as a hard failure, not a silent pass.
+pub fn parse(text: &str) -> Option<ParsedTrajectory> {
+    let mut s = Scanner {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    s.expect(b'{')?;
+    let mut name = None;
+    let mut smoke = None;
+    let mut rows = None;
+    loop {
+        let key = s.string()?;
+        s.expect(b':')?;
+        match key.as_str() {
+            "bench" => name = Some(s.string()?),
+            "smoke" => smoke = Some(s.boolean()?),
+            "rows" => rows = Some(s.rows()?),
+            _ => return None,
+        }
+        if !s.comma_or(b'}')? {
+            break;
+        }
+    }
+    s.end()?;
+    Some(ParsedTrajectory {
+        name: name?,
+        smoke: smoke?,
+        rows: rows?,
+    })
+}
+
+/// A minimal scanner for the trajectory subset of JSON.
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Scanner<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Consumes `,` and returns `true`, or consumes `close` and returns
+    /// `false`.
+    fn comma_or(&mut self, close: u8) -> Option<bool> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Some(true)
+            }
+            Some(c) if *c == close => {
+                self.i += 1;
+                Some(false)
+            }
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match *self.b.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'u' => {
+                            let hex = self.b.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        self.skip_ws();
+        for (lit, v) in [("true", true), ("false", false)] {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn value(&mut self) -> Option<JsonVal> {
+        self.skip_ws();
+        match *self.b.get(self.i)? {
+            b'"' => Some(JsonVal::Str(self.string()?)),
+            b'n' => {
+                if self.b[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Some(JsonVal::Num(f64::NAN))
+                } else {
+                    None
+                }
+            }
+            _ => {
+                let start = self.i;
+                while self
+                    .b
+                    .get(self.i)
+                    .is_some_and(|c| c.is_ascii_digit() || b"+-.eE".contains(c))
+                {
+                    self.i += 1;
+                }
+                let lit = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+                if let Ok(n) = lit.parse::<u64>() {
+                    Some(JsonVal::Int(n))
+                } else {
+                    Some(JsonVal::Num(lit.parse::<f64>().ok()?))
+                }
+            }
+        }
+    }
+
+    fn rows(&mut self) -> Option<Vec<ParsedRow>> {
+        self.expect(b'[')?;
+        let mut rows = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Some(rows);
+        }
+        loop {
+            self.expect(b'{')?;
+            let mut row = ParsedRow::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+            } else {
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    row.push((key, self.value()?));
+                    if !self.comma_or(b'}')? {
+                        break;
+                    }
+                }
+            }
+            rows.push(row);
+            if !self.comma_or(b']')? {
+                return Some(rows);
+            }
+        }
+    }
+
+    fn end(&mut self) -> Option<()> {
+        self.skip_ws();
+        (self.i == self.b.len()).then_some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut t = BenchTrajectory::new("demo", true);
+        t.row(vec![
+            ("mode", "full".into()),
+            ("n", 9usize.into()),
+            ("rate", 621.5f64.into()),
+        ]);
+        t.row(vec![("mode", "coded".into()), ("rate", 1.25e3.into())]);
+        let parsed = parse(&t.render()).expect("own output must parse");
+        assert_eq!(parsed.name, "demo");
+        assert!(parsed.smoke);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(
+            ParsedTrajectory::field(&parsed.rows[0], "mode"),
+            Some(&JsonVal::Str("full".into()))
+        );
+        assert_eq!(
+            ParsedTrajectory::field(&parsed.rows[0], "n"),
+            Some(&JsonVal::Int(9))
+        );
+        assert_eq!(
+            ParsedTrajectory::field(&parsed.rows[1], "rate").and_then(JsonVal::as_f64),
+            Some(1250.0)
+        );
+        // Escapes and null survive the round trip.
+        let mut e = BenchTrajectory::new("esc", false);
+        e.row(vec![("s", "a\"b\\c\nd".into()), ("x", f64::NAN.into())]);
+        let p = parse(&e.render()).expect("escapes must parse");
+        assert_eq!(
+            ParsedTrajectory::field(&p.rows[0], "s"),
+            Some(&JsonVal::Str("a\"b\\c\nd".into()))
+        );
+        assert!(ParsedTrajectory::field(&p.rows[0], "x")
+            .and_then(JsonVal::as_f64)
+            .is_some_and(f64::is_nan));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("").is_none());
+        assert!(parse("{}").is_none());
+        assert!(parse("{\"bench\": \"x\", \"smoke\": true, \"rows\": [").is_none());
+        assert!(parse("{\"bench\": \"x\", \"smoke\": maybe, \"rows\": []}").is_none());
+    }
 
     #[test]
     fn renders_flat_rows_with_escaping() {

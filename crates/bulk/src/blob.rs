@@ -1,12 +1,13 @@
-//! The per-replica blob store: digest-keyed bytes, verified on the way in.
+//! The per-replica stores: digest-keyed payloads, verified on the way in.
 //!
-//! A correct data replica recomputes the content address before storing,
-//! so fabricated blobs (link garbage, Byzantine writers announcing a
-//! digest their bytes do not match) are *unstorable* — the store can only
-//! ever hold self-consistent `(digest, bytes)` pairs. Storage is
-//! content-addressed and idempotent: re-putting a held digest is a no-op
-//! acknowledgement, which also makes duplicate `BULK_PUT` deliveries and
-//! republished identical maps harmless.
+//! A correct data replica recomputes the content address (or replays the
+//! fragment commitment) before storing, so fabricated blobs and fragments
+//! (link garbage, Byzantine writers announcing a digest their bytes do
+//! not match) are *unstorable* — the store can only ever hold
+//! self-consistent `(digest, bytes)` pairs. Storage is content-addressed
+//! and idempotent: re-putting a held digest is a no-op acknowledgement,
+//! which also makes duplicate `BULK_PUT` deliveries and republished
+//! identical maps harmless.
 //!
 //! Blobs are held as [`SharedBytes`] (`Arc<[u8]>`): storing and serving a
 //! blob shares the sender's allocation instead of copying it, so a fetch
@@ -24,6 +25,24 @@
 //! re-reading the metadata register, which names a live digest again.
 //! Re-putting a held digest refreshes its recency instead of double
 //! counting it.
+//!
+//! ## Cross-shard aliasing
+//!
+//! Content addressing makes digests *global*: two shards whose maps are
+//! byte-identical share one digest, so one physical blob can be live for
+//! several shards at once. Retention therefore tracks **holders** — the
+//! set of shards currently retaining a digest — and a shard's eviction
+//! only drops that shard's hold; the bytes (and the `bytes_stored`
+//! accounting) go away only when the *last* holder lets go. Recency
+//! refreshes on re-put likewise apply to the shards that actually hold
+//! the digest, looked up in the store — never to whatever shard tag the
+//! wire message claims, which a Byzantine writer controls.
+//!
+//! The store itself admits any shard tag (it has no view of the
+//! deployment); bounding *which* shards may hold at all — so a forger
+//! cannot grow per-shard retention state with invented shard ids — is
+//! the embedding server's job (`sbs-store`'s window guard refuses puts
+//! for shards the replica does not serve).
 
 use crate::digest::{digest_of, BulkDigest};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -33,7 +52,8 @@ use std::sync::Arc;
 /// wire messages, replica storage, and retransmission buffers.
 pub type SharedBytes = Arc<[u8]>;
 
-/// What [`BulkStore::put`] did with an incoming blob.
+/// What [`BulkStore::put`] / [`FragmentStore::put`] did with an incoming
+/// payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PutOutcome {
     /// Verified and stored.
@@ -41,7 +61,8 @@ pub enum PutOutcome {
     /// Already held (content addressing makes this equality, not
     /// overwrite).
     AlreadyHeld,
-    /// The bytes do not hash to the announced digest — refused.
+    /// The bytes do not hash to the announced digest (or the fragment
+    /// does not verify against the announced commitment root) — refused.
     DigestMismatch,
 }
 
@@ -53,16 +74,163 @@ impl PutOutcome {
     }
 }
 
-/// One replica's content-addressed blob storage.
-#[derive(Clone, Debug, Default)]
-pub struct BulkStore {
-    blobs: BTreeMap<BulkDigest, (u32, SharedBytes)>,
+/// One digest-keyed entry with its holder set and byte accounting.
+#[derive(Clone, Debug)]
+struct Held<E> {
+    /// The shards currently retaining this digest. Non-empty by
+    /// invariant: the last eviction removes the entry.
+    holders: BTreeSet<u32>,
+    /// Payload bytes accounted for this entry.
+    len: u64,
+    entry: E,
+}
+
+/// The retention core shared by [`BulkStore`] (whole blobs) and
+/// [`FragmentStore`] (erasure-coded fragments): digest-keyed entries with
+/// per-digest **holder** sets and per-shard recency queues.
+///
+/// Invariants:
+/// - a digest appears in shard `s`'s recency queue iff `s` is one of its
+///   holders (queues and holder sets never drift);
+/// - `bytes_stored` is the sum of `len` over live entries — incremented
+///   once when an entry is first stored, decremented once when its last
+///   holder evicts it (never per holder, so aliasing cannot underflow it).
+#[derive(Clone, Debug)]
+struct RetainedStore<E> {
+    entries: BTreeMap<BulkDigest, Held<E>>,
     bytes_stored: u64,
     /// Distinct digests retained per shard (`None` = unbounded).
     retain: Option<usize>,
     /// Per-shard digest recency, oldest at the front. Only maintained
     /// when a retention bound is set.
     recency: BTreeMap<u32, VecDeque<BulkDigest>>,
+}
+
+impl<E> Default for RetainedStore<E> {
+    fn default() -> Self {
+        RetainedStore::with_retention(None)
+    }
+}
+
+impl<E> RetainedStore<E> {
+    fn with_retention(retain: Option<usize>) -> Self {
+        if let Some(k) = retain {
+            assert!(k >= 1, "retention bound must be at least 1");
+        }
+        RetainedStore {
+            entries: BTreeMap::new(),
+            bytes_stored: 0,
+            retain,
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Records a verified put of `digest` tagged with `shard`. The caller
+    /// has already verified the content; `make` builds the entry only
+    /// when the digest is new. Returns `Stored` or `AlreadyHeld`.
+    fn insert_verified(
+        &mut self,
+        shard: u32,
+        digest: BulkDigest,
+        len: u64,
+        make: impl FnOnce() -> E,
+    ) -> PutOutcome {
+        if let Some(held) = self.entries.get_mut(&digest) {
+            let new_holder = held.holders.insert(shard);
+            if new_holder {
+                // A second shard aliasing onto the same bytes: it gets
+                // its own retention slot (and its own recency entry), so
+                // another shard's later eviction can no longer drop this
+                // shard's only copy.
+                self.enqueue(shard, digest);
+            }
+            // Recency refresh goes to the shards that actually hold the
+            // digest — looked up here, never trusted from the wire tag: a
+            // Byzantine writer re-putting a held digest under a foreign
+            // shard tag must not be able to starve the true holder's
+            // refresh (pre-fix, the actively republished snapshot became
+            // the next eviction victim).
+            let holders: Vec<u32> = self.entries[&digest].holders.iter().copied().collect();
+            for h in holders {
+                self.touch(h, digest);
+            }
+            self.evict_overflow(shard);
+            return PutOutcome::AlreadyHeld;
+        }
+        self.bytes_stored += len;
+        self.entries.insert(
+            digest,
+            Held {
+                holders: BTreeSet::from([shard]),
+                len,
+                entry: make(),
+            },
+        );
+        self.enqueue(shard, digest);
+        self.evict_overflow(shard);
+        PutOutcome::Stored
+    }
+
+    /// Appends `digest` to `shard`'s recency queue (retention mode only).
+    fn enqueue(&mut self, shard: u32, digest: BulkDigest) {
+        if self.retain.is_some() {
+            self.recency.entry(shard).or_default().push_back(digest);
+        }
+    }
+
+    /// Moves `digest` to the back of `shard`'s recency queue, if listed.
+    fn touch(&mut self, shard: u32, digest: BulkDigest) {
+        if self.retain.is_none() {
+            return;
+        }
+        if let Some(recent) = self.recency.get_mut(&shard) {
+            if let Some(pos) = recent.iter().position(|d| *d == digest) {
+                recent.remove(pos);
+                recent.push_back(digest);
+            }
+        }
+    }
+
+    /// Evicts `shard`'s oldest digests while it retains more than the
+    /// bound. Eviction drops only *this shard's hold*; the entry (and its
+    /// byte accounting) goes away with the last holder.
+    fn evict_overflow(&mut self, shard: u32) {
+        let Some(k) = self.retain else {
+            return;
+        };
+        let Some(recent) = self.recency.get_mut(&shard) else {
+            return;
+        };
+        while recent.len() > k {
+            let evicted = recent.pop_front().expect("len > k >= 1");
+            let Some(held) = self.entries.get_mut(&evicted) else {
+                debug_assert!(false, "recency listed a digest the store does not hold");
+                continue;
+            };
+            held.holders.remove(&shard);
+            if held.holders.is_empty() {
+                let held = self.entries.remove(&evicted).expect("present above");
+                self.bytes_stored -= held.len;
+            }
+        }
+    }
+
+    fn get(&self, digest: &BulkDigest) -> Option<&E> {
+        self.entries.get(digest).map(|h| &h.entry)
+    }
+
+    fn shards_held(&self) -> BTreeSet<u32> {
+        self.entries
+            .values()
+            .flat_map(|h| h.holders.iter().copied())
+            .collect()
+    }
+}
+
+/// One replica's content-addressed blob storage (whole-copy mode).
+#[derive(Clone, Debug, Default)]
+pub struct BulkStore {
+    inner: RetainedStore<SharedBytes>,
 }
 
 impl BulkStore {
@@ -79,90 +247,171 @@ impl BulkStore {
     /// Panics on `retain == 0` (a replica that stores nothing could never
     /// acknowledge a push).
     pub fn with_retention(retain: usize) -> Self {
-        assert!(retain >= 1, "retention bound must be at least 1");
         BulkStore {
-            retain: Some(retain),
-            ..BulkStore::default()
+            inner: RetainedStore::with_retention(Some(retain)),
         }
     }
 
     /// The per-shard retention bound, if one is set.
     pub fn retention(&self) -> Option<usize> {
-        self.retain
+        self.inner.retain
     }
 
     /// Verifies `bytes` against `digest` and stores them under it (tagged
     /// with the owning `shard` for placement accounting). Under a
     /// retention bound, storing a fresh digest may evict the shard's
-    /// oldest one; re-putting a held digest refreshes its recency.
+    /// oldest one; re-putting a held digest refreshes its recency at
+    /// every shard that holds it.
     pub fn put(&mut self, shard: u32, digest: BulkDigest, bytes: SharedBytes) -> PutOutcome {
-        if digest_of(&bytes) != digest {
+        // Empty payloads are refused outright: no honest value serializes
+        // to zero bytes (a shard map is at least its length prefix), so
+        // an empty blob is only ever adversarial — and downstream serving
+        // paths may index into the payload.
+        if bytes.is_empty() || digest_of(&bytes) != digest {
             return PutOutcome::DigestMismatch;
         }
-        if self.blobs.contains_key(&digest) {
-            self.touch(shard, digest);
-            return PutOutcome::AlreadyHeld;
-        }
-        self.bytes_stored += bytes.len() as u64;
-        self.blobs.insert(digest, (shard, bytes));
-        if let Some(k) = self.retain {
-            let recent = self.recency.entry(shard).or_default();
-            recent.push_back(digest);
-            while recent.len() > k {
-                let evicted = recent.pop_front().expect("len > k >= 1");
-                if let Some((_, b)) = self.blobs.remove(&evicted) {
-                    self.bytes_stored -= b.len() as u64;
-                }
-            }
-        }
-        PutOutcome::Stored
-    }
-
-    /// Moves a re-put digest to the back of its shard's recency queue, so
-    /// an actively republished snapshot is not the next eviction victim.
-    fn touch(&mut self, shard: u32, digest: BulkDigest) {
-        if self.retain.is_none() {
-            return;
-        }
-        if let Some(recent) = self.recency.get_mut(&shard) {
-            if let Some(pos) = recent.iter().position(|d| *d == digest) {
-                recent.remove(pos);
-                recent.push_back(digest);
-            }
-        }
+        let len = bytes.len() as u64;
+        self.inner.insert_verified(shard, digest, len, || bytes)
     }
 
     /// The bytes stored under `digest`, if held.
     pub fn get(&self, digest: &BulkDigest) -> Option<&[u8]> {
-        self.blobs.get(digest).map(|(_, b)| b.as_ref())
+        self.inner.get(digest).map(|b| b.as_ref())
     }
 
     /// The shared handle to the bytes stored under `digest`, if held —
     /// cloning it shares the allocation (a reply costs a refcount bump).
     pub fn get_shared(&self, digest: &BulkDigest) -> Option<SharedBytes> {
-        self.blobs.get(digest).map(|(_, b)| b.clone())
+        self.inner.get(digest).cloned()
     }
 
     /// True if `digest` is held.
     pub fn holds(&self, digest: &BulkDigest) -> bool {
-        self.blobs.contains_key(digest)
+        self.inner.entries.contains_key(digest)
     }
 
     /// Number of blobs held.
     pub fn blob_count(&self) -> usize {
-        self.blobs.len()
+        self.inner.entries.len()
     }
 
-    /// Total payload bytes currently held. Without a retention bound this
-    /// only grows under overwrite churn (orphaned digests accumulate);
-    /// with one it plateaus at ≤ `retain` blobs per shard.
+    /// Total payload bytes currently held (each physical blob counted
+    /// once, however many shards alias onto it). Without a retention
+    /// bound this only grows under overwrite churn (orphaned digests
+    /// accumulate); with one it plateaus at ≤ `retain` blobs per shard.
     pub fn bytes_stored(&self) -> u64 {
-        self.bytes_stored
+        self.inner.bytes_stored
     }
 
     /// The shards this replica holds at least one blob for.
     pub fn shards_held(&self) -> BTreeSet<u32> {
-        self.blobs.values().map(|(s, _)| *s).collect()
+        self.inner.shards_held()
+    }
+}
+
+/// One verified erasure-coded fragment as stored on a replica: the
+/// fragment bytes plus everything needed to re-serve it verifiably — its
+/// index in the `m`-fragment dispersal and the Merkle path binding it to
+/// the commitment root (see [`crate::verify_fragment`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredFragment {
+    /// This fragment's index in `0..total`.
+    pub index: u32,
+    /// Total number of fragments in the dispersal (`m`).
+    pub total: u32,
+    /// The fragment bytes.
+    pub bytes: SharedBytes,
+    /// The Merkle path from this fragment's leaf digest to the root.
+    pub proof: Vec<BulkDigest>,
+}
+
+/// One replica's erasure-coded fragment storage, keyed by commitment
+/// root. Verification happens on the way in — [`FragmentStore::put`]
+/// replays the Merkle path — so the store only ever holds fragments that
+/// provably belong to their announced root; retention (holders, recency,
+/// eviction) is exactly [`BulkStore`]'s, shared through one core.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentStore {
+    inner: RetainedStore<StoredFragment>,
+}
+
+impl FragmentStore {
+    /// An empty store that retains every verified fragment forever.
+    pub fn new() -> Self {
+        FragmentStore::default()
+    }
+
+    /// An empty store that retains only the last `retain` distinct roots
+    /// per shard, evicting oldest-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `retain == 0`.
+    pub fn with_retention(retain: usize) -> Self {
+        FragmentStore {
+            inner: RetainedStore::with_retention(Some(retain)),
+        }
+    }
+
+    /// Verifies `frag` against the commitment `root` (Merkle path replay)
+    /// and stores it, tagged with the owning `shard`. A replica holds at
+    /// most one fragment per root — a re-put of a held root with the
+    /// *same* index is acknowledged without storing (idempotence, like
+    /// blob re-puts), but a held root with a **different** index is
+    /// refused: acknowledging it would certify holding a fragment this
+    /// replica does not have, which is exactly what the `k + t` push
+    /// quorum counts on (a Byzantine peer pre-seeding correct replicas
+    /// with *its* fragment must not be able to poison their acks).
+    pub fn put(&mut self, shard: u32, root: BulkDigest, frag: StoredFragment) -> PutOutcome {
+        // Empty fragments are refused like empty blobs: an honest
+        // dispersal's fragments are never zero-length (the payload is at
+        // least its length prefix), and a Byzantine writer *can* commit
+        // an empty leaf — which would otherwise be stored verified and
+        // trip up serving paths that index into the bytes.
+        if frag.bytes.is_empty()
+            || !crate::verify_fragment(
+                root,
+                frag.total as usize,
+                frag.index as usize,
+                &frag.bytes,
+                &frag.proof,
+            )
+        {
+            return PutOutcome::DigestMismatch;
+        }
+        if let Some(held) = self.inner.get(&root) {
+            if held.index != frag.index {
+                return PutOutcome::DigestMismatch;
+            }
+        }
+        let len = frag.bytes.len() as u64;
+        self.inner.insert_verified(shard, root, len, || frag)
+    }
+
+    /// The fragment stored under `root`, if held.
+    pub fn get(&self, root: &BulkDigest) -> Option<&StoredFragment> {
+        self.inner.get(root)
+    }
+
+    /// True if a fragment of `root` is held.
+    pub fn holds(&self, root: &BulkDigest) -> bool {
+        self.inner.entries.contains_key(root)
+    }
+
+    /// Number of fragment entries held (one per root).
+    pub fn fragment_count(&self) -> usize {
+        self.inner.entries.len()
+    }
+
+    /// Total fragment payload bytes currently held (proof bytes are not
+    /// counted — they are commitment metadata, not payload).
+    pub fn bytes_stored(&self) -> u64 {
+        self.inner.bytes_stored
+    }
+
+    /// The shards this replica holds at least one fragment for.
+    pub fn shards_held(&self) -> BTreeSet<u32> {
+        self.inner.shards_held()
     }
 }
 
@@ -261,6 +510,65 @@ mod tests {
         s.put(0, d3, b3);
         assert!(s.holds(&d1), "refreshed digest must survive");
         assert!(!s.holds(&d2), "stale digest is the eviction victim");
+    }
+
+    /// Regression (cross-shard aliasing): two shards storing
+    /// byte-identical maps share one digest; one shard's eviction must
+    /// drop only its own hold, never the bytes the other shard still
+    /// references — and the byte accounting must move exactly once, on
+    /// the last drop.
+    #[test]
+    fn aliased_digest_survives_one_shards_eviction() {
+        let mut s = BulkStore::with_retention(1);
+        let (d, b) = blob(9, 100);
+        assert_eq!(s.put(0, d, b.clone()), PutOutcome::Stored);
+        assert_eq!(s.put(1, d, b.clone()), PutOutcome::AlreadyHeld);
+        assert_eq!(s.bytes_stored(), 100, "one physical blob, two holders");
+        assert_eq!(s.shards_held(), BTreeSet::from([0, 1]));
+
+        // Shard 0 churns past its K=1 bound: only shard 0's hold drops.
+        let (d2, b2) = blob(10, 100);
+        s.put(0, d2, b2);
+        assert!(
+            s.holds(&d),
+            "shard 1 still references the aliased digest — eviction by \
+             shard 0 must not drop it"
+        );
+        assert_eq!(s.get(&d), Some(b.as_ref()));
+        assert_eq!(s.bytes_stored(), 200);
+        assert_eq!(s.shards_held(), BTreeSet::from([0, 1]));
+
+        // Shard 1 churns too: now the last holder is gone and the bytes
+        // (and their accounting) go with it — exactly once.
+        let (d3, b3) = blob(11, 100);
+        s.put(1, d3, b3);
+        assert!(!s.holds(&d), "last holder evicted: blob must drop");
+        assert_eq!(s.bytes_stored(), 200, "d2 + d3 remain, no underflow");
+        assert_eq!(s.blob_count(), 2);
+    }
+
+    /// Regression (wire-tag trust in `touch`): a re-put of a held digest
+    /// tagged with a *foreign* shard — which a Byzantine writer can send
+    /// at will — must still refresh the recency of the shard(s) that
+    /// actually hold the digest, so an actively republished snapshot is
+    /// never the next eviction victim.
+    #[test]
+    fn reput_with_foreign_shard_tag_still_refreshes_stored_shard() {
+        let mut s = BulkStore::with_retention(2);
+        let (d1, b1) = blob(1, 10);
+        let (d2, b2) = blob(2, 10);
+        s.put(0, d1, b1.clone());
+        s.put(0, d2, b2);
+        // The republish arrives under a bogus shard tag (7). The stored
+        // shard (0) must be looked up for the refresh regardless.
+        assert_eq!(s.put(7, d1, b1), PutOutcome::AlreadyHeld);
+        let (d3, b3) = blob(3, 10);
+        s.put(0, d3, b3);
+        assert!(
+            s.holds(&d1),
+            "the actively republished digest must survive shard 0's eviction"
+        );
+        assert!(!s.holds(&d2), "d2 was shard 0's oldest after the refresh");
     }
 
     #[test]

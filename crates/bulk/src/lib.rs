@@ -19,24 +19,35 @@
 //!   logical value always hashes to the same address.
 //! - [`BulkStore`] — a per-replica blob store that **verifies the content
 //!   address before storing**, making fabricated blobs unstorable.
+//! - [`encode_fragments`] / [`reconstruct`] + [`merkle_root`] /
+//!   [`merkle_proof`] / [`verify_fragment`] — systematic `k`-of-`m`
+//!   erasure coding over GF(2⁸) and the Merkle-style fragment commitment
+//!   (AVID / PoWerStore dispersal), with [`FragmentStore`] as the
+//!   per-replica verified fragment store.
 //! - [`data_replica_slots`] — the deterministic per-shard choice of data
 //!   replicas out of the `n` servers.
 //!
 //! The store layer (`sbs-store`) composes these into a two-plane put/get
-//! path: payload bytes to the `2t + 1` data replicas, the [`BulkRef`]
-//! through the unmodified register metadata quorum, and digest
-//! verification on every fetch so a Byzantine data replica serving
-//! garbage bytes is detected and routed around.
+//! path: payload bytes (whole copies, or one coded fragment each) to the
+//! `2t + 1` data replicas, the [`BulkRef`] through the unmodified
+//! register metadata quorum, and digest/commitment verification on every
+//! fetch so a Byzantine data replica serving garbage bytes is detected
+//! and routed around.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod blob;
 mod codec;
+mod coding;
 mod digest;
 mod placement;
 
-pub use blob::{BulkStore, PutOutcome, SharedBytes};
+pub use blob::{BulkStore, FragmentStore, PutOutcome, SharedBytes, StoredFragment};
 pub use codec::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64, BulkCodec};
+pub use coding::{
+    encode_fragments, fragment_leaves, fragment_len, merkle_proof, merkle_root, reconstruct,
+    verify_fragment,
+};
 pub use digest::{digest_of, BulkDigest, BulkRef};
-pub use placement::{data_replica_count, data_replica_slots, push_quorum};
+pub use placement::{coded_push_quorum, data_replica_count, data_replica_slots, push_quorum};

@@ -24,6 +24,15 @@ pub fn push_quorum(t: usize) -> usize {
     t + 1
 }
 
+/// Store acknowledgements a *coded* dispersal must collect before
+/// publishing the reference: `k + t`, so at least `k` **correct**
+/// replicas hold verified fragments — enough for any later reader to
+/// reconstruct even if every Byzantine replica garbles or withholds.
+/// Whole-copy replication is the `k = 1` special case (`t + 1`).
+pub fn coded_push_quorum(t: usize, k: usize) -> usize {
+    k + t
+}
+
 /// The server slots (indices into the fleet's server list) holding bulk
 /// data for `shard`: `r` consecutive slots starting at `shard % n`,
 /// wrapping.

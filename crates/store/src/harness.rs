@@ -6,7 +6,7 @@ use crate::msg::{StoreMsg, StoreOut};
 use crate::node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 use crate::router::KeyRouter;
 use crate::val::StoreVal;
-use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore};
+use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore, FragmentStore};
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
 use sbs_core::{
     ByzServerNode, ByzStrategy, Payload, RegId, RegMsg, RegisterConfig, SeqVal, ServerNode,
@@ -210,6 +210,37 @@ impl StoreBuilder {
         self
     }
 
+    /// Switches the payload to the **erasure-coded bulk plane**
+    /// (AVID-style dispersal): the same replica window as
+    /// [`StoreBuilder::bulk`] — `2t + 1` by default, or whatever an
+    /// earlier [`StoreBuilder::data_replicas`] selected — but each
+    /// replica stores only **one `k`-of-`m` fragment** (~`1/k` of the
+    /// payload), verified against a Merkle commitment whose root rides
+    /// the metadata quorum. Pushes wait for `k + t` verified
+    /// acknowledgements; reads reconstruct from any `k` verified
+    /// fragments.
+    ///
+    /// Cross-knob consistency (`k ≥ 1`, `k + t ≤ replicas` — reads must
+    /// stay live with `t` Byzantine replicas garbling their fragments)
+    /// is validated at build time.
+    ///
+    /// Write-liveness note: on the minimal `2t + 1` window with `k > 1`
+    /// the `k + t` push quorum needs acks from every replica, so a
+    /// **fail-silent** data replica would stall puts (the in-repo
+    /// adversaries ack honestly and lie only when serving, so
+    /// simulations stay live). Deployments that must tolerate silent
+    /// data replicas should overprovision:
+    /// `.data_replicas(3 * t + 1).bulk_coded(t + 1)` restores write
+    /// liveness from honest acks alone (the classical AVID shape).
+    pub fn bulk_coded(mut self, k: usize) -> Self {
+        let replicas = match self.plane {
+            DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. } => replicas,
+            DataPlane::Full => data_replica_count(self.t),
+        };
+        self.plane = DataPlane::Coded { replicas, k };
+        self
+    }
+
     /// Sets the deterministic seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -341,11 +372,21 @@ impl StoreBuilder {
                 RegisterConfig::synchronous(self.n, self.t, link_bound)
             }
         };
-        if let DataPlane::Bulk { replicas } = self.plane {
+        if let DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. } = self.plane {
             assert!(
                 (1..=self.n).contains(&replicas),
                 "bulk replication factor {replicas} out of range for n={}",
                 self.n
+            );
+        }
+        if let DataPlane::Coded { replicas, k } = self.plane {
+            assert!(k >= 1, "coded mode needs at least one fragment to read");
+            assert!(
+                k + self.t <= replicas,
+                "coded reconstruction threshold k={k} too high: k + t must fit within the \
+                 {replicas}-replica window, or t={} Byzantine replicas garbling their \
+                 fragments could starve every read",
+                self.t
             );
         }
         let mut seen = BTreeSet::new();
@@ -428,6 +469,15 @@ impl StoreBuilder {
         }
         let initial: StorePayload<V> =
             SeqVal::new(RingSeq::zero(self.wsn_modulus), StoreVal::empty());
+        // The admission guard every server gets: its fleet slot, the
+        // deployment's shard count, and the plane's window shape — so
+        // wire-supplied shard tags, fragment totals, and fragment
+        // indices are checked against the deployment instead of trusted.
+        let (guard_replicas, guard_coded) = match self.plane {
+            DataPlane::Full => (0, false),
+            DataPlane::Bulk { replicas } => (replicas, false),
+            DataPlane::Coded { replicas, .. } => (replicas, true),
+        };
         let mut byz_set = BTreeSet::new();
         for (i, &s) in servers.iter().enumerate() {
             match self.byz.iter().find(|(bi, _)| *bi == i) {
@@ -439,6 +489,7 @@ impl StoreBuilder {
                             strat.clone(),
                             initial.clone(),
                         ))
+                        .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
                         .bulk_retention(self.bulk_retain)
                         .byzantine_bulk(),
                     )
@@ -448,6 +499,7 @@ impl StoreBuilder {
                     StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
                         initial.clone(),
                     ))
+                    .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
                     .bulk_retention(self.bulk_retain),
                 ),
             }
@@ -500,7 +552,7 @@ fn install_garbage_gen<V: Payload + BulkCodec>(
         val.scramble(rng);
         let shard = (rng.next_u64() % shards as u64) as u32;
         let reg = RegId(shard);
-        let msg = match rng.next_u64() % 7 {
+        let msg = match rng.next_u64() % 9 {
             0 => RegMsg::Write {
                 reg,
                 tag: rng.next_u64(),
@@ -537,7 +589,7 @@ fn install_garbage_gen<V: Payload + BulkCodec>(
                         .into(),
                 };
             }
-            _ => {
+            6 => {
                 // Forged fetch reply with garbage bytes and tag.
                 let mut fake = BulkRef::to_bytes(b"");
                 Payload::scramble(&mut fake, rng);
@@ -550,6 +602,51 @@ fn install_garbage_gen<V: Payload + BulkCodec>(
                             .map(|_| rng.next_u64() as u8)
                             .collect::<Vec<u8>>()
                             .into()
+                    }),
+                };
+            }
+            7 => {
+                // Forged fragment push: a Merkle path of random digests
+                // that (almost surely) does not authenticate the bytes —
+                // the replica-side commitment replay must refuse it.
+                let mut fake = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut fake, rng);
+                let mut sib = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut sib, rng);
+                return StoreMsg::FragPut {
+                    shard,
+                    root: fake.digest,
+                    index: (rng.next_u64() % 4) as u32,
+                    total: 3,
+                    bytes: (0..(rng.next_u64() % 32))
+                        .map(|_| rng.next_u64() as u8)
+                        .collect::<Vec<u8>>()
+                        .into(),
+                    proof: vec![sib.digest],
+                };
+            }
+            _ => {
+                // Forged fragment reply: garbage index, bytes, and proof
+                // under a random root and tag — the client-side
+                // verification must count it bad (or ignore its stale
+                // tag), never feed it to reconstruction.
+                let mut fake = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut fake, rng);
+                let mut sib = BulkRef::to_bytes(b"");
+                Payload::scramble(&mut sib, rng);
+                return StoreMsg::FragGetAck {
+                    shard,
+                    root: fake.digest,
+                    tag: rng.next_u64(),
+                    frag: rng.chance(0.7).then(|| {
+                        (
+                            (rng.next_u64() % 4) as u32,
+                            (0..(rng.next_u64() % 32))
+                                .map(|_| rng.next_u64() as u8)
+                                .collect::<Vec<u8>>()
+                                .into(),
+                            vec![sib.digest],
+                        )
                     }),
                 };
             }
@@ -837,42 +934,57 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
             .node_ref::<StoreClientNode<V>, _>(pid, |n| n.recoveries())
     }
 
-    /// Runs `f` against server `i`'s bulk blob store (dispatching on the
-    /// concrete wrapper type, which differs for Byzantine slots).
-    fn with_server_bulk<R>(&mut self, i: usize, f: impl FnOnce(&BulkStore) -> R) -> R {
+    /// Runs `f` against server `i`'s bulk stores — whole blobs and coded
+    /// fragments (dispatching on the concrete wrapper type, which
+    /// differs for Byzantine slots).
+    fn with_server_bulk<R>(
+        &mut self,
+        i: usize,
+        f: impl FnOnce(&BulkStore, &FragmentStore) -> R,
+    ) -> R {
         type Correct<V> =
             StoreServerNode<StorePayload<V>, ServerNode<StorePayload<V>, StoreOut<V>>>;
         type Byz<V> = StoreServerNode<StorePayload<V>, ByzServerNode<StorePayload<V>, StoreOut<V>>>;
         let pid = self.servers[i];
         if self.byz_servers.contains(&i) {
-            self.sim.node_ref::<Byz<V>, _>(pid, |n| f(n.bulk()))
+            self.sim
+                .node_ref::<Byz<V>, _>(pid, |n| f(n.bulk(), n.frag_store()))
         } else {
-            self.sim.node_ref::<Correct<V>, _>(pid, |n| f(n.bulk()))
+            self.sim
+                .node_ref::<Correct<V>, _>(pid, |n| f(n.bulk(), n.frag_store()))
         }
     }
 
-    /// Which server indices hold bulk blobs for each shard — the
-    /// placement the `2t + 1` windows promise. Empty under full
-    /// replication.
+    /// Which server indices hold bulk payload (whole blobs or coded
+    /// fragments) for each shard — the placement the `2t + 1` windows
+    /// promise. Empty under full replication.
     pub fn bulk_placement(&mut self) -> BTreeMap<u32, BTreeSet<usize>> {
         let mut placement: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
         for i in 0..self.servers.len() {
-            for shard in self.with_server_bulk(i, |b| b.shards_held()) {
+            let held = self.with_server_bulk(i, |b, fr| {
+                let mut s = b.shards_held();
+                s.extend(fr.shards_held());
+                s
+            });
+            for shard in held {
                 placement.entry(shard).or_default().insert(i);
             }
         }
         placement
     }
 
-    /// Total bulk payload bytes stored on server `i`.
+    /// Total bulk payload bytes stored on server `i` (whole blobs plus
+    /// coded fragments) — the per-replica storage footprint the coded
+    /// mode cuts by ~`k`×.
     pub fn bulk_bytes_stored(&mut self, i: usize) -> u64 {
-        self.with_server_bulk(i, |b| b.bytes_stored())
+        self.with_server_bulk(i, |b, fr| b.bytes_stored() + fr.bytes_stored())
     }
 
-    /// Number of bulk blobs held on server `i` (bounded by the
-    /// [`StoreBuilder::bulk_retain`] window when one is set).
+    /// Number of bulk entries held on server `i` — whole blobs plus
+    /// coded fragment sets (bounded by the [`StoreBuilder::bulk_retain`]
+    /// window when one is set).
     pub fn bulk_blob_count(&mut self, i: usize) -> usize {
-        self.with_server_bulk(i, |b| b.blob_count())
+        self.with_server_bulk(i, |b, fr| b.blob_count() + fr.fragment_count())
     }
 }
 

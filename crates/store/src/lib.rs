@@ -43,6 +43,15 @@
 //! differentially), while payload bytes on the wire shrink by roughly
 //! `n·rounds / (2t + 1)` (the `bulk_vs_full` bench measures it).
 //!
+//! [`StoreBuilder::bulk_coded`] goes one step further (AVID-style
+//! dispersal): the same `2t + 1` window, but each replica stores only
+//! one `k`-of-`m` **erasure-coded fragment** (~`1/k` of the payload),
+//! verified against a Merkle commitment whose root rides the metadata
+//! quorum as the reference digest. Pushes wait for `k + t` verified
+//! acknowledgements, reads reconstruct from any `k` verified fragments
+//! — cutting per-replica storage and bulk wire bytes by another ~`k`×
+//! at the cost of a `k`-fragment reconstruction on every read.
+//!
 //! # Communication modes
 //!
 //! Every construction exists in two variants, and the store builds

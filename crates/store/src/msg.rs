@@ -11,10 +11,14 @@
 //!   simulator delivery event. A server answering a read sends
 //!   `SS_ACK` + `ACK_READ` as one event instead of two.
 //! - **Bulk data plane** (`BulkPut` / `BulkPutAck` / `BulkGet` /
-//!   `BulkGetAck`) — content-addressed payload bytes between clients and
-//!   the shard's `2t + 1` data replicas. These never touch the register
-//!   state machines; the register only ever sees the fixed-size
-//!   [`BulkRef`](sbs_bulk::BulkRef) inside its payload.
+//!   `BulkGetAck`, plus the fragment-carrying `FragPut` / `FragPutAck` /
+//!   `FragGetAck` of the erasure-coded mode) — content-addressed payload
+//!   bytes between clients and the shard's `2t + 1` data replicas. These
+//!   never touch the register state machines; the register only ever
+//!   sees the fixed-size [`BulkRef`](sbs_bulk::BulkRef) inside its
+//!   payload. Under the coded mode each replica receives **one**
+//!   `k`-of-`m` fragment with its Merkle path against the commitment
+//!   root, and `BulkGet` (by root) is answered with `FragGetAck`.
 //!
 //! The metrics layer splits byte counts by plane
 //! ([`Message::is_bulk`]), which is how the bulk/full traffic comparison
@@ -75,6 +79,51 @@ pub enum StoreMsg<P> {
         /// replica's blob store (serving costs a refcount bump).
         bytes: Option<SharedBytes>,
     },
+    /// Client → data replica (coded mode): store one `k`-of-`m` fragment
+    /// of the dispersal committed to by `root`. A correct replica replays
+    /// the Merkle path before storing and acknowledging, so fabricated
+    /// fragments are unstorable — the coded analogue of the `BulkPut`
+    /// digest check.
+    FragPut {
+        /// The shard whose map this dispersal serializes.
+        shard: u32,
+        /// The fragment-set commitment root (the `BulkRef` digest).
+        root: BulkDigest,
+        /// This fragment's index in `0..total`.
+        index: u32,
+        /// Total fragments in the dispersal (`m` — the replica window).
+        total: u32,
+        /// The fragment bytes, shared zero-copy with the sender's
+        /// dispersal buffer and any ack-wait retransmission.
+        bytes: SharedBytes,
+        /// The Merkle path binding `(index, bytes)` to `root`.
+        proof: Vec<BulkDigest>,
+    },
+    /// Data replica → client: fragment `index` of `root` is held
+    /// (verified against the commitment).
+    FragPutAck {
+        /// The shard of the acknowledged fragment.
+        shard: u32,
+        /// The held commitment root.
+        root: BulkDigest,
+        /// The acknowledged fragment index.
+        index: u32,
+    },
+    /// Data replica → client (coded mode): the replica's fragment of the
+    /// requested root, with the Merkle path the **client** re-verifies
+    /// before counting it toward reconstruction — a Byzantine replica
+    /// can garble any of these fields.
+    FragGetAck {
+        /// The shard being resolved.
+        shard: u32,
+        /// The requested commitment root.
+        root: BulkDigest,
+        /// The round tag of the request this answers.
+        tag: u64,
+        /// `(index, bytes, proof)` of the held fragment — shared with
+        /// the replica's fragment store (serving costs a refcount bump).
+        frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
+    },
 }
 
 impl<P: Payload> Message for StoreMsg<P> {
@@ -85,18 +134,32 @@ impl<P: Payload> Message for StoreMsg<P> {
             StoreMsg::BulkPutAck { .. } => "BULK_PUT_ACK",
             StoreMsg::BulkGet { .. } => "BULK_GET",
             StoreMsg::BulkGetAck { .. } => "BULK_GET_ACK",
+            StoreMsg::FragPut { .. } => "FRAG_PUT",
+            StoreMsg::FragPutAck { .. } => "FRAG_PUT_ACK",
+            StoreMsg::FragGetAck { .. } => "FRAG_GET_ACK",
         }
     }
 
     fn wire_bytes(&self) -> u64 {
         // shard (4) + digest (32) [+ len/tag (8)] headers for the bulk
-        // plane; the metadata plane sums its inner protocol messages.
+        // plane; fragment messages add index/total (4 each) and 32 bytes
+        // per Merkle path element; the metadata plane sums its inner
+        // protocol messages.
         match self {
             StoreMsg::Batch(batch) => batch.iter().map(RegMsg::wire_size).sum(),
             StoreMsg::BulkPut { bytes, .. } => 44 + bytes.len() as u64,
             StoreMsg::BulkPutAck { .. } => 36,
             StoreMsg::BulkGet { .. } => 44,
             StoreMsg::BulkGetAck { bytes, .. } => 45 + bytes.as_ref().map_or(0, |b| b.len() as u64),
+            StoreMsg::FragPut { bytes, proof, .. } => {
+                52 + bytes.len() as u64 + 32 * proof.len() as u64
+            }
+            StoreMsg::FragPutAck { .. } => 40,
+            StoreMsg::FragGetAck { frag, .. } => {
+                45 + frag
+                    .as_ref()
+                    .map_or(0, |(_, b, p)| 4 + b.len() as u64 + 32 * p.len() as u64)
+            }
         }
     }
 
@@ -182,5 +245,45 @@ mod tests {
         assert_eq!(miss.wire_bytes(), 45);
         let batch: StoreMsg<u64> = StoreMsg::Batch(vec![RegMsg::SsAck { tag: 1 }]);
         assert_eq!(batch.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn fragment_variants_are_bulk_plane_and_sized() {
+        let bytes: sbs_bulk::SharedBytes = vec![0u8; 50].into();
+        let root = digest_of(&bytes);
+        let put: StoreMsg<u64> = StoreMsg::FragPut {
+            shard: 0,
+            root,
+            index: 1,
+            total: 3,
+            bytes: bytes.clone(),
+            proof: vec![root, root],
+        };
+        assert_eq!(put.label(), "FRAG_PUT");
+        assert!(put.is_bulk());
+        // shard(4) + root(32) + index(4) + total(4) + len prefix(8).
+        assert_eq!(put.wire_bytes(), 52 + 50 + 64);
+        let ack: StoreMsg<u64> = StoreMsg::FragPutAck {
+            shard: 0,
+            root,
+            index: 1,
+        };
+        assert_eq!(ack.wire_bytes(), 40);
+        assert!(ack.is_bulk());
+        let served: StoreMsg<u64> = StoreMsg::FragGetAck {
+            shard: 0,
+            root,
+            tag: 9,
+            frag: Some((1, bytes, vec![root])),
+        };
+        assert_eq!(served.label(), "FRAG_GET_ACK");
+        assert_eq!(served.wire_bytes(), 45 + 4 + 50 + 32);
+        let miss: StoreMsg<u64> = StoreMsg::FragGetAck {
+            shard: 0,
+            root,
+            tag: 9,
+            frag: None,
+        };
+        assert_eq!(miss.wire_bytes(), 45);
     }
 }

@@ -56,6 +56,22 @@
 //! garbage or missing — the latter also recovers from fabricated
 //! references that transient corruption may have planted in a register).
 //!
+//! # The erasure-coded plane (AVID-style dispersal)
+//!
+//! [`DataPlane::Coded`] keeps the same `m = 2t + 1` replica window but
+//! ships each replica **one `k`-of-`m` fragment** (~`1/k` of the
+//! payload) instead of a whole copy. The writer commits to the fragment
+//! set with a Merkle tree whose root becomes the [`BulkRef`] digest;
+//! each `FRAG_PUT` carries the fragment's Merkle path, so a correct
+//! replica verifies *its own fragment* against the root before storing
+//! and acknowledging. The push waits for `k + t` acknowledgements —
+//! guaranteeing `k` **correct** replicas hold verified fragments — and a
+//! reader reconstructs from any `k` replies whose fragments re-verify
+//! against the root, falling back through retransmission rounds to a
+//! metadata re-read exactly like the whole-copy path. A Byzantine
+//! replica garbling the fragment (or proof) it serves is detected
+//! fragment-by-fragment and simply counts as a bad reply.
+//!
 //! [`ServerCore`]: sbs_core::ServerCore
 
 use crate::batcher::DestBatcher;
@@ -63,7 +79,11 @@ use crate::map::ShardMap;
 use crate::msg::{StoreMsg, StoreOut};
 use crate::router::KeyRouter;
 use crate::val::StoreVal;
-use sbs_bulk::{data_replica_slots, push_quorum, BulkCodec, BulkRef, BulkStore, SharedBytes};
+use sbs_bulk::{
+    coded_push_quorum, data_replica_slots, encode_fragments, fragment_leaves, fragment_len,
+    merkle_proof, merkle_root, push_quorum, reconstruct, verify_fragment, BulkCodec, BulkDigest,
+    BulkRef, BulkStore, FragmentStore, SharedBytes, StoredFragment,
+};
 use sbs_core::{
     AtomicPolicy, ClientLink, Payload, ReadEngine, ReadPolicy, ReadProgress, RegId, RegMsg,
     RegisterConfig, SeqVal, WriteEngine, WriteStamper, WsnStamp,
@@ -99,6 +119,30 @@ pub enum DataPlane {
         /// Data replicas per shard — `2t + 1` for Byzantine tolerance.
         replicas: usize,
     },
+    /// Erasure-coded dispersal (AVID-style): each of the `replicas`
+    /// window servers holds **one** `k`-of-`replicas` fragment
+    /// (~`1/k` of the payload) verified against a Merkle commitment
+    /// whose root is the register-visible digest. Any `k` verified
+    /// fragments reconstruct; pushes wait for `k + t` acknowledgements.
+    ///
+    /// Liveness trade vs whole copies: on the minimal `m = 2t + 1`
+    /// window with `k > 1`, the push quorum `k + t` exceeds the `t + 1`
+    /// honest replicas — writes then need acknowledgements from
+    /// *responsive* Byzantine replicas too. The workspace's adversaries
+    /// store-and-ack honestly (their lies are in what they *serve*), so
+    /// puts stay live here; a deployment that must also ride out
+    /// **fail-silent** data replicas should overprovision the window to
+    /// `m ≥ k + 2t` (e.g. `data_replicas(3t + 1)` before
+    /// `bulk_coded(t + 1)` — the classical AVID shape), at which point
+    /// `k + t` acks arrive from honest replicas alone.
+    Coded {
+        /// Data replicas (= fragments) per shard — `2t + 1` for
+        /// Byzantine tolerance.
+        replicas: usize,
+        /// Fragments needed to reconstruct; `k + t ≤ replicas` so
+        /// reads stay live with `t` Byzantine replicas.
+        k: usize,
+    },
 }
 
 /// Consecutive fetch retransmission rounds before the client falls back
@@ -114,37 +158,121 @@ const FETCH_ROUNDS_PER_READ: u32 = 2;
 pub struct StoreServerNode<P, Inner> {
     inner: Inner,
     bulk: BulkStore,
+    frags: FragmentStore,
+    guard: Option<BulkGuard>,
     byz_bulk: bool,
     batcher: DestBatcher<P>,
     _p: PhantomData<fn() -> P>,
 }
 
+/// Deployment-derived admission control for a server's slice of the
+/// bulk plane. Everything in a `BULK_PUT`/`FRAG_PUT` besides the
+/// payload — the shard tag, the fragment `total`, the fragment `index` —
+/// arrives from the wire, where a Byzantine writer controls it freely;
+/// this guard pins each field to what the *deployment* says it must be
+/// for this server, so wire lies are refused instead of trusted:
+///
+/// - the shard must exist (`shard < shards`) and this server must be in
+///   its replica window — otherwise a forger could grow per-shard
+///   retention state (holder sets, recency queues) without bound;
+/// - a fragment's `total` must be the deployment's `m` — otherwise a
+///   degenerate `total = 1` "dispersal" turns the Merkle commitment
+///   check into a plain digest check and can shadow a blob digest;
+/// - a fragment's `index` must be this server's own window position for
+///   the shard (the AVID rule: replica `i` stores fragment `i`) — so a
+///   `FRAG_PUT_ACK` certifies the exact fragment the push quorum needs,
+///   and pre-seeding a correct replica with some *other* replica's
+///   fragment cannot fake `k` distinct verified fragments.
+#[derive(Clone, Copy, Debug)]
+struct BulkGuard {
+    /// This server's slot in the fleet (index into the server list).
+    slot: usize,
+    /// Fleet size.
+    n: usize,
+    /// Shards deployed (the router's shard count).
+    shards: u32,
+    /// Data replicas per shard window (0 under full replication — every
+    /// bulk-plane push is then a forgery by definition).
+    replicas: usize,
+    /// True when the deployment disperses coded fragments.
+    coded: bool,
+}
+
+impl BulkGuard {
+    /// This server's position inside `shard`'s replica window, if the
+    /// shard exists and the window covers this server.
+    fn window_position(&self, shard: u32) -> Option<usize> {
+        if shard >= self.shards {
+            return None;
+        }
+        let pos = (self.slot + self.n - shard as usize % self.n) % self.n;
+        (pos < self.replicas).then_some(pos)
+    }
+}
+
 impl<P: Payload, Inner> StoreServerNode<P, Inner> {
-    /// Wraps `inner`.
+    /// Wraps `inner`. Without [`StoreServerNode::bulk_guard`] the bulk
+    /// plane accepts any verified payload (the permissive raw-node
+    /// behavior unit tests rely on); deployments built through
+    /// [`StoreBuilder`](crate::StoreBuilder) always install the guard.
     pub fn new(inner: Inner) -> Self {
         StoreServerNode {
             inner,
             bulk: BulkStore::new(),
+            frags: FragmentStore::new(),
+            guard: None,
             byz_bulk: false,
             batcher: DestBatcher::new(),
             _p: PhantomData,
         }
     }
 
-    /// Bounds this server's blob store to the last `retain` distinct
-    /// digests per shard (see [`BulkStore::with_retention`]); `None`
-    /// keeps the unbounded default.
+    /// Installs the deployment-derived bulk admission guard: this
+    /// server is fleet slot `slot` of `n`, the store deploys `shards`
+    /// shards with `replicas` data replicas per window, and `coded`
+    /// says whether the plane disperses fragments. Wire-supplied shard
+    /// tags, fragment totals, and fragment indices are then checked
+    /// against the deployment — a `FRAG_PUT` must carry exactly this
+    /// replica's window position and the deployment's fragment count —
+    /// instead of trusted.
+    pub fn bulk_guard(
+        mut self,
+        slot: usize,
+        n: usize,
+        shards: u32,
+        replicas: usize,
+        coded: bool,
+    ) -> Self {
+        self.guard = Some(BulkGuard {
+            slot,
+            n,
+            shards,
+            replicas,
+            coded,
+        });
+        self
+    }
+
+    /// Bounds this server's blob *and* fragment stores to the last
+    /// `retain` distinct digests per shard (see
+    /// [`BulkStore::with_retention`]); `None` keeps the unbounded
+    /// default.
     pub fn bulk_retention(mut self, retain: Option<usize>) -> Self {
         if let Some(k) = retain {
             self.bulk = BulkStore::with_retention(k);
+            self.frags = FragmentStore::with_retention(k);
         }
         self
     }
 
     /// Makes this server's **data plane** Byzantine too: it stores blobs
-    /// like a correct replica (so its storage footprint is
-    /// indistinguishable) but garbles every byte string it serves —
-    /// exactly the attack the client-side digest check must catch.
+    /// and fragments like a correct replica (so its storage footprint —
+    /// and its put acknowledgements — are indistinguishable) but garbles
+    /// every byte string it serves — exactly the attack the client-side
+    /// digest/commitment check must catch. Note the adversary stays
+    /// *responsive*: it acks puts honestly, which is what keeps coded
+    /// pushes (`k + t` acks on a `2t + 1` window) live in simulation;
+    /// see [`DataPlane::Coded`] for the fail-silent caveat.
     pub fn byzantine_bulk(mut self) -> Self {
         self.byz_bulk = true;
         self
@@ -158,6 +286,12 @@ impl<P: Payload, Inner> StoreServerNode<P, Inner> {
     /// This server's bulk blob store (for placement assertions).
     pub fn bulk(&self) -> &BulkStore {
         &self.bulk
+    }
+
+    /// This server's erasure-coded fragment store (for placement and
+    /// storage-footprint assertions in coded mode).
+    pub fn frag_store(&self) -> &FragmentStore {
+        &self.frags
     }
 }
 
@@ -212,6 +346,15 @@ where
                 digest,
                 bytes,
             } => {
+                // Admission: the shard tag is wire data — only store
+                // under shards this server actually serves (a guarded
+                // full-replication server serves none), so a forger
+                // cannot grow per-shard retention state without bound.
+                if let Some(g) = &self.guard {
+                    if g.window_position(shard).is_none() {
+                        return;
+                    }
+                }
                 // Verify-before-store: fabricated blobs (link garbage, a
                 // lying writer) are refused silently and never
                 // acknowledged. Storing shares the wire message's
@@ -220,23 +363,110 @@ where
                     ctx.send(from, StoreMsg::BulkPutAck { shard, digest });
                 }
             }
+            StoreMsg::FragPut {
+                shard,
+                root,
+                index,
+                total,
+                bytes,
+                proof,
+            } => {
+                // Admission: `total` and `index` are wire data. Pin the
+                // dispersal shape to the deployment's and the index to
+                // *this replica's* window position (the AVID rule), so a
+                // degenerate `total = 1` forgery cannot reduce the
+                // commitment check to a digest check, and an
+                // acknowledgement always certifies the one fragment the
+                // push quorum counts on this replica holding.
+                if let Some(g) = &self.guard {
+                    if !g.coded
+                        || total as usize != g.replicas
+                        || g.window_position(shard) != Some(index as usize)
+                    {
+                        return;
+                    }
+                }
+                // Verify-before-store, coded edition: the Merkle path is
+                // replayed against the announced root, so a fragment that
+                // does not belong to the committed set is refused
+                // silently and never acknowledged.
+                let frag = StoredFragment {
+                    index,
+                    total,
+                    bytes,
+                    proof,
+                };
+                if self.frags.put(shard, root, frag).held() {
+                    ctx.send(from, StoreMsg::FragPutAck { shard, root, index });
+                }
+            }
             StoreMsg::BulkGet { shard, digest, tag } => {
-                // A correct replica serves the stored handle itself — the
-                // reply shares the blob store's allocation.
-                let bytes = self.bulk.get_shared(&digest);
+                // Coded dispersals and whole blobs share the request: the
+                // digest names whichever the replica holds (a commitment
+                // root in coded mode, a content address otherwise). Whole
+                // blobs are checked first: a blob can only be stored by
+                // producing bytes that hash to the digest, so it can
+                // never shadow a genuine dispersal root — whereas letting
+                // fragments answer first would let a fabricated
+                // single-fragment entry shadow a blob on an unguarded
+                // server.
+                if self.bulk.holds(&digest) {
+                    let bytes = self.bulk.get_shared(&digest);
+                    let bytes = if self.byz_bulk {
+                        let mut g: Vec<u8> = bytes.map_or_else(|| vec![0xAB; 16], |b| b.to_vec());
+                        let i = (ctx.rng().next_u64() as usize) % g.len();
+                        g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
+                        Some(g.into())
+                    } else {
+                        bytes
+                    };
+                    ctx.send(
+                        from,
+                        StoreMsg::BulkGetAck {
+                            shard,
+                            digest,
+                            tag,
+                            bytes,
+                        },
+                    );
+                    return;
+                }
+                if let Some(f) = self.frags.get(&digest) {
+                    let (index, proof) = (f.index, f.proof.clone());
+                    let bytes = if self.byz_bulk {
+                        // Garble the served fragment (copy-on-write, the
+                        // stored one stays intact): the client-side
+                        // commitment check must catch this. Stored
+                        // fragments are never empty — a shard map encodes
+                        // to at least its length prefix.
+                        let mut g = f.bytes.to_vec();
+                        let i = (ctx.rng().next_u64() as usize) % g.len();
+                        g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
+                        g.into()
+                    } else {
+                        f.bytes.clone()
+                    };
+                    ctx.send(
+                        from,
+                        StoreMsg::FragGetAck {
+                            shard,
+                            root: digest,
+                            tag,
+                            frag: Some((index, bytes, proof)),
+                        },
+                    );
+                    return;
+                }
+                // Held nowhere: an honest replica answers the miss; a
+                // Byzantine one fabricates garbage bytes instead — which
+                // the client-side digest check must catch.
                 let bytes = if self.byz_bulk {
-                    // Serve *wrong* bytes: flip one byte with a non-zero
-                    // mask (guaranteed ≠ original), or fabricate some if
-                    // the digest is not even held. The garbling copies
-                    // first (copy-on-write): the replica's *stored* blob —
-                    // and every other holder of the allocation — stays
-                    // intact, only the served reply lies.
-                    let mut g: Vec<u8> = bytes.map_or_else(|| vec![0xAB; 16], |b| b.to_vec());
+                    let mut g = vec![0xAB; 16];
                     let i = (ctx.rng().next_u64() as usize) % g.len();
                     g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
                     Some(g.into())
                 } else {
-                    bytes
+                    None
                 };
                 ctx.send(
                     from,
@@ -249,7 +479,10 @@ where
                 );
             }
             // Client-bound replies arriving at a server are garbage.
-            StoreMsg::BulkPutAck { .. } | StoreMsg::BulkGetAck { .. } => {}
+            StoreMsg::BulkPutAck { .. }
+            | StoreMsg::BulkGetAck { .. }
+            | StoreMsg::FragPutAck { .. }
+            | StoreMsg::FragGetAck { .. } => {}
         }
     }
 
@@ -362,18 +595,28 @@ enum Phase<V: Payload> {
         rounds: u32,
         /// The round's retransmission timer.
         timer: TimerId,
-        /// Set by a digest-verified reply; consumed by the pump.
+        /// Commitment-verified fragments by index (coded mode).
+        /// Carried *across* retransmission rounds: a verified fragment
+        /// stays verified whatever round it arrived in.
+        frags: BTreeMap<u32, SharedBytes>,
+        /// Set by a digest-verified reply (or a `k`-fragment
+        /// reconstruction); consumed by the pump.
         resolved: Option<ShardMap<V>>,
     },
-    /// Bulk mode: payload pushed to the data replicas; waiting for `t+1`
-    /// verified-store acknowledgements before the metadata write.
+    /// Bulk/coded mode: payload (whole copies, or one fragment per
+    /// replica) pushed to the data replicas; waiting for the push quorum
+    /// of verified-store acknowledgements (`t + 1` whole-copy, `k + t`
+    /// coded) before the metadata write.
     PushingBulk {
         ops: Vec<OpId>,
         shard: u32,
-        digest: sbs_bulk::BulkDigest,
-        /// The serialized map, kept for ack-wait retransmissions —
-        /// shared, so a re-push clones a reference count.
-        bytes: SharedBytes,
+        digest: BulkDigest,
+        /// The per-replica push messages, index-aligned with the shard's
+        /// replica window, kept for ack-wait retransmissions — payload
+        /// bytes inside are shared, so a re-push clones reference
+        /// counts. (Whole-copy mode sends the same blob to everyone;
+        /// coded mode sends replica `i` fragment `i`.)
+        pushes: Vec<StoreWire<V>>,
         payload: StorePayload<V>,
         acks: BTreeSet<ProcessId>,
         /// The ack-wait's round timer: the derived timeout in synchronous
@@ -414,11 +657,17 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         wsn_modulus: u128,
         plane: DataPlane,
     ) -> Self {
-        if let DataPlane::Bulk { replicas } = plane {
+        if let DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. } = plane {
             assert!(
                 (1..=servers.len()).contains(&replicas),
                 "bulk replication factor {replicas} out of range for {} servers",
                 servers.len()
+            );
+        }
+        if let DataPlane::Coded { replicas, k } = plane {
+            assert!(
+                k >= 1 && k <= replicas,
+                "coded reconstruction threshold k={k} out of range for m={replicas} fragments"
             );
         }
         let owned = owned_shards
@@ -527,6 +776,25 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         self.recoveries
     }
 
+    /// Diagnostic snapshot of an in-flight bulk/coded fetch:
+    /// `(shard, digest or root, current round tag, bad replies this
+    /// round)`, or `None` when no fetch is running. Intended for tests
+    /// pinning round-tag semantics (a stale-tagged reply must leave the
+    /// tag and the bad tally untouched) and for debugging wedged
+    /// fetches.
+    pub fn fetch_probe(&self) -> Option<(u32, BulkDigest, u64, usize)> {
+        match &self.phase {
+            Phase::Fetching {
+                shard,
+                bref,
+                tag,
+                bad,
+                ..
+            } => Some((*shard, bref.digest, *tag, *bad)),
+            _ => None,
+        }
+    }
+
     /// The data replicas holding `shard`'s payload bytes (empty under
     /// full replication).
     fn data_replicas(&self, shard: u32) -> Vec<ProcessId> {
@@ -538,10 +806,12 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     fn replicas_for(plane: DataPlane, servers: &[ProcessId], shard: u32) -> Vec<ProcessId> {
         match plane {
             DataPlane::Full => Vec::new(),
-            DataPlane::Bulk { replicas } => data_replica_slots(shard, servers.len(), replicas)
-                .into_iter()
-                .map(|i| servers[i])
-                .collect(),
+            DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. } => {
+                data_replica_slots(shard, servers.len(), replicas)
+                    .into_iter()
+                    .map(|i| servers[i])
+                    .collect()
+            }
         }
     }
 
@@ -558,8 +828,41 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     fn replica_count(&self) -> usize {
         match self.plane {
             DataPlane::Full => 0,
-            DataPlane::Bulk { replicas } => replicas,
+            DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. } => replicas,
         }
+    }
+
+    /// The coding shape `(k, m)` when dispersing fragments, `None` on
+    /// the whole-copy planes.
+    fn coding(&self) -> Option<(usize, usize)> {
+        match self.plane {
+            DataPlane::Coded { replicas, k } => Some((k, replicas)),
+            _ => None,
+        }
+    }
+
+    /// Verified-store acknowledgements a push must collect before the
+    /// metadata write: `t + 1` for whole copies, `k + t` for a coded
+    /// dispersal — both capped by the factor actually configured
+    /// (sub-canonical factors are experiment knobs that trade the
+    /// Byzantine guarantee away, not deadlocks).
+    fn push_needed(&self) -> usize {
+        let quorum = match self.coding() {
+            Some((k, _)) => coded_push_quorum(self.cfg.t, k),
+            None => push_quorum(self.cfg.t),
+        };
+        quorum.min(self.replica_count())
+    }
+
+    /// The reconstruction threshold: `k` verified fragments in coded
+    /// mode, one digest-passing blob otherwise. Also the right constant
+    /// for the dead-round test: a replica whose fragment is already
+    /// held can only re-serve it (redundant), so with `f` fragments in
+    /// hand the helpful outstanding replies number at most
+    /// `m − bad − f`, and the round is dead exactly when
+    /// `m − bad − f < k − f` ⇔ `bad > m − k` — independent of `f`.
+    fn resolve_threshold(&self) -> usize {
+        self.coding().map_or(1, |(k, _)| k)
     }
 
     /// True iff `pid` serves `shard`'s bulk window — membership by window
@@ -570,7 +873,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         shard: u32,
         pid: ProcessId,
     ) -> bool {
-        let DataPlane::Bulk { replicas } = plane else {
+        let (DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. }) = plane else {
             return false;
         };
         let n = servers.len();
@@ -656,22 +959,66 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     &mut owned.stamper,
                     StoreVal::Ref(bref),
                 );
-                for &r in &replicas {
-                    bulk_sends.push((
-                        r,
-                        StoreMsg::BulkPut {
-                            shard,
-                            digest: bref.digest,
-                            bytes: bytes.clone(),
-                        },
-                    ));
+                let pushes: Vec<StoreWire<V>> = replicas
+                    .iter()
+                    .map(|_| StoreMsg::BulkPut {
+                        shard,
+                        digest: bref.digest,
+                        bytes: bytes.clone(),
+                    })
+                    .collect();
+                for (&r, m) in replicas.iter().zip(&pushes) {
+                    bulk_sends.push((r, m.clone()));
                 }
                 let timer = sub.set_timer(self.round_timer());
                 self.phase = Phase::PushingBulk {
                     ops,
                     shard,
                     digest: bref.digest,
-                    bytes,
+                    pushes,
+                    payload,
+                    acks: BTreeSet::new(),
+                    timer,
+                };
+            }
+            DataPlane::Coded { replicas: m, k } => {
+                // AVID-style dispersal: k-of-m fragments, committed to by
+                // the Merkle root the metadata register will carry. Each
+                // replica gets its own fragment plus the path proving it
+                // belongs to the root.
+                let bytes = owned.map.encode_to_vec();
+                let frags = encode_fragments(&bytes, k, m);
+                let leaves = fragment_leaves(&frags);
+                let root = merkle_root(&leaves);
+                let bref = BulkRef {
+                    digest: root,
+                    len: bytes.len() as u64,
+                };
+                let payload = WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
+                    &mut owned.stamper,
+                    StoreVal::Ref(bref),
+                );
+                let pushes: Vec<StoreWire<V>> = frags
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, frag)| StoreMsg::FragPut {
+                        shard,
+                        root,
+                        index: i as u32,
+                        total: m as u32,
+                        bytes: frag,
+                        proof: merkle_proof(&leaves, i),
+                    })
+                    .collect();
+                for (&r, msg) in replicas.iter().zip(&pushes) {
+                    bulk_sends.push((r, msg.clone()));
+                }
+                let timer = sub.set_timer(self.round_timer());
+                self.phase = Phase::PushingBulk {
+                    ops,
+                    shard,
+                    digest: root,
+                    pushes,
                     payload,
                     acks: BTreeSet::new(),
                     timer,
@@ -714,6 +1061,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             bad: 0,
             rounds,
             timer,
+            frags: BTreeMap::new(),
             resolved: None,
         };
     }
@@ -895,6 +1243,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     bad,
                     rounds,
                     timer,
+                    frags,
                     resolved,
                 } => {
                     if let Some(map) = resolved {
@@ -902,11 +1251,16 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         self.finish_resolve(goal, shard, wsn, Arc::new(map), sub, outs, bulk_sends);
                         continue;
                     }
-                    if bad >= self.replica_count() {
-                        // Every replica of this round answered garbage or
-                        // a miss: the reference may be stale (overwritten
-                        // metadata) or fabricated — fall back to the
-                        // metadata register.
+                    // Dead round: so many replicas answered garbage or a
+                    // miss that the replies still outstanding cannot
+                    // reach the resolve threshold (one digest-passing
+                    // blob, or k verified fragments — see
+                    // `resolve_threshold` for why held fragments do not
+                    // relax this). The reference may be stale
+                    // (overwritten metadata) or fabricated — fall back
+                    // to the metadata register.
+                    let needed = self.resolve_threshold();
+                    if bad >= self.replica_count().saturating_sub(needed - 1) {
                         sub.cancel_timer(timer);
                         self.start_read(goal, shard, sub);
                         continue;
@@ -920,6 +1274,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         bad,
                         rounds,
                         timer,
+                        frags,
                         resolved,
                     };
                     return;
@@ -928,18 +1283,15 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     ops,
                     shard,
                     digest,
-                    bytes,
+                    pushes,
                     payload,
                     acks,
                     timer,
                 } => {
-                    // t+1 acks, capped by the factor actually configured:
-                    // sub-(2t+1) factors are experiment knobs that trade
-                    // the Byzantine guarantee away, not deadlocks.
-                    let needed = push_quorum(self.cfg.t).min(self.replica_count());
-                    if acks.len() >= needed {
+                    if acks.len() >= self.push_needed() {
                         // t+1 verified stores ⇒ ≥1 correct replica holds
-                        // the bytes: the reference may become visible.
+                        // the bytes (k+t ⇒ ≥k hold verified fragments):
+                        // the reference may become visible.
                         sub.cancel_timer(timer);
                         self.write_engine =
                             WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
@@ -950,7 +1302,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                             ops,
                             shard,
                             digest,
-                            bytes,
+                            pushes,
                             payload,
                             acks,
                             timer,
@@ -982,7 +1334,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     fn on_bulk_get_ack(
         &mut self,
         shard: u32,
-        digest: sbs_bulk::BulkDigest,
+        digest: BulkDigest,
         tag: u64,
         bytes: Option<SharedBytes>,
     ) {
@@ -1005,9 +1357,69 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 Some(map) => *resolved = Some(map),
                 // Digest-passing but undecodable would need a digest
                 // collision; treat it as a bad replica all the same.
-                None => *bad += 1,
+                None => *bad = bad.saturating_add(1),
             },
-            _ => *bad += 1,
+            _ => *bad = bad.saturating_add(1),
+        }
+    }
+
+    /// Validates one fragment reply against the in-flight coded fetch:
+    /// the fragment must be the right length, carry an in-range index,
+    /// and re-verify against the commitment root. The `k`-th distinct
+    /// verified fragment triggers reconstruction; replies that fail any
+    /// check count as bad (the fallback path), and re-served fragments
+    /// for an index already verified are simply redundant.
+    fn on_frag_get_ack(
+        &mut self,
+        shard: u32,
+        root: BulkDigest,
+        tag: u64,
+        frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
+    ) {
+        let Some((k, m)) = self.coding() else {
+            return; // whole-copy clients never ask for fragments
+        };
+        let Phase::Fetching {
+            shard: s,
+            bref,
+            tag: t,
+            bad,
+            frags,
+            resolved,
+            ..
+        } = &mut self.phase
+        else {
+            return;
+        };
+        if tag != *t || shard != *s || root != bref.digest || resolved.is_some() {
+            return; // stale round, wrong dispersal, or already resolved
+        }
+        let verified = frag.filter(|(index, bytes, proof)| {
+            (*index as usize) < m
+                && bytes.len() as u64 == fragment_len(bref.len, k)
+                && verify_fragment(bref.digest, m, *index as usize, bytes, proof)
+        });
+        let Some((index, bytes, _)) = verified else {
+            *bad = bad.saturating_add(1);
+            return;
+        };
+        if frags.contains_key(&index) {
+            return; // redundant re-serve of a fragment we already hold
+        }
+        frags.insert(index, bytes);
+        if frags.len() < k {
+            return;
+        }
+        let pairs: Vec<(u32, SharedBytes)> = frags.iter().map(|(i, b)| (*i, b.clone())).collect();
+        match reconstruct(k, bref.len, &pairs).and_then(|b| ShardMap::<V>::decode_all(&b)) {
+            Some(map) => *resolved = Some(map),
+            // k commitment-verified fragments that reconstruct into an
+            // undecodable payload mean the *writer* committed to an
+            // inconsistent or garbage dispersal (a corrupted client, or
+            // a fabricated reference that somehow verified) — no further
+            // fragments can fix that, so give this reference up and let
+            // the pump fall back to the metadata register.
+            None => *bad = usize::MAX,
         }
     }
 }
@@ -1057,14 +1469,41 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     }
                 }
             }
+            StoreMsg::FragPutAck { shard, root, index } => {
+                if let Phase::PushingBulk {
+                    shard: s,
+                    digest: d,
+                    acks,
+                    ..
+                } = &mut self.phase
+                {
+                    // Only the replica we assigned this exact fragment
+                    // index may count it toward the push quorum — the
+                    // index is the replica's position in the shard's
+                    // window, so a Byzantine replica acknowledging a
+                    // fragment it was never given is rejected here.
+                    let expected = Self::replicas_for(self.plane, &self.servers, shard)
+                        .get(index as usize)
+                        .copied();
+                    if *s == shard && *d == root && expected == Some(from) {
+                        acks.insert(from);
+                    }
+                }
+            }
             StoreMsg::BulkGetAck {
                 shard,
                 digest,
                 tag,
                 bytes,
             } => self.on_bulk_get_ack(shard, digest, tag, bytes),
+            StoreMsg::FragGetAck {
+                shard,
+                root,
+                tag,
+                frag,
+            } => self.on_frag_get_ack(shard, root, tag, frag),
             // Server-bound bulk requests arriving at a client are garbage.
-            StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } => {}
+            StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } | StoreMsg::FragPut { .. } => {}
         }
         self.step(ctx);
     }
@@ -1113,35 +1552,31 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
         }
         if let Phase::PushingBulk {
             shard,
-            digest,
-            bytes,
+            pushes,
             acks,
             timer,
             ..
         } = &mut self.phase
         {
             if *timer == id {
-                // Ack-wait round expired with fewer than t+1 verified
-                // stores: re-push to the replicas still missing. In
-                // synchronous mode this is the Fig. 5 "wait … or time-out"
-                // rule applied to the data plane; in asynchronous mode it
-                // is the usual retransmission that keeps the push live
-                // across transient loss of in-flight state.
-                let (shard, digest) = (*shard, *digest);
-                let resend = bytes.clone();
-                let missing: Vec<ProcessId> = Self::replicas_for(self.plane, &self.servers, shard)
-                    .into_iter()
-                    .filter(|r| !acks.contains(r))
-                    .collect();
-                for r in missing {
-                    ctx.send(
-                        r,
-                        StoreMsg::BulkPut {
-                            shard,
-                            digest,
-                            bytes: resend.clone(),
-                        },
-                    );
+                // Ack-wait round expired short of the push quorum:
+                // re-push to the replicas still missing — each gets its
+                // own prepared message again (the same whole copy, or
+                // its assigned fragment). In synchronous mode this is
+                // the Fig. 5 "wait … or time-out" rule applied to the
+                // data plane; in asynchronous mode it is the usual
+                // retransmission that keeps the push live across
+                // transient loss of in-flight state.
+                let shard = *shard;
+                let resend: Vec<(ProcessId, StoreWire<V>)> =
+                    Self::replicas_for(self.plane, &self.servers, shard)
+                        .into_iter()
+                        .zip(pushes.iter())
+                        .filter(|(r, _)| !acks.contains(r))
+                        .map(|(r, m)| (r, m.clone()))
+                        .collect();
+                for (r, m) in resend {
+                    ctx.send(r, m);
                 }
                 *timer = ctx.set_timer(round_timer);
                 self.step(ctx);
@@ -1290,6 +1725,140 @@ mod tests {
         };
         assert_eq!(*to, client);
         assert_eq!(served.as_ref(), bytes.as_ref());
+    }
+
+    /// The deployment guard refuses every wire-controlled lie the bulk
+    /// plane could otherwise be fed: fragments with a foreign index
+    /// (pre-seeding a correct replica with another replica's fragment
+    /// to poison push-quorum acks), degenerate `total = 1` dispersals
+    /// (which collapse the commitment check to a digest check and could
+    /// shadow a blob), fragments on a whole-copy deployment, and puts
+    /// for shards outside this replica's window (unbounded retention
+    /// state).
+    #[test]
+    fn bulk_guard_refuses_foreign_indices_totals_and_shards() {
+        use sbs_bulk::{encode_fragments, fragment_leaves, merkle_proof, merkle_root};
+        use sbs_core::ServerNode;
+        type P = u64;
+        let run = |node: &mut StoreServerNode<P, ServerNode<P, ()>>,
+                   rng: &mut DetRng,
+                   nt: &mut u64,
+                   msg: StoreMsg<P>| {
+            let mut eff: Effects<StoreMsg<P>, ()> = Effects::new();
+            let mut ctx = Context::new(sbs_sim::SimTime::ZERO, ProcessId(9), rng, nt, &mut eff);
+            node.on_message(ProcessId(0), msg, &mut ctx);
+            eff
+        };
+        let mut rng = DetRng::from_seed(5);
+        let mut nt = 0u64;
+
+        // Fleet slot 1 of 9, 4 shards, coded 2-of-3: shard 1's window is
+        // slots {1, 2, 3}, so this server's position (= fragment index)
+        // for shard 1 is 0.
+        let mut node: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0)).bulk_guard(1, 9, 4, 3, true);
+        let payload = vec![3u8; 64];
+        let frags = encode_fragments(&payload, 2, 3);
+        let leaves = fragment_leaves(&frags);
+        let root = merkle_root(&leaves);
+        let frag_put = |index: usize| StoreMsg::FragPut {
+            shard: 1,
+            root,
+            index: index as u32,
+            total: 3,
+            bytes: frags[index].clone(),
+            proof: merkle_proof(&leaves, index),
+        };
+
+        // A *different replica's* fragment — commitment-valid, wrong
+        // index for this slot — is refused unacked.
+        let eff = run(&mut node, &mut rng, &mut nt, frag_put(1));
+        assert!(eff.sends().is_empty(), "foreign index must not be acked");
+        assert_eq!(node.frag_store().fragment_count(), 0);
+
+        // The degenerate total=1 forgery (bytes hashing straight to some
+        // blob digest) is refused by the shape pin.
+        let blob: SharedBytes = b"a whole blob".to_vec().into();
+        let d = digest_of(&blob);
+        let eff = run(
+            &mut node,
+            &mut rng,
+            &mut nt,
+            StoreMsg::FragPut {
+                shard: 1,
+                root: d,
+                index: 0,
+                total: 1,
+                bytes: blob.clone(),
+                proof: Vec::new(),
+            },
+        );
+        assert!(eff.sends().is_empty(), "total=1 forgery must be refused");
+
+        // This replica's own fragment is stored and acked.
+        let eff = run(&mut node, &mut rng, &mut nt, frag_put(0));
+        assert!(matches!(
+            eff.sends(),
+            [(_, StoreMsg::FragPutAck { index: 0, .. })]
+        ));
+
+        // Puts outside the deployment: nonexistent shard, and a shard
+        // whose window skips this slot (shard 2's window is {2, 3, 4}).
+        for bad_shard in [9u32, 2] {
+            let eff = run(
+                &mut node,
+                &mut rng,
+                &mut nt,
+                StoreMsg::BulkPut {
+                    shard: bad_shard,
+                    digest: d,
+                    bytes: blob.clone(),
+                },
+            );
+            assert!(eff.sends().is_empty(), "shard {bad_shard} must be refused");
+        }
+        assert_eq!(node.bulk().blob_count(), 0);
+
+        // A whole-copy deployment (coded = false) refuses every FragPut,
+        // and a stored blob cannot be shadowed by the fragment plane.
+        let mut full: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0)).bulk_guard(1, 9, 4, 3, false);
+        run(
+            &mut full,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkPut {
+                shard: 1,
+                digest: d,
+                bytes: blob.clone(),
+            },
+        );
+        assert!(full.bulk().holds(&d));
+        let eff = run(&mut full, &mut rng, &mut nt, frag_put(0));
+        assert!(eff.sends().is_empty(), "fragments on a blob plane refused");
+        let eff = run(
+            &mut full,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkGet {
+                shard: 1,
+                digest: d,
+                tag: 3,
+            },
+        );
+        assert!(
+            matches!(
+                eff.sends(),
+                [(
+                    _,
+                    StoreMsg::BulkGetAck {
+                        bytes: Some(b),
+                        ..
+                    }
+                )] if b.as_ref() == blob.as_ref()
+            ),
+            "the blob answers, never a shadowing fragment"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub enum StoreVal<V> {
     /// one shared allocation per published snapshot.
     Inline(Arc<ShardMap<V>>),
     /// A content-addressed reference; the bytes live on the data
-    /// replicas.
+    /// replicas. The digest is the payload's content address under the
+    /// whole-copy bulk plane, or the Merkle **commitment root** of the
+    /// fragment set under the erasure-coded plane — either way a
+    /// fixed-size stand-in the fetch path re-verifies end to end.
     Ref(BulkRef),
 }
 

@@ -12,11 +12,15 @@
 use sbs_bulk::data_replica_slots;
 use sbs_check::{equivalent_write_histories, History};
 use sbs_core::ByzStrategy;
-use sbs_sim::DetRng;
-use sbs_store::{DataPlane, FaultPlan, SizedVal, StoreBuilder, StoreSystem, Workload};
+use sbs_sim::{DelayModel, DetRng, Node, SimDuration};
+use sbs_store::{
+    DataPlane, FaultPlan, SizedVal, StoreBuilder, StoreClientNode, StoreMsg, StoreSystem, Workload,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
-fn keyed_histories(sys: &StoreSystem<u64>) -> BTreeMap<String, History<Option<u64>>> {
+fn keyed_histories<V: sbs_core::Payload + sbs_bulk::BulkCodec>(
+    sys: &StoreSystem<V>,
+) -> BTreeMap<String, History<Option<V>>> {
     sys.keys_touched()
         .into_iter()
         .map(|k| {
@@ -205,6 +209,226 @@ fn single_data_replica_works_without_byzantine_faults() {
     for holders in placement.values() {
         assert_eq!(holders.len(), 1);
     }
+}
+
+/// The erasure-coded acceptance run (ISSUE 5): full replication vs the
+/// whole-copy bulk plane vs the AVID-style coded plane on identical
+/// seeds, 1 KiB values, with a Byzantine server that is also a data
+/// replica garbling every fragment it serves. The coded run must (a) be
+/// differentially equivalent to full replication, write sequence by
+/// write sequence; (b) keep the exact `2t + 1` window placement; and
+/// (c) store **≥ 2× fewer payload bytes per replica** than whole
+/// copies (`k = 2` fragments are half a snapshot each).
+#[test]
+fn coded_acceptance_equivalent_to_full_and_cuts_per_replica_bytes() {
+    let full = StoreBuilder::asynchronous(1)
+        .seed(2026)
+        .shards(8)
+        .writers(4)
+        .extra_readers(2);
+    let bulk = full.clone().bulk();
+    let coded = full.clone().bulk_coded(2);
+    assert_eq!(
+        coded.config().plane,
+        DataPlane::Coded { replicas: 3, k: 2 },
+        "bulk_coded keeps the 2t+1 window and carries k"
+    );
+    let mut wl = Workload::ycsb_b(400, 64);
+    wl.seed = 77;
+    wl.faults = FaultPlan::one_byzantine(4, ByzStrategy::RandomGarbage);
+    let mk = |id| SizedVal::new(id, 1024);
+
+    let (report_full, sys_full) = wl.run_with(&full, mk);
+    let (report_bulk, mut sys_bulk) = wl.run_with(&bulk, mk);
+    let (report_coded, mut sys_coded) = wl.run_with(&coded, mk);
+    assert_eq!(report_full.completed, 400);
+    assert_eq!(report_bulk.completed, 400);
+    assert_eq!(
+        report_coded.completed, 400,
+        "coded mode must survive the Byzantine data replica garbling fragments"
+    );
+
+    // Same logical execution as full replication: identical key sets and
+    // per-key write sequences, and independently atomic per key.
+    sys_full.check_per_key_atomicity().expect("full atomicity");
+    sys_coded
+        .check_per_key_atomicity()
+        .expect("coded atomicity");
+    let keys =
+        equivalent_write_histories(&keyed_histories(&sys_full), &keyed_histories(&sys_coded))
+            .expect("full and coded executions must be equivalent");
+    assert!(keys > 30, "Zipfian mix must touch many keys");
+
+    // Placement: fragments land on exactly the same 2t+1 windows whole
+    // copies would.
+    let placement = sys_coded.bulk_placement();
+    assert!(!placement.is_empty());
+    for (shard, holders) in &placement {
+        let window: BTreeSet<usize> = data_replica_slots(*shard, 9, 3).into_iter().collect();
+        assert_eq!(holders, &window, "shard {shard} coded placement");
+    }
+
+    // The headline economics: per-replica stored payload bytes drop by
+    // ~k× (k = 2 here; the only overhead is ≤ 1 padding byte per
+    // dispersal). Compared replica by replica on identical workloads.
+    for i in 0..9 {
+        let b = sys_bulk.bulk_bytes_stored(i);
+        let c = sys_coded.bulk_bytes_stored(i);
+        assert_eq!(b == 0, c == 0, "server {i}: same windows, same holders");
+        if b > 0 {
+            let ratio = b as f64 / c as f64;
+            assert!(
+                ratio >= 1.9,
+                "server {i}: coded mode must store ~2x fewer bytes than whole \
+                 copies, got {b} vs {c} ({ratio:.2}x)"
+            );
+        }
+    }
+    // And the coded wire traffic is cheaper too: every BULK_PUT ships a
+    // whole snapshot to each of 3 replicas, every FRAG_PUT half of one.
+    assert!(
+        report_bulk.bulk_bytes as f64 / report_coded.bulk_bytes as f64 > 1.3,
+        "fragment dispersal must cut bulk-plane wire bytes: {} vs {}",
+        report_bulk.bulk_bytes,
+        report_coded.bulk_bytes
+    );
+}
+
+/// Coded-mode cross-check without faults: values written through the
+/// fragment plane read back exactly, across enough overwrites that
+/// every fetch path (systematic stripes, parity reconstruction after a
+/// miss) gets exercised.
+#[test]
+fn coded_round_trips_values_exactly() {
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(31)
+        .shards(4)
+        .writers(2)
+        .extra_readers(1)
+        .bulk_coded(2)
+        .build();
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for round in 0..10u64 {
+        for key in ["a", "b", "c"] {
+            let val = round * 100 + key.as_bytes()[0] as u64;
+            sys.put(key, val);
+            expected.insert(key.to_string(), val);
+        }
+        assert!(sys.settle(), "round {round} must quiesce");
+    }
+    for (i, key) in expected.keys().enumerate() {
+        sys.get(i % 3, key);
+    }
+    assert!(sys.settle());
+    for (key, val) in &expected {
+        let h = sys.history_for_key(key);
+        assert_eq!(h.reads().last().expect("one get").kind.value(), &Some(*val));
+    }
+    sys.check_per_key_atomicity().expect("atomicity");
+}
+
+/// The builder refuses a reconstruction threshold the Byzantine bound
+/// cannot support: with t = 1 on a 3-replica window, k = 3 would let a
+/// single garbling replica starve every read.
+#[test]
+#[should_panic(expected = "coded reconstruction threshold")]
+fn oversized_coded_threshold_is_refused_at_build() {
+    let _: StoreSystem<u64> = StoreBuilder::asynchronous(1).bulk_coded(3).build();
+}
+
+/// Regression (ISSUE 5): a `BulkGetAck` carrying a *superseded* fetch
+/// tag — a late reply from an earlier retransmission round — must be
+/// ignored entirely, not counted toward the current round's `bad`
+/// threshold. Counting it would make harmless stragglers trigger the
+/// all-bad fallback (a spurious metadata re-read) and, with enough of
+/// them, could starve a fetch that honest replicas are answering.
+#[test]
+fn stale_fetch_tag_replies_are_ignored() {
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(11)
+        .shards(1)
+        .delay(DelayModel::Uniform {
+            lo: SimDuration::millis(2),
+            hi: SimDuration::millis(4),
+        })
+        .bulk()
+        .build();
+    sys.put("k", 5);
+    assert!(sys.settle());
+    sys.get(0, "k");
+    let client = sys.clients[0];
+
+    // Step the simulation in sub-link-delay slices until the bulk fetch
+    // round is in flight (request sent, no reply arrived yet).
+    let mut probe = None;
+    for _ in 0..20_000 {
+        sys.run_for(SimDuration::micros(200));
+        probe = sys
+            .sim
+            .node_ref::<StoreClientNode<u64>, _>(client, |n| n.fetch_probe());
+        if probe.is_some() {
+            break;
+        }
+    }
+    let (shard, digest, tag, bad) = probe.expect("the get must reach its bulk fetch");
+    assert_eq!(bad, 0, "fresh round starts with a clean tally");
+
+    // Deliver late replies tagged with the *previous* round from every
+    // window replica (shard 0's window is servers 0..3). They carry
+    // garbage bytes, so a tag check that leaked them into the tally
+    // would count replica_count bad replies — exactly the spurious
+    // fallback threshold.
+    let replicas: Vec<_> = sys.servers[..3].to_vec();
+    for (j, &replica) in replicas.iter().enumerate() {
+        sys.sim
+            .with_node::<StoreClientNode<u64>, _>(client, |n, ctx| {
+                n.on_message(
+                    replica,
+                    StoreMsg::BulkGetAck {
+                        shard,
+                        digest,
+                        tag: tag.wrapping_sub(1),
+                        bytes: Some(vec![j as u8; 8].into()),
+                    },
+                    ctx,
+                );
+            });
+    }
+    assert_eq!(
+        sys.sim
+            .node_ref::<StoreClientNode<u64>, _>(client, |n| n.fetch_probe()),
+        Some((shard, digest, tag, 0)),
+        "stale-tagged replies must leave the current round untouched"
+    );
+
+    // Sanity that the tally itself works: one *current*-tag garbage
+    // reply does count (so the stale replies above were dropped by the
+    // tag check, not by some unrelated rejection).
+    sys.sim
+        .with_node::<StoreClientNode<u64>, _>(client, |n, ctx| {
+            n.on_message(
+                replicas[0],
+                StoreMsg::BulkGetAck {
+                    shard,
+                    digest,
+                    tag,
+                    bytes: Some(vec![0xEE; 8].into()),
+                },
+                ctx,
+            );
+        });
+    assert_eq!(
+        sys.sim
+            .node_ref::<StoreClientNode<u64>, _>(client, |n| n.fetch_probe()),
+        Some((shard, digest, tag, 1)),
+        "a current-tag garbage reply is counted, so the fetch is still live"
+    );
+
+    // The honest replies then resolve the fetch normally.
+    assert!(sys.settle());
+    let h = sys.history_for_key("k");
+    assert_eq!(h.reads().last().expect("the get").kind.value(), &Some(5));
+    sys.check_per_key_atomicity().expect("atomicity");
 }
 
 /// Retain-last-K digest GC (the ROADMAP follow-up): with
