@@ -19,8 +19,10 @@
 //! (default 3×) means the *protocol* got chattier or slower per simulated
 //! second, which is exactly the drift the committed trajectory exists to
 //! catch. Smoke rows with no committed counterpart (new configurations)
-//! are reported but never fail the gate; a missing or unparsable file
-//! always does.
+//! are reported without failing the gate — unless *no* row of a gate
+//! matches its baseline at all, which means the identity schema drifted
+//! and that bench would otherwise silently stop being gated; a missing
+//! or unparsable file always fails.
 
 use sbs_bench::trajectory::{parse, JsonVal, ParsedRow, ParsedTrajectory};
 use std::path::Path;
@@ -50,7 +52,11 @@ const GATES: &[Gate] = &[
     Gate {
         committed: "BENCH_bulk.json",
         smoke: "BENCH_bulk.smoke.json",
-        id_keys: &["n", "t", "value_len", "mode"],
+        // "k" keeps coded rows distinct if the bench ever sweeps several
+        // reconstruction thresholds per (n, t) — without it two such rows
+        // would share an identity and gate against whichever baseline
+        // row comes first.
+        id_keys: &["n", "t", "value_len", "mode", "k"],
     },
 ];
 
@@ -131,6 +137,7 @@ fn main() {
         ) else {
             continue;
         };
+        let mut gate_matched = 0usize;
         for row in &smoke.rows {
             let id = identity(row, gate.id_keys);
             let Some(pair) = base.rows.iter().find(|b| matches(row, b, gate.id_keys)) else {
@@ -138,6 +145,7 @@ fn main() {
                 unmatched += 1;
                 continue;
             };
+            gate_matched += 1;
             let fresh = ParsedTrajectory::field(row, METRIC).and_then(JsonVal::as_f64);
             let committed = ParsedTrajectory::field(pair, METRIC).and_then(JsonVal::as_f64);
             let (Some(fresh), Some(committed)) = (fresh, committed) else {
@@ -155,18 +163,22 @@ fn main() {
                 println!("ok: [{id}] {METRIC} committed {committed:.0} vs smoke {fresh:.0}",);
             }
         }
+        if gate_matched == 0 {
+            // Zero identity matches for THIS gate means its identity
+            // schema drifted (a renamed column, a reshaped sweep) — per
+            // gate, so one bench's drift cannot hide behind the other
+            // gate's still-matching rows; the gate must fail loudly
+            // rather than silently stop gating. (Matched rows lacking
+            // the metric fail separately above with an exact message.)
+            failures.push(format!(
+                "{}: no smoke row matched any committed baseline row — \
+                 identity fields out of sync with the bench output",
+                gate.smoke
+            ));
+        }
     }
 
     println!("\ntrajcheck: {compared} rows compared, {unmatched} without baseline");
-    if compared == 0 {
-        // Zero matches means the identity schema drifted (a renamed
-        // column, a reshaped sweep) — the gate must fail loudly rather
-        // than silently stop gating.
-        failures.push(String::from(
-            "no smoke row matched any committed baseline row — \
-             identity fields out of sync with the bench output",
-        ));
-    }
     if !failures.is_empty() {
         eprintln!("trajectory regression gate FAILED:");
         for f in &failures {

@@ -38,6 +38,15 @@
 //! the digest, looked up in the store — never to whatever shard tag the
 //! wire message claims, which a Byzantine writer controls.
 //!
+//! Coded fragments alias differently: overlapping shard windows put a
+//! replica at a *different window position* (= fragment index) per
+//! shard, so [`FragmentStore`] keys entries by `(root, index)` — each
+//! shard holds its own index of an aliased root — instead of sharing one
+//! entry per root (which would refuse the second shard's fragment and
+//! wedge its push short of the `k + t` quorum). Congruent shards with
+//! *identical* windows land on the same index and dedup through the
+//! holder set like aliased blobs.
+//!
 //! The store itself admits any shard tag (it has no view of the
 //! deployment); bounding *which* shards may hold at all — so a forger
 //! cannot grow per-shard retention state with invented shard ids — is
@@ -45,7 +54,7 @@
 //! for shards the replica does not serve).
 
 use crate::digest::{digest_of, BulkDigest};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Reference-counted immutable payload bytes, shared zero-copy between
@@ -74,45 +83,69 @@ impl PutOutcome {
     }
 }
 
-/// One digest-keyed entry with its holder set and byte accounting.
+/// One keyed entry with its holder set and byte accounting.
 #[derive(Clone, Debug)]
 struct Held<E> {
-    /// The shards currently retaining this digest. Non-empty by
-    /// invariant: the last eviction removes the entry.
+    /// The shards currently retaining this key. Non-empty by invariant:
+    /// the last eviction removes the entry.
     holders: BTreeSet<u32>,
     /// Payload bytes accounted for this entry.
     len: u64,
     entry: E,
 }
 
-/// The retention core shared by [`BulkStore`] (whole blobs) and
-/// [`FragmentStore`] (erasure-coded fragments): digest-keyed entries with
-/// per-digest **holder** sets and per-shard recency queues.
+/// One shard's recency order: keys indexed by a store-wide monotonic
+/// sequence number, so a refresh (`touch`) is two `O(log n)` map moves
+/// instead of a linear queue scan — republish-heavy workloads re-put held
+/// digests on the hot path.
+#[derive(Clone, Debug)]
+struct ShardRecency<K: Ord + Copy> {
+    /// Keys by insertion/refresh sequence, oldest first.
+    by_seq: BTreeMap<u64, K>,
+    /// Each key's current sequence (exactly the inverse of `by_seq`).
+    seq_of: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Copy> Default for ShardRecency<K> {
+    fn default() -> Self {
+        ShardRecency {
+            by_seq: BTreeMap::new(),
+            seq_of: BTreeMap::new(),
+        }
+    }
+}
+
+/// The retention core shared by [`BulkStore`] (whole blobs, keyed by
+/// content digest) and [`FragmentStore`] (erasure-coded fragments, keyed
+/// by `(root, fragment index)`): keyed entries with per-key **holder**
+/// sets and per-shard recency orders.
 ///
 /// Invariants:
-/// - a digest appears in shard `s`'s recency queue iff `s` is one of its
-///   holders (queues and holder sets never drift);
+/// - key `x` appears in shard `s`'s recency order iff `s` is one of its
+///   holders (recency and holder sets never drift);
 /// - `bytes_stored` is the sum of `len` over live entries — incremented
 ///   once when an entry is first stored, decremented once when its last
 ///   holder evicts it (never per holder, so aliasing cannot underflow it).
 #[derive(Clone, Debug)]
-struct RetainedStore<E> {
-    entries: BTreeMap<BulkDigest, Held<E>>,
+struct RetainedStore<K: Ord + Copy, E> {
+    entries: BTreeMap<K, Held<E>>,
     bytes_stored: u64,
-    /// Distinct digests retained per shard (`None` = unbounded).
+    /// Distinct keys retained per shard (`None` = unbounded).
     retain: Option<usize>,
-    /// Per-shard digest recency, oldest at the front. Only maintained
-    /// when a retention bound is set.
-    recency: BTreeMap<u32, VecDeque<BulkDigest>>,
+    /// Per-shard key recency. Only maintained when a retention bound is
+    /// set.
+    recency: BTreeMap<u32, ShardRecency<K>>,
+    /// Store-wide recency sequence (monotonic; gaps are fine).
+    next_seq: u64,
 }
 
-impl<E> Default for RetainedStore<E> {
+impl<K: Ord + Copy, E> Default for RetainedStore<K, E> {
     fn default() -> Self {
         RetainedStore::with_retention(None)
     }
 }
 
-impl<E> RetainedStore<E> {
+impl<K: Ord + Copy, E> RetainedStore<K, E> {
     fn with_retention(retain: Option<usize>) -> Self {
         if let Some(k) = retain {
             assert!(k >= 1, "retention bound must be at least 1");
@@ -122,89 +155,106 @@ impl<E> RetainedStore<E> {
             bytes_stored: 0,
             retain,
             recency: BTreeMap::new(),
+            next_seq: 0,
         }
     }
 
-    /// Records a verified put of `digest` tagged with `shard`. The caller
+    /// Records a verified put of `key` tagged with `shard`. The caller
     /// has already verified the content; `make` builds the entry only
-    /// when the digest is new. Returns `Stored` or `AlreadyHeld`.
+    /// when the key is new. Returns `Stored` or `AlreadyHeld`.
     fn insert_verified(
         &mut self,
         shard: u32,
-        digest: BulkDigest,
+        key: K,
         len: u64,
         make: impl FnOnce() -> E,
     ) -> PutOutcome {
-        if let Some(held) = self.entries.get_mut(&digest) {
+        if let Some(held) = self.entries.get_mut(&key) {
             let new_holder = held.holders.insert(shard);
             if new_holder {
                 // A second shard aliasing onto the same bytes: it gets
                 // its own retention slot (and its own recency entry), so
                 // another shard's later eviction can no longer drop this
                 // shard's only copy.
-                self.enqueue(shard, digest);
+                self.enqueue(shard, key);
             }
             // Recency refresh goes to the shards that actually hold the
-            // digest — looked up here, never trusted from the wire tag: a
+            // key — looked up here, never trusted from the wire tag: a
             // Byzantine writer re-putting a held digest under a foreign
             // shard tag must not be able to starve the true holder's
             // refresh (pre-fix, the actively republished snapshot became
-            // the next eviction victim).
-            let holders: Vec<u32> = self.entries[&digest].holders.iter().copied().collect();
-            for h in holders {
-                self.touch(h, digest);
+            // the next eviction victim). Without a retention bound there
+            // is no recency to maintain, so duplicate puts stay
+            // allocation-free on that (default) hot path.
+            if self.retain.is_some() {
+                let holders: Vec<u32> = self.entries[&key].holders.iter().copied().collect();
+                for h in holders {
+                    self.touch(h, key);
+                }
+                self.evict_overflow(shard);
             }
-            self.evict_overflow(shard);
             return PutOutcome::AlreadyHeld;
         }
         self.bytes_stored += len;
         self.entries.insert(
-            digest,
+            key,
             Held {
                 holders: BTreeSet::from([shard]),
                 len,
                 entry: make(),
             },
         );
-        self.enqueue(shard, digest);
+        self.enqueue(shard, key);
         self.evict_overflow(shard);
         PutOutcome::Stored
     }
 
-    /// Appends `digest` to `shard`'s recency queue (retention mode only).
-    fn enqueue(&mut self, shard: u32, digest: BulkDigest) {
-        if self.retain.is_some() {
-            self.recency.entry(shard).or_default().push_back(digest);
-        }
-    }
-
-    /// Moves `digest` to the back of `shard`'s recency queue, if listed.
-    fn touch(&mut self, shard: u32, digest: BulkDigest) {
+    /// Appends `key` as `shard`'s most recent (retention mode only).
+    fn enqueue(&mut self, shard: u32, key: K) {
         if self.retain.is_none() {
             return;
         }
-        if let Some(recent) = self.recency.get_mut(&shard) {
-            if let Some(pos) = recent.iter().position(|d| *d == digest) {
-                recent.remove(pos);
-                recent.push_back(digest);
-            }
-        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = self.recency.entry(shard).or_default();
+        debug_assert!(!rec.seq_of.contains_key(&key), "double enqueue");
+        rec.by_seq.insert(seq, key);
+        rec.seq_of.insert(key, seq);
     }
 
-    /// Evicts `shard`'s oldest digests while it retains more than the
+    /// Moves `key` to the most-recent end of `shard`'s order, if listed.
+    fn touch(&mut self, shard: u32, key: K) {
+        if self.retain.is_none() {
+            return;
+        }
+        let seq = self.next_seq;
+        let Some(rec) = self.recency.get_mut(&shard) else {
+            return;
+        };
+        let Some(old) = rec.seq_of.get(&key).copied() else {
+            return;
+        };
+        rec.by_seq.remove(&old);
+        rec.by_seq.insert(seq, key);
+        rec.seq_of.insert(key, seq);
+        self.next_seq += 1;
+    }
+
+    /// Evicts `shard`'s oldest keys while it retains more than the
     /// bound. Eviction drops only *this shard's hold*; the entry (and its
     /// byte accounting) goes away with the last holder.
     fn evict_overflow(&mut self, shard: u32) {
         let Some(k) = self.retain else {
             return;
         };
-        let Some(recent) = self.recency.get_mut(&shard) else {
+        let Some(rec) = self.recency.get_mut(&shard) else {
             return;
         };
-        while recent.len() > k {
-            let evicted = recent.pop_front().expect("len > k >= 1");
+        while rec.by_seq.len() > k {
+            let (_, evicted) = rec.by_seq.pop_first().expect("len > k >= 1");
+            rec.seq_of.remove(&evicted);
             let Some(held) = self.entries.get_mut(&evicted) else {
-                debug_assert!(false, "recency listed a digest the store does not hold");
+                debug_assert!(false, "recency listed a key the store does not hold");
                 continue;
             };
             held.holders.remove(&shard);
@@ -215,8 +265,8 @@ impl<E> RetainedStore<E> {
         }
     }
 
-    fn get(&self, digest: &BulkDigest) -> Option<&E> {
-        self.entries.get(digest).map(|h| &h.entry)
+    fn get(&self, key: &K) -> Option<&E> {
+        self.entries.get(key).map(|h| &h.entry)
     }
 
     fn shards_held(&self) -> BTreeSet<u32> {
@@ -230,7 +280,7 @@ impl<E> RetainedStore<E> {
 /// One replica's content-addressed blob storage (whole-copy mode).
 #[derive(Clone, Debug, Default)]
 pub struct BulkStore {
-    inner: RetainedStore<SharedBytes>,
+    inner: RetainedStore<BulkDigest, SharedBytes>,
 }
 
 impl BulkStore {
@@ -325,14 +375,32 @@ pub struct StoredFragment {
     pub proof: Vec<BulkDigest>,
 }
 
-/// One replica's erasure-coded fragment storage, keyed by commitment
-/// root. Verification happens on the way in — [`FragmentStore::put`]
+/// One replica's erasure-coded fragment storage, keyed by
+/// `(commitment root, fragment index)` with [`BulkStore`]-style holder
+/// sets. Verification happens on the way in — [`FragmentStore::put`]
 /// replays the Merkle path — so the store only ever holds fragments that
 /// provably belong to their announced root; retention (holders, recency,
-/// eviction) is exactly [`BulkStore`]'s, shared through one core.
+/// eviction, byte accounting) is [`BulkStore`]'s, shared through one
+/// core.
+///
+/// Keying by `(root, index)` — not by root alone — is what keeps writes
+/// live across *shard windows that overlap*: a replica serving two shards
+/// sits at a different window position in each, so when both shards
+/// disperse byte-identical payloads (one root — the cross-shard aliasing
+/// case), it legitimately holds a **different fragment index per shard**.
+/// Congruent shards (`shard ≡ shard' mod n`, identical windows) land on
+/// the *same* index instead and dedup through the holder set, exactly
+/// like aliased blobs. Per shard, though, a root still maps to exactly
+/// one index: a re-put of a held index is acknowledged without storing
+/// (idempotence, like blob re-puts), while a **different** index for a
+/// shard that already holds one is refused — acknowledging it would
+/// certify holding a fragment this replica does not have at that window
+/// position, which is exactly what the `k + t` push quorum counts on (a
+/// Byzantine peer pre-seeding correct replicas with *its* fragment must
+/// not be able to poison their acks).
 #[derive(Clone, Debug, Default)]
 pub struct FragmentStore {
-    inner: RetainedStore<StoredFragment>,
+    inner: RetainedStore<(BulkDigest, u32), StoredFragment>,
 }
 
 impl FragmentStore {
@@ -354,14 +422,9 @@ impl FragmentStore {
     }
 
     /// Verifies `frag` against the commitment `root` (Merkle path replay)
-    /// and stores it, tagged with the owning `shard`. A replica holds at
-    /// most one fragment per root — a re-put of a held root with the
-    /// *same* index is acknowledged without storing (idempotence, like
-    /// blob re-puts), but a held root with a **different** index is
-    /// refused: acknowledging it would certify holding a fragment this
-    /// replica does not have, which is exactly what the `k + t` push
-    /// quorum counts on (a Byzantine peer pre-seeding correct replicas
-    /// with *its* fragment must not be able to poison their acks).
+    /// and stores it under `(root, frag.index)`, tagged with the owning
+    /// `shard`. See the type docs for the keying and the same-shard
+    /// index-conflict refusal.
     pub fn put(&mut self, shard: u32, root: BulkDigest, frag: StoredFragment) -> PutOutcome {
         // Empty fragments are refused like empty blobs: an honest
         // dispersal's fragments are never zero-length (the payload is at
@@ -379,26 +442,50 @@ impl FragmentStore {
         {
             return PutOutcome::DigestMismatch;
         }
-        if let Some(held) = self.inner.get(&root) {
-            if held.index != frag.index {
-                return PutOutcome::DigestMismatch;
-            }
+        // Same-shard index conflict: this shard already holds a
+        // *different* index of the root (at most a handful of indices per
+        // root exist, so the scan is tiny).
+        if self
+            .entries_of(&root)
+            .any(|((_, idx), h)| *idx != frag.index && h.holders.contains(&shard))
+        {
+            return PutOutcome::DigestMismatch;
         }
         let len = frag.bytes.len() as u64;
-        self.inner.insert_verified(shard, root, len, || frag)
+        self.inner
+            .insert_verified(shard, (root, frag.index), len, || frag)
     }
 
-    /// The fragment stored under `root`, if held.
+    /// The entries holding fragments of `root`, across all indices.
+    fn entries_of(
+        &self,
+        root: &BulkDigest,
+    ) -> impl Iterator<Item = (&(BulkDigest, u32), &Held<StoredFragment>)> {
+        self.inner.entries.range((*root, u32::MIN)..=(*root, u32::MAX))
+    }
+
+    /// Some fragment stored under `root`, if any index is held.
     pub fn get(&self, root: &BulkDigest) -> Option<&StoredFragment> {
-        self.inner.get(root)
+        self.entries_of(root).next().map(|(_, h)| &h.entry)
     }
 
-    /// True if a fragment of `root` is held.
+    /// The fragment stored under `root` for `shard` (the index that
+    /// shard's window position dispersed here) — falling back to any
+    /// held index of that root (still commitment-verified, so still
+    /// useful to a reconstructing reader).
+    pub fn get_for(&self, shard: u32, root: &BulkDigest) -> Option<&StoredFragment> {
+        self.entries_of(root)
+            .find(|(_, h)| h.holders.contains(&shard))
+            .map(|(_, h)| &h.entry)
+            .or_else(|| self.get(root))
+    }
+
+    /// True if a fragment of `root` is held for any shard.
     pub fn holds(&self, root: &BulkDigest) -> bool {
-        self.inner.entries.contains_key(root)
+        self.entries_of(root).next().is_some()
     }
 
-    /// Number of fragment entries held (one per root).
+    /// Number of fragment entries held (one per `(root, index)`).
     pub fn fragment_count(&self) -> usize {
         self.inner.entries.len()
     }
@@ -575,5 +662,61 @@ mod tests {
     #[should_panic(expected = "retention bound must be at least 1")]
     fn zero_retention_is_refused() {
         let _ = BulkStore::with_retention(0);
+    }
+
+    /// Regression (REVIEW of ISSUE 5, write liveness): a replica shared
+    /// by two overlapping shard windows sits at a different window
+    /// position in each, so byte-identical cross-shard dispersals (one
+    /// root) require it to hold a *different fragment index per shard*.
+    /// Pre-fix the store held one fragment per root and refused — without
+    /// ack — the second shard's index, wedging that shard's push short of
+    /// its `k + t` quorum forever. Same-shard index conflicts must still
+    /// be refused.
+    #[test]
+    fn aliased_root_stores_one_index_per_shard() {
+        use crate::{encode_fragments, fragment_leaves, merkle_proof, merkle_root};
+        let bytes = vec![3u8; 90];
+        let frags = encode_fragments(&bytes, 2, 3);
+        let leaves = fragment_leaves(&frags);
+        let root = merkle_root(&leaves);
+        let frag = |i: usize| StoredFragment {
+            index: i as u32,
+            total: 3,
+            bytes: frags[i].clone(),
+            proof: merkle_proof(&leaves, i),
+        };
+
+        let mut s = FragmentStore::new();
+        // Shard 0's window puts this replica at position 2, shard 1's at
+        // position 0 — both must store and be acknowledgeable.
+        assert_eq!(s.put(0, root, frag(2)), PutOutcome::Stored);
+        assert_eq!(
+            s.put(1, root, frag(0)),
+            PutOutcome::Stored,
+            "a different shard's index of the same root must store"
+        );
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.bytes_stored(), 90, "two 45-byte fragments");
+
+        // Per shard the index is pinned: idempotent same-index re-put,
+        // refused different-index re-put.
+        assert_eq!(s.put(0, root, frag(2)), PutOutcome::AlreadyHeld);
+        assert_eq!(s.put(0, root, frag(1)), PutOutcome::DigestMismatch);
+
+        // A congruent shard (identical window → same position, same
+        // index) dedups through the holder set instead of
+        // double-storing the identical bytes.
+        assert_eq!(s.put(4, root, frag(2)), PutOutcome::AlreadyHeld);
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.bytes_stored(), 90, "identical fragment stored once");
+        assert_eq!(s.get_for(4, &root).expect("held").index, 2);
+
+        // Serving picks the shard's own fragment, falling back to any
+        // held one for a shard that stored nothing.
+        assert_eq!(s.get_for(0, &root).expect("held").index, 2);
+        assert_eq!(s.get_for(1, &root).expect("held").index, 0);
+        assert!(s.get_for(9, &root).is_some(), "fallback to any fragment");
+        assert!(s.holds(&root));
+        assert_eq!(s.shards_held(), BTreeSet::from([0, 1, 4]));
     }
 }

@@ -33,7 +33,10 @@
 //! verifies every served fragment the same way before feeding it to
 //! [`reconstruct`]. A Byzantine replica garbling the fragment it serves
 //! is therefore detected fragment-by-fragment; the reader just keeps
-//! collecting until `k` *verified* fragments arrive.
+//! collecting until `k` *verified* fragments arrive. Interior nodes are
+//! hashed in a digest domain of their own (see [`node_hash`]), so a
+//! node preimage — which proofs make public — can never be replayed as
+//! a content-addressed blob under the root.
 //!
 //! Note the writer-consistency caveat inherited from the adversary model:
 //! the commitment proves each fragment belongs to the committed set, not
@@ -44,7 +47,7 @@
 //! the same defense the blob path uses against fabricated references.
 
 use crate::blob::SharedBytes;
-use crate::digest::{digest_of, BulkDigest};
+use crate::digest::{digest_of, digest_of_node_preimage, BulkDigest};
 use std::sync::OnceLock;
 
 /// GF(2⁸) modulus: the standard Reed–Solomon polynomial `x⁸+x⁴+x³+x²+1`.
@@ -199,11 +202,18 @@ pub fn reconstruct(k: usize, len: u64, frags: &[(u32, SharedBytes)]) -> Option<V
     Some(out)
 }
 
-/// Domain separator for internal Merkle nodes, so a 64-byte fragment can
+/// Preimage tag for internal Merkle nodes, so a 64-byte fragment can
 /// never double as a node preimage.
 const NODE_TAG: u8 = 0x4D;
 
-/// Hashes two child digests into their parent node.
+/// Hashes two child digests into their parent node. Node hashing lives
+/// in its own digest domain (`digest_of_node_preimage`), disjoint from
+/// content addressing: the 65-byte preimage of a node is *public* (any
+/// fragment proof exposes the top node's children), so if nodes were
+/// hashed with plain [`digest_of`], a writer could `BULK_PUT` that
+/// preimage under the root as a digest-passing whole blob and shadow
+/// the dispersal with undecodable bytes. The input-side `NODE_TAG`
+/// additionally separates nodes from *leaves within the node domain*.
 fn node_hash(l: &BulkDigest, r: &BulkDigest) -> BulkDigest {
     let mut buf = [0u8; 65];
     buf[0] = NODE_TAG;
@@ -213,7 +223,7 @@ fn node_hash(l: &BulkDigest, r: &BulkDigest) -> BulkDigest {
     for (i, lane) in r.0.iter().enumerate() {
         buf[33 + 8 * i..41 + 8 * i].copy_from_slice(&lane.to_le_bytes());
     }
-    digest_of(&buf)
+    digest_of_node_preimage(&buf)
 }
 
 /// The leaf digests of a fragment set: one content address per fragment,
@@ -430,6 +440,49 @@ mod tests {
                 // Out-of-range index fails.
                 assert!(!verify_fragment(root, m, m, f, &proof));
             }
+        }
+    }
+
+    /// Regression (REVIEW of ISSUE 5): the top node's 65-byte preimage is
+    /// public — any fragment proof exposes (or lets a reader derive) the
+    /// root's two children — so it must NOT content-address to the root.
+    /// Pre-fix, `node_hash` used plain `digest_of`, and a writer could
+    /// `BULK_PUT` the preimage as a digest-passing whole blob under the
+    /// root, permanently shadowing the dispersal with undecodable bytes.
+    #[test]
+    fn interior_node_preimages_are_not_content_addressable() {
+        use crate::blob::{BulkStore, PutOutcome};
+        let mut rng = DetRng::from_seed(0x5EED);
+        for m in 2usize..=9 {
+            let frags: Vec<SharedBytes> = (0..m)
+                .map(|_| SharedBytes::from(&payload(&mut rng, 48)[..]))
+                .collect();
+            let leaves = fragment_leaves(&frags);
+            let root = merkle_root(&leaves);
+            // Fold down to the root's two children and rebuild the exact
+            // preimage `node_hash` consumes.
+            let mut level = leaves.clone();
+            while level.len() > 2 {
+                level = fold_level(&level);
+            }
+            let (l, r) = (level[0], level[1]);
+            assert_eq!(node_hash(&l, &r), root, "m={m}: fold sanity");
+            let mut preimage = vec![NODE_TAG];
+            for lane in l.0.iter().chain(r.0.iter()) {
+                preimage.extend_from_slice(&lane.to_le_bytes());
+            }
+            assert_ne!(
+                digest_of(&preimage),
+                root,
+                "m={m}: a node preimage must never digest to the root"
+            );
+            // …and so a verified blob store refuses it under the root.
+            let mut s = BulkStore::new();
+            assert_eq!(
+                s.put(0, root, preimage.into()),
+                PutOutcome::DigestMismatch,
+                "m={m}: the shadowing blob must be unstorable"
+            );
         }
     }
 

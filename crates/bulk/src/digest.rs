@@ -31,6 +31,16 @@ const LANE_TWEAK: [u64; 4] = [
     0x1656_67B1_9E37_79F9,
 ];
 
+/// Initial-state tweak separating interior Merkle-node hashing from
+/// content addressing. Domain separation by *initial lane state* (not by
+/// an input prefix or tag byte, which an adversary could simply include
+/// in a payload): a node digest is computed from lane states no byte
+/// string fed to [`digest_of`] starts from, so within the no-offline-
+/// search adversary model above, a known node preimage cannot be
+/// replayed as a content-addressed blob that collides with the node's
+/// digest.
+const NODE_DOMAIN: u64 = 0x4E4F_4445_5F68_6173; // "NODE_has"
+
 /// A 256-bit content address over a byte string.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BulkDigest(pub [u64; 4]);
@@ -53,11 +63,23 @@ impl fmt::Debug for BulkDigest {
 /// the input length and the lane index (so prefixes of each other and
 /// lane-swapped inputs hash differently).
 pub fn digest_of(bytes: &[u8]) -> BulkDigest {
+    digest_in_domain(0, bytes)
+}
+
+/// The digest of an interior Merkle-node preimage — same construction as
+/// [`digest_of`] but started from [`NODE_DOMAIN`]-tweaked lane states, so
+/// node digests and content addresses live in disjoint domains: no blob a
+/// writer can `BULK_PUT` content-addresses to a commitment root.
+pub(crate) fn digest_of_node_preimage(bytes: &[u8]) -> BulkDigest {
+    digest_in_domain(NODE_DOMAIN, bytes)
+}
+
+fn digest_in_domain(domain: u64, bytes: &[u8]) -> BulkDigest {
     let mut lanes = [
-        FNV_OFFSET ^ LANE_TWEAK[0],
-        FNV_OFFSET ^ LANE_TWEAK[1],
-        FNV_OFFSET ^ LANE_TWEAK[2],
-        FNV_OFFSET ^ LANE_TWEAK[3],
+        FNV_OFFSET ^ LANE_TWEAK[0] ^ domain,
+        FNV_OFFSET ^ LANE_TWEAK[1] ^ domain.rotate_left(16),
+        FNV_OFFSET ^ LANE_TWEAK[2] ^ domain.rotate_left(32),
+        FNV_OFFSET ^ LANE_TWEAK[3] ^ domain.rotate_left(48),
     ];
     for &b in bytes {
         for (i, lane) in lanes.iter_mut().enumerate() {
@@ -145,6 +167,19 @@ mod tests {
             "digest_of changed: got {:#018x?}",
             d.0
         );
+    }
+
+    #[test]
+    fn node_domain_is_disjoint_from_content_addressing() {
+        // The same bytes hash differently as a node preimage and as
+        // payload — in every lane, so truncated comparisons separate too.
+        for bytes in [&b""[..], b"x", b"sixty-five bytes of whatever"] {
+            let content = digest_of(bytes);
+            let node = digest_of_node_preimage(bytes);
+            for lane in 0..4 {
+                assert_ne!(content.0[lane], node.0[lane], "lane {lane}");
+            }
+        }
     }
 
     #[test]

@@ -73,11 +73,14 @@ fn aliased_puts_across_shards_never_underflow_or_drop_live_digests() {
     }
 }
 
-/// The same aliasing surface on the fragment store: two shards
-/// dispersing identical payloads share a commitment root; one shard's
-/// eviction must not drop the fragment the other still references.
+/// The aliasing surface on the fragment store: two shards dispersing
+/// identical payloads share a commitment root, but overlapping windows
+/// put a replica at a different position (= index) per shard — so each
+/// shard holds its *own* `(root, index)` entry, one shard's eviction
+/// never drops another's fragment, and per shard a root still pins
+/// exactly one index.
 #[test]
-fn fragment_store_retention_shares_the_holder_semantics() {
+fn fragment_store_retains_per_shard_entries_of_an_aliased_root() {
     use sbs_bulk::{encode_fragments, fragment_leaves, merkle_proof, merkle_root, StoredFragment};
     let bytes = vec![7u8; 100];
     let frags = encode_fragments(&bytes, 2, 3);
@@ -91,9 +94,17 @@ fn fragment_store_retention_shares_the_holder_semantics() {
     };
 
     let mut store = FragmentStore::with_retention(1);
+    // Shard 0 sits at window position 1 for this root, shard 2 at
+    // position 0 — the cross-shard aliasing case. Both store.
     assert_eq!(store.put(0, root, frag(1)), PutOutcome::Stored);
-    assert_eq!(store.put(2, root, frag(1)), PutOutcome::AlreadyHeld);
-    assert_eq!(store.bytes_stored(), 50, "one fragment, two holders");
+    assert_eq!(store.put(2, root, frag(0)), PutOutcome::Stored);
+    assert_eq!(store.bytes_stored(), 100, "one 50-byte fragment per shard");
+    // Same-shard re-puts: idempotent on the held index, refused on a
+    // conflicting one (the push quorum counts on index-faithful acks).
+    assert_eq!(store.put(0, root, frag(1)), PutOutcome::AlreadyHeld);
+    assert_eq!(store.put(0, root, frag(0)), PutOutcome::DigestMismatch);
+    assert_eq!(store.get_for(0, &root).expect("held").index, 1);
+    assert_eq!(store.get_for(2, &root).expect("held").index, 0);
 
     // A *fabricated* fragment (wrong bytes for the proof) is unstorable.
     let forged = StoredFragment {
@@ -104,15 +115,8 @@ fn fragment_store_retention_shares_the_holder_semantics() {
     };
     assert_eq!(store.put(0, root, forged), PutOutcome::DigestMismatch);
 
-    // A commitment-valid fragment of the same root but a *different*
-    // index is refused too: acknowledging it would certify holding a
-    // fragment the replica does not have (the push quorum counts on
-    // index-faithful acks).
-    assert_eq!(store.put(0, root, frag(0)), PutOutcome::DigestMismatch);
-    assert_eq!(store.get(&root).expect("held").index, 1);
-
     // Shard 0 churns past its K=1 bound with a different dispersal: only
-    // shard 0's hold drops; shard 2 still resolves the root.
+    // shard 0's entry drops; shard 2 still resolves the root.
     let other = vec![9u8; 80];
     let ofrags = encode_fragments(&other, 2, 3);
     let oleaves = fragment_leaves(&ofrags);
@@ -132,6 +136,7 @@ fn fragment_store_retention_shares_the_holder_semantics() {
         store.holds(&root),
         "shard 2 still references the aliased root"
     );
-    assert_eq!(store.get(&root).expect("held").bytes, frags[1]);
+    assert_eq!(store.get_for(2, &root).expect("held").bytes, frags[0]);
     assert_eq!(store.bytes_stored(), 50 + 40);
+    assert_eq!(store.fragment_count(), 2);
 }

@@ -188,14 +188,22 @@ impl StoreBuilder {
     /// with the canonical `2t + 1` data replicas per shard (the
     /// Cachin–Dobre–Vukolić bound); the metadata quorum then carries only
     /// fixed-size references. The default remains [`DataPlane::Full`] —
-    /// full replication, the paper's original scheme.
-    pub fn bulk(self) -> Self {
+    /// full replication, the paper's original scheme. Explicitly selects
+    /// *whole copies*: calling this after [`StoreBuilder::bulk_coded`]
+    /// switches back to full-copy replication.
+    pub fn bulk(mut self) -> Self {
+        self.plane = DataPlane::Full;
         let r = data_replica_count(self.t);
         self.data_replicas(r)
     }
 
-    /// Like [`StoreBuilder::bulk`] with an explicit replication factor
-    /// (experiments probing below/above `2t + 1`).
+    /// Sets the bulk-plane replication factor, switching to the
+    /// whole-copy plane unless coded mode was already selected —
+    /// `.data_replicas(m).bulk_coded(k)` and
+    /// `.bulk_coded(k).data_replicas(m)` configure the same deployment,
+    /// so the documented AVID overprovisioning recipe cannot silently
+    /// lose its coding by call order (an undersized window still fails
+    /// the `k + t ≤ replicas` build-time validation).
     ///
     /// # Panics
     ///
@@ -206,7 +214,10 @@ impl StoreBuilder {
             "replication factor {replicas} out of range for n={}",
             self.n
         );
-        self.plane = DataPlane::Bulk { replicas };
+        self.plane = match self.plane {
+            DataPlane::Coded { k, .. } => DataPlane::Coded { replicas, k },
+            DataPlane::Full | DataPlane::Bulk { .. } => DataPlane::Bulk { replicas },
+        };
         self
     }
 

@@ -350,8 +350,13 @@ where
                 // under shards this server actually serves (a guarded
                 // full-replication server serves none), so a forger
                 // cannot grow per-shard retention state without bound.
+                // And a *coded* deployment's data plane holds fragments
+                // only: a whole-blob put there is a forgery by
+                // definition and is refused symmetrically to the
+                // `!g.coded` FragPut refusal (pre-fix it was the vehicle
+                // for shadowing a dispersal root with a stored blob).
                 if let Some(g) = &self.guard {
-                    if g.window_position(shard).is_none() {
+                    if g.coded || g.window_position(shard).is_none() {
                         return;
                     }
                 }
@@ -404,12 +409,13 @@ where
                 // Coded dispersals and whole blobs share the request: the
                 // digest names whichever the replica holds (a commitment
                 // root in coded mode, a content address otherwise). Whole
-                // blobs are checked first: a blob can only be stored by
-                // producing bytes that hash to the digest, so it can
-                // never shadow a genuine dispersal root — whereas letting
-                // fragments answer first would let a fabricated
-                // single-fragment entry shadow a blob on an unguarded
-                // server.
+                // blobs are checked first: a blob cannot shadow a genuine
+                // dispersal root — a guarded coded server refuses blob
+                // puts outright, and node hashing is domain-separated
+                // from content addressing, so no storable bytes hash to
+                // a root — whereas letting fragments answer first would
+                // let a fabricated single-fragment entry shadow a blob
+                // on an unguarded server.
                 if self.bulk.holds(&digest) {
                     let bytes = self.bulk.get_shared(&digest);
                     let bytes = if self.byz_bulk {
@@ -431,7 +437,10 @@ where
                     );
                     return;
                 }
-                if let Some(f) = self.frags.get(&digest) {
+                // Serve the fragment stored for this shard's window
+                // position (overlapping windows can hold several indices
+                // of an aliased root; any verified one helps a reader).
+                if let Some(f) = self.frags.get_for(shard, &digest) {
                     let (index, proof) = (f.index, f.proof.clone());
                     let bytes = if self.byz_bulk {
                         // Garble the served fragment (copy-on-write, the
@@ -589,8 +598,17 @@ enum Phase<V: Payload> {
         bref: BulkRef,
         /// Current round tag (stale replies are dropped by tag).
         tag: u64,
-        /// Invalid/missing replies this round.
-        bad: usize,
+        /// Window replicas that answered this round with garbage or a
+        /// miss. A *set of senders* — never a reply count — so a
+        /// Byzantine replica spamming bad replies contributes exactly
+        /// one entry and cannot fabricate a dead round by itself;
+        /// replies from outside the shard's window are ignored
+        /// entirely.
+        bad: BTreeSet<ProcessId>,
+        /// Set when this reference can never resolve (k verified
+        /// fragments reconstructing to garbage, or the round budget
+        /// exhausted): the pump falls back to a metadata re-read.
+        dead: bool,
         /// Retransmission rounds run for this reference.
         rounds: u32,
         /// The round's retransmission timer.
@@ -777,11 +795,11 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     }
 
     /// Diagnostic snapshot of an in-flight bulk/coded fetch:
-    /// `(shard, digest or root, current round tag, bad replies this
-    /// round)`, or `None` when no fetch is running. Intended for tests
-    /// pinning round-tag semantics (a stale-tagged reply must leave the
-    /// tag and the bad tally untouched) and for debugging wedged
-    /// fetches.
+    /// `(shard, digest or root, current round tag, distinct window
+    /// replicas that answered badly this round)`, or `None` when no
+    /// fetch is running. Intended for tests pinning round-tag semantics
+    /// (a stale-tagged reply must leave the tag and the bad tally
+    /// untouched) and for debugging wedged fetches.
     pub fn fetch_probe(&self) -> Option<(u32, BulkDigest, u64, usize)> {
         match &self.phase {
             Phase::Fetching {
@@ -790,7 +808,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 tag,
                 bad,
                 ..
-            } => Some((*shard, bref.digest, *tag, *bad)),
+            } => Some((*shard, bref.digest, *tag, bad.len())),
             _ => None,
         }
     }
@@ -882,6 +900,26 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         };
         let start = shard as usize % n;
         (idx + n - start) % n < replicas
+    }
+
+    /// The server at `shard`'s window position `index` (= the replica a
+    /// coded push assigns fragment `index`), if the index is within the
+    /// window — the ack-attribution counterpart of
+    /// [`Self::is_data_replica`], same arithmetic as
+    /// [`data_replica_slots`], allocation-free (runs on every coded
+    /// acknowledgement).
+    fn window_replica_at(
+        plane: DataPlane,
+        servers: &[ProcessId],
+        shard: u32,
+        index: u32,
+    ) -> Option<ProcessId> {
+        let (DataPlane::Bulk { replicas } | DataPlane::Coded { replicas, .. }) = plane else {
+            return None;
+        };
+        let n = servers.len();
+        ((index as usize) < replicas)
+            .then(|| servers[(shard as usize % n + index as usize) % n])
     }
 
     /// Runs the engine pump inside a sub-context, then re-emits batched
@@ -1058,7 +1096,8 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             wsn,
             bref,
             tag,
-            bad: 0,
+            bad: BTreeSet::new(),
+            dead: false,
             rounds,
             timer,
             frags: BTreeMap::new(),
@@ -1241,6 +1280,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     bref,
                     tag,
                     bad,
+                    dead,
                     rounds,
                     timer,
                     frags,
@@ -1251,16 +1291,16 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         self.finish_resolve(goal, shard, wsn, Arc::new(map), sub, outs, bulk_sends);
                         continue;
                     }
-                    // Dead round: so many replicas answered garbage or a
-                    // miss that the replies still outstanding cannot
-                    // reach the resolve threshold (one digest-passing
-                    // blob, or k verified fragments — see
-                    // `resolve_threshold` for why held fragments do not
-                    // relax this). The reference may be stale
+                    // Dead round: so many distinct window replicas
+                    // answered garbage or a miss that the replies still
+                    // outstanding cannot reach the resolve threshold
+                    // (one digest-passing blob, or k verified fragments
+                    // — see `resolve_threshold` for why held fragments
+                    // do not relax this). The reference may be stale
                     // (overwritten metadata) or fabricated — fall back
                     // to the metadata register.
                     let needed = self.resolve_threshold();
-                    if bad >= self.replica_count().saturating_sub(needed - 1) {
+                    if dead || bad.len() >= self.replica_count().saturating_sub(needed - 1) {
                         sub.cancel_timer(timer);
                         self.start_read(goal, shard, sub);
                         continue;
@@ -1272,6 +1312,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         bref,
                         tag,
                         bad,
+                        dead,
                         rounds,
                         timer,
                         frags,
@@ -1329,15 +1370,23 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     }
 
     /// Validates one `BULK_GET` reply against the in-flight fetch;
-    /// digest-verified bytes resolve the fetch, anything else counts as a
-    /// bad reply (the fallback-to-other-replicas path).
+    /// digest-verified bytes resolve the fetch, anything else marks the
+    /// *sender* bad (the fallback-to-other-replicas path). Only replies
+    /// from the shard's window replicas are processed at all — the bad
+    /// tally is a set of senders, so no single Byzantine replica (or
+    /// tag-guessing outsider) can fabricate a dead round by spamming
+    /// replies.
     fn on_bulk_get_ack(
         &mut self,
+        from: ProcessId,
         shard: u32,
         digest: BulkDigest,
         tag: u64,
         bytes: Option<SharedBytes>,
     ) {
+        if !Self::is_data_replica(self.plane, &self.servers, shard, from) {
+            return;
+        }
         let Phase::Fetching {
             shard: s,
             bref,
@@ -1357,9 +1406,13 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 Some(map) => *resolved = Some(map),
                 // Digest-passing but undecodable would need a digest
                 // collision; treat it as a bad replica all the same.
-                None => *bad = bad.saturating_add(1),
+                None => {
+                    bad.insert(from);
+                }
             },
-            _ => *bad = bad.saturating_add(1),
+            _ => {
+                bad.insert(from);
+            }
         }
     }
 
@@ -1367,10 +1420,13 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     /// the fragment must be the right length, carry an in-range index,
     /// and re-verify against the commitment root. The `k`-th distinct
     /// verified fragment triggers reconstruction; replies that fail any
-    /// check count as bad (the fallback path), and re-served fragments
-    /// for an index already verified are simply redundant.
+    /// check mark the sender bad (the fallback path — a sender set, like
+    /// [`StoreClientNode::on_bulk_get_ack`], and window replicas only),
+    /// and re-served fragments for an index already verified are simply
+    /// redundant.
     fn on_frag_get_ack(
         &mut self,
+        from: ProcessId,
         shard: u32,
         root: BulkDigest,
         tag: u64,
@@ -1379,11 +1435,15 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         let Some((k, m)) = self.coding() else {
             return; // whole-copy clients never ask for fragments
         };
+        if !Self::is_data_replica(self.plane, &self.servers, shard, from) {
+            return;
+        }
         let Phase::Fetching {
             shard: s,
             bref,
             tag: t,
             bad,
+            dead,
             frags,
             resolved,
             ..
@@ -1400,7 +1460,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 && verify_fragment(bref.digest, m, *index as usize, bytes, proof)
         });
         let Some((index, bytes, _)) = verified else {
-            *bad = bad.saturating_add(1);
+            bad.insert(from);
             return;
         };
         if frags.contains_key(&index) {
@@ -1419,7 +1479,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             // a fabricated reference that somehow verified) — no further
             // fragments can fix that, so give this reference up and let
             // the pump fall back to the metadata register.
-            None => *bad = usize::MAX,
+            None => *dead = true,
         }
     }
 }
@@ -1482,9 +1542,8 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     // index is the replica's position in the shard's
                     // window, so a Byzantine replica acknowledging a
                     // fragment it was never given is rejected here.
-                    let expected = Self::replicas_for(self.plane, &self.servers, shard)
-                        .get(index as usize)
-                        .copied();
+                    let expected =
+                        Self::window_replica_at(self.plane, &self.servers, shard, index);
                     if *s == shard && *d == root && expected == Some(from) {
                         acks.insert(from);
                     }
@@ -1495,13 +1554,13 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                 digest,
                 tag,
                 bytes,
-            } => self.on_bulk_get_ack(shard, digest, tag, bytes),
+            } => self.on_bulk_get_ack(from, shard, digest, tag, bytes),
             StoreMsg::FragGetAck {
                 shard,
                 root,
                 tag,
                 frag,
-            } => self.on_frag_get_ack(shard, root, tag, frag),
+            } => self.on_frag_get_ack(from, shard, root, tag, frag),
             // Server-bound bulk requests arriving at a client are garbage.
             StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } | StoreMsg::FragPut { .. } => {}
         }
@@ -1523,6 +1582,7 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
             bref,
             tag,
             bad,
+            dead,
             rounds,
             timer,
             resolved,
@@ -1531,13 +1591,13 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
         {
             if *timer == id && resolved.is_none() {
                 if *rounds + 1 >= FETCH_ROUNDS_PER_READ {
-                    // Give up on this reference: force the all-bad path so
-                    // the pump re-reads the metadata register.
-                    *bad = usize::MAX;
+                    // Give up on this reference: force the dead-round
+                    // path so the pump re-reads the metadata register.
+                    *dead = true;
                 } else {
                     // Retransmission round: fresh tag, reset tally.
                     *rounds += 1;
-                    *bad = 0;
+                    bad.clear();
                     *tag = self.next_bulk_tag;
                     self.next_bulk_tag += 1;
                     let (shard, digest, tag) = (*shard, bref.digest, *tag);
@@ -1817,6 +1877,25 @@ mod tests {
             );
             assert!(eff.sends().is_empty(), "shard {bad_shard} must be refused");
         }
+
+        // Regression (REVIEW of ISSUE 5): a coded deployment refuses
+        // whole-blob puts even for an in-window shard — pre-fix a
+        // digest-passing blob was stored and, served blob-first, could
+        // permanently shadow a committed dispersal root.
+        let eff = run(
+            &mut node,
+            &mut rng,
+            &mut nt,
+            StoreMsg::BulkPut {
+                shard: 1,
+                digest: d,
+                bytes: blob.clone(),
+            },
+        );
+        assert!(
+            eff.sends().is_empty(),
+            "blob puts on a coded deployment must be refused"
+        );
         assert_eq!(node.bulk().blob_count(), 0);
 
         // A whole-copy deployment (coded = false) refuses every FragPut,
@@ -1859,6 +1938,88 @@ mod tests {
             ),
             "the blob answers, never a shadowing fragment"
         );
+    }
+
+    /// Regression (REVIEW of ISSUE 5, write liveness): shard windows
+    /// overlap — slot 1 of 9 sits at position 1 in shard 0's window
+    /// {0, 1, 2} and position 0 in shard 1's window {1, 2, 3} — so when
+    /// both shards disperse byte-identical payloads (one commitment
+    /// root), this replica must store **both** shards' fragment indices
+    /// and acknowledge both pushes. Pre-fix the fragment store held one
+    /// index per root and silently refused the second shard's put, which
+    /// could never then reach its `k + t` push quorum.
+    #[test]
+    fn overlapping_windows_store_each_shards_fragment_of_an_aliased_root() {
+        use sbs_bulk::{encode_fragments, fragment_leaves, merkle_proof, merkle_root};
+        use sbs_core::ServerNode;
+        type P = u64;
+        let run = |node: &mut StoreServerNode<P, ServerNode<P, ()>>,
+                   rng: &mut DetRng,
+                   nt: &mut u64,
+                   msg: StoreMsg<P>| {
+            let mut eff: Effects<StoreMsg<P>, ()> = Effects::new();
+            let mut ctx = Context::new(sbs_sim::SimTime::ZERO, ProcessId(9), rng, nt, &mut eff);
+            node.on_message(ProcessId(0), msg, &mut ctx);
+            eff
+        };
+        let mut rng = DetRng::from_seed(13);
+        let mut nt = 0u64;
+        let mut node: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0)).bulk_guard(1, 9, 4, 3, true);
+
+        let payload = vec![8u8; 64];
+        let frags = encode_fragments(&payload, 2, 3);
+        let leaves = fragment_leaves(&frags);
+        let root = merkle_root(&leaves);
+        let frag_put = |shard: u32, index: usize| StoreMsg::FragPut {
+            shard,
+            root,
+            index: index as u32,
+            total: 3,
+            bytes: frags[index].clone(),
+            proof: merkle_proof(&leaves, index),
+        };
+
+        // Shard 0's dispersal reaches this replica as fragment 1…
+        let eff = run(&mut node, &mut rng, &mut nt, frag_put(0, 1));
+        assert!(matches!(
+            eff.sends(),
+            [(_, StoreMsg::FragPutAck { shard: 0, index: 1, .. })]
+        ));
+        // …and shard 1's identical dispersal as fragment 0: it MUST be
+        // stored and acked too, or shard 1's push wedges forever.
+        let eff = run(&mut node, &mut rng, &mut nt, frag_put(1, 0));
+        assert!(
+            matches!(
+                eff.sends(),
+                [(_, StoreMsg::FragPutAck { shard: 1, index: 0, .. })]
+            ),
+            "the second shard's index of the aliased root must be acked, got {:?}",
+            eff.sends()
+        );
+        assert_eq!(node.frag_store().fragment_count(), 2);
+
+        // Each shard's fetch is served its own window position's index.
+        for (shard, index) in [(0u32, 1u32), (1, 0)] {
+            let eff = run(
+                &mut node,
+                &mut rng,
+                &mut nt,
+                StoreMsg::BulkGet {
+                    shard,
+                    digest: root,
+                    tag: 5,
+                },
+            );
+            assert!(
+                matches!(
+                    eff.sends(),
+                    [(_, StoreMsg::FragGetAck { frag: Some((i, _, _)), .. })] if *i == index
+                ),
+                "shard {shard} must be served index {index}, got {:?}",
+                eff.sends()
+            );
+        }
     }
 
     #[test]

@@ -336,6 +336,24 @@ fn oversized_coded_threshold_is_refused_at_build() {
     let _: StoreSystem<u64> = StoreBuilder::asynchronous(1).bulk_coded(3).build();
 }
 
+/// Regression (REVIEW of ISSUE 5): the coded-plane knobs commute —
+/// `.bulk_coded(k).data_replicas(m)` must configure the same deployment
+/// as the documented `.data_replicas(m).bulk_coded(k)` AVID recipe.
+/// Pre-fix, `data_replicas` unconditionally reset the plane to whole
+/// copies, silently discarding `k`: the reversed call order built a
+/// full-copy store with a `t + 1` push quorum and none of the
+/// configured storage cut.
+#[test]
+fn coded_knobs_commute_with_data_replicas() {
+    let a = StoreBuilder::asynchronous(1).data_replicas(4).bulk_coded(2);
+    let b = StoreBuilder::asynchronous(1).bulk_coded(2).data_replicas(4);
+    assert_eq!(a.config().plane, DataPlane::Coded { replicas: 4, k: 2 });
+    assert_eq!(b.config().plane, a.config().plane);
+    // `.bulk()` stays an explicit whole-copy selection, coded or not.
+    let c = StoreBuilder::asynchronous(1).bulk_coded(2).bulk();
+    assert_eq!(c.config().plane, DataPlane::Bulk { replicas: 3 });
+}
+
 /// Regression (ISSUE 5): a `BulkGetAck` carrying a *superseded* fetch
 /// tag — a late reply from an earlier retransmission round — must be
 /// ignored entirely, not counted toward the current round's `bad`
@@ -428,6 +446,96 @@ fn stale_fetch_tag_replies_are_ignored() {
     assert!(sys.settle());
     let h = sys.history_for_key("k");
     assert_eq!(h.reads().last().expect("the get").kind.value(), &Some(5));
+    sys.check_per_key_atomicity().expect("atomicity");
+}
+
+/// Regression (REVIEW of ISSUE 5): the fetch round's bad tally counts
+/// *distinct window replicas*, not replies. A Byzantine data replica —
+/// or any process guessing the small monotonic fetch tag — spamming
+/// garbage replies must contribute at most one bad entry (the dead-round
+/// rule `bad ≥ m − k + 1` is sized for one vote per replica), and
+/// replies from senders outside the shard's window must be ignored
+/// entirely. Pre-fix, `bad` was a reply counter: one spammer could
+/// fabricate a dead round every round and starve the read through
+/// endless metadata re-read loops.
+#[test]
+fn fetch_bad_tally_counts_replicas_not_replies() {
+    let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+        .seed(23)
+        .shards(1)
+        .delay(DelayModel::Uniform {
+            lo: SimDuration::millis(2),
+            hi: SimDuration::millis(4),
+        })
+        .bulk()
+        .build();
+    sys.put("k", 9);
+    assert!(sys.settle());
+    sys.get(0, "k");
+    let client = sys.clients[0];
+
+    // Step until the bulk fetch round is in flight.
+    let mut probe = None;
+    for _ in 0..20_000 {
+        sys.run_for(SimDuration::micros(200));
+        probe = sys
+            .sim
+            .node_ref::<StoreClientNode<u64>, _>(client, |n| n.fetch_probe());
+        if probe.is_some() {
+            break;
+        }
+    }
+    let (shard, digest, tag, bad) = probe.expect("the get must reach its bulk fetch");
+    assert_eq!(bad, 0);
+
+    // One Byzantine window replica spams garbage replies with the
+    // *current* tag. With m = 3 replicas and a whole-copy resolve
+    // threshold of 1, three counted replies would cross the dead-round
+    // bound (bad ≥ 3) — but one sender must count once.
+    let spammer = sys.servers[0];
+    for burst in 0..3u8 {
+        sys.sim
+            .with_node::<StoreClientNode<u64>, _>(client, |n, ctx| {
+                n.on_message(
+                    spammer,
+                    StoreMsg::BulkGetAck {
+                        shard,
+                        digest,
+                        tag,
+                        bytes: Some(vec![burst; 8].into()),
+                    },
+                    ctx,
+                );
+            });
+    }
+    // And a non-window sender's garbage (server 5 is outside shard 0's
+    // window {0, 1, 2}) is ignored outright.
+    let outsider = sys.servers[5];
+    sys.sim
+        .with_node::<StoreClientNode<u64>, _>(client, |n, ctx| {
+            n.on_message(
+                outsider,
+                StoreMsg::BulkGetAck {
+                    shard,
+                    digest,
+                    tag,
+                    bytes: Some(vec![0xEE; 8].into()),
+                },
+                ctx,
+            );
+        });
+    assert_eq!(
+        sys.sim
+            .node_ref::<StoreClientNode<u64>, _>(client, |n| n.fetch_probe()),
+        Some((shard, digest, tag, 1)),
+        "three spammed replies from one replica + one outsider reply \
+         must tally exactly one bad replica"
+    );
+
+    // The honest replicas then resolve the fetch normally.
+    assert!(sys.settle());
+    let h = sys.history_for_key("k");
+    assert_eq!(h.reads().last().expect("the get").kind.value(), &Some(9));
     sys.check_per_key_atomicity().expect("atomicity");
 }
 
