@@ -49,6 +49,13 @@ impl Mode {
     }
 }
 
+/// Merged put+get latency over every shard of a finished run.
+fn overall_latency(sys: &StoreSystem<SizedVal>) -> sbs_sim::LatencySummary {
+    let mut lat = sys.merged_latency("put");
+    lat.merge(&sys.merged_latency("get"));
+    lat.summary().expect("completed ops populate the histogram")
+}
+
 fn run_case(case: &Case, mode: Mode) -> (WorkloadReport, StoreSystem<SizedVal>, f64) {
     let mut builder = StoreBuilder::asynchronous(case.t)
         .n(case.n)
@@ -124,7 +131,7 @@ fn main() {
          (coded = k-of-2t+1 fragments, k = t+1)"
     );
     println!(
-        "{:<5} {:>5} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10} {:>14} {:>7} {:>9}",
+        "{:<5} {:>5} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10} {:>14} {:>9} {:>9} {:>7} {:>9}",
         "n",
         "t",
         "value",
@@ -134,6 +141,8 @@ fn main() {
         "total KiB",
         "repl KiB",
         "ops/sim-sec",
+        "p50 us",
+        "p99 us",
         "ratio",
         "wall ms"
     );
@@ -150,23 +159,34 @@ fn main() {
         equivalent_write_histories(&keyed_histories(&sys_full), &keyed_histories(&sys_coded))
             .expect("full and coded executions must be equivalent");
 
+        let lat_full = overall_latency(&sys_full);
+        let lat_bulk = overall_latency(&sys_bulk);
+        let lat_coded = overall_latency(&sys_coded);
         let stored_bulk = max_replica_stored(&mut sys_bulk, case.n);
         let stored_coded = max_replica_stored(&mut sys_coded, case.n);
         let ratio = full.total_bytes() as f64 / bulk.total_bytes().max(1) as f64;
         let ratio_coded = full.total_bytes() as f64 / coded.total_bytes().max(1) as f64;
-        for (mode, report, wall, stored, show_ratio) in [
-            (Mode::Full, &full, wall_full, 0u64, None),
-            (Mode::Bulk, &bulk, wall_bulk, stored_bulk, Some(ratio)),
+        for (mode, report, lat, wall, stored, show_ratio) in [
+            (Mode::Full, &full, lat_full, wall_full, 0u64, None),
+            (
+                Mode::Bulk,
+                &bulk,
+                lat_bulk,
+                wall_bulk,
+                stored_bulk,
+                Some(ratio),
+            ),
             (
                 Mode::Coded { k },
                 &coded,
+                lat_coded,
                 wall_coded,
                 stored_coded,
                 Some(ratio_coded),
             ),
         ] {
             println!(
-                "{:<5} {:>5} {:>6}B {:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>14.0} {:>7} {:>9.1}",
+                "{:<5} {:>5} {:>6}B {:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>14.0} {:>9.1} {:>9.1} {:>7} {:>9.1}",
                 case.n,
                 case.t,
                 case.value_len,
@@ -176,6 +196,8 @@ fn main() {
                 kib(report.total_bytes()),
                 kib(stored),
                 report.ops_per_sim_sec,
+                lat.p50_ns as f64 / 1e3,
+                lat.p99_ns as f64 / 1e3,
                 show_ratio.map_or(String::from("-"), |r| format!("{r:.1}x")),
                 wall * 1e3,
             );
@@ -204,6 +226,8 @@ fn main() {
                     report.metadata_messages_per_op().into(),
                 ),
                 ("full_over_mode_bytes", show_ratio.unwrap_or(1.0).into()),
+                ("p50_latency_ns", lat.p50_ns.into()),
+                ("p99_latency_ns", lat.p99_ns.into()),
                 ("wall_ms", (wall * 1e3).into()),
             ]);
         }

@@ -1,48 +1,163 @@
-//! Micro: end-to-end stabilization cost — the full
-//! corrupt-everything → first-write → verified-recovery cycle (the micro
-//! view of E2), plus the checker itself.
+//! Stabilization cost, micro and macro.
+//!
+//! Micro: the full corrupt-everything → first-write → verified-recovery
+//! cycle at the single-register layer (the micro view of E2), plus the
+//! checker itself.
+//!
+//! Macro: the **store-level stabilization probe** — the faulted YCSB-B
+//! workload (one server corruption + one round of link garbage) in both
+//! communication modes, reporting the *simulated* time from the last
+//! fault injection until every touched key's history is atomic again
+//! ([`StoreSystem::stabilization_time`]). The probe rows land in
+//! `BENCH_stabilization.json` (gated by `trajcheck`: the metric is a
+//! deterministic property of the schedule, so any growth is protocol
+//! drift), and the async run exports its protocol trace as
+//! `TRACE_stabilization.jsonl` / `.chrome.json` at the repo root — the
+//! CI artifact for phase-level debugging.
+//!
+//! ```sh
+//! cargo bench -p sbs-bench --bench stabilization            # full
+//! cargo bench -p sbs-bench --bench stabilization -- --smoke # CI
+//! ```
 
 use sbs_bench::micro::{bench, section};
+use sbs_bench::trajectory::BenchTrajectory;
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
 use sbs_core::harness::SwsrBuilder;
 use sbs_sim::{OpId, ProcessId, SimDuration, SimTime};
+use sbs_store::{FaultPlan, StoreBuilder, Workload};
+use std::path::Path;
+use std::time::Instant;
+
+/// The faulted differential workload shared with the observability
+/// tests: YCSB-B, one server corruption at 3 ms, link garbage at 5 ms.
+fn faulted_ycsb_b() -> Workload {
+    let mut wl = Workload::ycsb_b(300, 64);
+    wl.seed = 42;
+    wl.faults = FaultPlan {
+        byzantine: vec![],
+        corruptions: vec![(SimDuration::millis(3), 1)],
+        client_corruptions: vec![],
+        link_garbage: vec![(SimDuration::millis(5), 2)],
+    };
+    wl
+}
+
+fn store_stabilization_probe(traj: &mut BenchTrajectory, repo_root: &Path) {
+    section("store_stabilization");
+    println!(
+        "{:<22} {:<6} {:>10} {:>18} {:>12} {:>10}",
+        "scenario", "mode", "completed", "stabilization", "retransmits", "wall ms"
+    );
+    for (mode, builder) in [
+        ("async", StoreBuilder::asynchronous(1)),
+        ("sync", StoreBuilder::synchronous(1, SimDuration::millis(1))),
+    ] {
+        let builder = builder
+            .seed(2015)
+            .shards(8)
+            .writers(4)
+            .extra_readers(2)
+            .trace(1 << 16);
+        let t0 = Instant::now();
+        let (report, sys) = faulted_ycsb_b().run(&builder);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(report.completed, 300, "probe workload must complete");
+        let st = sys
+            .stabilization_time()
+            .expect("the faulted probe must stabilize in both modes");
+        println!(
+            "{:<22} {:<6} {:>10} {:>18} {:>12} {:>10.1}",
+            "faulted-ycsb-b",
+            mode,
+            report.completed,
+            format!("{st}"),
+            report.slow_retransmits,
+            wall * 1e3,
+        );
+        traj.row(vec![
+            ("scenario", "faulted-ycsb-b".into()),
+            ("mode", mode.into()),
+            ("ops", 300u64.into()),
+            ("completed", report.completed.into()),
+            ("stabilization_time_ns", st.as_nanos().into()),
+            ("slow_retransmits", report.slow_retransmits.into()),
+            ("slow_metadata_rereads", report.slow_metadata_rereads.into()),
+            ("wall_ms", (wall * 1e3).into()),
+        ]);
+        // One trace artifact is enough for the CI upload; the async
+        // fleet is the paper's headline configuration.
+        if mode == "async" {
+            let jsonl = sys.tracer().to_jsonl();
+            let chrome = sys.tracer().to_chrome_trace();
+            for (name, text) in [
+                ("TRACE_stabilization.jsonl", &jsonl),
+                ("TRACE_stabilization.chrome.json", &chrome),
+            ] {
+                let path = repo_root.join(name);
+                match std::fs::write(&path, text) {
+                    Ok(()) => println!("trace written to {}", path.display()),
+                    Err(e) => println!("note: could not write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+}
 
 fn main() {
-    section("recovery_cycle");
-    for n in [9usize, 17] {
-        let t = (n - 1) / 8;
-        bench(&format!("recovery_cycle/n={n}"), || {
-            let mut sys = SwsrBuilder::new(n, t).seed(3).build_regular(0u64);
-            sys.write(1);
-            sys.settle();
-            sys.corrupt_all_servers();
-            sys.run_for(SimDuration::millis(1));
-            sys.write(2);
-            assert!(sys.settle());
-            sys.read();
-            assert!(sys.settle());
-            sys.history().len()
-        });
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut traj = BenchTrajectory::new("stabilization", smoke);
+    // crates/bench -> crates -> repo root.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf();
+
+    // The macro probe is deterministic and cheap; it runs identically in
+    // smoke and full mode so the gate compares like with like.
+    store_stabilization_probe(&mut traj, &repo_root);
+    if let Some(path) = traj.write_at_repo_root("stabilization") {
+        println!("trajectory written to {}", path.display());
     }
 
-    section("checker");
-    // A history with a 12-op concurrent segment — representative of the
-    // densest windows our workloads produce.
-    let mk = |id: u64, a: u64, b: u64, kind: OpKind<u64>| OpRecord {
-        client: ProcessId((id % 3) as u32),
-        op: OpId(id),
-        invoked: SimTime::from_nanos(a),
-        responded: SimTime::from_nanos(b),
-        kind,
-    };
-    let mut ops = vec![mk(0, 0, 2_000, OpKind::Write(1))];
-    for i in 0..11u64 {
-        ops.push(mk(1 + i, 100 + i, 1_900 - i, OpKind::Read(1)));
+    if !smoke {
+        section("recovery_cycle");
+        for n in [9usize, 17] {
+            let t = (n - 1) / 8;
+            bench(&format!("recovery_cycle/n={n}"), || {
+                let mut sys = SwsrBuilder::new(n, t).seed(3).build_regular(0u64);
+                sys.write(1);
+                sys.settle();
+                sys.corrupt_all_servers();
+                sys.run_for(SimDuration::millis(1));
+                sys.write(2);
+                assert!(sys.settle());
+                sys.read();
+                assert!(sys.settle());
+                sys.history().len()
+            });
+        }
+
+        section("checker");
+        // A history with a 12-op concurrent segment — representative of
+        // the densest windows our workloads produce.
+        let mk = |id: u64, a: u64, b: u64, kind: OpKind<u64>| OpRecord {
+            client: ProcessId((id % 3) as u32),
+            op: OpId(id),
+            invoked: SimTime::from_nanos(a),
+            responded: SimTime::from_nanos(b),
+            kind,
+        };
+        let mut ops = vec![mk(0, 0, 2_000, OpKind::Write(1))];
+        for i in 0..11u64 {
+            ops.push(mk(1 + i, 100 + i, 1_900 - i, OpKind::Read(1)));
+        }
+        let h = History::new(ops);
+        bench("linearizability/12op_segment", || {
+            check_linearizable(&h, &InitialState::Any)
+                .unwrap()
+                .linearizable
+        });
     }
-    let h = History::new(ops);
-    bench("linearizability/12op_segment", || {
-        check_linearizable(&h, &InitialState::Any)
-            .unwrap()
-            .linearizable
-    });
 }

@@ -21,7 +21,7 @@
 //! ```
 
 use sbs_bench::trajectory::BenchTrajectory;
-use sbs_sim::SimDuration;
+use sbs_sim::{LatencySummary, SimDuration};
 use sbs_store::{KeyDist, LoopMode, OpMix, StoreBuilder, Workload, WorkloadReport};
 use std::time::Instant;
 
@@ -33,7 +33,7 @@ fn run_case(
     ops: u64,
     loop_mode: LoopMode,
     label: &str,
-) -> (WorkloadReport, f64) {
+) -> (WorkloadReport, LatencySummary, f64) {
     let builder = builder
         .seed(2015)
         .shards(shards)
@@ -49,10 +49,13 @@ fn run_case(
         faults: sbs_store::FaultPlan::none(),
     };
     let t0 = Instant::now();
-    let (report, _sys) = wl.run(&builder);
+    let (report, sys) = wl.run(&builder);
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(report.completed, ops, "{label}: workload must complete");
-    (report, wall)
+    let mut lat = sys.merged_latency("put");
+    lat.merge(&sys.merged_latency("get"));
+    let summary = lat.summary().expect("completed ops populate the histogram");
+    (report, summary, wall)
 }
 
 fn main() {
@@ -62,7 +65,7 @@ fn main() {
 
     println!("store_throughput: {ops}-op Zipfian workloads, 64 keys, t=1, closed loop, both modes");
     println!(
-        "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16} {:>12} {:>12} {:>10} {:>10}",
+        "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "mix",
         "mode",
         "servers",
@@ -72,6 +75,8 @@ fn main() {
         "meta msgs",
         "msgs/op",
         "wire KiB",
+        "p50 us",
+        "p99 us",
         "wall ms"
     );
     let shard_cases: &[(u32, usize)] = if smoke {
@@ -86,7 +91,7 @@ fn main() {
                 ("sync", StoreBuilder::synchronous(1, SimDuration::millis(1))),
             ] {
                 let servers = builder.config().n;
-                let (report, wall) = run_case(
+                let (report, lat, wall) = run_case(
                     builder,
                     shards,
                     writers,
@@ -96,7 +101,7 @@ fn main() {
                     mix_name,
                 );
                 println!(
-                    "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16.0} {:>12} {:>12.1} {:>10.1} {:>10.1}",
+                    "{:<10} {:<6} {:>7} {:>7} {:>9} {:>16.0} {:>12} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
                     mix_name,
                     mode,
                     servers,
@@ -106,6 +111,8 @@ fn main() {
                     report.metadata_messages,
                     report.metadata_messages_per_op(),
                     report.total_bytes() as f64 / 1024.0,
+                    lat.p50_ns as f64 / 1e3,
+                    lat.p99_ns as f64 / 1e3,
                     wall * 1e3,
                 );
                 traj.row(vec![
@@ -126,6 +133,8 @@ fn main() {
                     ),
                     ("deliveries", report.messages_delivered.into()),
                     ("wire_bytes", report.total_bytes().into()),
+                    ("p50_latency_ns", lat.p50_ns.into()),
+                    ("p99_latency_ns", lat.p99_ns.into()),
                     ("wall_ms", (wall * 1e3).into()),
                 ]);
             }
@@ -150,7 +159,7 @@ fn main() {
     for window_us in [0u64, 200, 500, 1000] {
         let builder =
             StoreBuilder::asynchronous(1).batch_window(SimDuration::micros(window_us as u32 as _));
-        let (report, wall) = run_case(
+        let (report, lat, wall) = run_case(
             builder,
             8,
             4,
@@ -195,6 +204,8 @@ fn main() {
             ),
             ("deliveries", report.messages_delivered.into()),
             ("wire_bytes", report.total_bytes().into()),
+            ("p50_latency_ns", lat.p50_ns.into()),
+            ("p99_latency_ns", lat.p99_ns.into()),
             ("wall_ms", (wall * 1e3).into()),
         ]);
         if baseline.is_none() {

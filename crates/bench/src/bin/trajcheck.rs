@@ -1,11 +1,12 @@
 //! The bench-trajectory regression gate: diffs a fresh `--smoke` bench
 //! run against the committed `BENCH_*.json` baseline and fails on a
-//! large simulated-throughput regression — so perf drift is caught in
+//! large regression in any gated metric — so perf drift is caught in
 //! the PR that causes it instead of post-merge.
 //!
 //! ```sh
 //! cargo bench -p sbs-bench --bench store_throughput -- --smoke
 //! cargo bench -p sbs-bench --bench bulk_vs_full -- --smoke
+//! cargo bench -p sbs-bench --bench stabilization -- --smoke
 //! cargo run --release -p sbs-bench --bin trajcheck            # gate
 //! cargo run ... --bin trajcheck -- --threshold=5              # custom
 //! ```
@@ -14,25 +15,49 @@
 //! their *identity* fields (the workload shape: fleet, mode, mix, value
 //! size, window, …) — measurement fields and the op count, which differs
 //! between smoke and full runs, are ignored for matching. For each
-//! matched pair the gate compares `ops_per_sim_sec`, which is a property
-//! of the simulated schedule, not the host: a drop beyond the threshold
-//! (default 3×) means the *protocol* got chattier or slower per simulated
-//! second, which is exactly the drift the committed trajectory exists to
-//! catch. Smoke rows with no committed counterpart (new configurations)
-//! are reported without failing the gate — unless *no* row of a gate
-//! matches its baseline at all, which means the identity schema drifted
-//! and that bench would otherwise silently stop being gated; a missing
-//! or unparsable file always fails.
+//! matched pair the gate compares its metrics, each with a direction:
+//! `ops_per_sim_sec` is higher-is-better (fail when the committed value
+//! exceeds threshold × fresh), `p99_latency_ns` and
+//! `stabilization_time_ns` are lower-is-better (fail when the fresh
+//! value exceeds threshold × committed). All are properties of the
+//! simulated schedule, not the host: drift means the *protocol* got
+//! chattier or slower per simulated second. Smoke rows with no committed
+//! counterpart (new configurations) are reported without failing the
+//! gate — unless *no* row of a gate matches its baseline at all, which
+//! means the identity schema drifted and that bench would otherwise
+//! silently stop being gated; a missing or unparsable file always fails.
 
 use sbs_bench::trajectory::{parse, JsonVal, ParsedRow, ParsedTrajectory};
 use std::path::Path;
 
-/// One gated bench: committed baseline, smoke output, identity fields.
+/// One gated measurement and its regression direction.
+struct Metric {
+    key: &'static str,
+    /// `true`: the metric should not *drop* (throughput-like — fail when
+    /// committed > threshold × fresh). `false`: the metric should not
+    /// *grow* (latency-like — fail when fresh > threshold × committed).
+    higher_is_better: bool,
+}
+
+/// One gated bench: committed baseline, smoke output, identity fields,
+/// gated metrics.
 struct Gate {
     committed: &'static str,
     smoke: &'static str,
     id_keys: &'static [&'static str],
+    metrics: &'static [Metric],
 }
+
+const THROUGHPUT_AND_TAIL: &[Metric] = &[
+    Metric {
+        key: "ops_per_sim_sec",
+        higher_is_better: true,
+    },
+    Metric {
+        key: "p99_latency_ns",
+        higher_is_better: false,
+    },
+];
 
 const GATES: &[Gate] = &[
     Gate {
@@ -48,6 +73,7 @@ const GATES: &[Gate] = &[
             "writers",
             "window_us",
         ],
+        metrics: THROUGHPUT_AND_TAIL,
     },
     Gate {
         committed: "BENCH_bulk.json",
@@ -57,11 +83,18 @@ const GATES: &[Gate] = &[
         // would share an identity and gate against whichever baseline
         // row comes first.
         id_keys: &["n", "t", "value_len", "mode", "k"],
+        metrics: THROUGHPUT_AND_TAIL,
+    },
+    Gate {
+        committed: "BENCH_stabilization.json",
+        smoke: "BENCH_stabilization.smoke.json",
+        id_keys: &["scenario", "mode"],
+        metrics: &[Metric {
+            key: "stabilization_time_ns",
+            higher_is_better: false,
+        }],
     },
 ];
-
-/// The measurement the gate compares.
-const METRIC: &str = "ops_per_sim_sec";
 
 fn identity(row: &ParsedRow, keys: &[&str]) -> String {
     keys.iter()
@@ -146,21 +179,31 @@ fn main() {
                 continue;
             };
             gate_matched += 1;
-            let fresh = ParsedTrajectory::field(row, METRIC).and_then(JsonVal::as_f64);
-            let committed = ParsedTrajectory::field(pair, METRIC).and_then(JsonVal::as_f64);
-            let (Some(fresh), Some(committed)) = (fresh, committed) else {
-                failures.push(format!("{}: [{id}] lacks {METRIC}", gate.smoke));
-                continue;
-            };
-            compared += 1;
-            if committed > fresh * threshold {
-                failures.push(format!(
-                    "{}: [{id}] {METRIC} regressed >{threshold}x: committed {committed:.0}, \
-                     smoke {fresh:.0}",
-                    gate.smoke
-                ));
-            } else {
-                println!("ok: [{id}] {METRIC} committed {committed:.0} vs smoke {fresh:.0}",);
+            for metric in gate.metrics {
+                let fresh = ParsedTrajectory::field(row, metric.key).and_then(JsonVal::as_f64);
+                let committed = ParsedTrajectory::field(pair, metric.key).and_then(JsonVal::as_f64);
+                let (Some(fresh), Some(committed)) = (fresh, committed) else {
+                    failures.push(format!("{}: [{id}] lacks {}", gate.smoke, metric.key));
+                    continue;
+                };
+                compared += 1;
+                let regressed = if metric.higher_is_better {
+                    committed > fresh * threshold
+                } else {
+                    fresh > committed * threshold
+                };
+                if regressed {
+                    failures.push(format!(
+                        "{}: [{id}] {} regressed >{threshold}x: committed {committed:.0}, \
+                         smoke {fresh:.0}",
+                        gate.smoke, metric.key
+                    ));
+                } else {
+                    println!(
+                        "ok: [{id}] {} committed {committed:.0} vs smoke {fresh:.0}",
+                        metric.key
+                    );
+                }
             }
         }
         if gate_matched == 0 {
@@ -169,7 +212,7 @@ fn main() {
             // gate, so one bench's drift cannot hide behind the other
             // gate's still-matching rows; the gate must fail loudly
             // rather than silently stop gating. (Matched rows lacking
-            // the metric fail separately above with an exact message.)
+            // a metric fail separately above with an exact message.)
             failures.push(format!(
                 "{}: no smoke row matched any committed baseline row — \
                  identity fields out of sync with the bench output",
@@ -178,7 +221,7 @@ fn main() {
         }
     }
 
-    println!("\ntrajcheck: {compared} rows compared, {unmatched} without baseline");
+    println!("\ntrajcheck: {compared} metric comparisons, {unmatched} rows without baseline");
     if !failures.is_empty() {
         eprintln!("trajectory regression gate FAILED:");
         for f in &failures {

@@ -461,7 +461,9 @@ impl FragmentStore {
         &self,
         root: &BulkDigest,
     ) -> impl Iterator<Item = (&(BulkDigest, u32), &Held<StoredFragment>)> {
-        self.inner.entries.range((*root, u32::MIN)..=(*root, u32::MAX))
+        self.inner
+            .entries
+            .range((*root, u32::MIN)..=(*root, u32::MAX))
     }
 
     /// Some fragment stored under `root`, if any index is held.

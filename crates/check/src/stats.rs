@@ -1,6 +1,7 @@
 //! Small statistics helpers used by the experiment harness to summarize
 //! latencies, stabilization times, and success rates across seeds.
 
+use sbs_obs::nearest_rank_index;
 use sbs_sim::SimDuration;
 
 /// Summary statistics over a set of durations.
@@ -29,10 +30,7 @@ pub fn summarize(samples: &[SimDuration]) -> Option<DurationSummary> {
     sorted.sort_unstable();
     let count = sorted.len();
     let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
-    let nearest_rank = |p: f64| -> SimDuration {
-        let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
-        sorted[rank - 1]
-    };
+    let nearest_rank = |p: f64| -> SimDuration { sorted[nearest_rank_index(count, p)] };
     Some(DurationSummary {
         count,
         min: sorted[0],
@@ -111,6 +109,38 @@ mod tests {
     #[test]
     fn summary_of_empty_is_none() {
         assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_all_equal_collapses_every_statistic() {
+        let s = summarize(&[ms(5); 9]).unwrap();
+        assert_eq!(s.count, 9);
+        assert_eq!(s.min, ms(5));
+        assert_eq!(s.mean, ms(5));
+        assert_eq!(s.p50, ms(5));
+        assert_eq!(s.p95, ms(5));
+        assert_eq!(s.max, ms(5));
+    }
+
+    /// The nearest-rank rule here and the histogram quantile in `sbs-obs`
+    /// share [`nearest_rank_index`], so they rank the same sample; the
+    /// histogram only rounds the value up to its bucket bound.
+    #[test]
+    fn percentiles_agree_with_histogram_on_exact_samples() {
+        let samples: Vec<SimDuration> = (1..=100).map(ms).collect();
+        let s = summarize(&samples).unwrap();
+        let mut h = sbs_obs::LatencyHistogram::new();
+        for d in &samples {
+            h.record(d.as_nanos());
+        }
+        let hs = h.summary().unwrap();
+        assert_eq!(s.min.as_nanos(), hs.min_ns);
+        assert_eq!(s.max.as_nanos(), hs.max_ns);
+        // Log-bucketed percentile is never below the exact one, and at
+        // most one sub-bucket (12.5%) above it.
+        let exact = s.p50.as_nanos();
+        assert!(hs.p50_ns >= exact);
+        assert!(hs.p50_ns <= exact + exact / 8);
     }
 
     #[test]

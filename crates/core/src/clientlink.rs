@@ -19,14 +19,14 @@
 use crate::msg::RegMsg;
 use sbs_link::{AckOutcome, SsBroadcaster, SsTag};
 use sbs_sim::{Context, DetRng, ProcessId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Client-side broadcast state: the in-flight ss-broadcast and the
 /// per-server acknowledgement anchors.
 #[derive(Clone, Debug)]
 pub struct ClientLink {
     bcaster: SsBroadcaster,
-    anchor: HashMap<ProcessId, SsTag>,
+    anchor: BTreeMap<ProcessId, SsTag>,
 }
 
 impl ClientLink {
@@ -35,7 +35,7 @@ impl ClientLink {
     pub fn new(servers: Vec<ProcessId>, t: usize) -> Self {
         ClientLink {
             bcaster: SsBroadcaster::new(servers, t),
-            anchor: HashMap::new(),
+            anchor: BTreeMap::new(),
         }
     }
 

@@ -27,7 +27,7 @@ use crate::msg::RegMsg;
 use crate::value::Payload;
 use sbs_link::SsTag;
 use sbs_sim::{Context, DetRng, ProcessId, TimerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The write operation engine.
 #[derive(Clone, Debug)]
@@ -46,7 +46,7 @@ enum WPhase<P> {
     WriteRound {
         tag: SsTag,
         val: P,
-        acks: HashMap<ProcessId, Vec<(ProcessId, Option<P>)>>,
+        acks: BTreeMap<ProcessId, Vec<(ProcessId, Option<P>)>>,
         timer: TimerId,
         timed_out: bool,
     },
@@ -99,7 +99,7 @@ impl<P: Payload> WriteEngine<P> {
         self.phase = WPhase::WriteRound {
             tag,
             val,
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
             timer,
             timed_out: false,
         };
@@ -279,7 +279,7 @@ impl<P: Payload> WriteEngine<P> {
         self.phase = WPhase::WriteRound {
             tag,
             val,
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
             timer,
             timed_out: false,
         };
@@ -287,10 +287,10 @@ impl<P: Payload> WriteEngine<P> {
 
     fn reader_has_agreed_help(
         &self,
-        acks: &HashMap<ProcessId, Vec<(ProcessId, Option<P>)>>,
+        acks: &BTreeMap<ProcessId, Vec<(ProcessId, Option<P>)>>,
         reader: ProcessId,
     ) -> bool {
-        let mut counts: HashMap<&P, usize> = HashMap::new();
+        let mut counts: BTreeMap<&P, usize> = BTreeMap::new();
         for snapshot in acks.values() {
             if let Some((_, Some(w))) = snapshot.iter().find(|(r, _)| *r == reader) {
                 *counts.entry(w).or_insert(0) += 1;
@@ -304,10 +304,11 @@ impl<P: Payload> WriteEngine<P> {
     }
 }
 
-/// Uniform random choice among the values reaching `quorum` (sorted first
-/// for determinism — `HashMap` iteration order is not reproducible).
+/// Uniform random choice among the values reaching `quorum`. `BTreeMap`
+/// iteration is already ordered; the explicit sort keeps the choice
+/// independent of the tally's container.
 fn pick_quorum<P: Payload>(
-    counts: HashMap<&P, usize>,
+    counts: BTreeMap<&P, usize>,
     quorum: usize,
     rng: &mut DetRng,
 ) -> Option<P> {
@@ -360,7 +361,7 @@ enum RPhase<P> {
         /// The `new_read` flag this round was broadcast with.
         new_read: bool,
         tag: SsTag,
-        acks: HashMap<ProcessId, (P, Option<P>)>,
+        acks: BTreeMap<ProcessId, (P, Option<P>)>,
         timer: TimerId,
         timed_out: bool,
     },
@@ -530,7 +531,7 @@ impl<P: Payload> ReadEngine<P> {
             sanity,
             new_read,
             tag,
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
             timer,
             timed_out: false,
         };
@@ -546,10 +547,10 @@ impl<P: Payload> ReadEngine<P> {
     /// atomic construction's `pwsn` bookkeeping then defeats.
     fn agreed_last(
         &self,
-        acks: &HashMap<ProcessId, (P, Option<P>)>,
+        acks: &BTreeMap<ProcessId, (P, Option<P>)>,
         rng: &mut DetRng,
     ) -> Option<P> {
-        let mut counts: HashMap<&P, usize> = HashMap::new();
+        let mut counts: BTreeMap<&P, usize> = BTreeMap::new();
         for (last, _) in acks.values() {
             *counts.entry(last).or_insert(0) += 1;
         }
@@ -558,10 +559,10 @@ impl<P: Payload> ReadEngine<P> {
 
     fn agreed_help(
         &self,
-        acks: &HashMap<ProcessId, (P, Option<P>)>,
+        acks: &BTreeMap<ProcessId, (P, Option<P>)>,
         rng: &mut DetRng,
     ) -> Option<P> {
-        let mut counts: HashMap<&P, usize> = HashMap::new();
+        let mut counts: BTreeMap<&P, usize> = BTreeMap::new();
         for (_, helping) in acks.values() {
             if let Some(w) = helping {
                 *counts.entry(w).or_insert(0) += 1;

@@ -21,7 +21,7 @@ use crate::value::Payload;
 use sbs_link::{Reception, SsReceiver};
 use sbs_sim::{Context, DetRng, Node, ProcessId};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
 /// One register's state at one server.
@@ -30,14 +30,14 @@ pub struct RegSlot<P> {
     /// `last_val` — the latest written value known here.
     pub last: P,
     /// `helping_val` per reader (`None` = ⊥).
-    pub helping: HashMap<ProcessId, Option<P>>,
+    pub helping: BTreeMap<ProcessId, Option<P>>,
 }
 
 /// Protocol state machine for a correct server.
 #[derive(Clone, Debug)]
 pub struct ServerCore<P> {
     recv: SsReceiver,
-    slots: HashMap<RegId, RegSlot<P>>,
+    slots: BTreeMap<RegId, RegSlot<P>>,
     initial: P,
 }
 
@@ -48,7 +48,7 @@ impl<P: Payload> ServerCore<P> {
     pub fn new(initial: P) -> Self {
         ServerCore {
             recv: SsReceiver::new(),
-            slots: HashMap::new(),
+            slots: BTreeMap::new(),
             initial,
         }
     }
@@ -66,7 +66,7 @@ impl<P: Payload> ServerCore<P> {
     fn slot_mut(&mut self, reg: RegId) -> &mut RegSlot<P> {
         self.slots.entry(reg).or_insert_with(|| RegSlot {
             last: self.initial.clone(),
-            helping: HashMap::new(),
+            helping: BTreeMap::new(),
         })
     }
 

@@ -1,0 +1,334 @@
+//! Log-bucketed latency histograms and the shared nearest-rank percentile
+//! rule.
+//!
+//! The histogram is HDR-style: one exact bucket per value below 8, then 8
+//! sub-buckets per power-of-two octave, so any recorded value lands in a
+//! bucket whose width is at most 1/8 of its magnitude (≤ 12.5% relative
+//! error on quantiles, exact min/max/mean). Storage is a fixed 496-slot
+//! array — recording never allocates, which is what lets the store harness
+//! keep one histogram per op-kind × shard on the completion path.
+
+/// The nearest-rank index rule shared by every percentile in the
+/// workspace: for a sorted sample of `count` elements, percentile `p`
+/// (in `[0, 1]`) is the element at this 0-based index.
+///
+/// This is the classical "nearest rank" definition
+/// (`⌈p·count⌉`, clamped to the sample): `p50` of `[1,2,3,4,100]` is `3`,
+/// `p95` is `100`, and every percentile of a singleton is its one element.
+/// Returns `0` for an empty sample (callers should treat empty samples as
+/// "no percentile" before indexing).
+pub fn nearest_rank_index(count: usize, p: f64) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    ((p * count as f64).ceil() as usize).clamp(1, count) - 1
+}
+
+/// Sub-buckets per power-of-two octave (as a bit count): 2³ = 8.
+const SUB_BITS: u32 = 3;
+/// Total value buckets: 8 exact small-value buckets + 8 per octave for
+/// exponents 3..=63. The largest index is `bucket_of(u64::MAX)` =
+/// `((63 - SUB_BITS + 1) << SUB_BITS) | (2^SUB_BITS - 1)` = 495.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * (1 << SUB_BITS);
+
+/// Bucket index of a value. Exact below 8; log-bucketed above.
+fn bucket_of(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+        ((exp - SUB_BITS + 1) as usize) << SUB_BITS | sub
+    }
+}
+
+/// Inclusive upper bound of the values mapping to bucket `i` — the
+/// quantile representative (always clamped into the recorded `[min, max]`
+/// range before being reported).
+fn bucket_upper(i: usize) -> u64 {
+    if i < (1 << SUB_BITS) {
+        i as u64
+    } else {
+        let exp = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (i & ((1 << SUB_BITS) - 1)) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        let lower = (1u64 << exp) + sub * width;
+        lower + (width - 1)
+    }
+}
+
+/// Percentile summary of one latency population, in nanoseconds.
+///
+/// Produced by [`LatencyHistogram::summary`]; `mean`, `min` and `max` are
+/// exact, the percentiles carry the histogram's ≤ 12.5% bucket error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact arithmetic mean (nanosecond precision).
+    pub mean_ns: u64,
+    /// Exact minimum.
+    pub min_ns: u64,
+    /// Median (nearest-rank).
+    pub p50_ns: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90_ns: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+/// A log-bucketed (HDR-style) histogram over `u64` nanosecond samples.
+///
+/// ```
+/// use sbs_obs::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in [100, 200, 300, 400, 10_000] {
+///     h.record(v);
+/// }
+/// let s = h.summary().unwrap();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.max_ns, 10_000);
+/// assert_eq!(s.mean_ns, 2_200);
+/// // p50 lands in 300's bucket: within 12.5% of the exact 300.
+/// assert!(s.p50_ns >= 300 && s.p50_ns < 338);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (e.g. an op latency in nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other`'s population into this histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The nearest-rank percentile `p ∈ [0, 1]`, or `None` if empty.
+    ///
+    /// The returned value is the upper bound of the bucket holding the
+    /// ranked sample, clamped into the exact `[min, max]` range — so a
+    /// single-sample or all-equal population reports its exact value at
+    /// every percentile.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = nearest_rank_index(self.count as usize, p) as u64 + 1;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The percentile summary, or `None` if empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            count: self.count,
+            mean_ns: (self.sum / self.count as u128) as u64,
+            min_ns: self.min,
+            p50_ns: self.quantile(0.50)?,
+            p90_ns: self.quantile(0.90)?,
+            p99_ns: self.quantile(0.99)?,
+            max_ns: self.max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), None);
+        assert_eq!(nearest_rank_index(0, 0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1);
+        for v in [s.mean_ns, s.min_ns, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns] {
+            assert_eq!(v, 123_456);
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_are_exact_at_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1000);
+        for v in [s.mean_ns, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns] {
+            assert_eq!(v, 777);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_bounded() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within 12.5% of it; bucket indices are monotone in value.
+        let mut prev_x = 0u64;
+        let mut prev_b = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for x in [v, v + 1, 3 * v / 2] {
+                if x < prev_x {
+                    continue;
+                }
+                let b = bucket_of(x);
+                assert!(
+                    b >= prev_b,
+                    "monotone buckets: {prev_x}->{prev_b}, {x}->{b}"
+                );
+                let hi = bucket_upper(b);
+                assert!(hi >= x, "upper bound covers the value: {x} -> {hi}");
+                assert!(
+                    hi - x <= x / 8 + 1,
+                    "bucket error bound: {x} -> {hi} (bucket {b})"
+                );
+                (prev_x, prev_b) = (x, b);
+            }
+            v *= 2;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn extreme_values_are_recordable() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary().unwrap();
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_match_nearest_rank_on_exact_small_values() {
+        // Values < 8 are bucketed exactly, so the histogram percentile
+        // must equal the sorted-sample nearest-rank percentile.
+        let sample = [1u64, 2, 3, 4, 7];
+        let mut h = LatencyHistogram::new();
+        for &v in &sample {
+            h.record(v);
+        }
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 1.0] {
+            let exact = sample[nearest_rank_index(sample.len(), p)];
+            assert_eq!(h.quantile(p), Some(exact), "p={p}");
+        }
+    }
+
+    #[test]
+    fn known_population_shape() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_ns, 1000);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns, 50_500);
+        // Each percentile within the 12.5% bucket bound of the exact value.
+        for (q, exact) in [
+            (s.p50_ns, 50_000u64),
+            (s.p90_ns, 90_000),
+            (s.p99_ns, 99_000),
+        ] {
+            assert!(q >= exact && q <= exact + exact / 8 + 1, "{q} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_is_population_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in 1..=50u64 {
+            a.record(v * 100);
+            both.record(v * 100);
+        }
+        for v in 51..=100u64 {
+            b.record(v * 100);
+            both.record(v * 100);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+    }
+}

@@ -1,0 +1,30 @@
+//! # sbs-obs — zero-dependency telemetry primitives
+//!
+//! The observability substrate of the workspace: everything the simulator,
+//! the store harness, and the benches use to *measure* protocol behavior
+//! rather than just assert it.
+//!
+//! - [`LatencyHistogram`] — a log-bucketed (HDR-style) histogram over
+//!   nanosecond samples with bounded relative error, cheap constant-size
+//!   storage, and exact min/max/mean tracking. Quantile queries share the
+//!   [`nearest_rank_index`] rule with the exact-sample percentiles in
+//!   `sbs-check`, so a histogram `p50` and a sorted-sample `p50` agree on
+//!   the same convention.
+//! - [`Tracer`] / [`TraceEvent`] — a bounded ring of timestamped protocol
+//!   events (op start/complete, phase transitions, quorum acks,
+//!   retransmissions, fault injections, guard refusals), exportable as
+//!   JSONL ([`Tracer::to_jsonl`]) and as the Chrome trace-event format
+//!   ([`Tracer::to_chrome_trace`], open in `chrome://tracing` or Perfetto).
+//!
+//! The crate has **no dependencies** (not even on `sbs-sim`): timestamps
+//! are raw nanosecond `u64`s and process ids raw `u32`s, so the simulator
+//! can depend on it without a cycle.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod trace;
+
+pub use hist::{nearest_rank_index, LatencyHistogram, LatencySummary};
+pub use trace::{TraceEvent, TraceRecord, Tracer};

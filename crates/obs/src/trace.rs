@@ -1,0 +1,349 @@
+//! The structured protocol trace: a bounded ring of timestamped events.
+//!
+//! A [`Tracer`] is either *disabled* (the default — every recording call
+//! is a branch on a `None` and nothing else, so hot paths pay nothing) or
+//! *bounded*: it keeps the most recent `capacity` [`TraceRecord`]s,
+//! evicting the oldest and counting evictions. Exports are deterministic:
+//! the same event sequence always serializes to byte-identical JSONL /
+//! Chrome trace output, which is what the determinism tests pin.
+
+use std::collections::VecDeque;
+
+/// One protocol-level event, without its timestamp/process stamp (the
+/// recording runtime supplies those — see [`TraceRecord`]).
+///
+/// Variants mirror the protocol's observable decision points: client op
+/// lifecycle, client phase-machine transitions, quorum progress,
+/// slow-path retries, fault injections, and server-side guard refusals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A client operation was invoked.
+    OpStart {
+        /// The harness-assigned operation id.
+        op: u64,
+        /// Operation kind (`"put"` / `"get"`).
+        kind: &'static str,
+    },
+    /// A client operation completed.
+    OpComplete {
+        /// The harness-assigned operation id.
+        op: u64,
+        /// Operation kind (`"put"` / `"get"`).
+        kind: &'static str,
+    },
+    /// A client phase-machine transition (e.g. `PushingBulk`,
+    /// `MetadataWrite`, `FetchRound`).
+    Phase {
+        /// The shard whose phase machine moved.
+        shard: u32,
+        /// The phase being entered.
+        phase: &'static str,
+    },
+    /// Quorum progress: an ack arrived, `have` of `need` collected.
+    QuorumAck {
+        /// The shard collecting acks.
+        shard: u32,
+        /// Acks collected so far (including this one).
+        have: u32,
+        /// Acks required.
+        need: u32,
+    },
+    /// A slow-path retransmission (fetch re-round or bulk-push re-send).
+    Retransmit {
+        /// The shard retrying.
+        shard: u32,
+        /// The retry round number (1-based).
+        round: u32,
+    },
+    /// A fault-plan injection (node corruption or link garbage).
+    FaultInjected {
+        /// What was injected (`"corruption"` / `"link-garbage"`).
+        what: &'static str,
+    },
+    /// A server-side guard refused a wire request it knows cannot be
+    /// honest for this deployment.
+    GuardRefusal {
+        /// The shard named by the refused request.
+        shard: u32,
+        /// The refusal reason (short static slug).
+        what: &'static str,
+    },
+    /// An in-flight message was dropped by a link wipe.
+    MessageDropped {
+        /// Sender process.
+        from: u32,
+        /// Destination process.
+        to: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's short static name (used as the JSON `ev` / Chrome
+    /// `name` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::OpStart { .. } => "op_start",
+            TraceEvent::OpComplete { .. } => "op_complete",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::QuorumAck { .. } => "quorum_ack",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::GuardRefusal { .. } => "guard_refusal",
+            TraceEvent::MessageDropped { .. } => "msg_dropped",
+        }
+    }
+
+    /// Writes the event's payload as JSON object members (no surrounding
+    /// braces), e.g. `"op":3,"kind":"put"`.
+    fn write_args(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEvent::OpStart { op, kind } | TraceEvent::OpComplete { op, kind } => {
+                let _ = write!(out, "\"op\":{op},\"kind\":\"{kind}\"");
+            }
+            TraceEvent::Phase { shard, phase } => {
+                let _ = write!(out, "\"shard\":{shard},\"phase\":\"{phase}\"");
+            }
+            TraceEvent::QuorumAck { shard, have, need } => {
+                let _ = write!(out, "\"shard\":{shard},\"have\":{have},\"need\":{need}");
+            }
+            TraceEvent::Retransmit { shard, round } => {
+                let _ = write!(out, "\"shard\":{shard},\"round\":{round}");
+            }
+            TraceEvent::FaultInjected { what } => {
+                let _ = write!(out, "\"what\":\"{what}\"");
+            }
+            TraceEvent::GuardRefusal { shard, what } => {
+                let _ = write!(out, "\"shard\":{shard},\"what\":\"{what}\"");
+            }
+            TraceEvent::MessageDropped { from, to } => {
+                let _ = write!(out, "\"from\":{from},\"to\":{to}");
+            }
+        }
+    }
+}
+
+/// One recorded trace entry: an event stamped with the virtual time (in
+/// nanoseconds) and the process it concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event, nanoseconds.
+    pub at_ns: u64,
+    /// The process the event is attributed to.
+    pub pid: u32,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    evicted: u64,
+}
+
+/// A cheap recording handle: disabled (free) or a bounded event ring.
+///
+/// ```
+/// use sbs_obs::{TraceEvent, Tracer};
+/// let mut t = Tracer::bounded(2);
+/// t.record(10, 0, TraceEvent::OpStart { op: 1, kind: "put" });
+/// t.record(20, 0, TraceEvent::OpComplete { op: 1, kind: "put" });
+/// t.record(30, 1, TraceEvent::FaultInjected { what: "corruption" });
+/// assert_eq!(t.len(), 2); // bounded: the oldest record was evicted
+/// assert_eq!(t.evicted(), 1);
+/// assert!(t.to_jsonl().lines().count() == 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    ring: Option<Ring>,
+}
+
+impl Tracer {
+    /// A disabled tracer: recording is a no-op, exports are empty.
+    pub fn disabled() -> Self {
+        Tracer { ring: None }
+    }
+
+    /// An enabled tracer keeping the most recent `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        Tracer {
+            ring: Some(Ring {
+                cap: capacity,
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// True if this tracer records events.
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records one event. No-op when disabled; evicts the oldest record
+    /// when the ring is full.
+    pub fn record(&mut self, at_ns: u64, pid: u32, event: TraceEvent) {
+        if let Some(ring) = &mut self.ring {
+            if ring.buf.len() == ring.cap {
+                ring.buf.pop_front();
+                ring.evicted += 1;
+            }
+            ring.buf.push_back(TraceRecord { at_ns, pid, event });
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.buf.len())
+    }
+
+    /// True if no records are held (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted by the ring bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.evicted)
+    }
+
+    /// The held records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter().flat_map(|r| r.buf.iter())
+    }
+
+    /// Exports the held records as JSONL: one JSON object per line,
+    /// oldest first, e.g.
+    /// `{"at_ns":10,"pid":0,"ev":"op_start","op":1,"kind":"put"}`.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for rec in self.records() {
+            let _ = write!(
+                out,
+                "{{\"at_ns\":{},\"pid\":{},\"ev\":\"{}\",",
+                rec.at_ns,
+                rec.pid,
+                rec.event.name()
+            );
+            rec.event.write_args(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Exports the held records in the Chrome trace-event format
+    /// (instant events, microsecond timestamps) — load the output in
+    /// `chrome://tracing` or <https://ui.perfetto.dev> for a timeline.
+    pub fn to_chrome_trace(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, rec) in self.records().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
+                rec.event.name(),
+                rec.at_ns / 1000,
+                rec.at_ns % 1000,
+                rec.pid
+            );
+            rec.event.write_args(&mut out);
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.record(1, 0, TraceEvent::FaultInjected { what: "corruption" });
+        assert!(t.is_empty());
+        assert_eq!(t.to_jsonl(), "");
+        assert_eq!(t.to_chrome_trace(), "{\"traceEvents\":[\n]}\n");
+    }
+
+    #[test]
+    fn ring_bounds_and_evicts_oldest() {
+        let mut t = Tracer::bounded(3);
+        for op in 0..5u64 {
+            t.record(op * 10, 1, TraceEvent::OpStart { op, kind: "put" });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        let ops: Vec<u64> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::OpStart { op, .. } => op,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ops, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_lines_are_stable() {
+        let mut t = Tracer::bounded(8);
+        t.record(1500, 2, TraceEvent::OpStart { op: 7, kind: "get" });
+        t.record(
+            2000,
+            3,
+            TraceEvent::QuorumAck {
+                shard: 1,
+                have: 2,
+                need: 3,
+            },
+        );
+        t.record(
+            2500,
+            4,
+            TraceEvent::GuardRefusal {
+                shard: 9,
+                what: "unserved-shard",
+            },
+        );
+        assert_eq!(
+            t.to_jsonl(),
+            "{\"at_ns\":1500,\"pid\":2,\"ev\":\"op_start\",\"op\":7,\"kind\":\"get\"}\n\
+             {\"at_ns\":2000,\"pid\":3,\"ev\":\"quorum_ack\",\"shard\":1,\"have\":2,\"need\":3}\n\
+             {\"at_ns\":2500,\"pid\":4,\"ev\":\"guard_refusal\",\"shard\":9,\"what\":\"unserved-shard\"}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let mut t = Tracer::bounded(8);
+        t.record(
+            1234,
+            0,
+            TraceEvent::Phase {
+                shard: 0,
+                phase: "Fetching",
+            },
+        );
+        t.record(5678, 1, TraceEvent::MessageDropped { from: 1, to: 2 });
+        let s = t.to_chrome_trace();
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("]}\n"));
+        assert!(s.contains("\"ts\":1.234"));
+        assert!(s.contains("\"name\":\"phase\""));
+        assert!(s.contains("\"from\":1,\"to\":2"));
+        // Exactly two events, comma-separated.
+        assert_eq!(s.matches("\"ph\":\"i\"").count(), 2);
+    }
+}

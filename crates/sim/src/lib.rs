@@ -79,9 +79,10 @@ mod time;
 
 pub use id::{OpId, ProcessId, TimerId};
 pub use link::{DelayModel, LinkState};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, SlowPath};
 pub use node::{Context, Effects, Message, Node};
 pub use rng::DetRng;
 pub use runtime::ThreadRuntime;
+pub use sbs_obs::{LatencyHistogram, LatencySummary, TraceEvent, TraceRecord, Tracer};
 pub use sim::{SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -13,8 +13,10 @@
 use std::any::Any;
 
 use crate::id::{ProcessId, TimerId};
+use crate::metrics::SlowPath;
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
+use sbs_obs::TraceEvent;
 
 /// Messages exchanged between nodes.
 ///
@@ -91,6 +93,8 @@ pub struct Effects<M, O> {
     pub(crate) timers_set: Vec<(TimerId, SimDuration)>,
     pub(crate) timers_cancelled: Vec<TimerId>,
     pub(crate) outputs: Vec<O>,
+    pub(crate) slow: SlowPath,
+    pub(crate) trace: Vec<TraceEvent>,
 }
 
 impl<M, O> Effects<M, O> {
@@ -102,6 +106,8 @@ impl<M, O> Effects<M, O> {
             timers_set: Vec::new(),
             timers_cancelled: Vec::new(),
             outputs: Vec::new(),
+            slow: SlowPath::default(),
+            trace: Vec::new(),
         }
     }
 
@@ -110,6 +116,20 @@ impl<M, O> Effects<M, O> {
             && self.timers_set.is_empty()
             && self.timers_cancelled.is_empty()
             && self.outputs.is_empty()
+            && self.slow.is_zero()
+            && self.trace.is_empty()
+    }
+
+    /// Slow-path counters recorded so far (see
+    /// [`SlowPath`]). Useful when driving a node manually in tests.
+    pub fn slow_paths(&self) -> &SlowPath {
+        &self.slow
+    }
+
+    /// Trace events recorded so far (only populated when the hosting
+    /// runtime enabled tracing).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace
     }
 
     /// The messages queued so far, as `(destination, message)` pairs in
@@ -164,6 +184,9 @@ pub struct Context<'a, M, O> {
     pub(crate) rng: &'a mut DetRng,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) effects: &'a mut Effects<M, O>,
+    /// True when the hosting runtime has tracing enabled; [`Context::trace`]
+    /// is a no-op otherwise (no hot-path allocation with tracing off).
+    pub(crate) tracing: bool,
 }
 
 impl<M, O> std::fmt::Debug for Context<'_, M, O> {
@@ -191,6 +214,7 @@ impl<'a, M, O> Context<'a, M, O> {
             rng,
             next_timer,
             effects,
+            tracing: false,
         }
     }
 
@@ -245,6 +269,51 @@ impl<'a, M, O> Context<'a, M, O> {
         self.effects.outputs.push(out);
     }
 
+    /// True if the hosting runtime is recording a protocol trace. Use to
+    /// skip work whose only purpose is building a trace event.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Records a protocol trace event, attributed to this node at the
+    /// current time. A no-op unless the hosting runtime enabled tracing —
+    /// with tracing off this is one branch, no allocation.
+    pub fn trace(&mut self, event: TraceEvent) {
+        if self.tracing {
+            self.effects.trace.push(event);
+        }
+    }
+
+    /// Counts a slow-path retransmission (see
+    /// [`SlowPath::retransmits`]).
+    pub fn note_retransmit(&mut self) {
+        self.effects.slow.retransmits += 1;
+    }
+
+    /// Counts a fetch round declared dead (see
+    /// [`SlowPath::dead_fetch_rounds`]).
+    pub fn note_dead_fetch_round(&mut self) {
+        self.effects.slow.dead_fetch_rounds += 1;
+    }
+
+    /// Counts a failed erasure-coded reconstruction (see
+    /// [`SlowPath::reconstruction_fallbacks`]).
+    pub fn note_reconstruction_fallback(&mut self) {
+        self.effects.slow.reconstruction_fallbacks += 1;
+    }
+
+    /// Counts a fallback metadata re-read (see
+    /// [`SlowPath::metadata_rereads`]).
+    pub fn note_metadata_reread(&mut self) {
+        self.effects.slow.metadata_rereads += 1;
+    }
+
+    /// Counts a server-side guard refusal (see
+    /// [`SlowPath::guard_refusals`]).
+    pub fn note_guard_refusal(&mut self) {
+        self.effects.slow.guard_refusals += 1;
+    }
+
     /// Runs `f` with a sub-context that shares this context's time,
     /// identity, RNG, and timer counter, but records effects — possibly of
     /// *different* message/output types — into `effects`.
@@ -260,8 +329,20 @@ impl<'a, M, O> Context<'a, M, O> {
         effects: &mut Effects<M2, O2>,
         f: impl FnOnce(&mut Context<'_, M2, O2>) -> R,
     ) -> R {
-        let mut sub = Context::new(self.now, self.me, self.rng, self.next_timer, effects);
-        f(&mut sub)
+        let r = {
+            let mut sub = Context::new(self.now, self.me, self.rng, self.next_timer, effects);
+            sub.tracing = self.tracing;
+            f(&mut sub)
+        };
+        // Telemetry recorded inside the embedded machine belongs to this
+        // handler execution: fold it up so the runtime sees it even though
+        // the wrapper translates (and may drop parts of) the sub-effects.
+        if !effects.slow.is_zero() {
+            self.effects.slow.fold(&effects.slow);
+            effects.slow = SlowPath::default();
+        }
+        self.effects.trace.append(&mut effects.trace);
+        r
     }
 
     /// Arms a timer under an id already allocated by a sub-context sharing

@@ -202,11 +202,14 @@ fn node_main<M, O>(
                 let mut ctx = Context::new(now, me, rng, next_timer, &mut effects);
                 f(node.as_mut(), &mut ctx);
             }
+            // The thread runtime keeps no Metrics or Tracer, so handler
+            // telemetry (slow-path counters, trace events) is discarded.
             let Effects {
                 sends,
                 timers_set,
                 timers_cancelled,
                 outputs,
+                ..
             } = effects;
             for (to, msg) in sends {
                 if let Some(tx) = senders.get(to.index()) {

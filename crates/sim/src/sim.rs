@@ -24,6 +24,7 @@ use crate::metrics::Metrics;
 use crate::node::{Context, Effects, Message, Node};
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
+use sbs_obs::{TraceEvent, Tracer};
 
 /// Configuration for a [`Simulation`].
 #[derive(Clone, Debug)]
@@ -171,6 +172,12 @@ pub struct Simulation<M: Message, O> {
     /// and hands them back, so the per-event path stops allocating fresh
     /// vectors once the run's high-water capacity is reached.
     scratch: Effects<M, O>,
+    /// The protocol trace ring; disabled by default (recording is then a
+    /// single branch — no allocation, no behavioral difference).
+    tracer: Tracer,
+    /// Virtual time of the most recent fault injection (node corruption
+    /// or link garbage) — the stabilization probe's `τ_fault`.
+    last_fault_at: Option<SimTime>,
 }
 
 impl<M: Message, O: 'static> Simulation<M, O> {
@@ -194,6 +201,8 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             net_rng,
             fault_rng,
             scratch: Effects::new(),
+            tracer: Tracer::disabled(),
+            last_fault_at: None,
         }
     }
 
@@ -215,6 +224,27 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     /// Run counters accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Enables protocol tracing into a bounded ring of `capacity` events.
+    /// Tracing is off by default; enabling it changes no protocol
+    /// behavior, message counts, or byte counts — only what is recorded.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::bounded(capacity);
+    }
+
+    /// The trace ring (empty and inert unless
+    /// [`Simulation::enable_tracing`] was called). Export with
+    /// [`Tracer::to_jsonl`] or [`Tracer::to_chrome_trace`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Virtual time of the most recent fault injection (scheduled node
+    /// corruption or link garbage), if any — the reference point for
+    /// stabilization-time measurements.
+    pub fn last_fault_at(&self) -> Option<SimTime> {
+        self.last_fault_at
     }
 
     /// Reserves the next [`ProcessId`] without providing a node yet, so that
@@ -368,6 +398,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
     pub fn wipe_link(&mut self, from: ProcessId, to: ProcessId) {
         if let Some(link) = self.link_mut(from, to) {
             link.bump_generation();
+            self.last_fault_at = Some(self.now);
         }
     }
 
@@ -453,7 +484,15 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                     self.metrics.messages_delivered += 1;
                     self.dispatch(to, |node, ctx| node.on_message(from, msg, ctx));
                 } else {
-                    self.metrics.messages_dropped += 1;
+                    self.metrics.record_dropped(msg.wire_bytes(), msg.is_bulk());
+                    self.tracer.record(
+                        self.now.as_nanos(),
+                        to.0,
+                        TraceEvent::MessageDropped {
+                            from: from.0,
+                            to: to.0,
+                        },
+                    );
                 }
             }
             EventKind::Timer { pid, id } => {
@@ -464,6 +503,12 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             }
             EventKind::Corrupt { pid } => {
                 self.metrics.corruptions += 1;
+                self.last_fault_at = Some(self.now);
+                self.tracer.record(
+                    self.now.as_nanos(),
+                    pid.0,
+                    TraceEvent::FaultInjected { what: "corruption" },
+                );
                 if let Some(node) = self.nodes[pid.index()].as_mut() {
                     node.on_corrupt(&mut self.fault_rng);
                 }
@@ -473,6 +518,14 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                     let msg = gen(&mut self.fault_rng, from, to);
                     self.garbage_gen = Some(gen);
                     self.metrics.garbage_injected += 1;
+                    self.last_fault_at = Some(self.now);
+                    self.tracer.record(
+                        self.now.as_nanos(),
+                        to.0,
+                        TraceEvent::FaultInjected {
+                            what: "link-garbage",
+                        },
+                    );
                     self.route(from, to, msg);
                 }
             }
@@ -575,6 +628,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                 &mut self.next_timer,
                 &mut effects,
             );
+            ctx.tracing = self.tracer.is_enabled();
             f(node.as_mut(), &mut ctx)
         };
         self.nodes[pid.index()] = Some(node);
@@ -600,6 +654,13 @@ impl<M: Message, O: 'static> Simulation<M, O> {
         }
         for out in effects.outputs.drain(..) {
             self.outputs.push((self.now, pid, out));
+        }
+        if !effects.slow.is_zero() {
+            self.metrics.slow_paths.fold(&effects.slow);
+            effects.slow = crate::metrics::SlowPath::default();
+        }
+        for event in effects.trace.drain(..) {
+            self.tracer.record(self.now.as_nanos(), pid.0, event);
         }
     }
 }
@@ -821,7 +882,65 @@ mod tests {
         sim.wipe_link(client, server);
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         assert_eq!(sim.metrics().messages_dropped, 1);
+        // The wipe counts as the run's last transient fault.
+        assert!(sim.last_fault_at().is_some());
         assert!(sim.take_outputs().is_empty());
+    }
+
+    #[test]
+    fn handler_telemetry_reaches_tracer_and_metrics() {
+        /// Echoes pings and reports one retransmit + one trace event each.
+        struct NoisyEcho;
+        impl Node for NoisyEcho {
+            type Msg = TMsg;
+            type Out = u32;
+            fn on_message(&mut self, from: ProcessId, msg: TMsg, ctx: &mut Context<'_, TMsg, u32>) {
+                if let TMsg::Ping(v) = msg {
+                    ctx.note_retransmit();
+                    ctx.trace(sbs_obs::TraceEvent::Retransmit { shard: 0, round: v });
+                    ctx.send(from, TMsg::Pong(v));
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let build = |tracing: bool| {
+            let mut sim: Simulation<TMsg, u32> = Simulation::new(SimConfig::with_seed(23));
+            if tracing {
+                sim.enable_tracing(64);
+            }
+            let server = sim.add_node(NoisyEcho);
+            let client = sim.add_node(Pinger { server, state: 0 });
+            sim.add_duplex(
+                client,
+                server,
+                DelayModel::Constant(SimDuration::micros(10)),
+            );
+            sim.with_node::<Pinger, _>(client, |n, ctx| n.ping(5, ctx));
+            sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            sim
+        };
+
+        // Tracing off: slow-path counters still fold, no records held.
+        let sim = build(false);
+        assert_eq!(sim.metrics().slow_paths.retransmits, 1);
+        assert!(sim.tracer().is_empty());
+
+        // Tracing on: the handler event is stamped with time and pid.
+        let sim = build(true);
+        assert_eq!(sim.metrics().slow_paths.retransmits, 1);
+        let recs: Vec<_> = sim
+            .tracer()
+            .records()
+            .filter(|r| matches!(r.event, sbs_obs::TraceEvent::Retransmit { .. }))
+            .collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].at_ns, 10_000); // one 10us hop
+        assert_eq!(
+            recs[0].event,
+            sbs_obs::TraceEvent::Retransmit { shard: 0, round: 5 }
+        );
     }
 
     #[test]

@@ -7,12 +7,17 @@ use crate::node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, Sto
 use crate::router::KeyRouter;
 use crate::val::StoreVal;
 use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore, FragmentStore};
-use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
+use sbs_check::{
+    atomic_stabilization_point, check_linearizable, History, InitialState, OpKind, OpRecord,
+};
 use sbs_core::{
     ByzServerNode, ByzStrategy, Payload, RegId, RegMsg, RegisterConfig, SeqVal, ServerNode,
     SyncMode,
 };
-use sbs_sim::{DelayModel, DetRng, OpId, ProcessId, SimConfig, SimDuration, SimTime, Simulation};
+use sbs_sim::{
+    DelayModel, DetRng, LatencyHistogram, LatencySummary, OpId, ProcessId, SimConfig, SimDuration,
+    SimTime, Simulation,
+};
 use sbs_stamps::{RingSeq, PAPER_MODULUS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -112,6 +117,7 @@ pub struct StoreBuilder {
     settle_horizon: SimDuration,
     batch_window: SimDuration,
     bulk_retain: Option<usize>,
+    trace: usize,
 }
 
 impl StoreBuilder {
@@ -132,6 +138,7 @@ impl StoreBuilder {
             settle_horizon: SETTLE_HORIZON,
             batch_window: SimDuration::ZERO,
             bulk_retain: None,
+            trace: 0,
         }
     }
 
@@ -337,6 +344,19 @@ impl StoreBuilder {
         self
     }
 
+    /// Enables the protocol trace: the simulation keeps the most recent
+    /// `capacity` structured events (op lifecycle, phase transitions,
+    /// quorum acks, retransmissions, fault injections, guard refusals),
+    /// readable through [`StoreSystem::tracer`](StoreSystem) and
+    /// exportable as JSONL or Chrome trace-event JSON. Zero (the default)
+    /// leaves tracing off — the hot path then pays a single branch and
+    /// allocates nothing, and every message/byte count is bit-identical
+    /// to an untraced run.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace = capacity;
+        self
+    }
+
     /// Overrides how long [`StoreSystem::settle`] simulates before
     /// declaring the store non-quiescent (default 600 simulated seconds).
     /// Long open-loop runs and timeout-heavy synchronous deployments can
@@ -469,6 +489,9 @@ impl StoreBuilder {
         let router = KeyRouter::new(self.shards, self.writers as u32);
         let mut sim: Simulation<StoreWire<V>, StoreOut<V>> =
             Simulation::new(SimConfig::with_seed(self.seed));
+        if self.trace > 0 {
+            sim.enable_tracing(self.trace);
+        }
         let clients: Vec<ProcessId> = (0..self.writers + self.extra_readers)
             .map(|_| sim.reserve_id())
             .collect();
@@ -545,6 +568,7 @@ impl StoreBuilder {
             settle_horizon: self.settle_horizon,
             byz_servers: byz_set,
             log: StoreLog::new(),
+            latency: BTreeMap::new(),
         }
     }
 }
@@ -699,10 +723,21 @@ impl<V: Payload> StoreLog<V> {
         op
     }
 
-    fn complete(&mut self, op: OpId, at: SimTime, read_value: Option<Option<V>>) {
+    /// Records the completion; returns `(kind, shard, latency_ns)` for
+    /// the latency histograms (`None` on a duplicate completion).
+    fn complete(
+        &mut self,
+        op: OpId,
+        at: SimTime,
+        read_value: Option<Option<V>>,
+        router: &KeyRouter,
+    ) -> Option<(&'static str, u32, u64)> {
         let Some((client, invoked, key, put_val)) = self.invoked.remove(&op) else {
-            return; // duplicate completion after corruption — ignore
+            return None; // duplicate completion after corruption — ignore
         };
+        let kind_name = if put_val.is_some() { "put" } else { "get" };
+        let shard = router.shard_of(&key);
+        let latency_ns = at.as_nanos().saturating_sub(invoked.as_nanos());
         let kind = match put_val {
             Some(v) => OpKind::Write(Some(v)),
             None => OpKind::Read(read_value.expect("get completion carries a value")),
@@ -717,6 +752,7 @@ impl<V: Payload> StoreLog<V> {
                 kind,
             },
         });
+        Some((kind_name, shard, latency_ns))
     }
 }
 
@@ -735,6 +771,9 @@ pub struct StoreSystem<V: Payload + BulkCodec> {
     settle_horizon: SimDuration,
     byz_servers: BTreeSet<usize>,
     log: StoreLog<V>,
+    /// Completed-op latency histograms keyed by op kind × shard, fed as
+    /// completions are drained.
+    latency: BTreeMap<(&'static str, u32), LatencyHistogram>,
 }
 
 impl<V: Payload + BulkCodec> StoreSystem<V> {
@@ -811,18 +850,86 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
     pub fn drain(&mut self) -> Vec<(ProcessId, OpId)> {
         let mut done = Vec::new();
         for (at, pid, out) in self.sim.take_outputs() {
-            match out {
+            let completed = match out {
                 StoreOut::PutDone { op } => {
-                    self.log.complete(op, at, None);
                     done.push((pid, op));
+                    self.log.complete(op, at, None, &self.router)
                 }
                 StoreOut::GetDone { op, value } => {
-                    self.log.complete(op, at, Some(value));
                     done.push((pid, op));
+                    self.log.complete(op, at, Some(value), &self.router)
                 }
+            };
+            if let Some((kind, shard, latency_ns)) = completed {
+                self.latency
+                    .entry((kind, shard))
+                    .or_default()
+                    .record(latency_ns);
             }
         }
         done
+    }
+
+    /// The completed-op latency histogram of `kind` (`"put"` / `"get"`)
+    /// on `shard`, if any such operation completed.
+    pub fn latency_histogram(&self, kind: &str, shard: u32) -> Option<&LatencyHistogram> {
+        self.latency.get(&(
+            match kind {
+                "put" => "put",
+                "get" => "get",
+                _ => return None,
+            },
+            shard,
+        ))
+    }
+
+    /// All per-(kind, shard) latency summaries, sorted by kind then shard.
+    pub fn latency_summaries(&self) -> Vec<(&'static str, u32, LatencySummary)> {
+        self.latency
+            .iter()
+            .filter_map(|(&(kind, shard), h)| h.summary().map(|s| (kind, shard, s)))
+            .collect()
+    }
+
+    /// The latency population of `kind` merged across every shard (empty
+    /// histogram if no such operation completed).
+    pub fn merged_latency(&self, kind: &str) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for ((k, _), h) in &self.latency {
+            if *k == kind {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// The simulation's protocol tracer (disabled unless the store was
+    /// built with [`StoreBuilder::trace`]).
+    pub fn tracer(&self) -> &sbs_sim::Tracer {
+        self.sim.tracer()
+    }
+
+    /// Sim-time from the run's **last fault injection** (corruption, link
+    /// garbage, or link wipe) to the point the completed history is
+    /// provably clean again: the latest per-key atomic stabilization
+    /// point over every touched key, minus the fault time (clamped at
+    /// zero if the history stabilized before the fault landed).
+    ///
+    /// `None` when no fault was injected, when any touched key's history
+    /// has no atomic suffix yet (not yet stabilized), or when a key's
+    /// history is too tangled to judge. Drain completions (e.g. via
+    /// [`StoreSystem::settle`]) before asking.
+    pub fn stabilization_time(&self) -> Option<SimDuration> {
+        let fault = self.sim.last_fault_at()?;
+        let mut latest_point = SimTime::ZERO;
+        for key in self.keys_touched() {
+            let h = self.history_for_key(&key);
+            let point = atomic_stabilization_point(&h).ok().flatten()?;
+            latest_point = latest_point.max(point);
+        }
+        Some(SimDuration::nanos(
+            latest_point.as_nanos().saturating_sub(fault.as_nanos()),
+        ))
     }
 
     /// Operations invoked but not yet completed.

@@ -88,7 +88,7 @@ use sbs_core::{
     AtomicPolicy, ClientLink, Payload, ReadEngine, ReadPolicy, ReadProgress, RegId, RegMsg,
     RegisterConfig, SeqVal, WriteEngine, WriteStamper, WsnStamp,
 };
-use sbs_sim::{Context, DetRng, Effects, Node, OpId, ProcessId, SimDuration, TimerId};
+use sbs_sim::{Context, DetRng, Effects, Node, OpId, ProcessId, SimDuration, TimerId, TraceEvent};
 use sbs_stamps::RingSeq;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -357,6 +357,11 @@ where
                 // for shadowing a dispersal root with a stored blob).
                 if let Some(g) = &self.guard {
                     if g.coded || g.window_position(shard).is_none() {
+                        ctx.note_guard_refusal();
+                        ctx.trace(TraceEvent::GuardRefusal {
+                            shard,
+                            what: "blob-put-unserved",
+                        });
                         return;
                     }
                 }
@@ -388,6 +393,11 @@ where
                         || total as usize != g.replicas
                         || g.window_position(shard) != Some(index as usize)
                     {
+                        ctx.note_guard_refusal();
+                        ctx.trace(TraceEvent::GuardRefusal {
+                            shard,
+                            what: "frag-put-shape",
+                        });
                         return;
                     }
                 }
@@ -745,12 +755,20 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             self.owned.contains_key(&shard),
             "put({key}) routed to a client that does not own shard {shard}"
         );
+        ctx.trace(TraceEvent::OpStart {
+            op: op.0,
+            kind: "put",
+        });
         self.pending.push_back((op, StoreOp::Put { key, val }));
         self.hold_or_step(ctx);
     }
 
     /// Invokes `get(key)`; completion arrives as [`StoreOut::GetDone`].
     pub fn invoke_get(&mut self, op: OpId, key: String, ctx: &mut StoreCtx<'_, V>) {
+        ctx.trace(TraceEvent::OpStart {
+            op: op.0,
+            kind: "get",
+        });
         self.pending.push_back((op, StoreOp::Get { key }));
         self.hold_or_step(ctx);
     }
@@ -918,8 +936,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             return None;
         };
         let n = servers.len();
-        ((index as usize) < replicas)
-            .then(|| servers[(shard as usize % n + index as usize) % n])
+        ((index as usize) < replicas).then(|| servers[(shard as usize % n + index as usize) % n])
     }
 
     /// Runs the engine pump inside a sub-context, then re-emits batched
@@ -957,6 +974,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             // sanity probe then re-anchors it on the servers).
             self.policies[shard as usize] = AtomicPolicy::new();
         }
+        sub.trace(TraceEvent::Phase {
+            shard,
+            phase: "MetadataRead",
+        });
         self.read_engine = ReadEngine::new(RegId(shard), self.cfg);
         // Figure 3 read: sanity probe first (N2–N7), then the read loop.
         self.read_engine.start_sanity(&mut self.link, sub);
@@ -980,6 +1001,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         let owned = self.owned.get_mut(&shard).expect("publish on owned shard");
         match self.plane {
             DataPlane::Full => {
+                sub.trace(TraceEvent::Phase {
+                    shard,
+                    phase: "MetadataWrite",
+                });
                 // One deep snapshot per publish; every send, helping
                 // refresh, and retransmission shares it through the Arc.
                 let payload = WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
@@ -991,6 +1016,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 self.phase = Phase::Writing { ops };
             }
             DataPlane::Bulk { .. } => {
+                sub.trace(TraceEvent::Phase {
+                    shard,
+                    phase: "PushingBulk",
+                });
                 let bytes: SharedBytes = owned.map.encode_to_vec().into();
                 let bref = BulkRef::to_bytes(&bytes);
                 let payload = WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
@@ -1020,6 +1049,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 };
             }
             DataPlane::Coded { replicas: m, k } => {
+                sub.trace(TraceEvent::Phase {
+                    shard,
+                    phase: "PushingBulk",
+                });
                 // AVID-style dispersal: k-of-m fragments, committed to by
                 // the Merkle root the metadata register will carry. Each
                 // replica gets its own fragment plus the path proving it
@@ -1077,6 +1110,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
         bulk_sends: &mut Vec<(ProcessId, StoreWire<V>)>,
     ) {
+        sub.trace(TraceEvent::Phase {
+            shard,
+            phase: "FetchRound",
+        });
         let tag = self.next_bulk_tag;
         self.next_bulk_tag += 1;
         for r in self.data_replicas(shard) {
@@ -1125,6 +1162,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             ReadGoal::Get { ops } => {
                 for (op, key) in ops {
                     let value = map.get(&key).cloned();
+                    sub.trace(TraceEvent::OpComplete {
+                        op: op.0,
+                        kind: "get",
+                    });
                     outs.push(StoreOut::GetDone { op, value });
                 }
                 // phase stays Idle; the pump keeps draining the queue.
@@ -1257,6 +1298,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                                         // a reference; if stabilizing
                                         // garbage won a quorum anyway,
                                         // re-read until real metadata does.
+                                        sub.note_metadata_reread();
                                         self.start_read(goal, shard, sub);
                                     } else {
                                         self.start_fetch(
@@ -1301,6 +1343,8 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                     // to the metadata register.
                     let needed = self.resolve_threshold();
                     if dead || bad.len() >= self.replica_count().saturating_sub(needed - 1) {
+                        sub.note_dead_fetch_round();
+                        sub.note_metadata_reread();
                         sub.cancel_timer(timer);
                         self.start_read(goal, shard, sub);
                         continue;
@@ -1333,6 +1377,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         // t+1 verified stores ⇒ ≥1 correct replica holds
                         // the bytes (k+t ⇒ ≥k hold verified fragments):
                         // the reference may become visible.
+                        sub.trace(TraceEvent::Phase {
+                            shard,
+                            phase: "MetadataWrite",
+                        });
                         sub.cancel_timer(timer);
                         self.write_engine =
                             WriteEngine::new(RegId(shard), self.cfg, self.clients.clone());
@@ -1357,6 +1405,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                             self.recoveries += 1; // recovery republish
                         }
                         for op in ops {
+                            sub.trace(TraceEvent::OpComplete {
+                                op: op.0,
+                                kind: "put",
+                            });
                             outs.push(StoreOut::PutDone { op });
                         }
                         // phase stays Idle; keep pumping the queue.
@@ -1383,6 +1435,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         digest: BulkDigest,
         tag: u64,
         bytes: Option<SharedBytes>,
+        _ctx: &mut StoreCtx<'_, V>,
     ) {
         if !Self::is_data_replica(self.plane, &self.servers, shard, from) {
             return;
@@ -1431,6 +1484,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         root: BulkDigest,
         tag: u64,
         frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
+        ctx: &mut StoreCtx<'_, V>,
     ) {
         let Some((k, m)) = self.coding() else {
             return; // whole-copy clients never ask for fragments
@@ -1479,7 +1533,10 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             // a fabricated reference that somehow verified) — no further
             // fragments can fix that, so give this reference up and let
             // the pump fall back to the metadata register.
-            None => *dead = true,
+            None => {
+                ctx.note_reconstruction_fallback();
+                *dead = true;
+            }
         }
     }
 }
@@ -1511,6 +1568,7 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                 }
             }
             StoreMsg::BulkPutAck { shard, digest } => {
+                let mut have = None;
                 if let Phase::PushingBulk {
                     shard: s,
                     digest: d,
@@ -1524,12 +1582,23 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     if *s == shard
                         && *d == digest
                         && Self::is_data_replica(self.plane, &self.servers, shard, from)
+                        && acks.insert(from)
                     {
-                        acks.insert(from);
+                        have = Some(acks.len() as u32);
+                    }
+                }
+                if let Some(have) = have {
+                    if ctx.tracing() {
+                        ctx.trace(TraceEvent::QuorumAck {
+                            shard,
+                            have,
+                            need: self.push_needed() as u32,
+                        });
                     }
                 }
             }
             StoreMsg::FragPutAck { shard, root, index } => {
+                let mut have = None;
                 if let Phase::PushingBulk {
                     shard: s,
                     digest: d,
@@ -1542,10 +1611,18 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     // index is the replica's position in the shard's
                     // window, so a Byzantine replica acknowledging a
                     // fragment it was never given is rejected here.
-                    let expected =
-                        Self::window_replica_at(self.plane, &self.servers, shard, index);
-                    if *s == shard && *d == root && expected == Some(from) {
-                        acks.insert(from);
+                    let expected = Self::window_replica_at(self.plane, &self.servers, shard, index);
+                    if *s == shard && *d == root && expected == Some(from) && acks.insert(from) {
+                        have = Some(acks.len() as u32);
+                    }
+                }
+                if let Some(have) = have {
+                    if ctx.tracing() {
+                        ctx.trace(TraceEvent::QuorumAck {
+                            shard,
+                            have,
+                            need: self.push_needed() as u32,
+                        });
                     }
                 }
             }
@@ -1554,13 +1631,13 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                 digest,
                 tag,
                 bytes,
-            } => self.on_bulk_get_ack(from, shard, digest, tag, bytes),
+            } => self.on_bulk_get_ack(from, shard, digest, tag, bytes, ctx),
             StoreMsg::FragGetAck {
                 shard,
                 root,
                 tag,
                 frag,
-            } => self.on_frag_get_ack(from, shard, root, tag, frag),
+            } => self.on_frag_get_ack(from, shard, root, tag, frag, ctx),
             // Server-bound bulk requests arriving at a client are garbage.
             StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } | StoreMsg::FragPut { .. } => {}
         }
@@ -1600,7 +1677,9 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                     bad.clear();
                     *tag = self.next_bulk_tag;
                     self.next_bulk_tag += 1;
-                    let (shard, digest, tag) = (*shard, bref.digest, *tag);
+                    let (shard, digest, tag, round) = (*shard, bref.digest, *tag, *rounds);
+                    ctx.note_retransmit();
+                    ctx.trace(TraceEvent::Retransmit { shard, round });
                     for r in Self::replicas_for(self.plane, &self.servers, shard) {
                         ctx.send(r, StoreMsg::BulkGet { shard, digest, tag });
                     }
@@ -1635,6 +1714,13 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                         .filter(|(r, _)| !acks.contains(r))
                         .map(|(r, m)| (r, m.clone()))
                         .collect();
+                if !resend.is_empty() {
+                    ctx.note_retransmit();
+                    ctx.trace(TraceEvent::Phase {
+                        shard,
+                        phase: "BulkRepush",
+                    });
+                }
                 for (r, m) in resend {
                     ctx.send(r, m);
                 }
@@ -1984,7 +2070,14 @@ mod tests {
         let eff = run(&mut node, &mut rng, &mut nt, frag_put(0, 1));
         assert!(matches!(
             eff.sends(),
-            [(_, StoreMsg::FragPutAck { shard: 0, index: 1, .. })]
+            [(
+                _,
+                StoreMsg::FragPutAck {
+                    shard: 0,
+                    index: 1,
+                    ..
+                }
+            )]
         ));
         // …and shard 1's identical dispersal as fragment 0: it MUST be
         // stored and acked too, or shard 1's push wedges forever.
@@ -1992,7 +2085,14 @@ mod tests {
         assert!(
             matches!(
                 eff.sends(),
-                [(_, StoreMsg::FragPutAck { shard: 1, index: 0, .. })]
+                [(
+                    _,
+                    StoreMsg::FragPutAck {
+                        shard: 1,
+                        index: 0,
+                        ..
+                    }
+                )]
             ),
             "the second shard's index of the aliased root must be acked, got {:?}",
             eff.sends()

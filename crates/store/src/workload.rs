@@ -23,7 +23,7 @@
 use crate::harness::{StoreBuilder, StoreSystem};
 use sbs_bulk::BulkCodec;
 use sbs_core::{ByzStrategy, Payload};
-use sbs_sim::{DetRng, SimDuration};
+use sbs_sim::{DetRng, LatencySummary, SimDuration};
 
 /// Key-popularity distribution over the key space.
 #[derive(Clone, Debug)]
@@ -328,6 +328,11 @@ impl Workload {
             metadata_messages: sys.sim.metrics().sent_with_label("BATCH"),
             metadata_bytes: sys.sim.metrics().metadata_bytes_sent,
             bulk_bytes: sys.sim.metrics().bulk_bytes_sent,
+            put_latency: sys.merged_latency("put").summary(),
+            get_latency: sys.merged_latency("get").summary(),
+            slow_retransmits: sys.sim.metrics().slow_paths.retransmits,
+            slow_dead_fetch_rounds: sys.sim.metrics().slow_paths.dead_fetch_rounds,
+            slow_metadata_rereads: sys.sim.metrics().slow_paths.metadata_rereads,
         };
         (report, sys)
     }
@@ -479,6 +484,18 @@ pub struct WorkloadReport {
     /// Estimated bulk-plane bytes on the wire (payload transfers to/from
     /// the data replicas; `0` under full replication).
     pub bulk_bytes: u64,
+    /// Completed-put latency percentiles, merged across shards (`None`
+    /// when the run completed no put).
+    pub put_latency: Option<LatencySummary>,
+    /// Completed-get latency percentiles, merged across shards (`None`
+    /// when the run completed no get).
+    pub get_latency: Option<LatencySummary>,
+    /// Slow-path retransmissions (fetch re-rounds, bulk re-pushes).
+    pub slow_retransmits: u64,
+    /// Fetch rounds that died and fell back to the metadata register.
+    pub slow_dead_fetch_rounds: u64,
+    /// Metadata re-reads forced by unresolvable references.
+    pub slow_metadata_rereads: u64,
 }
 
 impl WorkloadReport {

@@ -13,7 +13,7 @@
 use stabilizing_storage::check::check_regularity;
 use stabilizing_storage::core::harness::SwsrBuilder;
 use stabilizing_storage::core::ByzStrategy;
-use stabilizing_storage::sim::SimDuration;
+use stabilizing_storage::sim::{LatencyHistogram, SimDuration};
 use stabilizing_storage::store::{FaultPlan, StoreBuilder, Workload};
 
 fn run(label: &str, mut sys: stabilizing_storage::core::harness::RegularSwsr<u64>) {
@@ -25,17 +25,18 @@ fn run(label: &str, mut sys: stabilizing_storage::core::harness::RegularSwsr<u64
     }
     let h = sys.history();
     let rep = check_regularity(&h, &[0]);
-    let mean_ns: u64 = h
-        .ops()
-        .iter()
-        .map(|o| (o.responded - o.invoked).as_nanos())
-        .sum::<u64>()
-        / h.len() as u64;
+    let mut lat = LatencyHistogram::new();
+    for o in h.ops() {
+        lat.record((o.responded - o.invoked).as_nanos());
+    }
+    let s = lat.summary().expect("history is non-empty");
     println!(
-        "{label:<28} servers={:<3} regular={} mean-op-latency={} (wall {:?})",
+        "{label:<28} servers={:<3} regular={} op-latency mean={} p50={} p99={} (wall {:?})",
         sys.servers.len(),
         rep.is_regular(),
-        SimDuration::nanos(mean_ns),
+        SimDuration::nanos(s.mean_ns),
+        SimDuration::nanos(s.p50_ns),
+        SimDuration::nanos(s.p99_ns),
         start.elapsed(),
     );
 }
