@@ -89,7 +89,7 @@ fn store_stabilization_probe(traj: &mut BenchTrajectory, repo_root: &Path) {
         // fleet is the paper's headline configuration.
         if mode == "async" {
             let jsonl = sys.tracer().to_jsonl();
-            let chrome = sys.tracer().to_chrome_trace();
+            let chrome = sys.tracer().to_chrome_trace_named(&sys.role_names());
             for (name, text) in [
                 ("TRACE_stabilization.jsonl", &jsonl),
                 ("TRACE_stabilization.chrome.json", &chrome),

@@ -17,9 +17,11 @@
 //! between smoke and full runs, are ignored for matching. For each
 //! matched pair the gate compares its metrics, each with a direction:
 //! `ops_per_sim_sec` is higher-is-better (fail when the committed value
-//! exceeds threshold × fresh), `p99_latency_ns` and
+//! exceeds threshold × fresh); `p50_latency_ns`, `p99_latency_ns`, and
 //! `stabilization_time_ns` are lower-is-better (fail when the fresh
-//! value exceeds threshold × committed). All are properties of the
+//! value exceeds threshold × committed). Gating the median alongside the
+//! tail catches a protocol that got uniformly slower without yet moving
+//! its p99. All are properties of the
 //! simulated schedule, not the host: drift means the *protocol* got
 //! chattier or slower per simulated second. Smoke rows with no committed
 //! counterpart (new configurations) are reported without failing the
@@ -42,6 +44,9 @@ struct Metric {
 /// One gated bench: committed baseline, smoke output, identity fields,
 /// gated metrics.
 struct Gate {
+    /// Human name for failure messages — a missing file must say *which*
+    /// gate lost its baseline, not just the filename.
+    name: &'static str,
     committed: &'static str,
     smoke: &'static str,
     id_keys: &'static [&'static str],
@@ -54,6 +59,10 @@ const THROUGHPUT_AND_TAIL: &[Metric] = &[
         higher_is_better: true,
     },
     Metric {
+        key: "p50_latency_ns",
+        higher_is_better: false,
+    },
+    Metric {
         key: "p99_latency_ns",
         higher_is_better: false,
     },
@@ -61,6 +70,7 @@ const THROUGHPUT_AND_TAIL: &[Metric] = &[
 
 const GATES: &[Gate] = &[
     Gate {
+        name: "store-throughput",
         committed: "BENCH_store.json",
         smoke: "BENCH_store.smoke.json",
         id_keys: &[
@@ -76,6 +86,7 @@ const GATES: &[Gate] = &[
         metrics: THROUGHPUT_AND_TAIL,
     },
     Gate {
+        name: "bulk-vs-full",
         committed: "BENCH_bulk.json",
         smoke: "BENCH_bulk.smoke.json",
         // "k" keeps coded rows distinct if the bench ever sweeps several
@@ -86,6 +97,7 @@ const GATES: &[Gate] = &[
         metrics: THROUGHPUT_AND_TAIL,
     },
     Gate {
+        name: "stabilization",
         committed: "BENCH_stabilization.json",
         smoke: "BENCH_stabilization.smoke.json",
         id_keys: &["scenario", "mode"],
@@ -127,14 +139,19 @@ fn matches(smoke: &ParsedRow, committed: &ParsedRow, keys: &[&str]) -> bool {
     })
 }
 
-fn load(root: &Path, name: &str, failures: &mut Vec<String>) -> Option<ParsedTrajectory> {
-    let path = root.join(name);
+fn load(
+    root: &Path,
+    gate: &str,
+    file: &str,
+    failures: &mut Vec<String>,
+) -> Option<ParsedTrajectory> {
+    let path = root.join(file);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
             failures.push(format!(
-                "{name}: unreadable ({e}) — run the smoke benches before the gate, \
-                 and keep the committed baselines in the repo"
+                "gate '{gate}': {file} unreadable ({e}) — run the smoke benches before \
+                 the gate, and keep the committed baselines in the repo"
             ));
             return None;
         }
@@ -142,7 +159,9 @@ fn load(root: &Path, name: &str, failures: &mut Vec<String>) -> Option<ParsedTra
     match parse(&text) {
         Some(t) => Some(t),
         None => {
-            failures.push(format!("{name}: malformed trajectory JSON"));
+            failures.push(format!(
+                "gate '{gate}': {file} is malformed trajectory JSON"
+            ));
             None
         }
     }
@@ -165,8 +184,8 @@ fn main() {
     let mut unmatched = 0usize;
     for gate in GATES {
         let (Some(base), Some(smoke)) = (
-            load(&root, gate.committed, &mut failures),
-            load(&root, gate.smoke, &mut failures),
+            load(&root, gate.name, gate.committed, &mut failures),
+            load(&root, gate.name, gate.smoke, &mut failures),
         ) else {
             continue;
         };
@@ -214,9 +233,9 @@ fn main() {
             // rather than silently stop gating. (Matched rows lacking
             // a metric fail separately above with an exact message.)
             failures.push(format!(
-                "{}: no smoke row matched any committed baseline row — \
+                "gate '{}': no smoke row in {} matched any committed baseline row — \
                  identity fields out of sync with the bench output",
-                gate.smoke
+                gate.name, gate.smoke
             ));
         }
     }

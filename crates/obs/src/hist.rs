@@ -331,4 +331,62 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.summary(), both.summary());
     }
+
+    /// Property sweep: for seeded pseudo-random sample sets spanning
+    /// several magnitude regimes, merging two histograms is exactly
+    /// equivalent to recording every sample into one — same summary,
+    /// same quantiles at every probed q.
+    #[test]
+    fn merge_equals_single_population_across_seeded_sweeps() {
+        // Deterministic splitmix64 so the sweep needs no dependencies.
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        for seed in [1u64, 42, 2015, 0xdead_beef] {
+            for (lo, hi) in [(1u64, 1 << 10), (1 << 10, 1 << 30), (1, u64::MAX / 2)] {
+                let mut s = seed ^ lo ^ hi;
+                let mut a = LatencyHistogram::new();
+                let mut b = LatencyHistogram::new();
+                let mut both = LatencyHistogram::new();
+                for i in 0..500 {
+                    let v = lo + splitmix(&mut s) % (hi - lo);
+                    if i % 3 == 0 {
+                        a.record(v);
+                    } else {
+                        b.record(v);
+                    }
+                    both.record(v);
+                }
+                a.merge(&b);
+                assert_eq!(a.summary(), both.summary(), "seed {seed} range {lo}..{hi}");
+                for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+                    assert_eq!(
+                        a.quantile(q),
+                        both.quantile(q),
+                        "seed {seed} range {lo}..{hi} q {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merging an empty histogram is the identity; merging into an empty
+    /// histogram copies the population.
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+        }
+        let before = a.summary();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.summary(), before);
+        let mut fresh = LatencyHistogram::new();
+        fresh.merge(&a);
+        assert_eq!(fresh.summary(), before);
+    }
 }

@@ -12,9 +12,18 @@
 //!   the same convention.
 //! - [`Tracer`] / [`TraceEvent`] — a bounded ring of timestamped protocol
 //!   events (op start/complete, phase transitions, quorum acks,
-//!   retransmissions, fault injections, guard refusals), exportable as
-//!   JSONL ([`Tracer::to_jsonl`]) and as the Chrome trace-event format
-//!   ([`Tracer::to_chrome_trace`], open in `chrome://tracing` or Perfetto).
+//!   retransmissions, fault injections, guard refusals, envelope-stamped
+//!   message send/deliver pairs), exportable as JSONL
+//!   ([`Tracer::to_jsonl`]) and as the Chrome trace-event format
+//!   ([`Tracer::to_chrome_trace`] / [`Tracer::to_chrome_trace_named`]
+//!   with labeled timeline rows and causal flow arrows — open in
+//!   `chrome://tracing` or Perfetto).
+//! - [`ConsistencyMonitor`] — the online per-key atomicity checker:
+//!   feed it op invocations/completions as they happen and it reports
+//!   the first [`Violation`] at event time, with culprit operations.
+//! - [`causal_slice`] — extracts from a trace ring the minimal causal
+//!   sub-trace leading to a set of operations (the flight-recorder
+//!   primitive).
 //!
 //! The crate has **no dependencies** (not even on `sbs-sim`): timestamps
 //! are raw nanosecond `u64`s and process ids raw `u32`s, so the simulator
@@ -24,7 +33,11 @@
 #![warn(missing_debug_implementations)]
 
 mod hist;
+mod monitor;
+mod slice;
 mod trace;
 
 pub use hist::{nearest_rank_index, LatencyHistogram, LatencySummary};
+pub use monitor::{ConsistencyMonitor, Violation, MAX_STATES, MAX_WINDOW};
+pub use slice::causal_slice;
 pub use trace::{TraceEvent, TraceRecord, Tracer};

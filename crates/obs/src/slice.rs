@@ -1,0 +1,219 @@
+//! Causal slicing of a trace ring: given seed operations, extract the
+//! minimal sub-trace of events that causally precede them.
+//!
+//! The sim executes handlers in zero virtual time, so every record with
+//! the same `(pid, at_ns)` stamp belongs to one *execution* — one
+//! handler invocation (or one injected step) of that process at that
+//! instant. Executions form a DAG: a [`TraceEvent::MessageSent`] in
+//! execution A and the [`TraceEvent::MessageDelivered`] with the same
+//! envelope id in execution B put an edge A → B (the delivery, and
+//! everything the handler did, causally depends on the send).
+//! [`causal_slice`] walks this DAG backward from the executions that
+//! mention the seed operations and returns every reachable record in
+//! original order — the "why did this op misbehave" slice the flight
+//! recorder dumps.
+//!
+//! Same-process program order within one execution is implicit (records
+//! share the stamp); program order *across* a process's executions is
+//! intentionally **not** added as edges — a slice explains an op through
+//! the messages that fed it, not through everything its process ever
+//! did. The grouping over-approximates only when two distinct handler
+//! runs of one process land on the same virtual nanosecond, in which
+//! case the slice may include a few sibling records — safe, never
+//! lossy.
+
+use crate::trace::{TraceEvent, TraceRecord};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An execution key: all records stamped `(pid, at_ns)` belong to one
+/// zero-time handler run.
+type Exec = (u32, u64);
+
+/// Extracts the causal slice of `records` that leads to the seed
+/// operations: every record in an execution from which some record
+/// mentioning a seed op (via [`TraceEvent::OpStart`] /
+/// [`TraceEvent::OpComplete`]) is reachable along message edges.
+/// Records are returned in their original (oldest-first) order; the
+/// result is empty iff no record mentions a seed op.
+pub fn causal_slice(records: &[TraceRecord], seed_ops: &[u64]) -> Vec<TraceRecord> {
+    if seed_ops.is_empty() {
+        return Vec::new();
+    }
+    let seeds: BTreeSet<u64> = seed_ops.iter().copied().collect();
+
+    // env id -> sending execution, and the reverse adjacency: execution
+    // -> executions that sent the messages it delivered.
+    let mut sent_by: BTreeMap<u64, Exec> = BTreeMap::new();
+    let mut preds: BTreeMap<Exec, Vec<Exec>> = BTreeMap::new();
+    let mut roots: BTreeSet<Exec> = BTreeSet::new();
+    for rec in records {
+        let exec = (rec.pid, rec.at_ns);
+        match rec.event {
+            TraceEvent::MessageSent { env, .. } => {
+                sent_by.insert(env, exec);
+            }
+            TraceEvent::MessageDelivered { env, .. } => {
+                if let Some(&src) = sent_by.get(&env) {
+                    preds.entry(exec).or_default().push(src);
+                }
+            }
+            TraceEvent::OpStart { op, .. } | TraceEvent::OpComplete { op, .. }
+                if seeds.contains(&op) =>
+            {
+                roots.insert(exec);
+            }
+            _ => {}
+        }
+    }
+
+    // Backward closure over message edges.
+    let mut keep: BTreeSet<Exec> = BTreeSet::new();
+    let mut work: Vec<Exec> = roots.into_iter().collect();
+    while let Some(e) = work.pop() {
+        if !keep.insert(e) {
+            continue;
+        }
+        if let Some(ps) = preds.get(&e) {
+            work.extend(ps.iter().copied());
+        }
+    }
+
+    records
+        .iter()
+        .filter(|r| keep.contains(&(r.pid, r.at_ns)))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, pid: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { at_ns, pid, event }
+    }
+
+    #[test]
+    fn slice_follows_message_edges_backward() {
+        // client 0 starts op 7, sends env 1 to server 2; server 2 sends
+        // env 2 back; client 0 completes op 7. An unrelated op 8 on
+        // client 1 exchanges env 3 with server 3.
+        let records = vec![
+            rec(10, 0, TraceEvent::OpStart { op: 7, kind: "put" }),
+            rec(
+                10,
+                0,
+                TraceEvent::MessageSent {
+                    from: 0,
+                    to: 2,
+                    env: 1,
+                    label: "WRITE",
+                },
+            ),
+            rec(15, 1, TraceEvent::OpStart { op: 8, kind: "get" }),
+            rec(
+                15,
+                1,
+                TraceEvent::MessageSent {
+                    from: 1,
+                    to: 3,
+                    env: 3,
+                    label: "READ",
+                },
+            ),
+            rec(
+                20,
+                2,
+                TraceEvent::MessageDelivered {
+                    from: 0,
+                    to: 2,
+                    env: 1,
+                },
+            ),
+            rec(
+                20,
+                2,
+                TraceEvent::MessageSent {
+                    from: 2,
+                    to: 0,
+                    env: 2,
+                    label: "ACK_WRITE",
+                },
+            ),
+            rec(
+                30,
+                0,
+                TraceEvent::MessageDelivered {
+                    from: 2,
+                    to: 0,
+                    env: 2,
+                },
+            ),
+            rec(30, 0, TraceEvent::OpComplete { op: 7, kind: "put" }),
+        ];
+        let slice = causal_slice(&records, &[7]);
+        // Everything except client 1's unrelated exchange.
+        assert_eq!(slice.len(), 6);
+        assert!(slice.iter().all(|r| r.pid != 1));
+        // Original order is preserved.
+        let times: Vec<u64> = slice.iter().map(|r| r.at_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn slice_is_empty_without_a_matching_seed() {
+        let records = vec![rec(10, 0, TraceEvent::OpStart { op: 1, kind: "put" })];
+        assert!(causal_slice(&records, &[99]).is_empty());
+        assert!(causal_slice(&records, &[]).is_empty());
+    }
+
+    #[test]
+    fn transitive_chain_is_included() {
+        // a -> b -> c, seed only mentions c's execution.
+        let records = vec![
+            rec(
+                1,
+                0,
+                TraceEvent::MessageSent {
+                    from: 0,
+                    to: 1,
+                    env: 1,
+                    label: "A",
+                },
+            ),
+            rec(
+                2,
+                1,
+                TraceEvent::MessageDelivered {
+                    from: 0,
+                    to: 1,
+                    env: 1,
+                },
+            ),
+            rec(
+                2,
+                1,
+                TraceEvent::MessageSent {
+                    from: 1,
+                    to: 2,
+                    env: 2,
+                    label: "B",
+                },
+            ),
+            rec(
+                3,
+                2,
+                TraceEvent::MessageDelivered {
+                    from: 1,
+                    to: 2,
+                    env: 2,
+                },
+            ),
+            rec(3, 2, TraceEvent::OpComplete { op: 5, kind: "get" }),
+        ];
+        let slice = causal_slice(&records, &[5]);
+        assert_eq!(slice.len(), 5, "the whole chain is causally relevant");
+    }
+}

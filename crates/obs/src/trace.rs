@@ -75,6 +75,30 @@ pub enum TraceEvent {
         /// Destination process.
         to: u32,
     },
+    /// A message entered a link (stamped by the scheduler at routing
+    /// time). `env` is the harness-side envelope id — unique per send,
+    /// never on the wire — that ties this record to the matching
+    /// [`TraceEvent::MessageDelivered`] and drives causal stitching.
+    MessageSent {
+        /// Sender process.
+        from: u32,
+        /// Destination process.
+        to: u32,
+        /// Harness-side envelope id (monotone per simulation).
+        env: u64,
+        /// The message's wire label (e.g. `"WRITE"`, `"ACK_WRITE"`).
+        label: &'static str,
+    },
+    /// A message left a link and is about to be dispatched to its
+    /// destination's handler. `env` matches the send-side stamp.
+    MessageDelivered {
+        /// Sender process.
+        from: u32,
+        /// Destination process.
+        to: u32,
+        /// Harness-side envelope id (matches the `MessageSent` stamp).
+        env: u64,
+    },
 }
 
 impl TraceEvent {
@@ -90,6 +114,8 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault",
             TraceEvent::GuardRefusal { .. } => "guard_refusal",
             TraceEvent::MessageDropped { .. } => "msg_dropped",
+            TraceEvent::MessageSent { .. } => "msg_sent",
+            TraceEvent::MessageDelivered { .. } => "msg_delivered",
         }
     }
 
@@ -118,6 +144,20 @@ impl TraceEvent {
             }
             TraceEvent::MessageDropped { from, to } => {
                 let _ = write!(out, "\"from\":{from},\"to\":{to}");
+            }
+            TraceEvent::MessageSent {
+                from,
+                to,
+                env,
+                label,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"from\":{from},\"to\":{to},\"env\":{env},\"label\":\"{label}\""
+                );
+            }
+            TraceEvent::MessageDelivered { from, to, env } => {
+                let _ = write!(out, "\"from\":{from},\"to\":{to},\"env\":{env}");
             }
         }
     }
@@ -152,7 +192,9 @@ struct Ring {
 /// t.record(30, 1, TraceEvent::FaultInjected { what: "corruption" });
 /// assert_eq!(t.len(), 2); // bounded: the oldest record was evicted
 /// assert_eq!(t.evicted(), 1);
-/// assert!(t.to_jsonl().lines().count() == 2);
+/// // JSONL = one meta header line + one line per record.
+/// assert!(t.to_jsonl().lines().count() == 3);
+/// assert!(t.to_jsonl().starts_with("{\"ev\":\"trace_meta\",\"records\":2,\"evicted\":1}"));
 /// ```
 #[derive(Debug, Default)]
 pub struct Tracer {
@@ -218,12 +260,22 @@ impl Tracer {
         self.ring.iter().flat_map(|r| r.buf.iter())
     }
 
-    /// Exports the held records as JSONL: one JSON object per line,
-    /// oldest first, e.g.
-    /// `{"at_ns":10,"pid":0,"ev":"op_start","op":1,"kind":"put"}`.
+    /// Exports the held records as JSONL: a header object naming the
+    /// record and eviction counts (so a truncated ring is visible in the
+    /// artifact itself), then one JSON object per line, oldest first,
+    /// e.g. `{"at_ns":10,"pid":0,"ev":"op_start","op":1,"kind":"put"}`.
+    /// A disabled tracer exports the empty string.
     pub fn to_jsonl(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        if let Some(ring) = &self.ring {
+            let _ = writeln!(
+                out,
+                "{{\"ev\":\"trace_meta\",\"records\":{},\"evicted\":{}}}",
+                ring.buf.len(),
+                ring.evicted
+            );
+        }
         for rec in self.records() {
             let _ = write!(
                 out,
@@ -241,16 +293,51 @@ impl Tracer {
     /// Exports the held records in the Chrome trace-event format
     /// (instant events, microsecond timestamps) — load the output in
     /// `chrome://tracing` or <https://ui.perfetto.dev> for a timeline.
+    ///
+    /// Equivalent to [`Tracer::to_chrome_trace_named`] with no role
+    /// names.
     pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_named(&[])
+    }
+
+    /// Exports the Chrome trace with process/thread metadata and causal
+    /// flow arrows:
+    ///
+    /// - each `(pid, role)` pair in `names` becomes a `thread_name`
+    ///   metadata record, so the timeline rows open labeled (e.g.
+    ///   `client-0`, `server-2`) in Perfetto instead of as bare tids;
+    /// - every [`TraceEvent::MessageSent`] / [`TraceEvent::MessageDelivered`]
+    ///   pair sharing an envelope id additionally emits a flow
+    ///   begin/end event, which Perfetto renders as an arrow from the
+    ///   sender's row to the receiver's row.
+    pub fn to_chrome_trace_named(&self, names: &[(u32, String)]) -> String {
         use std::fmt::Write;
         let mut out = String::from("{\"traceEvents\":[");
-        for (i, rec) in self.records().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !std::mem::take(&mut first) {
                 out.push(',');
             }
+            out.push('\n');
+        };
+        if !names.is_empty() {
+            sep(&mut out);
+            out.push_str(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"sbs-sim\"}}",
+            );
+            for (pid, role) in names {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{pid},\"args\":{{\"name\":\"{role}\"}}}}",
+                );
+            }
+        }
+        for rec in self.records() {
+            sep(&mut out);
             let _ = write!(
                 out,
-                "\n{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
                 rec.event.name(),
                 rec.at_ns / 1000,
                 rec.at_ns % 1000,
@@ -258,6 +345,29 @@ impl Tracer {
             );
             rec.event.write_args(&mut out);
             out.push_str("}}");
+            match rec.event {
+                TraceEvent::MessageSent { env, label, .. } => {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{label}\",\"cat\":\"env\",\"ph\":\"s\",\"id\":{env},\"ts\":{}.{:03},\"pid\":0,\"tid\":{}}}",
+                        rec.at_ns / 1000,
+                        rec.at_ns % 1000,
+                        rec.pid
+                    );
+                }
+                TraceEvent::MessageDelivered { env, .. } => {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"deliver\",\"cat\":\"env\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{env},\"ts\":{}.{:03},\"pid\":0,\"tid\":{}}}",
+                        rec.at_ns / 1000,
+                        rec.at_ns % 1000,
+                        rec.pid
+                    );
+                }
+                _ => {}
+            }
         }
         out.push_str("\n]}\n");
         out
@@ -319,10 +429,64 @@ mod tests {
         );
         assert_eq!(
             t.to_jsonl(),
-            "{\"at_ns\":1500,\"pid\":2,\"ev\":\"op_start\",\"op\":7,\"kind\":\"get\"}\n\
+            "{\"ev\":\"trace_meta\",\"records\":3,\"evicted\":0}\n\
+             {\"at_ns\":1500,\"pid\":2,\"ev\":\"op_start\",\"op\":7,\"kind\":\"get\"}\n\
              {\"at_ns\":2000,\"pid\":3,\"ev\":\"quorum_ack\",\"shard\":1,\"have\":2,\"need\":3}\n\
              {\"at_ns\":2500,\"pid\":4,\"ev\":\"guard_refusal\",\"shard\":9,\"what\":\"unserved-shard\"}\n"
         );
+    }
+
+    #[test]
+    fn jsonl_header_reports_evictions() {
+        let mut t = Tracer::bounded(2);
+        for op in 0..5u64 {
+            t.record(op, 0, TraceEvent::OpStart { op, kind: "put" });
+        }
+        assert!(t
+            .to_jsonl()
+            .starts_with("{\"ev\":\"trace_meta\",\"records\":2,\"evicted\":3}\n"));
+    }
+
+    #[test]
+    fn envelope_events_serialize_and_flow() {
+        let mut t = Tracer::bounded(8);
+        t.record(
+            1000,
+            0,
+            TraceEvent::MessageSent {
+                from: 0,
+                to: 3,
+                env: 41,
+                label: "WRITE",
+            },
+        );
+        t.record(
+            2000,
+            3,
+            TraceEvent::MessageDelivered {
+                from: 0,
+                to: 3,
+                env: 41,
+            },
+        );
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains(
+            "{\"at_ns\":1000,\"pid\":0,\"ev\":\"msg_sent\",\"from\":0,\"to\":3,\"env\":41,\"label\":\"WRITE\"}"
+        ));
+        assert!(jsonl.contains(
+            "{\"at_ns\":2000,\"pid\":3,\"ev\":\"msg_delivered\",\"from\":0,\"to\":3,\"env\":41}"
+        ));
+        let chrome =
+            t.to_chrome_trace_named(&[(0, "client-0".to_string()), (3, "server-0".to_string())]);
+        // Two instants, one flow start, one flow end, three metadata.
+        assert_eq!(chrome.matches("\"ph\":\"i\"").count(), 2);
+        assert_eq!(chrome.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(chrome.matches("\"ph\":\"f\"").count(), 1);
+        assert_eq!(chrome.matches("\"ph\":\"M\"").count(), 3);
+        assert!(chrome.contains("\"name\":\"client-0\""));
+        assert!(chrome.contains("\"name\":\"server-0\""));
+        assert!(chrome.contains("\"id\":41"));
+        assert!(chrome.ends_with("\n]}\n"));
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub use metrics::{Metrics, SlowPath};
 pub use node::{Context, Effects, Message, Node};
 pub use rng::DetRng;
 pub use runtime::ThreadRuntime;
-pub use sbs_obs::{LatencyHistogram, LatencySummary, TraceEvent, TraceRecord, Tracer};
+pub use sbs_obs::{
+    causal_slice, ConsistencyMonitor, LatencyHistogram, LatencySummary, TraceEvent, TraceRecord,
+    Tracer, Violation,
+};
 pub use sim::{SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

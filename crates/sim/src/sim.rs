@@ -64,6 +64,10 @@ enum EventKind<M> {
         to: ProcessId,
         msg: M,
         generation: u64,
+        /// Harness-side envelope id stamped at routing time — purely an
+        /// observability handle (never serialized on the wire), tying
+        /// the `MessageSent` trace record to its `MessageDelivered`.
+        env: u64,
     },
     Timer {
         pid: ProcessId,
@@ -178,6 +182,10 @@ pub struct Simulation<M: Message, O> {
     /// Virtual time of the most recent fault injection (node corruption
     /// or link garbage) — the stabilization probe's `τ_fault`.
     last_fault_at: Option<SimTime>,
+    /// Next harness-side envelope id. Advances on every routed message
+    /// regardless of tracing, touching neither the wire format nor the
+    /// RNG streams, so enabling traces never perturbs schedules.
+    next_env: u64,
 }
 
 impl<M: Message, O: 'static> Simulation<M, O> {
@@ -203,6 +211,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             scratch: Effects::new(),
             tracer: Tracer::disabled(),
             last_fault_at: None,
+            next_env: 0,
         }
     }
 
@@ -475,6 +484,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                 to,
                 msg,
                 generation,
+                env,
             } => {
                 let live = self
                     .link(from, to)
@@ -482,6 +492,15 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                     .unwrap_or(false);
                 if live {
                     self.metrics.messages_delivered += 1;
+                    self.tracer.record(
+                        self.now.as_nanos(),
+                        to.0,
+                        TraceEvent::MessageDelivered {
+                            from: from.0,
+                            to: to.0,
+                            env,
+                        },
+                    );
                     self.dispatch(to, |node, ctx| node.on_message(from, msg, ctx));
                 } else {
                     self.metrics.record_dropped(msg.wire_bytes(), msg.is_bulk());
@@ -596,8 +615,20 @@ impl<M: Message, O: 'static> Simulation<M, O> {
             .unwrap_or_else(|| panic!("send over missing link {from} -> {to}"));
         let at = link.schedule(self.now, &mut self.net_rng);
         let generation = link.generation();
+        let env = self.next_env;
+        self.next_env += 1;
         self.metrics
             .record_send(from, to, msg.label(), msg.wire_bytes(), msg.is_bulk());
+        self.tracer.record(
+            self.now.as_nanos(),
+            from.0,
+            TraceEvent::MessageSent {
+                from: from.0,
+                to: to.0,
+                env,
+                label: msg.label(),
+            },
+        );
         self.push(
             at,
             EventKind::Deliver {
@@ -605,6 +636,7 @@ impl<M: Message, O: 'static> Simulation<M, O> {
                 to,
                 msg,
                 generation,
+                env,
             },
         );
     }

@@ -2,6 +2,7 @@
 //! simulator: the shared server fleet, the writer/reader clients, fault
 //! hooks, and per-key history extraction for the checkers.
 
+use crate::health::{FlightRecord, ReplicaHealth, ShardHealth, StoreHealth};
 use crate::msg::{StoreMsg, StoreOut};
 use crate::node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 use crate::router::KeyRouter;
@@ -15,8 +16,8 @@ use sbs_core::{
     SyncMode,
 };
 use sbs_sim::{
-    DelayModel, DetRng, LatencyHistogram, LatencySummary, OpId, ProcessId, SimConfig, SimDuration,
-    SimTime, Simulation,
+    ConsistencyMonitor, DelayModel, DetRng, LatencyHistogram, LatencySummary, OpId, ProcessId,
+    SimConfig, SimDuration, SimTime, Simulation, Violation,
 };
 use sbs_stamps::{RingSeq, PAPER_MODULUS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -118,6 +119,7 @@ pub struct StoreBuilder {
     batch_window: SimDuration,
     bulk_retain: Option<usize>,
     trace: usize,
+    monitor: bool,
 }
 
 impl StoreBuilder {
@@ -139,6 +141,7 @@ impl StoreBuilder {
             batch_window: SimDuration::ZERO,
             bulk_retain: None,
             trace: 0,
+            monitor: false,
         }
     }
 
@@ -357,6 +360,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Enables the online atomicity monitor: every `put`/`get` is fed to
+    /// an incremental per-key WGL-style checker as it is invoked and
+    /// completed, so a non-atomic response is flagged **at event time**
+    /// (with the violating op, its sim-time, and the culprit op set —
+    /// see [`StoreSystem::monitor_violations`](StoreSystem)) instead of
+    /// by a post-hoc history check. Off by default; monitoring is
+    /// harness-side only and never perturbs the simulation schedule.
+    pub fn monitor(mut self) -> Self {
+        self.monitor = true;
+        self
+    }
+
     /// Overrides how long [`StoreSystem::settle`] simulates before
     /// declaring the store non-quiescent (default 600 simulated seconds).
     /// Long open-loop runs and timeout-heavy synchronous deployments can
@@ -569,6 +584,7 @@ impl StoreBuilder {
             byz_servers: byz_set,
             log: StoreLog::new(),
             latency: BTreeMap::new(),
+            monitor: self.monitor.then(|| ConsistencyMonitor::with_initial(None)),
         }
     }
 }
@@ -774,6 +790,9 @@ pub struct StoreSystem<V: Payload + BulkCodec> {
     /// Completed-op latency histograms keyed by op kind × shard, fed as
     /// completions are drained.
     latency: BTreeMap<(&'static str, u32), LatencyHistogram>,
+    /// The online atomicity monitor over `Option<V>` (`None` = key
+    /// absent), fed at invoke/drain time; `None` when not enabled.
+    monitor: Option<ConsistencyMonitor<Option<V>>>,
 }
 
 impl<V: Payload + BulkCodec> StoreSystem<V> {
@@ -807,6 +826,9 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         let client = self.clients[w];
         let now = self.sim.now();
         let op = self.log.fresh(client, now, key, Some(val.clone()));
+        if let Some(m) = &mut self.monitor {
+            m.op_invoked(op.0, key, now.as_nanos(), Some(Some(val.clone())));
+        }
         let key = key.to_string();
         self.sim
             .with_node::<StoreClientNode<V>, _>(client, |n, ctx| n.invoke_put(op, key, val, ctx));
@@ -819,6 +841,9 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         let client = self.clients[client_idx];
         let now = self.sim.now();
         let op = self.log.fresh(client, now, key, None);
+        if let Some(m) = &mut self.monitor {
+            m.op_invoked(op.0, key, now.as_nanos(), None);
+        }
         let key = key.to_string();
         self.sim
             .with_node::<StoreClientNode<V>, _>(client, |n, ctx| n.invoke_get(op, key, ctx));
@@ -853,10 +878,16 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
             let completed = match out {
                 StoreOut::PutDone { op } => {
                     done.push((pid, op));
+                    if let Some(m) = &mut self.monitor {
+                        m.op_completed(op.0, at.as_nanos(), None);
+                    }
                     self.log.complete(op, at, None, &self.router)
                 }
                 StoreOut::GetDone { op, value } => {
                     done.push((pid, op));
+                    if let Some(m) = &mut self.monitor {
+                        m.op_completed(op.0, at.as_nanos(), Some(value.clone()));
+                    }
                     self.log.complete(op, at, Some(value), &self.router)
                 }
             };
@@ -907,6 +938,122 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
     /// built with [`StoreBuilder::trace`]).
     pub fn tracer(&self) -> &sbs_sim::Tracer {
         self.sim.tracer()
+    }
+
+    /// The online atomicity monitor, if the store was built with
+    /// [`StoreBuilder::monitor`]. Completions reach the monitor when
+    /// they are drained — run [`StoreSystem::settle`] /
+    /// [`StoreSystem::drain`] before reading verdicts.
+    pub fn monitor(&self) -> Option<&ConsistencyMonitor<Option<V>>> {
+        self.monitor.as_ref()
+    }
+
+    /// The atomicity violations flagged so far (empty when the monitor
+    /// is off or the run is clean). Each names the violating operation,
+    /// its sim-time, and the culprit op set.
+    pub fn monitor_violations(&self) -> &[Violation] {
+        self.monitor.as_ref().map_or(&[], |m| m.violations())
+    }
+
+    /// `(pid, role)` names for every process in the deployment —
+    /// `client-N` in client order, then `server-N` in fleet order. Used
+    /// to label Chrome trace exports (pass to
+    /// [`Tracer::to_chrome_trace_named`](sbs_sim::Tracer)).
+    pub fn role_names(&self) -> Vec<(u32, String)> {
+        self.clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.0, format!("client-{i}")))
+            .chain(
+                self.servers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.0, format!("server-{i}"))),
+            )
+            .collect()
+    }
+
+    /// Assembles a point-in-time health snapshot: per-shard completed-op
+    /// tallies (with the hot-shard detector), per-replica message
+    /// traffic, slow-path counters, pending-op count, and per-plane byte
+    /// totals. Cheap — reads existing counters, simulates nothing.
+    pub fn health(&self) -> StoreHealth {
+        let mut shards: BTreeMap<u32, ShardHealth> = (0..self.config.shards)
+            .map(|shard| {
+                (
+                    shard,
+                    ShardHealth {
+                        shard,
+                        puts: 0,
+                        gets: 0,
+                    },
+                )
+            })
+            .collect();
+        for ((kind, shard), h) in &self.latency {
+            let entry = shards.entry(*shard).or_insert(ShardHealth {
+                shard: *shard,
+                puts: 0,
+                gets: 0,
+            });
+            match *kind {
+                "put" => entry.puts += h.count(),
+                _ => entry.gets += h.count(),
+            }
+        }
+        let m = self.sim.metrics();
+        let replicas = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ReplicaHealth {
+                server: i,
+                pid: s.0,
+                msgs_in: self.clients.iter().map(|&c| m.sent_on_link(c, s)).sum(),
+                msgs_out: self.clients.iter().map(|&c| m.sent_on_link(s, c)).sum(),
+            })
+            .collect();
+        let mut health = StoreHealth {
+            shards: shards.into_values().collect(),
+            replicas,
+            slow: m.slow_paths,
+            pending_ops: self.log.invoked.len(),
+            hot_shards: Vec::new(),
+            metadata_bytes_sent: m.metadata_bytes_sent,
+            bulk_bytes_sent: m.bulk_bytes_sent,
+        };
+        health.detect_hot_shards();
+        health
+    }
+
+    /// Dumps the flight recorder: the causal slice of the trace ring
+    /// leading to the suspect operations — the monitor's violating ops
+    /// when violations exist, otherwise every still-pending (possibly
+    /// timed-out) operation. Non-empty slices need the deployment built
+    /// with [`StoreBuilder::trace`] (the slice is cut from the ring) —
+    /// without tracing the dump carries the seeds and violations alone.
+    pub fn flight_recorder(&self) -> FlightRecord {
+        let violations = self.monitor_violations().to_vec();
+        let seed_ops: Vec<u64> = if violations.is_empty() {
+            let mut pending: Vec<u64> = self.log.invoked.keys().map(|op| op.0).collect();
+            pending.sort_unstable();
+            pending
+        } else {
+            let mut ops: Vec<u64> = violations
+                .iter()
+                .flat_map(|v| v.culprits.iter().copied().chain([v.op]))
+                .collect();
+            ops.sort_unstable();
+            ops.dedup();
+            ops
+        };
+        let records: Vec<sbs_sim::TraceRecord> = self.tracer().records().copied().collect();
+        FlightRecord {
+            records: sbs_sim::causal_slice(&records, &seed_ops),
+            seed_ops,
+            violations,
+            names: self.role_names(),
+        }
     }
 
     /// Sim-time from the run's **last fault injection** (corruption, link

@@ -107,6 +107,7 @@
 
 mod batcher;
 mod harness;
+mod health;
 mod map;
 mod msg;
 mod node;
@@ -116,6 +117,7 @@ mod workload;
 
 pub use batcher::DestBatcher;
 pub use harness::{StoreBuilder, StoreConfig, StoreSystem};
+pub use health::{FlightRecord, ReplicaHealth, ShardHealth, StoreHealth};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};
 pub use node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};

@@ -586,6 +586,15 @@ pub struct StoreClientNode<V: Payload + BulkCodec> {
     flush_timer: Option<TimerId>,
     /// Reusable per-destination staging for outgoing register messages.
     batcher: DestBatcher<StorePayload<V>>,
+    /// **Soundness-mutation hook, tests only.** When set, resolved reads
+    /// are served from the *previous* resolved snapshot of the shard
+    /// (one snapshot behind), deliberately breaking the reader recency
+    /// rule. Exists so the monitor-soundness test can prove the online
+    /// checker actually fires — never set it in real deployments.
+    #[doc(hidden)]
+    pub weaken_recency: bool,
+    /// The one-behind snapshot cache `weaken_recency` serves from.
+    stale_snapshots: BTreeMap<u32, Arc<ShardMap<V>>>,
 }
 
 /// The client's operation phase.
@@ -730,6 +739,8 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             window: SimDuration::ZERO,
             flush_timer: None,
             batcher: DestBatcher::new(),
+            weaken_recency: false,
+            stale_snapshots: BTreeMap::new(),
         }
     }
 
@@ -1160,8 +1171,18 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
     ) {
         match goal {
             ReadGoal::Get { ops } => {
+                // Soundness-mutation hook (tests only): serve this round
+                // from the shard's previous resolved snapshot, breaking
+                // recency on purpose so the monitor test can prove the
+                // online checker is not vacuously green.
+                let serve = if self.weaken_recency {
+                    let prev = self.stale_snapshots.insert(shard, map.clone());
+                    prev.unwrap_or(map)
+                } else {
+                    map
+                };
                 for (op, key) in ops {
-                    let value = map.get(&key).cloned();
+                    let value = serve.get(&key).cloned();
                     sub.trace(TraceEvent::OpComplete {
                         op: op.0,
                         kind: "get",
