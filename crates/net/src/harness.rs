@@ -1,0 +1,462 @@
+//! A socket deployment of the store: the same builder, nodes, workload
+//! engine, monitor, and history checkers as the simulator harness —
+//! over loopback TCP.
+//!
+//! [`NetStoreSystem::deploy`] takes the very same
+//! [`StoreBuilder`] the simulator uses, asks it for a
+//! runtime-detached fleet ([`StoreBuilder::build_nodes`]), and hosts
+//! the nodes on a [`ThreadRuntime`] whose transports are
+//! [`TcpTransport`]s — every protocol message crosses a real socket
+//! through the canonical codec. The harness mirrors
+//! `sbs_store::StoreSystem` where it matters for verification:
+//! `put`/`get` bookkeeping with [`OpId`] intervals, the online
+//! [`ConsistencyMonitor`], per-key [`History`] extraction, and the
+//! per-key atomicity check — so the differential sim ≡ socket tests can
+//! hold both backends to the identical standard.
+//!
+//! Time here is wall-clock (mapped onto [`SimTime`] nanoseconds since
+//! deployment), so latencies and throughput are *real*; scheduling is
+//! the OS's, so runs are not replayable. Fault drills (scheduled
+//! corruption, link garbage) remain simulator-only — the workload's
+//! [`FaultPlan`](sbs_store::FaultPlan) must be empty.
+
+use crate::codec::WireCodec;
+use crate::transport::{NetFabric, TcpTransport};
+use sbs_bulk::BulkCodec;
+use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
+use sbs_core::Payload;
+use sbs_sim::{
+    ConsistencyMonitor, LatencyHistogram, LatencySummary, OpId, ProcessId, SimTime, SlowPath,
+    ThreadRuntime, Violation,
+};
+use sbs_store::{
+    KeyRouter, LoopMode, PlannedOp, StoreBuilder, StoreClientNode, StoreConfig, StoreOut,
+    StoreWire, Workload, WorkloadStreams,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock patience for the next completion before a closed-loop run
+/// declares the deployment stalled. Loopback round trips are
+/// microseconds; thirty seconds is unambiguous deadlock.
+const STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What one completed operation did to its key (wall-clock interval).
+#[derive(Clone, Debug)]
+struct KeyedRecord<V> {
+    key: String,
+    record: OpRecord<Option<V>>,
+}
+
+/// Operation bookkeeping, mirroring the sim harness's log: invocation
+/// intervals plus the touched key, for history extraction.
+#[derive(Debug)]
+struct NetLog<V> {
+    next_op: u64,
+    invoked: HashMap<OpId, (ProcessId, SimTime, String, Option<V>)>,
+    completed: Vec<KeyedRecord<V>>,
+}
+
+impl<V: Payload> NetLog<V> {
+    fn new() -> Self {
+        NetLog {
+            next_op: 0,
+            invoked: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, client: ProcessId, now: SimTime, key: &str, put_val: Option<V>) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        self.invoked
+            .insert(op, (client, now, key.to_string(), put_val));
+        op
+    }
+
+    /// Records the completion; returns `(kind, latency_ns)` for the
+    /// latency histograms (`None` on an unknown or duplicate op).
+    fn complete(
+        &mut self,
+        op: OpId,
+        at: SimTime,
+        read_value: Option<Option<V>>,
+    ) -> Option<(&'static str, u64)> {
+        let (client, invoked, key, put_val) = self.invoked.remove(&op)?;
+        let kind_name = if put_val.is_some() { "put" } else { "get" };
+        let latency_ns = at.as_nanos().saturating_sub(invoked.as_nanos());
+        let kind = match put_val {
+            Some(v) => OpKind::Write(Some(v)),
+            None => OpKind::Read(read_value.expect("get completion carries a value")),
+        };
+        self.completed.push(KeyedRecord {
+            key,
+            record: OpRecord {
+                client,
+                op,
+                invoked,
+                responded: at,
+                kind,
+            },
+        });
+        Some((kind_name, latency_ns))
+    }
+}
+
+/// A store deployment on loopback TCP.
+///
+/// Field order is load-bearing for shutdown: the [`ThreadRuntime`] is
+/// dropped first (stopping the node threads, which closes their
+/// outbound streams), then the [`NetFabric`] joins its accept/reader
+/// threads.
+pub struct NetStoreSystem<V: Payload + BulkCodec + Send + Sync> {
+    rt: ThreadRuntime<StoreWire<V>, StoreOut<V>>,
+    fabric: NetFabric,
+    /// All clients: the `writers` shard owners first, then read-only
+    /// clients.
+    pub clients: Vec<ProcessId>,
+    /// The shared server fleet.
+    pub servers: Vec<ProcessId>,
+    router: KeyRouter,
+    config: StoreConfig,
+    epoch: Instant,
+    log: NetLog<V>,
+    latency: BTreeMap<&'static str, LatencyHistogram>,
+    monitor: Option<ConsistencyMonitor<Option<V>>>,
+    drops: Arc<AtomicU64>,
+}
+
+impl<V: Payload + BulkCodec + Send + Sync> std::fmt::Debug for NetStoreSystem<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetStoreSystem")
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
+    /// Deploys `builder`'s fleet on loopback TCP: binds one listener per
+    /// node, spawns the node threads with [`TcpTransport`] backends, and
+    /// starts the inbound fabric. The builder's `monitor()` flag carries
+    /// over to an online [`ConsistencyMonitor`] fed by `put`/`get`.
+    pub fn deploy(builder: &StoreBuilder) -> io::Result<Self> {
+        let set = builder.build_nodes::<V>();
+        let total = set.nodes.len();
+        let codec = WireCodec::new(set.wsn_modulus);
+        let mut fabric = NetFabric::bind(total)?;
+        let addrs = fabric.addrs().to_vec();
+        let drops = Arc::new(AtomicU64::new(0));
+        let transport_drops = Arc::clone(&drops);
+        let rt = ThreadRuntime::spawn_with_transport(set.nodes, set.seed, move |me, _| {
+            Box::new(TcpTransport::<V>::new(
+                me,
+                addrs.clone(),
+                codec,
+                Arc::clone(&transport_drops),
+            ))
+        });
+        let injectors = (0..total)
+            .map(|i| rt.injector(ProcessId(i as u32)))
+            .collect();
+        fabric.start(codec, injectors);
+        Ok(NetStoreSystem {
+            rt,
+            fabric,
+            clients: set.clients,
+            servers: set.servers,
+            router: set.router,
+            config: set.config,
+            epoch: Instant::now(),
+            log: NetLog::new(),
+            latency: BTreeMap::new(),
+            monitor: set.monitor.then(|| ConsistencyMonitor::with_initial(None)),
+            drops,
+        })
+    }
+
+    /// Wall-clock time since deployment, as the harness's [`SimTime`].
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The key router in force.
+    pub fn router(&self) -> &KeyRouter {
+        &self.router
+    }
+
+    /// The validated configuration snapshot this store was built with.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Invokes `put(key, val)` on the shard's owning writer. Values must
+    /// be unique per key across the run (the checkers' requirement).
+    pub fn put(&mut self, key: &str, val: V) -> OpId {
+        let w = self.router.writer_of(key);
+        let client = self.clients[w];
+        let now = self.now();
+        let op = self.log.fresh(client, now, key, Some(val.clone()));
+        if let Some(m) = &mut self.monitor {
+            m.op_invoked(op.0, key, now.as_nanos(), Some(Some(val.clone())));
+        }
+        let key = key.to_string();
+        self.rt
+            .invoke::<StoreClientNode<V>>(client, move |n, ctx| n.invoke_put(op, key, val, ctx));
+        op
+    }
+
+    /// Invokes `get(key)` at client `client_idx` (any client may read
+    /// any key).
+    pub fn get(&mut self, client_idx: usize, key: &str) -> OpId {
+        let client = self.clients[client_idx];
+        let now = self.now();
+        let op = self.log.fresh(client, now, key, None);
+        if let Some(m) = &mut self.monitor {
+            m.op_invoked(op.0, key, now.as_nanos(), None);
+        }
+        let key = key.to_string();
+        self.rt
+            .invoke::<StoreClientNode<V>>(client, move |n, ctx| n.invoke_get(op, key, ctx));
+        op
+    }
+
+    /// Records one raw completion. The completion timestamp is the
+    /// drain time — marginally later than the node emitted it, which
+    /// only *widens* the recorded interval and therefore never turns an
+    /// atomic history into a violation.
+    fn record(&mut self, pid: ProcessId, out: StoreOut<V>) -> (ProcessId, OpId) {
+        let at = self.now();
+        let completed = match out {
+            StoreOut::PutDone { op } => {
+                if let Some(m) = &mut self.monitor {
+                    m.op_completed(op.0, at.as_nanos(), None);
+                }
+                (op, self.log.complete(op, at, None))
+            }
+            StoreOut::GetDone { op, value } => {
+                if let Some(m) = &mut self.monitor {
+                    m.op_completed(op.0, at.as_nanos(), Some(value.clone()));
+                }
+                (op, self.log.complete(op, at, Some(value)))
+            }
+        };
+        if let Some((kind, latency_ns)) = completed.1 {
+            self.latency.entry(kind).or_default().record(latency_ns);
+        }
+        (pid, completed.0)
+    }
+
+    /// Waits up to `timeout` for at least one completion, then drains
+    /// whatever else is immediately available. Empty on timeout.
+    pub fn await_completions(&mut self, timeout: Duration) -> Vec<(ProcessId, OpId)> {
+        let mut raw = Vec::new();
+        if let Some(first) = self.rt.recv_output(timeout) {
+            raw.push(first);
+            raw.extend(self.rt.drain_outputs());
+        }
+        raw.into_iter()
+            .map(|(pid, out)| self.record(pid, out))
+            .collect()
+    }
+
+    /// Drives `w` to completion, closed-loop (one in-flight operation
+    /// per client, refilled on completion), writing `mk(id)` for the
+    /// `id`-th planned write. Returns the wall-clock measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is open-loop or carries a fault plan
+    /// (simulator-only features), or if the deployment stalls for
+    /// thirty wall-clock seconds.
+    pub fn run_workload(&mut self, w: &Workload, mk: impl Fn(u64) -> V) -> NetReport {
+        assert!(
+            matches!(w.loop_mode, LoopMode::Closed),
+            "the socket harness drives closed-loop workloads only"
+        );
+        let f = &w.faults;
+        assert!(
+            f.byzantine.is_empty()
+                && f.corruptions.is_empty()
+                && f.client_corruptions.is_empty()
+                && f.link_garbage.is_empty(),
+            "fault plans are simulator-only (Byzantine servers are a builder knob)"
+        );
+        let mut streams = WorkloadStreams::new(w, &self.router, self.clients.len());
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let started = Instant::now();
+        let mut issue =
+            |sys: &mut Self, streams: &mut WorkloadStreams, c: usize| match streams.next_for(c) {
+                None => false,
+                Some(PlannedOp::Get { key }) => {
+                    sys.get(c, &key);
+                    reads += 1;
+                    true
+                }
+                Some(PlannedOp::Put { key, id }) => {
+                    sys.put(&key, mk(id));
+                    writes += 1;
+                    true
+                }
+            };
+        for c in 0..self.clients.len() {
+            issued += u64::from(issue(self, &mut streams, c));
+        }
+        while completed < issued || issued < w.ops {
+            let done = self.await_completions(STALL_TIMEOUT);
+            assert!(
+                !done.is_empty(),
+                "socket workload stalled: {completed} of {} ops completed",
+                w.ops
+            );
+            completed += done.len() as u64;
+            for (pid, _) in done {
+                let c = self
+                    .clients
+                    .iter()
+                    .position(|&p| p == pid)
+                    .expect("completion from a client");
+                issued += u64::from(issue(self, &mut streams, c));
+            }
+        }
+        let wall_elapsed = started.elapsed();
+        let secs = wall_elapsed.as_secs_f64();
+        NetReport {
+            issued,
+            completed,
+            reads,
+            writes,
+            wall_elapsed,
+            ops_per_wall_sec: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            put_latency: self.latency.get("put").and_then(LatencyHistogram::summary),
+            get_latency: self.latency.get("get").and_then(LatencyHistogram::summary),
+            slow: self.rt.slow_paths(),
+            transport_drops: self.transport_drops(),
+            decode_rejects: self.decode_rejects(),
+        }
+    }
+
+    /// The completed-op latency histogram of `kind` (`"put"` / `"get"`).
+    pub fn latency_histogram(&self, kind: &str) -> Option<&LatencyHistogram> {
+        self.latency.get(kind)
+    }
+
+    /// Slow-path counters folded from every node thread — the same
+    /// tallies the simulator reports in its `Metrics`.
+    pub fn slow_paths(&self) -> SlowPath {
+        self.rt.slow_paths()
+    }
+
+    /// Messages dropped by transports after exhausting reconnects.
+    pub fn transport_drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames that failed to decode (each one killed its
+    /// connection).
+    pub fn decode_rejects(&self) -> u64 {
+        self.fabric.decode_rejects()
+    }
+
+    /// The online atomicity monitor, when enabled at build time.
+    pub fn monitor(&self) -> Option<&ConsistencyMonitor<Option<V>>> {
+        self.monitor.as_ref()
+    }
+
+    /// Violations the online monitor has flagged (empty when the monitor
+    /// is off or clean).
+    pub fn monitor_violations(&self) -> &[Violation] {
+        self.monitor.as_ref().map_or(&[], |m| m.violations())
+    }
+
+    /// Keys touched by completed operations.
+    pub fn keys_touched(&self) -> BTreeSet<String> {
+        self.log.completed.iter().map(|r| r.key.clone()).collect()
+    }
+
+    /// The extracted history of one key — same shape as the sim
+    /// harness's, so the same checkers (and the differential
+    /// `equivalent_write_histories`) apply.
+    pub fn history_for_key(&self, key: &str) -> History<Option<V>> {
+        History::new(
+            self.log
+                .completed
+                .iter()
+                .filter(|r| r.key == key)
+                .map(|r| r.record.clone())
+                .collect(),
+        )
+    }
+
+    /// Every touched key's history, keyed — the input shape of
+    /// `sbs_check::equivalent_write_histories`.
+    pub fn histories(&self) -> BTreeMap<String, History<Option<V>>> {
+        self.keys_touched()
+            .into_iter()
+            .map(|k| {
+                let h = self.history_for_key(&k);
+                (k, h)
+            })
+            .collect()
+    }
+
+    /// Checks every touched key's history for register linearizability
+    /// (initial state: absent), exactly like the sim harness.
+    pub fn check_per_key_atomicity(&self) -> Result<usize, String> {
+        let mut checked = 0;
+        for key in self.keys_touched() {
+            let h = self.history_for_key(&key);
+            h.validate_unique_writes()
+                .map_err(|e| format!("key {key}: {e}"))?;
+            let initial = InitialState::OneOf(std::iter::once(None).collect());
+            let rep = check_linearizable(&h, &initial).map_err(|e| format!("key {key}: {e}"))?;
+            if !rep.linearizable {
+                return Err(format!(
+                    "key {key}: history not linearizable (failed segment {:?}) — {h:?}",
+                    rep.failed_segment
+                ));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+}
+
+/// Wall-clock measurements from one [`NetStoreSystem::run_workload`].
+#[derive(Clone, Debug)]
+pub struct NetReport {
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Writes issued.
+    pub writes: u64,
+    /// Wall time from first invocation to last completion.
+    pub wall_elapsed: Duration,
+    /// Completed operations per wall-clock second — the number the sim
+    /// benches could never report.
+    pub ops_per_wall_sec: f64,
+    /// Completed-put latency percentiles (wall nanoseconds).
+    pub put_latency: Option<LatencySummary>,
+    /// Completed-get latency percentiles (wall nanoseconds).
+    pub get_latency: Option<LatencySummary>,
+    /// Slow-path counters folded across all node threads.
+    pub slow: SlowPath,
+    /// Messages the transports gave up on (link loss).
+    pub transport_drops: u64,
+    /// Inbound frames refused by the codec.
+    pub decode_rejects: u64,
+}

@@ -1,11 +1,15 @@
 //! A thread-backed runtime for the same [`Node`] state machines the
 //! simulator hosts.
 //!
-//! Every node runs on its own OS thread; messages travel over unbounded
+//! Every node runs on its own OS thread; messages leave through a
+//! [`Transport`] — by default [`LocalTransport`], unbounded
 //! `std::sync::mpsc` channels (reliable and FIFO per sender→receiver pair,
-//! matching the paper's link assumptions); timers are serviced with
-//! `recv_timeout`. There is no virtual time — [`Context::now`] reports
-//! wall-clock time since the runtime started, mapped onto [`SimTime`].
+//! matching the paper's link assumptions), but a deployment can supply any
+//! other backend (e.g. the TCP transport in `sbs-net`) via
+//! [`ThreadRuntime::spawn_with_transport`] without touching the nodes.
+//! Timers are serviced with `recv_timeout`. There is no virtual time —
+//! [`Context::now`] reports wall-clock time since the runtime started,
+//! mapped onto [`SimTime`].
 //!
 //! The runtime exists to demonstrate that protocol implementations written
 //! against [`Node`]/[`Context`] are not simulator-bound: the integration
@@ -14,10 +18,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::id::{ProcessId, TimerId};
+use crate::metrics::SlowPath;
 use crate::node::{Context, Effects, Message, Node};
 use crate::rng::DetRng;
 use crate::time::SimTime;
@@ -32,16 +38,102 @@ enum Ctl<M, O> {
     Stop,
 }
 
-/// A running set of nodes, one OS thread each, fully connected by reliable
-/// FIFO channels.
+/// Where a node's outbound messages go.
 ///
-/// Create with [`ThreadRuntime::spawn`], drive with
-/// [`ThreadRuntime::invoke`], observe with [`ThreadRuntime::recv_output`],
-/// and stop with [`ThreadRuntime::shutdown`].
+/// The handler contract ([`Node`]/[`Context`]) records sends into
+/// [`Effects`]; a [`ThreadRuntime`] applies them by handing each
+/// `(to, msg)` pair to the node's `Transport`. The default backend is
+/// [`LocalTransport`] (in-process mpsc); `sbs-net` provides a TCP
+/// backend. Delivery is best-effort from the runtime's point of view:
+/// a transport that cannot deliver drops the message, exactly like a
+/// lossy link in the simulator — the protocols already tolerate loss.
+pub trait Transport<M>: Send + 'static {
+    /// Delivers `msg` from `from` to `to` (or drops it on failure).
+    fn send(&mut self, from: ProcessId, to: ProcessId, msg: M);
+}
+
+/// A cloneable handle that feeds messages straight into one node's inbox,
+/// as if sent by an arbitrary peer.
+///
+/// This is the receive half a custom [`Transport`] backend needs: a TCP
+/// reader thread that decodes a frame from peer `p` calls
+/// `injector.inject(p, msg)` and the hosting node observes an ordinary
+/// `on_message`. The claimed sender is trusted, with the same
+/// impersonation semantics as [`ThreadRuntime::inject`].
+pub struct MsgInjector<M, O> {
+    tx: Sender<Ctl<M, O>>,
+}
+
+// Manual impls: a derive would wrongly require `M: Clone`/`O: Clone`.
+impl<M, O> Clone for MsgInjector<M, O> {
+    fn clone(&self) -> Self {
+        MsgInjector {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<M, O> std::fmt::Debug for MsgInjector<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsgInjector").finish_non_exhaustive()
+    }
+}
+
+impl<M, O> MsgInjector<M, O> {
+    /// Enqueues `msg` for the target node as if sent by `from`. Silently
+    /// drops the message after the runtime has shut down.
+    pub fn inject(&self, from: ProcessId, msg: M) {
+        let _ = self.tx.send(Ctl::Msg { from, msg });
+    }
+}
+
+/// The in-process [`Transport`]: every send goes over the target node's
+/// mpsc channel. Reliable and FIFO per ordered pair of nodes.
+pub struct LocalTransport<M, O> {
+    injectors: Vec<MsgInjector<M, O>>,
+}
+
+impl<M, O> LocalTransport<M, O> {
+    /// A transport that can reach every node behind the given injectors
+    /// (indexed by [`ProcessId::index`]).
+    pub fn new(injectors: Vec<MsgInjector<M, O>>) -> Self {
+        LocalTransport { injectors }
+    }
+}
+
+impl<M, O> std::fmt::Debug for LocalTransport<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTransport")
+            .field("nodes", &self.injectors.len())
+            .finish()
+    }
+}
+
+impl<M, O> Transport<M> for LocalTransport<M, O>
+where
+    M: Send + 'static,
+    O: Send + 'static,
+{
+    fn send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        if let Some(inj) = self.injectors.get(to.index()) {
+            inj.inject(from, msg);
+        }
+    }
+}
+
+/// A running set of nodes, one OS thread each, connected by a pluggable
+/// [`Transport`] (reliable in-process channels by default).
+///
+/// Create with [`ThreadRuntime::spawn`] (or
+/// [`ThreadRuntime::spawn_with_transport`] for a custom backend), drive
+/// with [`ThreadRuntime::invoke`], observe with
+/// [`ThreadRuntime::recv_output`], and stop with
+/// [`ThreadRuntime::shutdown`].
 pub struct ThreadRuntime<M, O> {
     senders: Vec<Sender<Ctl<M, O>>>,
     outputs_rx: Receiver<(ProcessId, O)>,
     handles: Vec<JoinHandle<()>>,
+    slow: Arc<Mutex<SlowPath>>,
 }
 
 impl<M, O> std::fmt::Debug for ThreadRuntime<M, O> {
@@ -57,10 +149,26 @@ where
     M: Message + Send,
     O: Send + 'static,
 {
-    /// Spawns one thread per node. Node `i` is addressed as `ProcessId(i)`.
-    /// Each node's [`Node::on_start`] runs on its own thread before any
-    /// message is processed.
+    /// Spawns one thread per node on the in-process [`LocalTransport`].
+    /// Node `i` is addressed as `ProcessId(i)`. Each node's
+    /// [`Node::on_start`] runs on its own thread before any message is
+    /// processed.
     pub fn spawn(nodes: Vec<Box<dyn Node<Msg = M, Out = O> + Send>>, seed: u64) -> Self {
+        Self::spawn_with_transport(nodes, seed, |_, injectors| {
+            Box::new(LocalTransport::new(injectors.to_vec()))
+        })
+    }
+
+    /// Spawns one thread per node, each sending through the transport
+    /// `mk_transport` builds for it. The factory receives the node's own
+    /// id and injector handles for *every* node in this runtime, so a
+    /// backend can mix local and remote delivery (e.g. loop self-sends
+    /// back in-process while shipping peer traffic over TCP).
+    pub fn spawn_with_transport(
+        nodes: Vec<Box<dyn Node<Msg = M, Out = O> + Send>>,
+        seed: u64,
+        mut mk_transport: impl FnMut(ProcessId, &[MsgInjector<M, O>]) -> Box<dyn Transport<M>>,
+    ) -> Self {
         let n = nodes.len();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -69,17 +177,23 @@ where
             senders.push(tx);
             receivers.push(rx);
         }
+        let injectors: Vec<MsgInjector<M, O>> = senders
+            .iter()
+            .map(|tx| MsgInjector { tx: tx.clone() })
+            .collect();
         let (out_tx, out_rx) = channel::<(ProcessId, O)>();
         let epoch = Instant::now();
+        let slow = Arc::new(Mutex::new(SlowPath::default()));
 
         let mut handles = Vec::with_capacity(n);
         for (i, (node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
             let me = ProcessId(i as u32);
-            let senders = senders.clone();
+            let transport = mk_transport(me, &injectors);
             let out_tx = out_tx.clone();
+            let slow = Arc::clone(&slow);
             let handle = std::thread::Builder::new()
                 .name(format!("sbs-node-{i}"))
-                .spawn(move || node_main(me, node, rx, senders, out_tx, seed, epoch))
+                .spawn(move || node_main(me, node, rx, transport, out_tx, seed, epoch, slow))
                 .expect("failed to spawn node thread");
             handles.push(handle);
         }
@@ -88,6 +202,7 @@ where
             senders,
             outputs_rx: out_rx,
             handles,
+            slow,
         }
     }
 
@@ -99,6 +214,26 @@ where
     /// True if the runtime hosts no nodes.
     pub fn is_empty(&self) -> bool {
         self.senders.is_empty()
+    }
+
+    /// An inbox handle for node `to`, for external delivery sources
+    /// (custom transports' reader threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn injector(&self, to: ProcessId) -> MsgInjector<M, O> {
+        MsgInjector {
+            tx: self.senders[to.index()].clone(),
+        }
+    }
+
+    /// Slow-path counters folded from every handler execution on every
+    /// node thread so far — the same tallies
+    /// [`Metrics::slow_paths`](crate::Metrics::slow_paths) accumulates
+    /// in the simulator.
+    pub fn slow_paths(&self) -> SlowPath {
+        *self.slow.lock().expect("slow-path counter lock poisoned")
     }
 
     /// Runs `f` on node `pid`'s thread against the concrete node type `N`,
@@ -175,10 +310,11 @@ fn node_main<M, O>(
     me: ProcessId,
     mut node: Box<dyn Node<Msg = M, Out = O> + Send>,
     rx: Receiver<Ctl<M, O>>,
-    senders: Vec<Sender<Ctl<M, O>>>,
+    mut transport: Box<dyn Transport<M>>,
     out_tx: Sender<(ProcessId, O)>,
     seed: u64,
     epoch: Instant,
+    slow: Arc<Mutex<SlowPath>>,
 ) where
     M: Message + Send,
     O: Send + 'static,
@@ -195,6 +331,7 @@ fn node_main<M, O>(
          next_timer: &mut u64,
          timers: &mut BinaryHeap<Reverse<(Instant, TimerId)>>,
          cancelled: &mut HashSet<TimerId>,
+         transport: &mut Box<dyn Transport<M>>,
          f: &mut dyn FnMut(&mut dyn Node<Msg = M, Out = O>, &mut Context<'_, M, O>)| {
             let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
             let mut effects: Effects<M, O> = Effects::new();
@@ -202,19 +339,24 @@ fn node_main<M, O>(
                 let mut ctx = Context::new(now, me, rng, next_timer, &mut effects);
                 f(node.as_mut(), &mut ctx);
             }
-            // The thread runtime keeps no Metrics or Tracer, so handler
-            // telemetry (slow-path counters, trace events) is discarded.
+            // The thread runtime keeps no Tracer, so trace events are
+            // discarded, but slow-path counters fold into a shared tally
+            // so thread/socket runs report the same SlowPath as sim runs.
             let Effects {
                 sends,
                 timers_set,
                 timers_cancelled,
                 outputs,
+                slow: handler_slow,
                 ..
             } = effects;
+            if !handler_slow.is_zero() {
+                slow.lock()
+                    .expect("slow-path counter lock poisoned")
+                    .fold(&handler_slow);
+            }
             for (to, msg) in sends {
-                if let Some(tx) = senders.get(to.index()) {
-                    let _ = tx.send(Ctl::Msg { from: me, msg });
-                }
+                transport.send(me, to, msg);
             }
             let base = Instant::now();
             for (id, delay) in timers_set {
@@ -236,6 +378,7 @@ fn node_main<M, O>(
         &mut next_timer,
         &mut timers,
         &mut cancelled,
+        &mut transport,
         &mut |n, ctx| n.on_start(ctx),
     );
 
@@ -252,6 +395,7 @@ fn node_main<M, O>(
                             &mut next_timer,
                             &mut timers,
                             &mut cancelled,
+                            &mut transport,
                             &mut |n, ctx| n.on_timer(id, ctx),
                         );
                     }
@@ -281,6 +425,7 @@ fn node_main<M, O>(
                     &mut next_timer,
                     &mut timers,
                     &mut cancelled,
+                    &mut transport,
                     &mut |n, ctx| {
                         // `msg` is moved in via Option to satisfy FnMut.
                         n.on_message(from, msg.clone(), ctx)
@@ -295,6 +440,7 @@ fn node_main<M, O>(
                     &mut next_timer,
                     &mut timers,
                     &mut cancelled,
+                    &mut transport,
                     &mut |n, ctx| {
                         if let Some(f) = f.take() {
                             f(n, ctx)
@@ -416,6 +562,64 @@ mod tests {
         assert!(rt.drain_outputs().is_empty());
         assert_eq!(rt.len(), 1);
         assert!(!rt.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn slow_paths_fold_across_node_threads() {
+        let nodes: Vec<Box<dyn Node<Msg = TMsg, Out = u32> + Send>> =
+            vec![Box::new(Echo), Box::new(Echo)];
+        let rt = ThreadRuntime::spawn(nodes, 5);
+        assert!(rt.slow_paths().is_zero());
+        for pid in [ProcessId(0), ProcessId(1)] {
+            rt.invoke::<Echo>(pid, |_, ctx| {
+                ctx.note_retransmit();
+                ctx.note_metadata_reread();
+                ctx.output(1);
+            });
+        }
+        // Outputs flush after the handler's effects, so two outputs mean
+        // both folds have happened.
+        for _ in 0..2 {
+            rt.recv_output(Duration::from_secs(5)).expect("ack output");
+        }
+        let slow = rt.slow_paths();
+        assert_eq!(slow.retransmits, 2);
+        assert_eq!(slow.metadata_rereads, 2);
+        assert_eq!(slow.dead_fetch_rounds, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn custom_transport_reroutes_sends() {
+        // A transport that delivers every send to node 0, whoever it was
+        // addressed to — proving spawn_with_transport controls routing.
+        struct Funnel {
+            all_to_zero: MsgInjector<TMsg, u32>,
+        }
+        impl Transport<TMsg> for Funnel {
+            fn send(&mut self, from: ProcessId, _to: ProcessId, msg: TMsg) {
+                self.all_to_zero.inject(from, msg);
+            }
+        }
+        let nodes: Vec<Box<dyn Node<Msg = TMsg, Out = u32> + Send>> = vec![
+            Box::new(Pinger {
+                server: ProcessId(1),
+            }),
+            Box::new(Echo),
+        ];
+        let rt = ThreadRuntime::spawn_with_transport(nodes, 6, |_, injectors| {
+            Box::new(Funnel {
+                all_to_zero: injectors[0].clone(),
+            })
+        });
+        // Node 1 (Echo) answers a ping with a pong addressed back to the
+        // sender; the funnel delivers it to node 0 (Pinger) regardless.
+        rt.injector(ProcessId(1))
+            .inject(ProcessId(2), TMsg::Ping(13));
+        let (pid, v) = rt.recv_output(Duration::from_secs(5)).expect("funneled");
+        assert_eq!(pid, ProcessId(0));
+        assert_eq!(v, 13);
         rt.shutdown();
     }
 }

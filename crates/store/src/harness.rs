@@ -16,8 +16,8 @@ use sbs_core::{
     SyncMode,
 };
 use sbs_sim::{
-    ConsistencyMonitor, DelayModel, DetRng, LatencyHistogram, LatencySummary, OpId, ProcessId,
-    SimConfig, SimDuration, SimTime, Simulation, Violation,
+    ConsistencyMonitor, DelayModel, DetRng, LatencyHistogram, LatencySummary, Node, OpId,
+    ProcessId, SimConfig, SimDuration, SimTime, Simulation, Violation,
 };
 use sbs_stamps::{RingSeq, PAPER_MODULUS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -586,6 +586,122 @@ impl StoreBuilder {
             latency: BTreeMap::new(),
             monitor: self.monitor.then(|| ConsistencyMonitor::with_initial(None)),
         }
+    }
+
+    /// Builds the same fleet as [`StoreBuilder::build`] — same node types,
+    /// same process-id assignment (clients `0..writers+extra_readers`,
+    /// then servers), same Byzantine slots — but **runtime-detached**:
+    /// instead of installing the nodes into the simulator it returns them
+    /// as boxed [`Node`]s for a thread or socket runtime
+    /// (`ThreadRuntime::spawn`, `sbs-net`) to host. The simulator-only
+    /// fault hooks (link garbage, scheduled corruption) do not apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any cross-knob inconsistency (see
+    /// [`StoreBuilder::config`]).
+    pub fn build_nodes<V: Payload + BulkCodec + Send + Sync>(&self) -> StoreNodeSet<V> {
+        let cfg = self.register_config();
+        let snapshot = self.snapshot(cfg);
+        let router = KeyRouter::new(self.shards, self.writers as u32);
+        let clients: Vec<ProcessId> = (0..self.writers + self.extra_readers)
+            .map(|i| ProcessId(i as u32))
+            .collect();
+        let base = clients.len() as u32;
+        let servers: Vec<ProcessId> = (0..self.n).map(|i| ProcessId(base + i as u32)).collect();
+        let initial: StorePayload<V> =
+            SeqVal::new(RingSeq::zero(self.wsn_modulus), StoreVal::empty());
+        let (guard_replicas, guard_coded) = match self.plane {
+            DataPlane::Full => (0, false),
+            DataPlane::Bulk { replicas } => (replicas, false),
+            DataPlane::Coded { replicas, .. } => (replicas, true),
+        };
+        let mut nodes: Vec<Box<dyn Node<Msg = StoreWire<V>, Out = StoreOut<V>> + Send>> =
+            Vec::with_capacity(clients.len() + servers.len());
+        for (i, _) in clients.iter().enumerate() {
+            let owned = if i < self.writers {
+                router.shards_of_writer(i)
+            } else {
+                Vec::new()
+            };
+            nodes.push(Box::new(
+                StoreClientNode::<V>::new(
+                    cfg,
+                    router,
+                    servers.clone(),
+                    clients.clone(),
+                    &owned,
+                    self.wsn_modulus,
+                    self.plane,
+                )
+                .batch_window(self.batch_window),
+            ));
+        }
+        for i in 0..self.n {
+            match self.byz.iter().find(|(bi, _)| *bi == i) {
+                Some((_, strat)) => nodes.push(Box::new(
+                    StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                        strat.clone(),
+                        initial.clone(),
+                    ))
+                    .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
+                    .bulk_retention(self.bulk_retain)
+                    .byzantine_bulk(),
+                )),
+                None => nodes.push(Box::new(
+                    StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                        initial.clone(),
+                    ))
+                    .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
+                    .bulk_retention(self.bulk_retain),
+                )),
+            }
+        }
+        StoreNodeSet {
+            nodes,
+            clients,
+            servers,
+            router,
+            config: snapshot,
+            wsn_modulus: self.wsn_modulus,
+            seed: self.seed,
+            monitor: self.monitor,
+        }
+    }
+}
+
+/// A runtime-detached fleet from [`StoreBuilder::build_nodes`]: the boxed
+/// node state machines plus the deployment facts a hosting runtime needs
+/// (id layout, routing, config, seed). `nodes[i]` is the node addressed
+/// as `ProcessId(i)` — clients first, then servers, matching the
+/// simulator's id assignment so differential runs line up.
+pub struct StoreNodeSet<V: Payload> {
+    /// The node state machines, indexed by process id.
+    pub nodes: Vec<Box<dyn Node<Msg = StoreWire<V>, Out = StoreOut<V>> + Send>>,
+    /// Client process ids (`writers` first, then extra readers).
+    pub clients: Vec<ProcessId>,
+    /// Server process ids.
+    pub servers: Vec<ProcessId>,
+    /// The key→shard→writer routing table.
+    pub router: KeyRouter,
+    /// The frozen deployment snapshot.
+    pub config: StoreConfig,
+    /// The write-sequence-number ring modulus (a codec needs it to
+    /// validate decoded sequence numbers).
+    pub wsn_modulus: u128,
+    /// The builder's seed, for the hosting runtime's per-node RNG streams.
+    pub seed: u64,
+    /// Whether the builder asked for an online consistency monitor.
+    pub monitor: bool,
+}
+
+impl<V: Payload> std::fmt::Debug for StoreNodeSet<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreNodeSet")
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 

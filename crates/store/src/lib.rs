@@ -116,14 +116,16 @@ mod val;
 mod workload;
 
 pub use batcher::DestBatcher;
-pub use harness::{StoreBuilder, StoreConfig, StoreSystem};
+pub use harness::{StoreBuilder, StoreConfig, StoreNodeSet, StoreSystem};
 pub use health::{FlightRecord, ReplicaHealth, ShardHealth, StoreHealth};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};
 pub use node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
 pub use router::{fnv1a64, KeyRouter};
 pub use val::{SizedVal, StoreVal};
-pub use workload::{FaultPlan, KeyDist, LoopMode, OpMix, Workload, WorkloadReport};
+pub use workload::{
+    FaultPlan, KeyDist, LoopMode, OpMix, PlannedOp, Workload, WorkloadReport, WorkloadStreams,
+};
 
 // The mode enum is `sbs-core`'s; re-exported so store users can match on
 // `StoreConfig::mode` without a second dependency.

@@ -21,6 +21,7 @@
 //! (`tests/mode_sync.rs`).
 
 use crate::harness::{StoreBuilder, StoreSystem};
+use crate::router::KeyRouter;
 use sbs_bulk::BulkCodec;
 use sbs_core::{ByzStrategy, Payload};
 use sbs_sim::{DetRng, LatencySummary, SimDuration};
@@ -362,10 +363,36 @@ struct ClientStream {
     writes_issued: u64,
 }
 
-/// Per-run sampling state.
-struct Driver {
-    issued: u64,
-    completed: u64,
+/// One operation from a client's deterministic stream, before it is
+/// handed to any particular system: what to do, not how to run it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannedOp {
+    /// Read `key` through the issuing client.
+    Get {
+        /// The key to read.
+        key: String,
+    },
+    /// Write the `id`-th unique value to `key` (the caller maps `id` onto
+    /// its value type; the mapping must stay injective for the checkers).
+    Put {
+        /// The key to write (owned by the issuing client).
+        key: String,
+        /// Globally unique write sequence number, a pure function of
+        /// (client, per-client write count).
+        id: u64,
+    },
+}
+
+/// The deterministic per-client operation streams of a [`Workload`],
+/// decoupled from any runtime.
+///
+/// Sampling is a pure function of the workload and the
+/// [`KeyRouter`]'s writer assignment — *not* of scheduling, link
+/// delays, or which backend serves the requests. Both the simulator's
+/// drive loops ([`Workload::run`]) and the socket harness in `sbs-net`
+/// pull from this same planner, which is what makes differential
+/// sim ≡ socket runs compare bit-identical issued op sequences.
+pub struct WorkloadStreams {
     keys: Vec<String>,
     global: DistSampler,
     /// Keys each writer client owns, by popularity rank (the write-side
@@ -376,11 +403,20 @@ struct Driver {
     streams: Vec<ClientStream>,
 }
 
-impl Driver {
-    fn new<V: Payload + BulkCodec>(w: &Workload, sys: &StoreSystem<V>) -> Self {
+impl std::fmt::Debug for WorkloadStreams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadStreams")
+            .field("keys", &self.keys.len())
+            .field("clients", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkloadStreams {
+    /// Plans `w`'s operation streams for a deployment of `clients`
+    /// clients whose writer assignment comes from `router`.
+    pub fn new(w: &Workload, router: &KeyRouter, clients: usize) -> Self {
         let keys: Vec<String> = (0..w.keys).map(|i| format!("key{i}")).collect();
-        let router = *sys.router();
-        let clients = sys.clients.len();
         let mut owned_keys: Vec<Vec<usize>> = vec![Vec::new(); clients];
         for (rank, key) in keys.iter().enumerate() {
             owned_keys[router.writer_of(key)].push(rank);
@@ -404,9 +440,7 @@ impl Driver {
                 writes_issued: 0,
             })
             .collect();
-        Driver {
-            issued: 0,
-            completed: 0,
+        WorkloadStreams {
             keys,
             global: w.dist.sampler(w.keys),
             owned_keys,
@@ -416,31 +450,28 @@ impl Driver {
         }
     }
 
-    /// Issues the next operation of client `c`'s stream, honoring the mix
+    /// Number of planned client streams.
+    pub fn clients(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Draws the next operation of client `c`'s stream, honoring the mix
     /// and the writer assignment: reads draw from the global key
     /// distribution, writes draw from the distribution restricted to the
-    /// client's owned keys (a read-only client always reads). A client
-    /// whose quota is exhausted issues nothing.
-    fn issue_next_for<V: Payload + BulkCodec>(
-        &mut self,
-        c: usize,
-        sys: &mut StoreSystem<V>,
-        mk: &impl Fn(u64) -> V,
-        reads: &mut u64,
-        writes: &mut u64,
-    ) {
+    /// client's owned keys (a read-only client always reads). Returns
+    /// `None` once the client's quota is exhausted.
+    pub fn next_for(&mut self, c: usize) -> Option<PlannedOp> {
         let clients = self.streams.len() as u64;
         let stream = &mut self.streams[c];
         if stream.remaining == 0 {
-            return;
+            return None;
         }
         stream.remaining -= 1;
         let wants_read = stream.rng.chance(self.read_fraction);
         let can_write = self.owned_samplers[c].is_some();
         if wants_read || !can_write {
             let key = self.keys[self.global.sample(&mut stream.rng)].clone();
-            sys.get(c, &key);
-            *reads += 1;
+            Some(PlannedOp::Get { key })
         } else {
             let sampler = self.owned_samplers[c].as_ref().expect("checked");
             let rank = self.owned_keys[c][sampler.sample(&mut stream.rng)];
@@ -450,8 +481,48 @@ impl Driver {
             // they replay identically across implementations.
             let id = stream.writes_issued * clients + c as u64 + 1;
             stream.writes_issued += 1;
-            sys.put(&key, mk(id));
-            *writes += 1;
+            Some(PlannedOp::Put { key, id })
+        }
+    }
+}
+
+/// Per-run sampling state: the shared [`WorkloadStreams`] planner plus
+/// the sim drive loop's issue/complete bookkeeping.
+struct Driver {
+    issued: u64,
+    completed: u64,
+    streams: WorkloadStreams,
+}
+
+impl Driver {
+    fn new<V: Payload + BulkCodec>(w: &Workload, sys: &StoreSystem<V>) -> Self {
+        Driver {
+            issued: 0,
+            completed: 0,
+            streams: WorkloadStreams::new(w, sys.router(), sys.clients.len()),
+        }
+    }
+
+    /// Issues the next operation of client `c`'s stream into `sys`. A
+    /// client whose quota is exhausted issues nothing.
+    fn issue_next_for<V: Payload + BulkCodec>(
+        &mut self,
+        c: usize,
+        sys: &mut StoreSystem<V>,
+        mk: &impl Fn(u64) -> V,
+        reads: &mut u64,
+        writes: &mut u64,
+    ) {
+        match self.streams.next_for(c) {
+            None => return,
+            Some(PlannedOp::Get { key }) => {
+                sys.get(c, &key);
+                *reads += 1;
+            }
+            Some(PlannedOp::Put { key, id }) => {
+                sys.put(&key, mk(id));
+                *writes += 1;
+            }
         }
         self.issued += 1;
     }

@@ -17,6 +17,7 @@
 //! | [`baseline`] | `sbs-baseline` | masking-quorum and quiescence-dependent comparison registers |
 //! | [`bulk`] | `sbs-bulk` | content-addressed bulk plane: wide FNV digests, verified blob stores, 2t+1 placement |
 //! | [`store`] | `sbs-store` | sharded multi-register key-value store + YCSB-style workload engine |
+//! | [`net`] | `sbs-net` | canonical wire codec + real-socket (TCP) transport runtime and harness |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,13 @@
 //! link bound, and the whole workload/checker stack runs unchanged over
 //! either mode (the `sync_vs_async` example measures the trade).
 //!
+//! The same deployment also runs over **real TCP sockets**: [`net`]
+//! frames every protocol message through a canonical, Byzantine-hardened
+//! wire codec and hosts the identical node state machines on OS threads
+//! with one socket per peer link — and the differential test suite holds
+//! the socket execution to the same per-key atomicity standard as the
+//! simulator, on the same workloads.
+//!
 //! See the `examples/` directory for fault drills, the MWMR configuration
 //! store, the sharded key-value store under load (`kv_store`), the
 //! synchronous/asynchronous resilience gap, the data-link demo, and
@@ -72,6 +80,7 @@ pub use sbs_bulk as bulk;
 pub use sbs_check as check;
 pub use sbs_core as core;
 pub use sbs_link as link;
+pub use sbs_net as net;
 pub use sbs_sim as sim;
 pub use sbs_stamps as stamps;
 pub use sbs_store as store;
