@@ -39,6 +39,7 @@ fn faulted_ycsb_b() -> Workload {
         corruptions: vec![(SimDuration::millis(3), 1)],
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
+        data_wipes: vec![],
     };
     wl
 }
@@ -104,6 +105,80 @@ fn store_stabilization_probe(traj: &mut BenchTrajectory, repo_root: &Path) {
     }
 }
 
+/// The self-healing probe: the same YCSB-B shape, but the injected
+/// fault is a **mid-run wipe of one replica's data stores** (blob and
+/// fragment), with anti-entropy enabled so the wiped replica pulls its
+/// committed state back from its window peers — no writer republish.
+/// One row per data plane; `stabilization_time_ns` is the simulated
+/// time from the wipe until every touched key's history is atomic
+/// again, gated by trajcheck's `repair-stabilization` gate.
+fn repair_stabilization_probe(traj: &mut BenchTrajectory) {
+    section("repair_stabilization");
+    println!(
+        "{:<22} {:<6} {:>10} {:>18} {:>14} {:>10}",
+        "scenario", "mode", "completed", "stabilization", "repair rounds", "wall ms"
+    );
+    for (mode, builder) in [
+        ("full", StoreBuilder::asynchronous(1)),
+        ("bulk", StoreBuilder::asynchronous(1).bulk()),
+        ("coded", StoreBuilder::asynchronous(1).bulk_coded(2)),
+    ] {
+        let builder = builder
+            .seed(2015)
+            .shards(8)
+            .writers(4)
+            .extra_readers(2)
+            .anti_entropy(SimDuration::millis(2));
+        let mut wl = Workload::ycsb_b(300, 64);
+        wl.seed = 42;
+        wl.faults = FaultPlan {
+            byzantine: vec![],
+            corruptions: vec![],
+            client_corruptions: vec![],
+            link_garbage: vec![],
+            // Mid-run, after the read-heavy mix has committed blobs to
+            // the victim's shard windows — a wipe before the first put
+            // to those shards would be an empty-store no-op.
+            data_wipes: vec![(SimDuration::millis(150), 1)],
+        };
+        let t0 = Instant::now();
+        let (report, sys) = wl.run(&builder);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(report.completed, 300, "probe workload must complete");
+        let st = sys
+            .stabilization_time()
+            .expect("the wiped replica must re-converge on every plane");
+        // Full replication keeps no data stores, so only the bulk and
+        // coded planes must show actual peer-pull repair traffic.
+        if mode != "full" {
+            assert!(
+                report.repair_rounds > 0,
+                "{mode}: the wipe must trigger self-healing repair rounds"
+            );
+        }
+        println!(
+            "{:<22} {:<6} {:>10} {:>18} {:>14} {:>10.1}",
+            "wiped-replica",
+            mode,
+            report.completed,
+            format!("{st}"),
+            report.repair_rounds,
+            wall * 1e3,
+        );
+        traj.row(vec![
+            ("scenario", "wiped-replica".into()),
+            ("mode", mode.into()),
+            ("ops", 300u64.into()),
+            ("completed", report.completed.into()),
+            ("stabilization_time_ns", st.as_nanos().into()),
+            ("repair_rounds", report.repair_rounds.into()),
+            ("slow_retransmits", report.slow_retransmits.into()),
+            ("slow_metadata_rereads", report.slow_metadata_rereads.into()),
+            ("wall_ms", (wall * 1e3).into()),
+        ]);
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut traj = BenchTrajectory::new("stabilization", smoke);
@@ -117,6 +192,7 @@ fn main() {
     // The macro probe is deterministic and cheap; it runs identically in
     // smoke and full mode so the gate compares like with like.
     store_stabilization_probe(&mut traj, &repo_root);
+    repair_stabilization_probe(&mut traj);
     if let Some(path) = traj.write_at_repo_root("stabilization") {
         println!("trajectory written to {}", path.display());
     }

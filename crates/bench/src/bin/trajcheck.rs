@@ -63,6 +63,12 @@ struct Gate {
     /// collapses (an accidental sleep, a reconnect storm), never tuning
     /// noise.
     threshold_floor: f64,
+    /// Restrict this gate to rows whose field `key` equals `value` —
+    /// lets two gates share one trajectory file (e.g. the fault-recovery
+    /// and wipe-repair scenarios both land in
+    /// `BENCH_stabilization.json`) while each keeps its own loud
+    /// zero-matched failure. `None` gates every row of the file.
+    row_filter: Option<(&'static str, &'static str)>,
 }
 
 const THROUGHPUT_AND_TAIL: &[Metric] = &[
@@ -97,6 +103,7 @@ const GATES: &[Gate] = &[
         ],
         metrics: THROUGHPUT_AND_TAIL,
         threshold_floor: 0.0,
+        row_filter: None,
     },
     Gate {
         name: "bulk-vs-full",
@@ -109,6 +116,7 @@ const GATES: &[Gate] = &[
         id_keys: &["n", "t", "value_len", "mode", "k"],
         metrics: THROUGHPUT_AND_TAIL,
         threshold_floor: 0.0,
+        row_filter: None,
     },
     Gate {
         name: "stabilization",
@@ -120,6 +128,23 @@ const GATES: &[Gate] = &[
             higher_is_better: false,
         }],
         threshold_floor: 0.0,
+        row_filter: Some(("scenario", "faulted-ycsb-b")),
+    },
+    // The self-healing probe shares the stabilization trajectory file
+    // but is its own gate: a schema drift that stops the wiped-replica
+    // rows from matching must fail loudly on its own, not hide behind
+    // the still-matching fault-recovery rows.
+    Gate {
+        name: "repair-stabilization",
+        committed: "BENCH_stabilization.json",
+        smoke: "BENCH_stabilization.smoke.json",
+        id_keys: &["scenario", "mode"],
+        metrics: &[Metric {
+            key: "stabilization_time_ns",
+            higher_is_better: false,
+        }],
+        threshold_floor: 0.0,
+        row_filter: Some(("scenario", "wiped-replica")),
     },
     Gate {
         name: "net-wall-clock",
@@ -146,6 +171,7 @@ const GATES: &[Gate] = &[
         // gates above, whose virtual-time numbers are host-independent
         // and gated tightly by `--threshold`.
         threshold_floor: 5.0,
+        row_filter: None,
     },
 ];
 
@@ -232,7 +258,13 @@ fn main() {
         };
         let mut gate_matched = 0usize;
         let threshold = threshold.max(gate.threshold_floor);
-        for row in &smoke.rows {
+        let in_gate = |row: &&ParsedRow| match gate.row_filter {
+            None => true,
+            Some((k, v)) => {
+                matches!(ParsedTrajectory::field(row, k), Some(JsonVal::Str(s)) if s == v)
+            }
+        };
+        for row in smoke.rows.iter().filter(in_gate) {
             let id = identity(row, gate.id_keys);
             let Some(pair) = base.rows.iter().find(|b| matches(row, b, gate.id_keys)) else {
                 println!("note: {}: no committed baseline for [{id}]", gate.smoke);

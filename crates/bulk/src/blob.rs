@@ -269,6 +269,35 @@ impl<K: Ord + Copy, E> RetainedStore<K, E> {
         self.entries.get(key).map(|h| &h.entry)
     }
 
+    /// Discards every entry (and its recency/byte accounting) while
+    /// preserving the retention configuration — a transient data fault,
+    /// not a reconfiguration. The recency sequence keeps advancing so
+    /// post-wipe inserts order strictly after pre-wipe history.
+    fn wipe(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+        self.bytes_stored = 0;
+    }
+
+    /// Drops `key` for every holder (recency included). Used by the
+    /// self-healing serve path when a held entry fails its integrity
+    /// re-check: the corrupt bytes must go before a repaired copy can be
+    /// re-inserted through the verifying `put`.
+    fn remove_key(&mut self, key: &K) -> bool {
+        let Some(held) = self.entries.remove(key) else {
+            return false;
+        };
+        self.bytes_stored -= held.len;
+        for shard in held.holders {
+            if let Some(rec) = self.recency.get_mut(&shard) {
+                if let Some(seq) = rec.seq_of.remove(key) {
+                    rec.by_seq.remove(&seq);
+                }
+            }
+        }
+        true
+    }
+
     fn shards_held(&self) -> BTreeSet<u32> {
         self.entries
             .values()
@@ -356,6 +385,31 @@ impl BulkStore {
     /// The shards this replica holds at least one blob for.
     pub fn shards_held(&self) -> BTreeSet<u32> {
         self.inner.shards_held()
+    }
+
+    /// Discards every blob (transient data fault), preserving the
+    /// retention configuration.
+    pub fn wipe(&mut self) {
+        self.inner.wipe();
+    }
+
+    /// Drops `digest` for every holder. Returns whether it was held.
+    pub fn remove(&mut self, digest: &BulkDigest) -> bool {
+        self.inner.remove_key(digest)
+    }
+
+    /// Every `(holder shard, digest)` pair this replica retains, in
+    /// deterministic order — the raw material for anti-entropy digest
+    /// summaries.
+    pub fn holdings(&self) -> Vec<(u32, BulkDigest)> {
+        let mut out: Vec<(u32, BulkDigest)> = Vec::new();
+        for (digest, held) in &self.inner.entries {
+            for &shard in &held.holders {
+                out.push((shard, *digest));
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -501,6 +555,37 @@ impl FragmentStore {
     /// The shards this replica holds at least one fragment for.
     pub fn shards_held(&self) -> BTreeSet<u32> {
         self.inner.shards_held()
+    }
+
+    /// Discards every fragment (transient data fault), preserving the
+    /// retention configuration.
+    pub fn wipe(&mut self) {
+        self.inner.wipe();
+    }
+
+    /// Drops every index of `root`, for every holder. Returns whether
+    /// anything was held.
+    pub fn remove(&mut self, root: &BulkDigest) -> bool {
+        let keys: Vec<(BulkDigest, u32)> = self.entries_of(root).map(|(k, _)| *k).collect();
+        let mut removed = false;
+        for k in keys {
+            removed |= self.inner.remove_key(&k);
+        }
+        removed
+    }
+
+    /// Every `(holder shard, commitment root)` pair this replica
+    /// retains, deduplicated (a shard's root appears once however many
+    /// indices alias onto it), in deterministic order — the raw material
+    /// for anti-entropy digest summaries.
+    pub fn holdings(&self) -> Vec<(u32, BulkDigest)> {
+        let mut set: BTreeSet<(u32, BulkDigest)> = BTreeSet::new();
+        for ((root, _), held) in &self.inner.entries {
+            for &shard in &held.holders {
+                set.insert((shard, *root));
+            }
+        }
+        set.into_iter().collect()
     }
 }
 
@@ -664,6 +749,53 @@ mod tests {
     #[should_panic(expected = "retention bound must be at least 1")]
     fn zero_retention_is_refused() {
         let _ = BulkStore::with_retention(0);
+    }
+
+    /// Wipe is a transient fault, not a reconfiguration: everything
+    /// drops, the retention bound survives, and post-wipe puts behave
+    /// exactly like puts into a fresh store with the same bound.
+    #[test]
+    fn wipe_clears_state_but_keeps_retention() {
+        let mut s = BulkStore::with_retention(2);
+        let (d1, b1) = blob(1, 10);
+        let (d2, b2) = blob(2, 10);
+        s.put(0, d1, b1.clone());
+        s.put(1, d2, b2);
+        s.wipe();
+        assert_eq!(s.blob_count(), 0);
+        assert_eq!(s.bytes_stored(), 0);
+        assert!(!s.holds(&d1) && !s.holds(&d2));
+        assert_eq!(s.retention(), Some(2));
+        assert!(s.holdings().is_empty());
+        // Re-puts verify and evict against the preserved bound.
+        assert_eq!(s.put(0, d1, b1), PutOutcome::Stored);
+        for i in 10..14u8 {
+            let (d, b) = blob(i, 10);
+            s.put(0, d, b);
+            assert!(s.blob_count() <= 2);
+        }
+    }
+
+    /// `remove` drops an entry for every holder — recency included, so a
+    /// later eviction sweep cannot trip over a dangling recency key.
+    #[test]
+    fn remove_drops_all_holders_and_their_recency() {
+        let mut s = BulkStore::with_retention(1);
+        let (d, b) = blob(5, 30);
+        s.put(0, d, b.clone());
+        s.put(1, d, b);
+        assert_eq!(s.holdings(), vec![(0, d), (1, d)]);
+        assert!(s.remove(&d));
+        assert!(!s.remove(&d), "second remove finds nothing");
+        assert_eq!(s.bytes_stored(), 0);
+        assert!(s.holdings().is_empty());
+        // Both shards churn on fresh digests without tripping recency
+        // debris from the removed key.
+        for i in 20..24u8 {
+            let (di, bi) = blob(i, 10);
+            s.put(u32::from(i % 2), di, bi);
+        }
+        assert_eq!(s.blob_count(), 2);
     }
 
     /// Regression (REVIEW of ISSUE 5, write liveness): a replica shared

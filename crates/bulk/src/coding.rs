@@ -285,6 +285,66 @@ pub fn merkle_proof(leaves: &[BulkDigest], index: usize) -> Vec<BulkDigest> {
     path
 }
 
+/// The full Merkle tree over a fragment set, built **once** per
+/// dispersal. [`merkle_proof`] rebuilds every level for every index —
+/// O(m²) node hashes across an `m`-fragment publish — whereas building
+/// the tree once costs O(m) hashes and each [`MerkleTree::proof`] is
+/// then a pure slice walk. The root and per-index paths are identical
+/// to [`merkle_root`] / [`merkle_proof`] (equality-tested below).
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf level; the last level is `[root]`.
+    levels: Vec<Vec<BulkDigest>>,
+}
+
+impl MerkleTree {
+    /// Builds the tree bottom-up (pairwise hashing, odd nodes promoted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf set.
+    pub fn build(leaves: &[BulkDigest]) -> Self {
+        assert!(!leaves.is_empty(), "commitment over zero fragments");
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().expect("non-empty").len() > 1 {
+            levels.push(fold_level(levels.last().expect("non-empty")));
+        }
+        MerkleTree { levels }
+    }
+
+    /// Number of committed leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The committed root — equal to [`merkle_root`] over the same
+    /// leaves.
+    pub fn root(&self) -> BulkDigest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// The Merkle path authenticating leaf `index` — equal to
+    /// [`merkle_proof`] over the same leaves, without re-folding the
+    /// tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn proof(&self, index: usize) -> Vec<BulkDigest> {
+        assert!(index < self.leaf_count(), "proof index out of range");
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = i ^ 1;
+            if sib < level.len() {
+                path.push(level[sib]);
+            }
+            i /= 2;
+        }
+        path
+    }
+}
+
 /// Verifies that `bytes` is fragment `index` of the `leaf_count`-fragment
 /// set committed to by `root`, by replaying the Merkle path. The tree
 /// shape is derived from `(leaf_count, index)`, so the path length is
@@ -483,6 +543,27 @@ mod tests {
                 PutOutcome::DigestMismatch,
                 "m={m}: the shadowing blob must be unstorable"
             );
+        }
+    }
+
+    /// The amortized tree must agree with the per-index functions on
+    /// every index for every shape that exercises the odd-promotion
+    /// corner (non-powers of two included).
+    #[test]
+    fn merkle_tree_matches_per_index_root_and_proofs() {
+        let mut rng = DetRng::from_seed(0x7E11);
+        for m in 1usize..=17 {
+            let frags: Vec<SharedBytes> = (0..m)
+                .map(|_| SharedBytes::from(&payload(&mut rng, 21)[..]))
+                .collect();
+            let leaves = fragment_leaves(&frags);
+            let tree = MerkleTree::build(&leaves);
+            assert_eq!(tree.leaf_count(), m);
+            assert_eq!(tree.root(), merkle_root(&leaves), "m={m}");
+            for (i, frag) in frags.iter().enumerate() {
+                assert_eq!(tree.proof(i), merkle_proof(&leaves, i), "m={m} i={i}");
+                assert!(verify_fragment(tree.root(), m, i, frag, &tree.proof(i)));
+            }
         }
     }
 

@@ -47,7 +47,7 @@ pub use blob::{BulkStore, FragmentStore, PutOutcome, SharedBytes, StoredFragment
 pub use codec::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64, BulkCodec};
 pub use coding::{
     encode_fragments, fragment_leaves, fragment_len, merkle_proof, merkle_root, reconstruct,
-    verify_fragment,
+    verify_fragment, MerkleTree,
 };
 pub use digest::{digest_of, BulkDigest, BulkRef};
 pub use placement::{coded_push_quorum, data_replica_count, data_replica_slots, push_quorum};

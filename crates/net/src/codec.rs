@@ -99,6 +99,9 @@ const KIND_BULK_GET_ACK: u8 = 4;
 const KIND_FRAG_PUT: u8 = 5;
 const KIND_FRAG_PUT_ACK: u8 = 6;
 const KIND_FRAG_GET_ACK: u8 = 7;
+const KIND_REPAIR_REQ: u8 = 8;
+const KIND_REPAIR_REPLY: u8 = 9;
+const KIND_DIGEST_SUMMARY: u8 = 10;
 
 // Register-message kind bytes (first byte of each batch entry header).
 const REG_WRITE: u8 = 0;
@@ -328,6 +331,65 @@ impl WireCodec {
                     frag,
                 })
             }
+            KIND_REPAIR_REQ => {
+                let shard = take_u32(buf)?;
+                let digest = get_digest(buf)?;
+                Ok(StoreMsg::RepairRequest { shard, digest })
+            }
+            KIND_REPAIR_REPLY => {
+                let shard = take_u32(buf)?;
+                let digest = get_digest(buf)?;
+                let bytes = match take_u8(buf)? {
+                    0 => None,
+                    1 => {
+                        let len = take_u64(buf)?;
+                        if (buf.len() as u64) < len {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let (blob, rest) = buf.split_at(len as usize);
+                        let blob: SharedBytes = Arc::from(blob);
+                        *buf = rest;
+                        Some(blob)
+                    }
+                    _ => return Err(DecodeError::Malformed("option flag")),
+                };
+                let frag = match take_u8(buf)? {
+                    0 => None,
+                    1 => {
+                        let index = take_u32(buf)?;
+                        let frag_len = take_u32(buf)? as usize;
+                        let proof_len = take_u32(buf)? as usize;
+                        if buf.len() < frag_len {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let (frag, rest) = buf.split_at(frag_len);
+                        let frag: SharedBytes = Arc::from(frag);
+                        *buf = rest;
+                        let mut proof = Vec::new();
+                        for _ in 0..proof_len {
+                            proof.push(get_digest(buf)?);
+                        }
+                        Some((index, frag, proof))
+                    }
+                    _ => return Err(DecodeError::Malformed("option flag")),
+                };
+                Ok(StoreMsg::RepairReply {
+                    shard,
+                    digest,
+                    bytes,
+                    frag,
+                })
+            }
+            KIND_DIGEST_SUMMARY => {
+                let count = take_u32(buf)?;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    let shard = take_u32(buf)?;
+                    let digest = get_digest(buf)?;
+                    entries.push((shard, digest));
+                }
+                Ok(StoreMsg::DigestSummary { entries })
+            }
             other => Err(DecodeError::BadKind(other)),
         }
     }
@@ -462,6 +524,9 @@ fn kind_of<P>(msg: &StoreMsg<P>) -> u8 {
         StoreMsg::FragPut { .. } => KIND_FRAG_PUT,
         StoreMsg::FragPutAck { .. } => KIND_FRAG_PUT_ACK,
         StoreMsg::FragGetAck { .. } => KIND_FRAG_GET_ACK,
+        StoreMsg::RepairRequest { .. } => KIND_REPAIR_REQ,
+        StoreMsg::RepairReply { .. } => KIND_REPAIR_REPLY,
+        StoreMsg::DigestSummary { .. } => KIND_DIGEST_SUMMARY,
     }
 }
 
@@ -554,6 +619,49 @@ fn put_body<V: Payload + BulkCodec>(out: &mut Vec<u8>, msg: &StoreWire<V>) {
                         put_digest(out, d);
                     }
                 }
+            }
+        }
+        StoreMsg::RepairRequest { shard, digest } => {
+            put_u32(out, *shard);
+            put_digest(out, digest);
+        }
+        StoreMsg::RepairReply {
+            shard,
+            digest,
+            bytes,
+            frag,
+        } => {
+            put_u32(out, *shard);
+            put_digest(out, digest);
+            // Both planes can ride the same frame shape, so each option
+            // carries explicit lengths instead of running to frame end.
+            match bytes {
+                None => out.push(0),
+                Some(b) => {
+                    out.push(1);
+                    put_u64(out, b.len() as u64);
+                    out.extend_from_slice(b);
+                }
+            }
+            match frag {
+                None => out.push(0),
+                Some((index, b, proof)) => {
+                    out.push(1);
+                    put_u32(out, *index);
+                    put_u32(out, b.len() as u32);
+                    put_u32(out, proof.len() as u32);
+                    out.extend_from_slice(b);
+                    for d in proof {
+                        put_digest(out, d);
+                    }
+                }
+            }
+        }
+        StoreMsg::DigestSummary { entries } => {
+            put_u32(out, entries.len() as u32);
+            for (shard, digest) in entries {
+                put_u32(out, *shard);
+                put_digest(out, digest);
             }
         }
     }

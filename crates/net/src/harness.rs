@@ -283,7 +283,8 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
             f.byzantine.is_empty()
                 && f.corruptions.is_empty()
                 && f.client_corruptions.is_empty()
-                && f.link_garbage.is_empty(),
+                && f.link_garbage.is_empty()
+                && f.data_wipes.is_empty(),
             "fault plans are simulator-only (Byzantine servers are a builder knob)"
         );
         let mut streams = WorkloadStreams::new(w, &self.router, self.clients.len());

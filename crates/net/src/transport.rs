@@ -230,12 +230,7 @@ impl NetFabric {
             !self.listeners.is_empty() || self.addrs.is_empty(),
             "fabric already started"
         );
-        for (i, (listener, injector)) in self
-            .listeners
-            .drain(..)
-            .zip(injectors)
-            .enumerate()
-        {
+        for (i, (listener, injector)) in self.listeners.drain(..).zip(injectors).enumerate() {
             let shutdown = Arc::clone(&self.shutdown);
             let accepted = Arc::clone(&self.accepted);
             let rejects = Arc::clone(&self.rejects);

@@ -84,6 +84,29 @@ fn corpus() -> Vec<Vec<u8>> {
                 }),
             ),
         }]),
+        StoreMsg::RepairRequest {
+            shard: 1,
+            digest: BulkDigest([1, 2, 3, 4]),
+        },
+        StoreMsg::RepairReply {
+            shard: 1,
+            digest: BulkDigest([1, 2, 3, 4]),
+            bytes: Some(SharedBytes::from(&b"0123456789abcdef"[..])),
+            frag: None,
+        },
+        StoreMsg::RepairReply {
+            shard: 1,
+            digest: BulkDigest([5, 6, 7, 8]),
+            bytes: None,
+            frag: Some((
+                2,
+                SharedBytes::from(&b"frag"[..]),
+                vec![BulkDigest([9, 9, 9, 9]); 3],
+            )),
+        },
+        StoreMsg::DigestSummary {
+            entries: vec![(0, BulkDigest([1, 2, 3, 4])), (5, BulkDigest([5, 6, 7, 8]))],
+        },
     ];
     msgs.iter().map(|m| c.encode(m)).collect()
 }

@@ -189,6 +189,38 @@ fn fragment_plane_round_trips() {
 }
 
 #[test]
+fn repair_plane_round_trips() {
+    let mut rng = DetRng::derive(0xC0DEC, 4);
+    for _ in 0..CASES {
+        round_trip(&StoreMsg::RepairRequest {
+            shard: rng.next_u32() % 16,
+            digest: digest(&mut rng),
+        });
+        let blob = rng.chance(0.5);
+        let coded = rng.chance(0.5);
+        round_trip(&StoreMsg::RepairReply {
+            shard: rng.next_u32() % 16,
+            digest: digest(&mut rng),
+            bytes: blob.then(|| bytes(&mut rng, 512)),
+            frag: coded.then(|| {
+                (
+                    rng.next_u32() % 9,
+                    bytes(&mut rng, 256),
+                    (0..rng.range_inclusive(0, 5))
+                        .map(|_| digest(&mut rng))
+                        .collect(),
+                )
+            }),
+        });
+        round_trip(&StoreMsg::DigestSummary {
+            entries: (0..rng.range_inclusive(0, 40))
+                .map(|_| (rng.next_u32() % 16, digest(&mut rng)))
+                .collect(),
+        });
+    }
+}
+
+#[test]
 fn zero_length_bodies_round_trip() {
     // The degenerate shapes: empty batch, empty blob, empty fragment
     // with an empty proof, unanswered gets.
@@ -217,5 +249,14 @@ fn zero_length_bodies_round_trip() {
         root: BulkDigest([0; 4]),
         tag: 0,
         frag: None,
+    });
+    round_trip(&StoreMsg::RepairReply {
+        shard: 0,
+        digest: BulkDigest([0; 4]),
+        bytes: None,
+        frag: None,
+    });
+    round_trip(&StoreMsg::DigestSummary {
+        entries: Vec::new(),
     });
 }

@@ -33,6 +33,10 @@ pub struct SlowPath {
     /// Server-side guard refusals of wire requests that cannot be honest
     /// for the deployment (wrong shard/window/total, plane mismatch).
     pub guard_refusals: u64,
+    /// Self-healing repair rounds: fan-outs of peer pulls issued by a
+    /// data replica that detected a missing or corrupt entry it should
+    /// hold (a wipe, an eviction race, a failed integrity re-check).
+    pub repair_rounds: u64,
 }
 
 impl SlowPath {
@@ -47,6 +51,7 @@ impl SlowPath {
         self.reconstruction_fallbacks += other.reconstruction_fallbacks;
         self.metadata_rereads += other.metadata_rereads;
         self.guard_refusals += other.guard_refusals;
+        self.repair_rounds += other.repair_rounds;
     }
 }
 
@@ -226,11 +231,13 @@ mod tests {
             reconstruction_fallbacks: 3,
             metadata_rereads: 4,
             guard_refusals: 5,
+            repair_rounds: 6,
         };
         a.fold(&b);
         a.fold(&b);
         assert_eq!(a.retransmits, 2);
         assert_eq!(a.guard_refusals, 10);
+        assert_eq!(a.repair_rounds, 12);
         assert!(!a.is_zero());
     }
 }

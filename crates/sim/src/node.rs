@@ -314,6 +314,13 @@ impl<'a, M, O> Context<'a, M, O> {
         self.effects.slow.guard_refusals += 1;
     }
 
+    /// Counts a self-healing repair round (see
+    /// [`SlowPath::repair_rounds`]): one fan-out of peer pulls for a
+    /// digest this replica should hold but found missing or corrupt.
+    pub fn note_repair_round(&mut self) {
+        self.effects.slow.repair_rounds += 1;
+    }
+
     /// Runs `f` with a sub-context that shares this context's time,
     /// identity, RNG, and timer counter, but records effects — possibly of
     /// *different* message/output types — into `effects`.

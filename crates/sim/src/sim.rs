@@ -411,6 +411,20 @@ impl<M: Message, O: 'static> Simulation<M, O> {
         }
     }
 
+    /// Records an externally applied fault against `pid` (e.g. a
+    /// harness-level data-store wipe): stamps
+    /// [`Simulation::last_fault_at`] so stabilization-time measurement
+    /// restarts here, and traces the injection. The node itself is not
+    /// touched — the caller has already applied the fault.
+    pub fn record_fault(&mut self, pid: ProcessId, what: &'static str) {
+        self.last_fault_at = Some(self.now);
+        self.tracer.record(
+            self.now.as_nanos(),
+            pid.0,
+            TraceEvent::FaultInjected { what },
+        );
+    }
+
     /// Runs `f` against the concrete node `N` at `pid` with a live
     /// [`Context`], applying any effects it records. This is how the harness
     /// invokes client operations between events.

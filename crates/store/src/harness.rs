@@ -118,6 +118,7 @@ pub struct StoreBuilder {
     settle_horizon: SimDuration,
     batch_window: SimDuration,
     bulk_retain: Option<usize>,
+    anti_entropy: Option<SimDuration>,
     trace: usize,
     monitor: bool,
 }
@@ -140,6 +141,7 @@ impl StoreBuilder {
             settle_horizon: SETTLE_HORIZON,
             batch_window: SimDuration::ZERO,
             bulk_retain: None,
+            anti_entropy: None,
             trace: 0,
             monitor: false,
         }
@@ -347,6 +349,29 @@ impl StoreBuilder {
         self
     }
 
+    /// Enables the **self-healing data plane** with anti-entropy period
+    /// `period`: every data replica then (a) pulls missing or corrupt
+    /// entries from its window peers the moment a serve detects them
+    /// (proactive repair — no writer involvement), (b) re-checks the
+    /// digest / Merkle path of everything it serves, and (c) gossips a
+    /// bounded rotating digest summary to one peer per period, pulling
+    /// whatever it should hold but does not — so a replica whose data
+    /// stores were wiped mid-run converges back to the committed state.
+    /// Server↔server links are installed only when this is set.
+    ///
+    /// **Off by default**, and deliberately so: with it off no extra
+    /// timers, messages, links, or RNG draws exist, keeping every
+    /// pre-existing run bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period at build time (the gossip timer could
+    /// never advance).
+    pub fn anti_entropy(mut self, period: SimDuration) -> Self {
+        self.anti_entropy = Some(period);
+        self
+    }
+
     /// Enables the protocol trace: the simulation keeps the most recent
     /// `capacity` structured events (op lifecycle, phase transitions,
     /// quorum acks, retransmissions, fault injections, guard refusals),
@@ -434,7 +459,21 @@ impl StoreBuilder {
                  fragments could starve every read",
                 self.t
             );
+            // Fragment indices are GF(2⁸) field points: the Reed–Solomon
+            // code caps a dispersal at 256 fragments. Catch an oversized
+            // window here, at build time, instead of panicking inside the
+            // encoder on the first publish.
+            assert!(
+                replicas <= 256,
+                "coded window of {replicas} replicas exceeds 256: fragment indices are \
+                 GF(2⁸) field points, so a dispersal cannot span more fragments"
+            );
         }
+        assert!(
+            self.anti_entropy != Some(SimDuration::ZERO),
+            "anti-entropy period must be positive — a zero period could never advance the \
+             gossip timer"
+        );
         let mut seen = BTreeSet::new();
         for &(i, _) in &self.byz {
             assert!(
@@ -516,6 +555,17 @@ impl StoreBuilder {
                 sim.add_duplex(c, s, self.delay.clone());
             }
         }
+        // Server↔server links exist only for the self-healing repair
+        // plane: without anti-entropy no server ever addresses a peer,
+        // and not installing the links keeps the link table (and the
+        // delay-model RNG consumption) bit-identical to older builds.
+        if self.anti_entropy.is_some() {
+            for (i, &a) in servers.iter().enumerate() {
+                for &b in &servers[i + 1..] {
+                    sim.add_duplex(a, b, self.delay.clone());
+                }
+            }
+        }
         let initial: StorePayload<V> =
             SeqVal::new(RingSeq::zero(self.wsn_modulus), StoreVal::empty());
         // The admission guard every server gets: its fleet slot, the
@@ -527,30 +577,39 @@ impl StoreBuilder {
             DataPlane::Bulk { replicas } => (replicas, false),
             DataPlane::Coded { replicas, .. } => (replicas, true),
         };
+        let heal_k = match self.plane {
+            DataPlane::Coded { k, .. } => k,
+            DataPlane::Full | DataPlane::Bulk { .. } => 1,
+        };
         let mut byz_set = BTreeSet::new();
         for (i, &s) in servers.iter().enumerate() {
             match self.byz.iter().find(|(bi, _)| *bi == i) {
                 Some((_, strat)) => {
                     byz_set.insert(i);
-                    sim.add_node_at(
-                        s,
+                    let mut node =
                         StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
                             strat.clone(),
                             initial.clone(),
                         ))
                         .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
                         .bulk_retention(self.bulk_retain)
-                        .byzantine_bulk(),
-                    )
+                        .byzantine_bulk();
+                    if let Some(period) = self.anti_entropy {
+                        node = node.self_healing(servers.clone(), heal_k, period);
+                    }
+                    sim.add_node_at(s, node)
                 }
-                None => sim.add_node_at(
-                    s,
-                    StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
-                        initial.clone(),
-                    ))
+                None => {
+                    let mut node = StoreServerNode::new(
+                        ServerNode::<StorePayload<V>, StoreOut<V>>::new(initial.clone()),
+                    )
                     .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
-                    .bulk_retention(self.bulk_retain),
-                ),
+                    .bulk_retention(self.bulk_retain);
+                    if let Some(period) = self.anti_entropy {
+                        node = node.self_healing(servers.clone(), heal_k, period);
+                    }
+                    sim.add_node_at(s, node)
+                }
             }
         }
         for (i, &c) in clients.iter().enumerate() {
@@ -637,24 +696,37 @@ impl StoreBuilder {
                 .batch_window(self.batch_window),
             ));
         }
+        let heal_k = match self.plane {
+            DataPlane::Coded { k, .. } => k,
+            DataPlane::Full | DataPlane::Bulk { .. } => 1,
+        };
         for i in 0..self.n {
             match self.byz.iter().find(|(bi, _)| *bi == i) {
-                Some((_, strat)) => nodes.push(Box::new(
-                    StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
-                        strat.clone(),
-                        initial.clone(),
-                    ))
+                Some((_, strat)) => {
+                    let mut node =
+                        StoreServerNode::new(ByzServerNode::<StorePayload<V>, StoreOut<V>>::new(
+                            strat.clone(),
+                            initial.clone(),
+                        ))
+                        .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
+                        .bulk_retention(self.bulk_retain)
+                        .byzantine_bulk();
+                    if let Some(period) = self.anti_entropy {
+                        node = node.self_healing(servers.clone(), heal_k, period);
+                    }
+                    nodes.push(Box::new(node))
+                }
+                None => {
+                    let mut node = StoreServerNode::new(
+                        ServerNode::<StorePayload<V>, StoreOut<V>>::new(initial.clone()),
+                    )
                     .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
-                    .bulk_retention(self.bulk_retain)
-                    .byzantine_bulk(),
-                )),
-                None => nodes.push(Box::new(
-                    StoreServerNode::new(ServerNode::<StorePayload<V>, StoreOut<V>>::new(
-                        initial.clone(),
-                    ))
-                    .bulk_guard(i, self.n, self.shards, guard_replicas, guard_coded)
-                    .bulk_retention(self.bulk_retain),
-                )),
+                    .bulk_retention(self.bulk_retain);
+                    if let Some(period) = self.anti_entropy {
+                        node = node.self_healing(servers.clone(), heal_k, period);
+                    }
+                    nodes.push(Box::new(node))
+                }
             }
         }
         StoreNodeSet {
@@ -1264,6 +1336,27 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         let now = self.sim.now();
         let s = self.servers[i];
         self.sim.schedule_corruption(now, s);
+    }
+
+    /// Wipes server `i`'s blob **and** fragment stores *now* — the
+    /// data-loss fault the self-healing plane
+    /// ([`StoreBuilder::anti_entropy`]) repairs without writer
+    /// involvement. Register (metadata) state is untouched; retention
+    /// bounds survive. The fault is stamped, so
+    /// [`StoreSystem::stabilization_time`] measures recovery from it.
+    pub fn wipe_server_data(&mut self, i: usize) {
+        type Correct<V> =
+            StoreServerNode<StorePayload<V>, ServerNode<StorePayload<V>, StoreOut<V>>>;
+        type Byz<V> = StoreServerNode<StorePayload<V>, ByzServerNode<StorePayload<V>, StoreOut<V>>>;
+        let pid = self.servers[i];
+        if self.byz_servers.contains(&i) {
+            self.sim
+                .with_node::<Byz<V>, _>(pid, |n, _| n.wipe_data_stores());
+        } else {
+            self.sim
+                .with_node::<Correct<V>, _>(pid, |n, _| n.wipe_data_stores());
+        }
+        self.sim.record_fault(pid, "data-wipe");
     }
 
     /// Applies a transient fault to client `i` *now* — including a shard

@@ -124,6 +124,43 @@ pub enum StoreMsg<P> {
         /// the replica's fragment store (serving costs a refcount bump).
         frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
     },
+    /// Data replica → data replica (self-healing): send whatever you
+    /// hold under `digest` for `shard` — the whole blob (whole-copy
+    /// bulk) or your own verified fragment (coded). Issued by a replica
+    /// that detected a missing/corrupt entry for a digest it should
+    /// serve; guarded like every other bulk-plane request, so replicas
+    /// outside the shard's window refuse it.
+    RepairRequest {
+        /// The shard whose window the requester repairs.
+        shard: u32,
+        /// The content address (blob digest or commitment root).
+        digest: BulkDigest,
+    },
+    /// Data replica → data replica: a peer's holdings for a
+    /// [`StoreMsg::RepairRequest`]. At most one of `bytes` / `frag` is
+    /// set; both `None` is a miss. The **requester** re-verifies
+    /// everything against `digest` before storing — a Byzantine peer can
+    /// garble any of these fields.
+    RepairReply {
+        /// The shard being repaired.
+        shard: u32,
+        /// The requested content address.
+        digest: BulkDigest,
+        /// The peer's whole blob for the digest, if held (whole-copy
+        /// bulk) — shared with the peer's blob store.
+        bytes: Option<SharedBytes>,
+        /// `(index, bytes, proof)` of the peer's fragment of the root,
+        /// if held (coded) — shared with the peer's fragment store.
+        frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
+    },
+    /// Data replica → data replica (anti-entropy): a bounded summary of
+    /// `(shard, digest)` holdings the sender retains. The receiver pulls
+    /// — via [`StoreMsg::RepairRequest`] — whatever it should hold for
+    /// its own window positions but does not.
+    DigestSummary {
+        /// `(holder shard, digest)` pairs, bounded per round.
+        entries: Vec<(u32, BulkDigest)>,
+    },
 }
 
 impl<P: Payload> Message for StoreMsg<P> {
@@ -137,6 +174,9 @@ impl<P: Payload> Message for StoreMsg<P> {
             StoreMsg::FragPut { .. } => "FRAG_PUT",
             StoreMsg::FragPutAck { .. } => "FRAG_PUT_ACK",
             StoreMsg::FragGetAck { .. } => "FRAG_GET_ACK",
+            StoreMsg::RepairRequest { .. } => "REPAIR_REQ",
+            StoreMsg::RepairReply { .. } => "REPAIR_REPLY",
+            StoreMsg::DigestSummary { .. } => "DIGEST_SUMMARY",
         }
     }
 
@@ -160,6 +200,19 @@ impl<P: Payload> Message for StoreMsg<P> {
                     .as_ref()
                     .map_or(0, |(_, b, p)| 4 + b.len() as u64 + 32 * p.len() as u64)
             }
+            StoreMsg::RepairRequest { .. } => 36,
+            // shard (4) + digest (32) + two presence flags; the blob arm
+            // carries a length prefix (8) so the fragment arm can follow
+            // it in one frame, the fragment arm mirrors `FragGetAck`'s
+            // option plus its own length prefix.
+            StoreMsg::RepairReply { bytes, frag, .. } => {
+                38 + bytes.as_ref().map_or(0, |b| 8 + b.len() as u64)
+                    + frag
+                        .as_ref()
+                        .map_or(0, |(_, b, p)| 12 + b.len() as u64 + 32 * p.len() as u64)
+            }
+            // entry count (4) + shard (4) + digest (32) per entry.
+            StoreMsg::DigestSummary { entries } => 4 + 36 * entries.len() as u64,
         }
     }
 
@@ -285,5 +338,44 @@ mod tests {
             frag: None,
         };
         assert_eq!(miss.wire_bytes(), 45);
+    }
+
+    #[test]
+    fn repair_variants_are_bulk_plane_and_sized() {
+        let bytes: sbs_bulk::SharedBytes = vec![0u8; 50].into();
+        let digest = digest_of(&bytes);
+        let req: StoreMsg<u64> = StoreMsg::RepairRequest { shard: 2, digest };
+        assert_eq!(req.label(), "REPAIR_REQ");
+        assert!(req.is_bulk());
+        assert_eq!(req.wire_bytes(), 36);
+        let miss: StoreMsg<u64> = StoreMsg::RepairReply {
+            shard: 2,
+            digest,
+            bytes: None,
+            frag: None,
+        };
+        assert_eq!(miss.label(), "REPAIR_REPLY");
+        assert!(miss.is_bulk());
+        assert_eq!(miss.wire_bytes(), 38);
+        let blob: StoreMsg<u64> = StoreMsg::RepairReply {
+            shard: 2,
+            digest,
+            bytes: Some(bytes.clone()),
+            frag: None,
+        };
+        assert_eq!(blob.wire_bytes(), 38 + 8 + 50);
+        let frag: StoreMsg<u64> = StoreMsg::RepairReply {
+            shard: 2,
+            digest,
+            bytes: None,
+            frag: Some((1, bytes, vec![digest, digest])),
+        };
+        assert_eq!(frag.wire_bytes(), 38 + 12 + 50 + 64);
+        let summary: StoreMsg<u64> = StoreMsg::DigestSummary {
+            entries: vec![(0, digest), (3, digest)],
+        };
+        assert_eq!(summary.label(), "DIGEST_SUMMARY");
+        assert!(summary.is_bulk());
+        assert_eq!(summary.wire_bytes(), 4 + 72);
     }
 }

@@ -80,9 +80,9 @@ use crate::msg::{StoreMsg, StoreOut};
 use crate::router::KeyRouter;
 use crate::val::StoreVal;
 use sbs_bulk::{
-    coded_push_quorum, data_replica_slots, encode_fragments, fragment_leaves, fragment_len,
-    merkle_proof, merkle_root, push_quorum, reconstruct, verify_fragment, BulkCodec, BulkDigest,
-    BulkRef, BulkStore, FragmentStore, SharedBytes, StoredFragment,
+    coded_push_quorum, data_replica_slots, digest_of, encode_fragments, fragment_leaves,
+    fragment_len, push_quorum, reconstruct, verify_fragment, BulkCodec, BulkDigest, BulkRef,
+    BulkStore, FragmentStore, MerkleTree, SharedBytes, StoredFragment,
 };
 use sbs_core::{
     AtomicPolicy, ClientLink, Payload, ReadEngine, ReadPolicy, ReadProgress, RegId, RegMsg,
@@ -160,6 +160,7 @@ pub struct StoreServerNode<P, Inner> {
     bulk: BulkStore,
     frags: FragmentStore,
     guard: Option<BulkGuard>,
+    healer: Option<Healer>,
     byz_bulk: bool,
     batcher: DestBatcher<P>,
     _p: PhantomData<fn() -> P>,
@@ -210,6 +211,72 @@ impl BulkGuard {
     }
 }
 
+/// Entries gossiped per anti-entropy round: a rotation cursor walks the
+/// replica's own holdings, so every digest is eventually announced
+/// without any single summary growing with store size.
+const ANTI_ENTROPY_BATCH: usize = 32;
+
+/// Self-healing state for one data replica, installed by
+/// [`StoreServerNode::self_healing`]. Holds the fleet map the repair
+/// fan-out needs, the in-flight pull jobs, and the anti-entropy gossip
+/// cursors. Absent by default: a node without it sends no repair-plane
+/// messages and arms no timers, keeping fault-free runs bit-identical.
+struct Healer {
+    /// Fleet server process ids in slot order (parallel to the guard's
+    /// slot arithmetic, so window slots map to addressable peers).
+    servers: Vec<ProcessId>,
+    /// Fragments needed to reconstruct a dispersal (1 on the whole-copy
+    /// bulk plane, where one verified blob suffices).
+    k: usize,
+    /// Anti-entropy gossip period.
+    period: SimDuration,
+    /// The armed anti-entropy timer, re-armed every tick.
+    timer: Option<TimerId>,
+    /// In-flight repair pulls by `(shard, digest)`. Deduplicates
+    /// triggers: a digest re-requested while its pull is outstanding
+    /// joins the existing job instead of fanning again.
+    pending: BTreeMap<(u32, BulkDigest), RepairJob>,
+    /// Entries observed missing (a reader's miss, a peer's summary)
+    /// but not yet pulled, with an `armed` flag. The sweep in
+    /// `on_anti_entropy_tick` arms fresh suspects and opens pulls only
+    /// for armed ones still missing — at least one full period of
+    /// grace, longer than every link-delay bound, so a copy that was
+    /// merely in flight (a writer committing on a sub-window push
+    /// quorum, gossip outrunning the push) lands and clears itself
+    /// instead of billing repair rounds to a fault-free run.
+    suspects: BTreeMap<(u32, BulkDigest), bool>,
+    /// Round-robin cursor over peers for digest summaries.
+    peer_cursor: usize,
+    /// Rotation cursor over own holdings for bounded summaries.
+    holdings_cursor: usize,
+}
+
+/// One in-flight repair pull: the verified evidence collected so far.
+#[derive(Default)]
+struct RepairJob {
+    /// Commitment-verified fragments by index (coded plane).
+    frags: BTreeMap<u32, SharedBytes>,
+    /// Peers whose reply could not help (miss, bad digest, bad proof).
+    /// When every window peer is here the reference is fabricated or
+    /// gone fleet-wide and the job is dropped — the bound that stops a
+    /// forged `BULK_GET` digest from leaving a pull open forever.
+    noes: BTreeSet<ProcessId>,
+}
+
+/// The one Byzantine serve-garbling: start from whatever the replica
+/// holds (fabricating `0xAB` filler on a miss, so the adversary never
+/// *looks* like a miss) and flip one byte to a guaranteed-different
+/// value, copy-on-write — the stored entry stays intact. Draw order
+/// (position, then xor mask) is pinned: the blob, fragment, miss, and
+/// repair serve paths all share this helper, so their RNG streams stay
+/// bit-identical to the pre-refactor copies.
+fn garble_served(bytes: Option<&[u8]>, rng: &mut DetRng) -> SharedBytes {
+    let mut g: Vec<u8> = bytes.map_or_else(|| vec![0xAB; 16], |b| b.to_vec());
+    let i = (rng.next_u64() as usize) % g.len();
+    g[i] ^= 1 + (rng.next_u64() % 255) as u8;
+    g.into()
+}
+
 impl<P: Payload, Inner> StoreServerNode<P, Inner> {
     /// Wraps `inner`. Without [`StoreServerNode::bulk_guard`] the bulk
     /// plane accepts any verified payload (the permissive raw-node
@@ -221,6 +288,7 @@ impl<P: Payload, Inner> StoreServerNode<P, Inner> {
             bulk: BulkStore::new(),
             frags: FragmentStore::new(),
             guard: None,
+            healer: None,
             byz_bulk: false,
             batcher: DestBatcher::new(),
             _p: PhantomData,
@@ -263,6 +331,287 @@ impl<P: Payload, Inner> StoreServerNode<P, Inner> {
             self.frags = FragmentStore::with_retention(k);
         }
         self
+    }
+
+    /// Installs the **self-healing plane**: this replica pulls missing
+    /// or corrupt entries from its window peers (`REPAIR_REQ`), answers
+    /// peers' pulls, re-checks integrity of everything it serves, and
+    /// gossips bounded digest summaries every `period` (anti-entropy).
+    /// `servers` is the whole fleet in slot order (parallel to the
+    /// guard's slot arithmetic); `k` is the coded plane's reconstruction
+    /// threshold (1 under whole-copy bulk). Off by default — without
+    /// this call the node emits no repair-plane messages, arms no
+    /// timers, and draws no extra randomness, so fault-free runs stay
+    /// bit-identical to builds that predate self-healing.
+    pub fn self_healing(mut self, servers: Vec<ProcessId>, k: usize, period: SimDuration) -> Self {
+        self.healer = Some(Healer {
+            servers,
+            k: k.max(1),
+            period,
+            timer: None,
+            pending: BTreeMap::new(),
+            suspects: BTreeMap::new(),
+            peer_cursor: 0,
+            holdings_cursor: 0,
+        });
+        self
+    }
+
+    /// Wipes this server's blob **and** fragment stores — the data-wipe
+    /// fault a self-healing deployment must recover from. Metadata
+    /// (register) state is untouched; retention bounds survive the wipe.
+    pub fn wipe_data_stores(&mut self) {
+        self.bulk.wipe();
+        self.frags.wipe();
+    }
+
+    /// The *other* servers of `shard`'s replica window, in slot order —
+    /// the repair pull targets. Empty when self-healing is off, the
+    /// guard is missing, or this server is outside the window.
+    fn window_peers(&self, shard: u32) -> Vec<ProcessId> {
+        let (Some(g), Some(h)) = (&self.guard, &self.healer) else {
+            return Vec::new();
+        };
+        if g.n == 0 || g.window_position(shard).is_none() {
+            return Vec::new();
+        }
+        let base = shard as usize % g.n;
+        (0..g.replicas.min(g.n))
+            .map(|off| (base + off) % g.n)
+            .filter(|&slot| slot != g.slot)
+            .filter_map(|slot| h.servers.get(slot).copied())
+            .collect()
+    }
+
+    /// Marks `(shard, digest)` as a repair suspect. The pull opens at
+    /// the second anti-entropy tick from now, and only if the entry is
+    /// still missing then — a miss is not yet evidence of loss, because
+    /// the observer may simply be ahead of this replica's copy: writers
+    /// commit on a sub-window push quorum (a reader's `BULK_GET` can
+    /// beat the last push), and gossip can outrun a push entirely.
+    /// Corruption detected on serve skips this and repairs immediately
+    /// ([`Self::start_repair`]): a failed digest re-check is proof of
+    /// damage, not a race.
+    fn suspect_missing(&mut self, shard: u32, digest: BulkDigest) {
+        if self.window_peers(shard).is_empty() {
+            return;
+        }
+        let Some(h) = &mut self.healer else { return };
+        if h.pending.contains_key(&(shard, digest)) {
+            return;
+        }
+        h.suspects.entry((shard, digest)).or_insert(false);
+    }
+
+    /// Opens a repair pull for `(shard, digest)`: notes the slow-path
+    /// round, traces it, and fans a `REPAIR_REQ` to every window peer.
+    /// A digest already being pulled joins the existing job instead.
+    fn start_repair<O>(
+        &mut self,
+        shard: u32,
+        digest: BulkDigest,
+        ctx: &mut Context<'_, StoreMsg<P>, O>,
+    ) {
+        let peers = self.window_peers(shard);
+        if peers.is_empty() {
+            return;
+        }
+        let Some(h) = &mut self.healer else { return };
+        if h.pending.contains_key(&(shard, digest)) {
+            return;
+        }
+        h.pending.insert((shard, digest), RepairJob::default());
+        ctx.note_repair_round();
+        ctx.trace(TraceEvent::Phase {
+            shard,
+            phase: "RepairStart",
+        });
+        for p in peers {
+            ctx.send(p, StoreMsg::RepairRequest { shard, digest });
+        }
+    }
+
+    /// Folds one peer's `REPAIR_REPLY` into the matching pull job,
+    /// finishing the repair once the evidence suffices. Everything is
+    /// re-verified against `digest` before storing — a Byzantine peer
+    /// can garble any field of the reply.
+    fn on_repair_reply<O>(
+        &mut self,
+        from: ProcessId,
+        shard: u32,
+        digest: BulkDigest,
+        bytes: Option<SharedBytes>,
+        frag: Option<(u32, SharedBytes, Vec<BulkDigest>)>,
+        ctx: &mut Context<'_, StoreMsg<P>, O>,
+    ) {
+        let quorum = self.window_peers(shard).len();
+        let Some(g) = self.guard else { return };
+        let Some(h) = &mut self.healer else { return };
+        let Some(job) = h.pending.get_mut(&(shard, digest)) else {
+            return;
+        };
+        if !g.coded {
+            // Whole-copy plane: one digest-passing blob finishes the job.
+            match bytes {
+                Some(b) if digest_of(&b) == digest => {
+                    h.pending.remove(&(shard, digest));
+                    self.bulk.put(shard, digest, b);
+                    ctx.trace(TraceEvent::Phase {
+                        shard,
+                        phase: "RepairDone",
+                    });
+                }
+                _ => {
+                    job.noes.insert(from);
+                    if job.noes.len() >= quorum {
+                        h.pending.remove(&(shard, digest));
+                    }
+                }
+            }
+            return;
+        }
+        // Coded plane: collect commitment-verified fragments until any
+        // `k` distinct indices are present.
+        let m = g.replicas;
+        match frag {
+            Some((index, b, proof))
+                if (index as usize) < m
+                    && verify_fragment(digest, m, index as usize, &b, &proof) =>
+            {
+                job.frags.insert(index, b);
+            }
+            _ => {
+                job.noes.insert(from);
+                if job.noes.len() >= quorum {
+                    h.pending.remove(&(shard, digest));
+                }
+                return;
+            }
+        }
+        let k = h.k;
+        if job.frags.len() < k {
+            return;
+        }
+        let pairs: Vec<(u32, SharedBytes)> =
+            job.frags.iter().map(|(i, b)| (*i, b.clone())).collect();
+        h.pending.remove(&(shard, digest));
+        // `k` verified fragments determine the codeword. The replica
+        // does not know the payload's true length (that is metadata),
+        // so it reconstructs the zero-padded `k·⌈len/k⌉` payload —
+        // `fragment_len` of the padded length is the fragment length
+        // again, so re-encoding reproduces the exact committed fragment
+        // set. The re-derived root must equal `digest`: a mismatch
+        // means the writer committed a non-codeword dispersal (or a
+        // peer slipped an aliased fragment set past the index bound) —
+        // refuse the repair rather than store an unservable fragment.
+        let flen = pairs[0].1.len() as u64;
+        let Some(padded) = reconstruct(k, flen * k as u64, &pairs) else {
+            return;
+        };
+        let frags = encode_fragments(&padded, k, m);
+        let tree = MerkleTree::build(&fragment_leaves(&frags));
+        if tree.root() != digest {
+            return;
+        }
+        // Re-derive *this replica's own* window-position fragment — the
+        // AVID rule the put-path guard enforces holds for repaired
+        // fragments too.
+        let Some(pos) = g.window_position(shard) else {
+            return;
+        };
+        let stored = StoredFragment {
+            index: pos as u32,
+            total: m as u32,
+            bytes: frags[pos].clone(),
+            proof: tree.proof(pos),
+        };
+        self.frags.put(shard, digest, stored);
+        ctx.trace(TraceEvent::Phase {
+            shard,
+            phase: "RepairDone",
+        });
+    }
+
+    /// One anti-entropy round: sweep the suspect set (arm fresh
+    /// suspects, open pulls for armed ones still missing), gossip a
+    /// bounded, rotating slice of this server's holdings to the next
+    /// peer round-robin, re-fan any still-pending repair pulls
+    /// (forgetting previous misses, so a peer that was itself mid-wipe
+    /// gets asked again), and re-arm the period timer.
+    fn on_anti_entropy_tick<O>(&mut self, ctx: &mut Context<'_, StoreMsg<P>, O>) {
+        let mut holdings = self.bulk.holdings();
+        holdings.extend(self.frags.holdings());
+        let g = self.guard;
+        let frags = &self.frags;
+        let bulk = &self.bulk;
+        let Some(h) = &mut self.healer else { return };
+        h.timer = Some(ctx.set_timer(h.period));
+        // Two-phase suspect sweep. A suspect that resolved itself (the
+        // in-flight copy landed) is dropped; a fresh one is armed and
+        // gets one full period of grace — longer than any link-delay
+        // bound; an armed one still missing is genuinely lost and
+        // ripens into a pull below.
+        let mut ripe: Vec<(u32, BulkDigest)> = Vec::new();
+        h.suspects.retain(|&(shard, digest), armed| {
+            let held = match g {
+                Some(gg) if gg.coded => frags.get_for(shard, &digest).is_some(),
+                _ => bulk.holds(&digest),
+            };
+            if held {
+                return false;
+            }
+            if *armed {
+                ripe.push((shard, digest));
+                false
+            } else {
+                *armed = true;
+                true
+            }
+        });
+        let entries: Vec<(u32, BulkDigest)> = if holdings.is_empty() {
+            Vec::new()
+        } else {
+            let start = h.holdings_cursor % holdings.len();
+            let take = ANTI_ENTROPY_BATCH.min(holdings.len());
+            h.holdings_cursor = (start + take) % holdings.len();
+            (0..take)
+                .map(|i| holdings[(start + i) % holdings.len()])
+                .collect()
+        };
+        let peer = match g {
+            Some(g) if h.servers.len() > 1 => {
+                let others: Vec<ProcessId> = (0..h.servers.len())
+                    .filter(|&slot| slot != g.slot)
+                    .map(|slot| h.servers[slot])
+                    .collect();
+                let p = others[h.peer_cursor % others.len()];
+                h.peer_cursor = h.peer_cursor.wrapping_add(1);
+                Some(p)
+            }
+            _ => None,
+        };
+        let refan: Vec<(u32, BulkDigest)> = h
+            .pending
+            .iter_mut()
+            .map(|(key, job)| {
+                job.noes.clear();
+                *key
+            })
+            .collect();
+        if let Some(p) = peer {
+            if !entries.is_empty() {
+                ctx.send(p, StoreMsg::DigestSummary { entries });
+            }
+        }
+        for (shard, digest) in refan {
+            ctx.note_repair_round();
+            for p in self.window_peers(shard) {
+                ctx.send(p, StoreMsg::RepairRequest { shard, digest });
+            }
+        }
+        for (shard, digest) in ripe {
+            self.start_repair(shard, digest, ctx);
+        }
     }
 
     /// Makes this server's **data plane** Byzantine too: it stores blobs
@@ -314,6 +663,9 @@ where
     type Out = Inner::Out;
 
     fn on_start(&mut self, ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>) {
+        if let Some(h) = &mut self.healer {
+            h.timer = Some(ctx.set_timer(h.period));
+        }
         let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
         let inner = &mut self.inner;
         ctx.with_effects(&mut eff, |sub| inner.on_start(sub));
@@ -428,62 +780,91 @@ where
                 // on an unguarded server.
                 if self.bulk.holds(&digest) {
                     let bytes = self.bulk.get_shared(&digest);
-                    let bytes = if self.byz_bulk {
-                        let mut g: Vec<u8> = bytes.map_or_else(|| vec![0xAB; 16], |b| b.to_vec());
-                        let i = (ctx.rng().next_u64() as usize) % g.len();
-                        g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
-                        Some(g.into())
-                    } else {
-                        bytes
-                    };
-                    ctx.send(
-                        from,
-                        StoreMsg::BulkGetAck {
-                            shard,
-                            digest,
-                            tag,
-                            bytes,
-                        },
-                    );
-                    return;
+                    // Self-healing integrity re-check on serve: a blob
+                    // that no longer hashes to its address is dropped
+                    // and repaired instead of served. Off without the
+                    // healer (the check costs a re-hash per serve).
+                    let corrupt = self.healer.is_some()
+                        && !self.byz_bulk
+                        && bytes.as_deref().is_none_or(|b| digest_of(b) != digest);
+                    if !corrupt {
+                        let bytes = if self.byz_bulk {
+                            Some(garble_served(bytes.as_deref(), ctx.rng()))
+                        } else {
+                            bytes
+                        };
+                        ctx.send(
+                            from,
+                            StoreMsg::BulkGetAck {
+                                shard,
+                                digest,
+                                tag,
+                                bytes,
+                            },
+                        );
+                        return;
+                    }
+                    self.bulk.remove(&digest);
+                    self.start_repair(shard, digest, ctx);
                 }
                 // Serve the fragment stored for this shard's window
                 // position (overlapping windows can hold several indices
                 // of an aliased root; any verified one helps a reader).
-                if let Some(f) = self.frags.get_for(shard, &digest) {
-                    let (index, proof) = (f.index, f.proof.clone());
-                    let bytes = if self.byz_bulk {
-                        // Garble the served fragment (copy-on-write, the
-                        // stored one stays intact): the client-side
-                        // commitment check must catch this. Stored
-                        // fragments are never empty — a shard map encodes
-                        // to at least its length prefix.
-                        let mut g = f.bytes.to_vec();
-                        let i = (ctx.rng().next_u64() as usize) % g.len();
-                        g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
-                        g.into()
-                    } else {
-                        f.bytes.clone()
-                    };
-                    ctx.send(
-                        from,
-                        StoreMsg::FragGetAck {
-                            shard,
-                            root: digest,
-                            tag,
-                            frag: Some((index, bytes, proof)),
-                        },
-                    );
-                    return;
+                // With the healer installed, the Merkle path is replayed
+                // on the way out — a fragment that stopped verifying is
+                // dropped and repaired instead of served.
+                let served = self.frags.get_for(shard, &digest).map(|f| {
+                    let intact = self.healer.is_none()
+                        || self.byz_bulk
+                        || verify_fragment(
+                            digest,
+                            f.total as usize,
+                            f.index as usize,
+                            &f.bytes,
+                            &f.proof,
+                        );
+                    (intact, f.index, f.bytes.clone(), f.proof.clone())
+                });
+                if let Some((intact, index, bytes, proof)) = served {
+                    if intact {
+                        // Garbling is copy-on-write: the stored fragment
+                        // stays intact, the client-side commitment check
+                        // must catch the served copy. Stored fragments
+                        // are never empty — a shard map encodes to at
+                        // least its length prefix.
+                        let bytes = if self.byz_bulk {
+                            garble_served(Some(&bytes), ctx.rng())
+                        } else {
+                            bytes
+                        };
+                        ctx.send(
+                            from,
+                            StoreMsg::FragGetAck {
+                                shard,
+                                root: digest,
+                                tag,
+                                frag: Some((index, bytes, proof)),
+                            },
+                        );
+                        return;
+                    }
+                    self.frags.remove(&digest);
+                    self.start_repair(shard, digest, ctx);
                 }
-                // Held nowhere: an honest replica answers the miss; a
-                // Byzantine one fabricates garbage bytes instead — which
-                // the client-side digest check must catch.
+                // Held nowhere: a healing replica that should serve
+                // this shard suspects the entry and pulls it from its
+                // window peers if it is still missing after the grace
+                // sweep — the reactive trigger that mends a wiped store
+                // once a reader notices. (Corrupt-on-serve entries were
+                // already repaired unconditionally above.)
+                if !self.byz_bulk {
+                    self.suspect_missing(shard, digest);
+                }
+                // An honest replica answers the miss; a Byzantine one
+                // fabricates garbage bytes instead — which the
+                // client-side digest check must catch.
                 let bytes = if self.byz_bulk {
-                    let mut g = vec![0xAB; 16];
-                    let i = (ctx.rng().next_u64() as usize) % g.len();
-                    g[i] ^= 1 + (ctx.rng().next_u64() % 255) as u8;
-                    Some(g.into())
+                    Some(garble_served(None, ctx.rng()))
                 } else {
                     None
                 };
@@ -497,6 +878,106 @@ where
                     },
                 );
             }
+            StoreMsg::RepairRequest { shard, digest } => {
+                // Peer pull of the self-healing plane. Only a healing
+                // deployment answers (fault-free builds never see the
+                // message), and only for shards this server's window
+                // actually covers.
+                if self.healer.is_none() {
+                    return;
+                }
+                if let Some(g) = &self.guard {
+                    if g.window_position(shard).is_none() {
+                        ctx.note_guard_refusal();
+                        ctx.trace(TraceEvent::GuardRefusal {
+                            shard,
+                            what: "repair-unserved",
+                        });
+                        return;
+                    }
+                }
+                if self.bulk.holds(&digest) {
+                    let bytes = self.bulk.get_shared(&digest);
+                    let bytes = if self.byz_bulk {
+                        Some(garble_served(bytes.as_deref(), ctx.rng()))
+                    } else {
+                        bytes
+                    };
+                    ctx.send(
+                        from,
+                        StoreMsg::RepairReply {
+                            shard,
+                            digest,
+                            bytes,
+                            frag: None,
+                        },
+                    );
+                    return;
+                }
+                if let Some(f) = self.frags.get_for(shard, &digest) {
+                    let (index, proof) = (f.index, f.proof.clone());
+                    let bytes = if self.byz_bulk {
+                        garble_served(Some(&f.bytes), ctx.rng())
+                    } else {
+                        f.bytes.clone()
+                    };
+                    ctx.send(
+                        from,
+                        StoreMsg::RepairReply {
+                            shard,
+                            digest,
+                            bytes: None,
+                            frag: Some((index, bytes, proof)),
+                        },
+                    );
+                    return;
+                }
+                let bytes = if self.byz_bulk {
+                    Some(garble_served(None, ctx.rng()))
+                } else {
+                    None
+                };
+                ctx.send(
+                    from,
+                    StoreMsg::RepairReply {
+                        shard,
+                        digest,
+                        bytes,
+                        frag: None,
+                    },
+                );
+            }
+            StoreMsg::RepairReply {
+                shard,
+                digest,
+                bytes,
+                frag,
+            } => self.on_repair_reply(from, shard, digest, bytes, frag, ctx),
+            StoreMsg::DigestSummary { entries } => {
+                // Anti-entropy pull, deferred: whatever a peer retains
+                // for a window this server covers but cannot serve
+                // itself becomes a repair suspect — the sweep on the
+                // next ticks pulls it only if it stays missing, so
+                // gossip that merely outran a still-in-flight push
+                // never opens a pull.
+                if self.healer.is_none() {
+                    return;
+                }
+                let Some(g) = self.guard else { return };
+                for (shard, digest) in entries {
+                    if g.window_position(shard).is_none() {
+                        continue;
+                    }
+                    let held = if g.coded {
+                        self.frags.get_for(shard, &digest).is_some()
+                    } else {
+                        self.bulk.holds(&digest)
+                    };
+                    if !held {
+                        self.suspect_missing(shard, digest);
+                    }
+                }
+            }
             // Client-bound replies arriving at a server are garbage.
             StoreMsg::BulkPutAck { .. }
             | StoreMsg::BulkGetAck { .. }
@@ -506,6 +987,12 @@ where
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, StoreMsg<P>, Inner::Out>) {
+        // The anti-entropy timer belongs to the wrapper, not the inner
+        // register machine — intercept it before forwarding.
+        if self.healer.as_ref().is_some_and(|h| h.timer == Some(timer)) {
+            self.on_anti_entropy_tick(ctx);
+            return;
+        }
         let mut eff: Effects<RegMsg<P>, Inner::Out> = Effects::new();
         let inner = &mut self.inner;
         ctx.with_effects(&mut eff, |sub| inner.on_timer(timer, sub));
@@ -1071,7 +1558,11 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 let bytes = owned.map.encode_to_vec();
                 let frags = encode_fragments(&bytes, k, m);
                 let leaves = fragment_leaves(&frags);
-                let root = merkle_root(&leaves);
+                // One tree per publish: per-fragment paths are then slice
+                // walks instead of O(m) re-folds each (O(m²) per publish
+                // pre-fix).
+                let tree = MerkleTree::build(&leaves);
+                let root = tree.root();
                 let bref = BulkRef {
                     digest: root,
                     len: bytes.len() as u64,
@@ -1089,7 +1580,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         index: i as u32,
                         total: m as u32,
                         bytes: frag,
-                        proof: merkle_proof(&leaves, i),
+                        proof: tree.proof(i),
                     })
                     .collect();
                 for (&r, msg) in replicas.iter().zip(&pushes) {
@@ -1659,8 +2150,14 @@ impl<V: Payload + BulkCodec> Node for StoreClientNode<V> {
                 tag,
                 frag,
             } => self.on_frag_get_ack(from, shard, root, tag, frag, ctx),
-            // Server-bound bulk requests arriving at a client are garbage.
-            StoreMsg::BulkPut { .. } | StoreMsg::BulkGet { .. } | StoreMsg::FragPut { .. } => {}
+            // Server-bound bulk requests — and the server-to-server
+            // repair plane — arriving at a client are garbage.
+            StoreMsg::BulkPut { .. }
+            | StoreMsg::BulkGet { .. }
+            | StoreMsg::FragPut { .. }
+            | StoreMsg::RepairRequest { .. }
+            | StoreMsg::RepairReply { .. }
+            | StoreMsg::DigestSummary { .. } => {}
         }
         self.step(ctx);
     }
@@ -1785,6 +2282,147 @@ mod tests {
     use super::*;
     use sbs_bulk::digest_of;
     use sbs_sim::SimTime;
+
+    /// Self-healing regression: a repair pull re-derives the dispersal
+    /// and refuses fragment sets whose re-encoded commitment root does
+    /// not match the pulled digest — Byzantine peers can serve
+    /// path-verified fragments of a *non-codeword* commitment (the
+    /// writer-side lie AVID's verifiability exists to catch), and the
+    /// repairer must not store an unservable fragment from them. An
+    /// honest dispersal pulled the same way repairs into this replica's
+    /// own window-position fragment.
+    #[test]
+    fn repair_refuses_commitment_mismatched_fragments() {
+        use sbs_core::ServerNode;
+        type P = u64;
+        // Coded window: n = 9, shards = 4, replicas = 3, k = 2; this
+        // server is slot 1 — window position 1 for shard 0.
+        let servers: Vec<ProcessId> = (0..9).map(ProcessId).collect();
+        let mut node: StoreServerNode<P, ServerNode<P, ()>> =
+            StoreServerNode::new(ServerNode::new(0))
+                .bulk_guard(1, 9, 4, 3, true)
+                .self_healing(servers, 2, SimDuration::millis(1));
+        enum Ev {
+            Start,
+            Msg(u32, StoreMsg<u64>),
+            /// Fire the armed anti-entropy timer — suspects need two
+            /// ticks (arm, then pull) before the repair fans out.
+            Tick,
+        }
+        let mut rng = DetRng::from_seed(3);
+        let mut nt = 0u64;
+        let mut drive = |node: &mut StoreServerNode<P, ServerNode<P, ()>>, ev: Ev| {
+            let mut eff: Effects<StoreMsg<P>, ()> = Effects::new();
+            let mut ctx = Context::new(SimTime::ZERO, ProcessId(1), &mut rng, &mut nt, &mut eff);
+            match ev {
+                Ev::Start => node.on_start(&mut ctx),
+                Ev::Msg(from, msg) => node.on_message(ProcessId(from), msg, &mut ctx),
+                Ev::Tick => {
+                    let t = node.healer.as_ref().unwrap().timer.unwrap();
+                    node.on_timer(t, &mut ctx);
+                }
+            }
+            eff
+        };
+        drive(&mut node, Ev::Start);
+
+        let (k, m) = (2usize, 3usize);
+        let payload = vec![7u8; 64];
+        let frags = encode_fragments(&payload, k, m);
+
+        // The poisoned dispersal: the parity fragment is garbled
+        // *before* committing, so the Merkle root covers a fragment set
+        // that is not a codeword — yet fragments 0 and 1 still verify
+        // against it with honest paths.
+        let mut garbled = frags[2].to_vec();
+        garbled[0] ^= 0x5A;
+        let poisoned = vec![frags[0].clone(), frags[1].clone(), garbled.into()];
+        let bad_tree = MerkleTree::build(&fragment_leaves(&poisoned));
+        let bad_root = bad_tree.root();
+
+        // The summary marks the missing root as a suspect; the pull
+        // opens only after the two-tick grace sweep, fanning requests
+        // to both window peers.
+        let eff = drive(
+            &mut node,
+            Ev::Msg(
+                0,
+                StoreMsg::DigestSummary {
+                    entries: vec![(0, bad_root)],
+                },
+            ),
+        );
+        assert!(
+            eff.sends().is_empty(),
+            "a summary alone must not open a pull (in-flight grace)"
+        );
+        let eff = drive(&mut node, Ev::Tick); // arms the suspect
+        assert_eq!(eff.slow_paths().repair_rounds, 0);
+        let eff = drive(&mut node, Ev::Tick); // still missing: pull
+        assert_eq!(eff.sends().len(), 2, "repair fans to the window peers");
+        assert_eq!(eff.slow_paths().repair_rounds, 1);
+        for (i, from) in [(0u32, 0u32), (1, 2)] {
+            drive(
+                &mut node,
+                Ev::Msg(
+                    from,
+                    StoreMsg::RepairReply {
+                        shard: 0,
+                        digest: bad_root,
+                        bytes: None,
+                        frag: Some((i, poisoned[i as usize].clone(), bad_tree.proof(i as usize))),
+                    },
+                ),
+            );
+        }
+        assert!(
+            !node.frag_store().holds(&bad_root),
+            "a commitment-mismatched dispersal must be refused"
+        );
+
+        // The honest dispersal, pulled identically, repairs into this
+        // replica's own window-position fragment (index 1 for shard 0).
+        let tree = MerkleTree::build(&fragment_leaves(&frags));
+        let root = tree.root();
+        drive(
+            &mut node,
+            Ev::Msg(
+                0,
+                StoreMsg::DigestSummary {
+                    entries: vec![(0, root)],
+                },
+            ),
+        );
+        drive(&mut node, Ev::Tick);
+        drive(&mut node, Ev::Tick);
+        for (i, from) in [(0u32, 0u32), (1, 2)] {
+            drive(
+                &mut node,
+                Ev::Msg(
+                    from,
+                    StoreMsg::RepairReply {
+                        shard: 0,
+                        digest: root,
+                        bytes: None,
+                        frag: Some((i, frags[i as usize].clone(), tree.proof(i as usize))),
+                    },
+                ),
+            );
+        }
+        let stored = node
+            .frag_store()
+            .get_for(0, &root)
+            .expect("the honest dispersal must repair");
+        assert_eq!(stored.index, 1, "repair re-derives the *own-slot* fragment");
+        assert_eq!(stored.bytes.as_ref(), frags[1].as_ref());
+        assert!(verify_fragment(
+            root,
+            m,
+            stored.index as usize,
+            &stored.bytes,
+            &stored.proof
+        ));
+    }
 
     #[test]
     #[should_panic(expected = "does not own shard")]

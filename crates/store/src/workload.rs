@@ -147,6 +147,14 @@ pub struct FaultPlan {
     /// Garbage injection into every client⇄server link at a virtual-time
     /// offset: `(offset from start, batches per link direction)`.
     pub link_garbage: Vec<(SimDuration, usize)>,
+    /// Wipe of one server's bulk **data stores** (blobs and fragments;
+    /// register metadata survives) at a virtual-time offset:
+    /// `(offset from start, server index)`. Applied at the first drive
+    /// slice boundary at or after the offset — deterministic, since
+    /// slice boundaries are fixed virtual times. Pair with
+    /// [`StoreBuilder::anti_entropy`](crate::StoreBuilder::anti_entropy)
+    /// to watch the store heal itself.
+    pub data_wipes: Vec<(SimDuration, usize)>,
 }
 
 impl FaultPlan {
@@ -235,6 +243,22 @@ impl Workload {
         for &(offset, count) in &self.faults.link_garbage {
             sys.pollute_links_at(start + offset, count);
         }
+        // Data wipes reach into node state from the harness, so they
+        // cannot ride the event queue: the drive loops apply each at the
+        // first slice boundary at or after its offset.
+        let mut wipes: Vec<(sbs_sim::SimTime, usize)> = self
+            .faults
+            .data_wipes
+            .iter()
+            .map(|&(offset, server)| (start + offset, server))
+            .collect();
+        wipes.sort_by_key(|&(at, _)| at);
+        let mut apply_due_wipes = |sys: &mut StoreSystem<V>| {
+            while wipes.first().is_some_and(|&(at, _)| at <= sys.sim.now()) {
+                let (_, server) = wipes.remove(0);
+                sys.wipe_server_data(server);
+            }
+        };
 
         let mut driver = Driver::new(self, &sys);
         let mut reads = 0u64;
@@ -250,6 +274,7 @@ impl Workload {
                 let mut idle_slices = 0;
                 while driver.completed < driver.issued || driver.issued < self.ops {
                     let done = sys.run_for(DRIVE_SLICE);
+                    apply_due_wipes(&mut sys);
                     if done.is_empty() {
                         idle_slices += 1;
                         assert!(
@@ -293,6 +318,7 @@ impl Workload {
                     if sys.sim.now() < target {
                         let done = sys.run_for(target - sys.sim.now());
                         driver.completed += done.len() as u64;
+                        apply_due_wipes(&mut sys);
                     }
                     driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                 }
@@ -300,6 +326,7 @@ impl Workload {
                 while driver.completed < driver.issued {
                     let done = sys.run_for(DRIVE_SLICE).len() as u64;
                     driver.completed += done;
+                    apply_due_wipes(&mut sys);
                     idle_slices = if done == 0 { idle_slices + 1 } else { 0 };
                     assert!(
                         idle_slices < STALL_SLICES,
@@ -334,6 +361,7 @@ impl Workload {
             slow_retransmits: sys.sim.metrics().slow_paths.retransmits,
             slow_dead_fetch_rounds: sys.sim.metrics().slow_paths.dead_fetch_rounds,
             slow_metadata_rereads: sys.sim.metrics().slow_paths.metadata_rereads,
+            repair_rounds: sys.sim.metrics().slow_paths.repair_rounds,
         };
         (report, sys)
     }
@@ -567,6 +595,10 @@ pub struct WorkloadReport {
     pub slow_dead_fetch_rounds: u64,
     /// Metadata re-reads forced by unresolvable references.
     pub slow_metadata_rereads: u64,
+    /// Self-healing repair fan-outs (peer-pull rounds started by data
+    /// replicas after detecting a missing or corrupt blob/fragment);
+    /// `0` unless [`StoreBuilder::anti_entropy`] is enabled.
+    pub repair_rounds: u64,
 }
 
 impl WorkloadReport {

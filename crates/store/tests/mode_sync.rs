@@ -137,6 +137,7 @@ fn sync_store_survives_fault_plan_corruption_drills() {
             corruptions: vec![(SimDuration::millis(20), 0), (SimDuration::millis(40), 3)],
             client_corruptions: vec![(SimDuration::millis(30), 0)],
             link_garbage: vec![(SimDuration::millis(30), 2)],
+            data_wipes: vec![],
         },
     };
     let (report, mut sys) = wl.run(&builder);

@@ -19,6 +19,7 @@ fn faulted_ycsb_b() -> Workload {
         corruptions: vec![(SimDuration::millis(3), 1)],
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
+        data_wipes: vec![],
     };
     wl
 }

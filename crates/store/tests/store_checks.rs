@@ -163,6 +163,7 @@ fn fault_plan_corruption_and_garbage_keep_liveness() {
             corruptions: vec![(SimDuration::millis(20), 0), (SimDuration::millis(40), 5)],
             client_corruptions: vec![],
             link_garbage: vec![(SimDuration::millis(30), 2)],
+            data_wipes: vec![],
         },
     };
     let (report, _sys) = wl.run(&builder);

@@ -26,6 +26,7 @@ fn main() {
         corruptions: vec![(SimDuration::millis(3), 1)],
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
+        data_wipes: vec![],
     };
     let builder = StoreBuilder::asynchronous(1)
         .seed(2015)
