@@ -40,6 +40,7 @@ fn faulted_ycsb_b() -> Workload {
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
         data_wipes: vec![],
+        reshards: vec![],
     };
     wl
 }
@@ -140,6 +141,7 @@ fn repair_stabilization_probe(traj: &mut BenchTrajectory) {
             // the victim's shard windows — a wipe before the first put
             // to those shards would be an empty-store no-op.
             data_wipes: vec![(SimDuration::millis(150), 1)],
+            reshards: vec![],
         };
         let t0 = Instant::now();
         let (report, sys) = wl.run(&builder);

@@ -146,6 +146,38 @@ const GATES: &[Gate] = &[
         threshold_floor: 0.0,
         row_filter: Some(("scenario", "wiped-replica")),
     },
+    // The live-reshard probe shares BENCH_store.json (its row is also
+    // matched by the store-throughput gate via its distinct `section`)
+    // but gets a dedicated gate so the handoff-specific obligations are
+    // named: a floor under mid-handoff throughput and a ceiling on the
+    // post-flip stabilization time.
+    Gate {
+        name: "reshard",
+        committed: "BENCH_store.json",
+        smoke: "BENCH_store.smoke.json",
+        id_keys: &[
+            "section",
+            "mix",
+            "mode",
+            "plane",
+            "servers",
+            "shards",
+            "writers",
+            "window_us",
+        ],
+        metrics: &[
+            Metric {
+                key: "ops_per_sim_sec",
+                higher_is_better: true,
+            },
+            Metric {
+                key: "stabilization_time_ns",
+                higher_is_better: false,
+            },
+        ],
+        threshold_floor: 0.0,
+        row_filter: Some(("section", "reshard")),
+    },
     Gate {
         name: "net-wall-clock",
         committed: "BENCH_net.json",

@@ -16,22 +16,25 @@
 //!
 //! Time here is wall-clock (mapped onto [`SimTime`] nanoseconds since
 //! deployment), so latencies and throughput are *real*; scheduling is
-//! the OS's, so runs are not replayable. Fault drills (scheduled
-//! corruption, link garbage) remain simulator-only — the workload's
-//! [`FaultPlan`](sbs_store::FaultPlan) must be empty.
+//! the OS's, so runs are not replayable. Of the
+//! [`FaultPlan`](sbs_store::FaultPlan) drills, `data_wipes` (the
+//! self-healing repair trigger) and `reshards` (the dual-commit shard
+//! handoff) run here too — virtual-time offsets reinterpreted as
+//! wall-clock offsets; the adversarial kinds (scheduled corruption,
+//! link garbage) remain simulator-only.
 
 use crate::codec::WireCodec;
 use crate::transport::{NetFabric, TcpTransport};
 use sbs_bulk::BulkCodec;
 use sbs_check::{check_linearizable, History, InitialState, OpKind, OpRecord};
-use sbs_core::Payload;
+use sbs_core::{Payload, ServerNode};
 use sbs_sim::{
     ConsistencyMonitor, LatencyHistogram, LatencySummary, OpId, ProcessId, SimTime, SlowPath,
     ThreadRuntime, Violation,
 };
 use sbs_store::{
-    KeyRouter, LoopMode, PlannedOp, StoreBuilder, StoreClientNode, StoreConfig, StoreOut,
-    StoreWire, Workload, WorkloadStreams,
+    KeyRouter, LoopMode, PlannedOp, ReshardPlan, RoutingTable, StoreBuilder, StoreClientNode,
+    StoreConfig, StoreOut, StorePayload, StoreServerNode, StoreWire, Workload, WorkloadStreams,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
@@ -120,13 +123,26 @@ pub struct NetStoreSystem<V: Payload + BulkCodec + Send + Sync> {
     pub clients: Vec<ProcessId>,
     /// The shared server fleet.
     pub servers: Vec<ProcessId>,
-    router: KeyRouter,
+    table: RoutingTable,
     config: StoreConfig,
     epoch: Instant,
     log: NetLog<V>,
     latency: BTreeMap<&'static str, LatencyHistogram>,
     monitor: Option<ConsistencyMonitor<Option<V>>>,
     drops: Arc<AtomicU64>,
+    reshard: Option<NetReshard>,
+}
+
+/// One live shard handoff on the socket backend — the same orchestrator
+/// state machine the sim harness runs, driven by the control events the
+/// node threads emit (see `sbs_store::StoreSystem::begin_reshard`).
+#[derive(Debug)]
+struct NetReshard {
+    moves: Vec<(u32, u32, u32)>,
+    awaiting_retire: BTreeSet<u32>,
+    committed: bool,
+    acquires_issued: bool,
+    acquired: BTreeSet<u32>,
 }
 
 impl<V: Payload + BulkCodec + Send + Sync> std::fmt::Debug for NetStoreSystem<V> {
@@ -169,13 +185,14 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
             fabric,
             clients: set.clients,
             servers: set.servers,
-            router: set.router,
+            table: RoutingTable::initial(set.router),
             config: set.config,
             epoch: Instant::now(),
             log: NetLog::new(),
             latency: BTreeMap::new(),
             monitor: set.monitor.then(|| ConsistencyMonitor::with_initial(None)),
             drops,
+            reshard: None,
         })
     }
 
@@ -184,9 +201,14 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
         SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// The key router in force.
+    /// The static key→shard hash base the routing table is built on.
     pub fn router(&self) -> &KeyRouter {
-        &self.router
+        self.table.base()
+    }
+
+    /// The epoch-versioned routing table in force.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.table
     }
 
     /// The validated configuration snapshot this store was built with.
@@ -197,7 +219,7 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
     /// Invokes `put(key, val)` on the shard's owning writer. Values must
     /// be unique per key across the run (the checkers' requirement).
     pub fn put(&mut self, key: &str, val: V) -> OpId {
-        let w = self.router.writer_of(key);
+        let w = self.table.writer_of(key);
         let client = self.clients[w];
         let now = self.now();
         let op = self.log.fresh(client, now, key, Some(val.clone()));
@@ -229,7 +251,7 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
     /// drain time — marginally later than the node emitted it, which
     /// only *widens* the recorded interval and therefore never turns an
     /// atomic history into a violation.
-    fn record(&mut self, pid: ProcessId, out: StoreOut<V>) -> (ProcessId, OpId) {
+    fn record(&mut self, pid: ProcessId, out: StoreOut<V>) -> Option<(ProcessId, OpId)> {
         let at = self.now();
         let completed = match out {
             StoreOut::PutDone { op } => {
@@ -244,35 +266,152 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
                 }
                 (op, self.log.complete(op, at, Some(value)))
             }
+            // Dual-commit control events advance the handoff state
+            // machine; they are not client operations and never touch
+            // the op log, monitor, or latency books.
+            StoreOut::ShardRetired { shard } => {
+                if let Some(r) = &mut self.reshard {
+                    r.awaiting_retire.remove(&shard);
+                }
+                return None;
+            }
+            StoreOut::EpochCommitted { .. } => {
+                if let Some(r) = &mut self.reshard {
+                    r.committed = true;
+                }
+                return None;
+            }
+            StoreOut::ShardAcquired { shard } => {
+                if let Some(r) = &mut self.reshard {
+                    r.acquired.insert(shard);
+                }
+                return None;
+            }
         };
         if let Some((kind, latency_ns)) = completed.1 {
             self.latency.entry(kind).or_default().record(latency_ns);
         }
-        (pid, completed.0)
+        Some((pid, completed.0))
     }
 
-    /// Waits up to `timeout` for at least one completion, then drains
-    /// whatever else is immediately available. Empty on timeout.
+    /// Waits up to `timeout` for at least one output, then drains
+    /// whatever else is immediately available; returns the operation
+    /// completions among them (control events advance the reshard state
+    /// machine instead). Empty on timeout — or when the window carried
+    /// only control events.
     pub fn await_completions(&mut self, timeout: Duration) -> Vec<(ProcessId, OpId)> {
         let mut raw = Vec::new();
         if let Some(first) = self.rt.recv_output(timeout) {
             raw.push(first);
             raw.extend(self.rt.drain_outputs());
         }
-        raw.into_iter()
-            .map(|(pid, out)| self.record(pid, out))
-            .collect()
+        let done = raw
+            .into_iter()
+            .filter_map(|(pid, out)| self.record(pid, out))
+            .collect();
+        self.advance_reshard();
+        done
+    }
+
+    /// Mirror of the sim harness's handoff progression: acquires are
+    /// gated on every retire plus the commit; once every new owner has
+    /// adopted its shard the handoff is over.
+    fn advance_reshard(&mut self) {
+        let Some(r) = &mut self.reshard else { return };
+        if !r.acquires_issued && r.committed && r.awaiting_retire.is_empty() {
+            r.acquires_issued = true;
+            let moves = r.moves.clone();
+            for (shard, _, new) in moves {
+                let c = self.clients[new as usize];
+                self.rt
+                    .invoke::<StoreClientNode<V>>(c, move |n, ctx| n.acquire_shard(shard, ctx));
+            }
+        }
+        let Some(r) = &self.reshard else { return };
+        if r.acquires_issued && r.moves.iter().all(|&(s, _, _)| r.acquired.contains(&s)) {
+            self.reshard = None;
+        }
+    }
+
+    /// Starts a live reshard on the socket deployment — the same
+    /// dual-commit handoff `sbs_store::StoreSystem::begin_reshard`
+    /// drives in the simulator, here over real TCP: retire and grant
+    /// messages are enqueued to the node threads, the epoch flip is
+    /// committed as a register write through the routing register, and
+    /// the gated acquire step is released as the control events come
+    /// back. Keep draining (`await_completions` or a running workload)
+    /// until [`NetStoreSystem::reshard_active`] reports `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reshard is already in flight or the plan is invalid
+    /// for the current table.
+    pub fn begin_reshard(&mut self, plan: &ReshardPlan) {
+        assert!(
+            self.reshard.is_none(),
+            "a reshard is already in flight — drain it before the next plan"
+        );
+        let next = self.table.apply(plan).unwrap_or_else(|e| {
+            panic!("invalid reshard plan: {e}");
+        });
+        let moves = self.table.moves_to(&next);
+        for &(shard, old, new) in &moves {
+            let old_c = self.clients[old as usize];
+            let new_c = self.clients[new as usize];
+            self.rt
+                .invoke::<StoreClientNode<V>>(old_c, move |n, ctx| n.retire_shard(shard, ctx));
+            self.rt
+                .invoke::<StoreClientNode<V>>(new_c, move |n, _| n.grant_shard(shard));
+        }
+        let coordinator = self.clients[moves.first().map(|&(_, _, new)| new as usize).unwrap_or(0)];
+        let (epoch, owners) = (next.epoch(), next.owners().to_vec());
+        self.rt
+            .invoke::<StoreClientNode<V>>(coordinator, move |n, ctx| {
+                n.commit_epoch(epoch, owners, ctx)
+            });
+        self.reshard = Some(NetReshard {
+            awaiting_retire: moves.iter().map(|&(s, _, _)| s).collect(),
+            moves,
+            committed: false,
+            acquires_issued: false,
+            acquired: BTreeSet::new(),
+        });
+        self.table = next;
+    }
+
+    /// True while a shard handoff started by
+    /// [`NetStoreSystem::begin_reshard`] is still in flight.
+    pub fn reshard_active(&self) -> bool {
+        self.reshard.is_some()
+    }
+
+    /// Wipes server `i`'s blob **and** fragment stores — the data-loss
+    /// fault the self-healing plane repairs, here injected into a node
+    /// running on a real socket runtime. Register metadata survives.
+    /// Supported for *correct* servers only (a Byzantine slot hosts a
+    /// different node type and would fail the downcast).
+    pub fn wipe_server_data(&mut self, i: usize) {
+        type Correct<V> =
+            StoreServerNode<StorePayload<V>, ServerNode<StorePayload<V>, StoreOut<V>>>;
+        let pid = self.servers[i];
+        self.rt
+            .invoke::<Correct<V>>(pid, |n, _| n.wipe_data_stores());
     }
 
     /// Drives `w` to completion, closed-loop (one in-flight operation
     /// per client, refilled on completion), writing `mk(id)` for the
-    /// `id`-th planned write. Returns the wall-clock measurements.
+    /// `id`-th planned write. The plan's `data_wipes` and `reshards`
+    /// *are* honoured — their virtual-time offsets are read as
+    /// wall-clock offsets from the start of the run — so the wipe-repair
+    /// drill and live resharding both run on real sockets; the
+    /// adversarial fault kinds remain simulator-only. Returns the
+    /// wall-clock measurements.
     ///
     /// # Panics
     ///
-    /// Panics if the workload is open-loop or carries a fault plan
-    /// (simulator-only features), or if the deployment stalls for
-    /// thirty wall-clock seconds.
+    /// Panics if the workload is open-loop or carries a simulator-only
+    /// fault (Byzantine servers are a builder knob), or if the
+    /// deployment stalls for thirty wall-clock seconds.
     pub fn run_workload(&mut self, w: &Workload, mk: impl Fn(u64) -> V) -> NetReport {
         assert!(
             matches!(w.loop_mode, LoopMode::Closed),
@@ -283,11 +422,23 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
             f.byzantine.is_empty()
                 && f.corruptions.is_empty()
                 && f.client_corruptions.is_empty()
-                && f.link_garbage.is_empty()
-                && f.data_wipes.is_empty(),
-            "fault plans are simulator-only (Byzantine servers are a builder knob)"
+                && f.link_garbage.is_empty(),
+            "adversarial fault plans are simulator-only (Byzantine servers are a builder knob)"
         );
-        let mut streams = WorkloadStreams::new(w, &self.router, self.clients.len());
+        let mut wipes: Vec<(Duration, usize)> = f
+            .data_wipes
+            .iter()
+            .map(|&(at, i)| (Duration::from_nanos(at.as_nanos()), i))
+            .collect();
+        wipes.sort_by_key(|&(at, _)| at);
+        let mut reshards: Vec<(Duration, ReshardPlan)> = f
+            .reshards
+            .iter()
+            .map(|(at, p)| (Duration::from_nanos(at.as_nanos()), p.clone()))
+            .collect();
+        reshards.sort_by_key(|&(at, _)| at);
+        let mut streams = WorkloadStreams::new(w, self.table.base(), self.clients.len());
+        let mut inflight: HashMap<OpId, usize> = HashMap::new();
         let mut issued = 0u64;
         let mut completed = 0u64;
         let mut reads = 0u64;
@@ -295,36 +446,79 @@ impl<V: Payload + BulkCodec + Send + Sync> NetStoreSystem<V> {
         let started = Instant::now();
         let mut issue =
             |sys: &mut Self, streams: &mut WorkloadStreams, c: usize| match streams.next_for(c) {
-                None => false,
+                None => None,
                 Some(PlannedOp::Get { key }) => {
-                    sys.get(c, &key);
                     reads += 1;
-                    true
+                    Some(sys.get(c, &key))
                 }
                 Some(PlannedOp::Put { key, id }) => {
-                    sys.put(&key, mk(id));
                     writes += 1;
-                    true
+                    Some(sys.put(&key, mk(id)))
                 }
             };
         for c in 0..self.clients.len() {
-            issued += u64::from(issue(self, &mut streams, c));
+            if let Some(op) = issue(self, &mut streams, c) {
+                inflight.insert(op, c);
+                issued += 1;
+            }
         }
-        while completed < issued || issued < w.ops {
-            let done = self.await_completions(STALL_TIMEOUT);
+        // Control-only drain windows (handoff events, idle waits before
+        // a scheduled fault falls due) legitimately complete zero ops,
+        // so stall detection is a wall-clock deadline since the last
+        // sign of progress — not per-window emptiness.
+        let mut last_progress = Instant::now();
+        while completed < issued
+            || issued < w.ops
+            || !wipes.is_empty()
+            || !reshards.is_empty()
+            || self.reshard_active()
+        {
+            while wipes
+                .first()
+                .is_some_and(|&(at, _)| started.elapsed() >= at)
+            {
+                let (_, i) = wipes.remove(0);
+                self.wipe_server_data(i);
+                last_progress = Instant::now();
+            }
+            // One handoff at a time: a due plan waits until its
+            // predecessor has fully drained, exactly as in the sim.
+            while !self.reshard_active()
+                && reshards
+                    .first()
+                    .is_some_and(|&(at, _)| started.elapsed() >= at)
+            {
+                let (_, plan) = reshards.remove(0);
+                self.begin_reshard(&plan);
+                last_progress = Instant::now();
+            }
+            let done = self.await_completions(Duration::from_millis(100));
             assert!(
-                !done.is_empty(),
+                last_progress.elapsed() < STALL_TIMEOUT,
                 "socket workload stalled: {completed} of {} ops completed",
                 w.ops
             );
+            if done.is_empty() {
+                continue;
+            }
+            last_progress = Instant::now();
             completed += done.len() as u64;
-            for (pid, _) in done {
-                let c = self
-                    .clients
-                    .iter()
-                    .position(|&p| p == pid)
-                    .expect("completion from a client");
-                issued += u64::from(issue(self, &mut streams, c));
+            for (pid, op) in done {
+                // Refill the stream that issued the op. After a shard
+                // migration a put completes at the *new* owner, so the
+                // completing pid no longer identifies the stream — the
+                // issue-time map does. Positional fallback covers
+                // duplicate-op edge cases.
+                let c = inflight.remove(&op).unwrap_or_else(|| {
+                    self.clients
+                        .iter()
+                        .position(|&p| p == pid)
+                        .expect("completion from a client")
+                });
+                if let Some(op) = issue(self, &mut streams, c) {
+                    inflight.insert(op, c);
+                    issued += 1;
+                }
             }
         }
         let wall_elapsed = started.elapsed();

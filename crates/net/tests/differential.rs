@@ -10,7 +10,9 @@
 use sbs_check::{equivalent_write_histories, History};
 use sbs_net::NetStoreSystem;
 use sbs_sim::SimDuration;
-use sbs_store::{FaultPlan, KeyDist, LoopMode, OpMix, StoreBuilder, StoreSystem, Workload};
+use sbs_store::{
+    FaultPlan, KeyDist, LoopMode, OpMix, ReshardPlan, StoreBuilder, StoreSystem, Workload,
+};
 use std::collections::BTreeMap;
 
 fn workload(ops: u64, mix: OpMix, seed: u64) -> Workload {
@@ -120,6 +122,57 @@ fn ycsb_b_sync_n4_sim_and_socket_agree() {
         .monitor();
     let w = workload(1000, OpMix::ycsb_b(), 17);
     assert_sim_socket_equivalent(&builder, &w);
+}
+
+#[test]
+fn live_reshard_on_sockets_matches_static_sim_run() {
+    // The acceptance bar for live resharding on the socket backend: a
+    // run that migrates shard ownership *mid-workload* over real TCP
+    // must be observationally identical — per-key write sequences and
+    // op counts — to the same-seed run that never resharded, with the
+    // online monitor silent throughout the handoff.
+    let builder = StoreBuilder::asynchronous(1)
+        .shards(4)
+        .writers(2)
+        .seed(41)
+        .monitor();
+    let mut w = workload(600, OpMix::ycsb_a(), 43);
+
+    // Static same-seed baseline on the deterministic simulator.
+    let (sim_report, sim_sys) = w.run(&builder);
+    assert_eq!(sim_report.completed, w.ops, "sim baseline must complete");
+    sim_sys
+        .check_per_key_atomicity()
+        .expect("sim baseline must be atomic");
+
+    // Socket run with a dual-commit handoff ~50 ms in: writer 1 retires
+    // and every shard it owned migrates to writer 0 while the YCSB-A
+    // mix is in flight.
+    let mut net: NetStoreSystem<u64> = NetStoreSystem::deploy(&builder).expect("deploy");
+    let plan = ReshardPlan::merge_writer(net.routing_table(), 1, 0);
+    w.faults.reshards = vec![(SimDuration::millis(50), plan)];
+    let report = net.run_workload(&w, |id| id);
+    assert_eq!(
+        report.completed, w.ops,
+        "resharded socket run must complete"
+    );
+    assert!(!net.reshard_active(), "the handoff must fully drain");
+    assert_eq!(net.routing_table().epoch(), 1, "the epoch must flip");
+    assert!(
+        net.routing_table().shards_of_writer(1).is_empty(),
+        "the retired writer must own nothing"
+    );
+    net.check_per_key_atomicity()
+        .expect("resharded socket histories must be atomic");
+    assert!(
+        net.monitor_violations().is_empty(),
+        "online monitor flagged the handoff: {:?}",
+        net.monitor_violations()
+    );
+
+    let keys = equivalent_write_histories(&sim_histories(&sim_sys), &net.histories())
+        .expect("resharded socket run diverged from the static sim run");
+    assert!(keys > 0, "workload must touch at least one key");
 }
 
 #[test]

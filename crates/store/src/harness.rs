@@ -5,7 +5,7 @@
 use crate::health::{FlightRecord, ReplicaHealth, ShardHealth, StoreHealth};
 use crate::msg::{StoreMsg, StoreOut};
 use crate::node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
-use crate::router::KeyRouter;
+use crate::router::{KeyRouter, ReshardPlan, RoutingTable};
 use crate::val::StoreVal;
 use sbs_bulk::{data_replica_count, BulkCodec, BulkRef, BulkStore, FragmentStore};
 use sbs_check::{
@@ -117,6 +117,7 @@ pub struct StoreBuilder {
     plane: DataPlane,
     settle_horizon: SimDuration,
     batch_window: SimDuration,
+    adaptive_batch: bool,
     bulk_retain: Option<usize>,
     anti_entropy: Option<SimDuration>,
     trace: usize,
@@ -140,6 +141,7 @@ impl StoreBuilder {
             plane: DataPlane::Full,
             settle_horizon: SETTLE_HORIZON,
             batch_window: SimDuration::ZERO,
+            adaptive_batch: false,
             bulk_retain: None,
             anti_entropy: None,
             trace: 0,
@@ -330,6 +332,21 @@ impl StoreBuilder {
     /// so the synchronous timeout discipline is untouched.
     pub fn batch_window(mut self, window: SimDuration) -> Self {
         self.batch_window = window;
+        self
+    }
+
+    /// Makes the Nagle [`StoreBuilder::batch_window`] **adaptive**: an
+    /// operation that finds its client fully idle — nothing held,
+    /// nothing in flight, i.e. the queue has just drained — closes the
+    /// window early and launches immediately, killing the idle-latency
+    /// cost of the hold. Operations arriving while a round is in flight
+    /// still coalesce exactly as before, so batching under backlog (and
+    /// per-key write order) is preserved; launching *earlier* only
+    /// shrinks latitude the register contract already grants. Off by
+    /// default: without this call every run is bit-identical to the
+    /// fixed-window behavior. No effect while the window is zero.
+    pub fn adaptive_batch(mut self) -> Self {
+        self.adaptive_batch = true;
         self
     }
 
@@ -629,7 +646,8 @@ impl StoreBuilder {
                     self.wsn_modulus,
                     self.plane,
                 )
-                .batch_window(self.batch_window),
+                .batch_window(self.batch_window)
+                .adaptive_batch(self.adaptive_batch),
             );
         }
         install_garbage_gen(&mut sim, initial, self.shards);
@@ -637,13 +655,14 @@ impl StoreBuilder {
             sim,
             clients,
             servers,
-            router,
+            table: RoutingTable::initial(router),
             config: snapshot,
             settle_horizon: self.settle_horizon,
             byz_servers: byz_set,
             log: StoreLog::new(),
             latency: BTreeMap::new(),
             monitor: self.monitor.then(|| ConsistencyMonitor::with_initial(None)),
+            reshard: None,
         }
     }
 
@@ -693,7 +712,8 @@ impl StoreBuilder {
                     self.wsn_modulus,
                     self.plane,
                 )
-                .batch_window(self.batch_window),
+                .batch_window(self.batch_window)
+                .adaptive_batch(self.adaptive_batch),
             ));
         }
         let heal_k = match self.plane {
@@ -960,6 +980,27 @@ impl<V: Payload> StoreLog<V> {
     }
 }
 
+/// One live shard handoff, tracked from [`StoreSystem::begin_reshard`]
+/// until every migrating shard has been adopted by its new owner. The
+/// harness is the *orchestrator* role of the dual-commit protocol: it
+/// observes the control events the clients emit and gates each step on
+/// the previous one, so the new owner's adoption read never races the
+/// old owner's final publish.
+#[derive(Debug)]
+struct ReshardInFlight {
+    /// The migrating shards as `(shard, old_writer, new_writer)`.
+    moves: Vec<(u32, u32, u32)>,
+    /// Shards whose old owner has not yet emitted `ShardRetired`.
+    awaiting_retire: BTreeSet<u32>,
+    /// Whether the coordinator's `EpochCommitted` has been observed.
+    committed: bool,
+    /// Whether the acquire step has been issued to the new owners (it
+    /// is gated on all retires *and* the commit).
+    acquires_issued: bool,
+    /// Shards whose new owner has emitted `ShardAcquired`.
+    acquired: BTreeSet<u32>,
+}
+
 /// A running store deployment.
 #[derive(Debug)]
 pub struct StoreSystem<V: Payload + BulkCodec> {
@@ -970,7 +1011,7 @@ pub struct StoreSystem<V: Payload + BulkCodec> {
     pub clients: Vec<ProcessId>,
     /// The shared server fleet.
     pub servers: Vec<ProcessId>,
-    router: KeyRouter,
+    table: RoutingTable,
     config: StoreConfig,
     settle_horizon: SimDuration,
     byz_servers: BTreeSet<usize>,
@@ -981,12 +1022,21 @@ pub struct StoreSystem<V: Payload + BulkCodec> {
     /// The online atomicity monitor over `Option<V>` (`None` = key
     /// absent), fed at invoke/drain time; `None` when not enabled.
     monitor: Option<ConsistencyMonitor<Option<V>>>,
+    /// The in-flight shard handoff, if a reshard is underway.
+    reshard: Option<ReshardInFlight>,
 }
 
 impl<V: Payload + BulkCodec> StoreSystem<V> {
-    /// The key router in force.
+    /// The static key→shard hash base the routing table is built on.
     pub fn router(&self) -> &KeyRouter {
-        &self.router
+        self.table.base()
+    }
+
+    /// The epoch-versioned routing table in force. New puts route by it
+    /// the moment [`StoreSystem::begin_reshard`] flips it — the handoff
+    /// window stages them at the incoming owner.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.table
     }
 
     /// The validated configuration snapshot this store was built with:
@@ -1010,7 +1060,7 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
     /// router). Values must be unique per key across the run so the
     /// checkers can identify which write a read observed.
     pub fn put(&mut self, key: &str, val: V) -> OpId {
-        let w = self.router.writer_of(key);
+        let w = self.table.writer_of(key);
         let client = self.clients[w];
         let now = self.sim.now();
         let op = self.log.fresh(client, now, key, Some(val.clone()));
@@ -1041,12 +1091,34 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
     /// Runs until the event queue drains (or the settle horizon passes —
     /// see [`StoreBuilder::settle_horizon`]), then records completions.
     /// Returns `true` on quiescence.
+    ///
+    /// A reshard in flight re-arms the event queue from the harness side
+    /// (draining control events is what releases the gated acquire
+    /// step), so settling loops until the handoff completes too — a
+    /// handoff that stops making progress reports non-quiescence rather
+    /// than spinning.
     pub fn settle(&mut self) -> bool {
-        let quiet = self
-            .sim
-            .run_until_quiescent(self.sim.now() + self.settle_horizon);
-        self.drain();
-        quiet
+        let mut prev: Option<(bool, bool, usize, usize)> = None;
+        loop {
+            let quiet = self
+                .sim
+                .run_until_quiescent(self.sim.now() + self.settle_horizon);
+            self.drain();
+            if !quiet {
+                return false;
+            }
+            let Some(r) = &self.reshard else { return true };
+            let state = (
+                r.committed,
+                r.acquires_issued,
+                r.awaiting_retire.len(),
+                r.acquired.len(),
+            );
+            if prev == Some(state) {
+                return false; // quiescent but the handoff is wedged
+            }
+            prev = Some(state);
+        }
     }
 
     /// Runs for `d` of virtual time, then records completions. Returns the
@@ -1069,14 +1141,35 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
                     if let Some(m) = &mut self.monitor {
                         m.op_completed(op.0, at.as_nanos(), None);
                     }
-                    self.log.complete(op, at, None, &self.router)
+                    self.log.complete(op, at, None, self.table.base())
                 }
                 StoreOut::GetDone { op, value } => {
                     done.push((pid, op));
                     if let Some(m) = &mut self.monitor {
                         m.op_completed(op.0, at.as_nanos(), Some(value.clone()));
                     }
-                    self.log.complete(op, at, Some(value), &self.router)
+                    self.log.complete(op, at, Some(value), self.table.base())
+                }
+                // Dual-commit control events: they advance the handoff
+                // state machine, never the op log, monitor, or latency
+                // books (they are not client operations).
+                StoreOut::ShardRetired { shard } => {
+                    if let Some(r) = &mut self.reshard {
+                        r.awaiting_retire.remove(&shard);
+                    }
+                    None
+                }
+                StoreOut::EpochCommitted { .. } => {
+                    if let Some(r) = &mut self.reshard {
+                        r.committed = true;
+                    }
+                    None
+                }
+                StoreOut::ShardAcquired { shard } => {
+                    if let Some(r) = &mut self.reshard {
+                        r.acquired.insert(shard);
+                    }
+                    None
                 }
             };
             if let Some((kind, shard, latency_ns)) = completed {
@@ -1086,7 +1179,93 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
                     .record(latency_ns);
             }
         }
+        self.advance_reshard();
         done
+    }
+
+    /// Progresses the in-flight handoff: once every retiring owner has
+    /// published its final map and the epoch flip is committed through
+    /// the quorum, the new owners are told to adopt their shards; once
+    /// every adoption has republished, the handoff is over.
+    fn advance_reshard(&mut self) {
+        let Some(r) = &mut self.reshard else { return };
+        if !r.acquires_issued && r.committed && r.awaiting_retire.is_empty() {
+            r.acquires_issued = true;
+            let moves = r.moves.clone();
+            for (shard, _, new) in moves {
+                let c = self.clients[new as usize];
+                self.sim
+                    .with_node::<StoreClientNode<V>, _>(c, move |n, ctx| {
+                        n.acquire_shard(shard, ctx)
+                    });
+            }
+        }
+        let Some(r) = &self.reshard else { return };
+        if r.acquires_issued && r.moves.iter().all(|&(s, _, _)| r.acquired.contains(&s)) {
+            self.reshard = None;
+        }
+    }
+
+    /// Starts a live reshard: applies `plan` to the routing table and
+    /// kicks off the dual-commit handoff for every shard whose owner
+    /// changes. New puts route by the next epoch immediately — the
+    /// incoming owner stages them until it has adopted the shard — while
+    /// each outgoing owner drains its queue, publishes one final time,
+    /// and retires. The epoch itself is committed as a register write
+    /// through the dedicated routing register by the first move's new
+    /// owner (or the first writer, for a plan that changes no
+    /// ownership). Drive the simulation (`settle` / `run_for`) until
+    /// [`StoreSystem::reshard_active`] reports `false`.
+    ///
+    /// The reshard is stamped as a fault, so
+    /// [`StoreSystem::stabilization_time`] measures how long the history
+    /// takes to provably stabilize after the flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reshard is already in flight or the plan is invalid
+    /// for the current table (unknown shard, writer out of range, or a
+    /// shard moved twice).
+    pub fn begin_reshard(&mut self, plan: &ReshardPlan) {
+        assert!(
+            self.reshard.is_none(),
+            "a reshard is already in flight — settle it before the next plan"
+        );
+        let next = self.table.apply(plan).unwrap_or_else(|e| {
+            panic!("invalid reshard plan: {e}");
+        });
+        let moves = self.table.moves_to(&next);
+        let coordinator = self.clients[moves.first().map(|&(_, _, new)| new as usize).unwrap_or(0)];
+        self.sim.record_fault(coordinator, "reshard");
+        for &(shard, old, new) in &moves {
+            let old_c = self.clients[old as usize];
+            let new_c = self.clients[new as usize];
+            self.sim
+                .with_node::<StoreClientNode<V>, _>(old_c, move |n, ctx| {
+                    n.retire_shard(shard, ctx)
+                });
+            self.sim
+                .with_node::<StoreClientNode<V>, _>(new_c, move |n, _| n.grant_shard(shard));
+        }
+        let (epoch, owners) = (next.epoch(), next.owners().to_vec());
+        self.sim
+            .with_node::<StoreClientNode<V>, _>(coordinator, move |n, ctx| {
+                n.commit_epoch(epoch, owners, ctx)
+            });
+        self.reshard = Some(ReshardInFlight {
+            awaiting_retire: moves.iter().map(|&(s, _, _)| s).collect(),
+            moves,
+            committed: false,
+            acquires_issued: false,
+            acquired: BTreeSet::new(),
+        });
+        self.table = next;
+    }
+
+    /// True while a shard handoff started by
+    /// [`StoreSystem::begin_reshard`] is still in flight.
+    pub fn reshard_active(&self) -> bool {
+        self.reshard.is_some()
     }
 
     /// The completed-op latency histogram of `kind` (`"put"` / `"get"`)
@@ -1212,6 +1391,42 @@ impl<V: Payload + BulkCodec> StoreSystem<V> {
         };
         health.detect_hot_shards();
         health
+    }
+
+    /// **Load-driven rebalancing**: turns [`StoreSystem::health`]'s
+    /// hot-shard signal into a [`ReshardPlan`] that dedicates a writer
+    /// to the hottest shard — every *other* shard co-resident on that
+    /// writer migrates to the least-loaded writer. Returns `None` when
+    /// no shard is hot, the hot shard already has a dedicated writer,
+    /// or there is no other writer to take the load. The caller decides
+    /// when to [`StoreSystem::begin_reshard`] the proposal.
+    pub fn propose_rebalance(&self) -> Option<ReshardPlan> {
+        let health = self.health();
+        let &hot = health.hot_shards.first()?;
+        let owner = self.table.writer_of_shard(hot);
+        let siblings: Vec<u32> = self
+            .table
+            .shards_of_writer(owner)
+            .into_iter()
+            .filter(|&s| s != hot)
+            .collect();
+        if siblings.is_empty() {
+            return None;
+        }
+        let mut load = vec![0u64; self.table.writers() as usize];
+        for ((_, shard), h) in &self.latency {
+            load[self.table.writer_of_shard(*shard)] += h.count();
+        }
+        let (target, _) = load
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| w != owner)
+            .min_by_key(|&(_, &l)| l)?;
+        let mut plan = ReshardPlan::default();
+        for s in siblings {
+            plan = plan.and_migrate(s, target as u32);
+        }
+        Some(plan)
     }
 
     /// Dumps the flight recorder: the causal slice of the trace ring
@@ -1504,6 +1719,43 @@ mod tests {
         assert!(sys.settle());
         assert_eq!(sys.completed_ops(), 32);
         assert_eq!(sys.check_per_key_atomicity().unwrap(), 16);
+    }
+
+    #[test]
+    fn reshard_migrates_ownership_and_keeps_history_atomic() {
+        let mut sys: StoreSystem<u64> = StoreBuilder::asynchronous(1)
+            .seed(9)
+            .shards(4)
+            .writers(2)
+            .build();
+        for i in 0..8u64 {
+            sys.put(&format!("key{i}"), i);
+        }
+        assert!(sys.settle());
+        // Move every shard writer 1 owns to writer 0.
+        let plan = ReshardPlan::merge_writer(sys.routing_table(), 1, 0);
+        sys.begin_reshard(&plan);
+        assert!(sys.reshard_active());
+        // Puts issued mid-handoff route to the new owner and are staged.
+        for i in 0..8u64 {
+            sys.put(&format!("key{i}"), 100 + i);
+        }
+        assert!(sys.settle(), "handoff + staged puts must complete");
+        assert!(!sys.reshard_active());
+        assert_eq!(sys.routing_table().epoch(), 1);
+        assert_eq!(sys.routing_table().shards_of_writer(1), Vec::<u32>::new());
+        for i in 0..8u64 {
+            sys.get((i % 2) as usize, &format!("key{i}"));
+        }
+        assert!(sys.settle());
+        assert_eq!(sys.check_per_key_atomicity().unwrap(), 8);
+        // Reads after the flip observe the post-flip writes.
+        for i in 0..8u64 {
+            let h = sys.history_for_key(&format!("key{i}"));
+            assert_eq!(h.reads().next().unwrap().kind.value(), &Some(100 + i));
+        }
+        // The reshard is stamped as a fault, so stabilization is measured.
+        assert!(sys.stabilization_time().is_some());
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! rebalancing, metadata/data separation à la Cachin–Dobre–Vukolić) builds
 //! on. Three layers:
 //!
-//! 1. **Keyspace router** ([`KeyRouter`]) — deterministic FNV-1a sharding
-//!    of string keys onto `RegId`-keyed shards, and the per-shard writer
-//!    assignment that keeps each shard a single-writer (SWMR, §5.1)
-//!    register.
+//! 1. **Keyspace router** ([`KeyRouter`] / [`RoutingTable`]) —
+//!    deterministic FNV-1a sharding of string keys onto `RegId`-keyed
+//!    shards, and the **epoch-versioned** per-shard writer assignment
+//!    that keeps each shard a single-writer (SWMR, §5.1) register while
+//!    letting a [`ReshardPlan`] migrate shard ownership *live* (see
+//!    `router`'s module docs for the dual-commit handoff).
 //! 2. **Multiplexing nodes** ([`StoreClientNode`], [`StoreServerNode`]) —
 //!    the *unmodified* `sbs-core` state machines ([`ServerCore`] servers,
 //!    [`ReadEngine`]/[`WriteEngine`] clients, Byzantine adversaries) wrapped
@@ -121,7 +123,7 @@ pub use health::{FlightRecord, ReplicaHealth, ShardHealth, StoreHealth};
 pub use map::ShardMap;
 pub use msg::{StoreMsg, StoreOut};
 pub use node::{DataPlane, StoreClientNode, StorePayload, StoreServerNode, StoreWire};
-pub use router::{fnv1a64, KeyRouter};
+pub use router::{fnv1a64, KeyRouter, ReshardPlan, RoutingEpoch, RoutingTable};
 pub use val::{SizedVal, StoreVal};
 pub use workload::{
     FaultPlan, KeyDist, LoopMode, OpMix, PlannedOp, Workload, WorkloadReport, WorkloadStreams,

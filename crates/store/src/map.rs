@@ -7,7 +7,16 @@
 //! shard — per-key atomicity then falls out of register atomicity by
 //! projection.
 //!
+//! "Unique writer" is an *epoch-scoped* claim: under a live reshard (see
+//! [`RoutingTable`]) the map changes hands — the retiring owner drains
+//! its queue and drops its copy, and the acquiring owner adopts the map
+//! wholesale from a quorum read of the very register it is about to
+//! write. The snapshot-per-`put` discipline is what makes that adoption
+//! sound: the register value *is* the full map, so the new owner needs
+//! nothing from the old one beyond what the fleet already stores.
+//!
 //! [`KeyRouter`]: crate::KeyRouter
+//! [`RoutingTable`]: crate::RoutingTable
 
 use sbs_bulk::{get_u32, put_u32, BulkCodec};
 use sbs_core::Payload;

@@ -221,7 +221,10 @@ impl<P: Payload> Message for StoreMsg<P> {
     }
 }
 
-/// Client-visible store operation completions.
+/// Client-visible store operation completions, plus the control-plane
+/// events a live reshard emits (none of which correspond to a workload
+/// operation — harnesses route them to the reshard orchestrator, never to
+/// the consistency monitor or the op log).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreOut<V> {
     /// A `put` finished.
@@ -237,13 +240,37 @@ pub enum StoreOut<V> {
         /// The value found, if any.
         value: Option<V>,
     },
+    /// A retiring owner drained its last queued `put` on this shard and
+    /// dropped ownership — it now refuses further puts there. Ends the
+    /// old-owner half of the dual-commit window.
+    ShardRetired {
+        /// The shard whose ownership was released.
+        shard: u32,
+    },
+    /// The reshard coordinator's routing-register write committed through
+    /// the metadata quorum: the epoch flip is now observable by readers.
+    EpochCommitted {
+        /// The committed epoch counter.
+        epoch: u64,
+    },
+    /// The new owner adopted the shard — it read the old owner's last
+    /// committed snapshot through the quorum, resynced its write stamper,
+    /// republished, and flushed any puts staged during the handoff.
+    ShardAcquired {
+        /// The shard whose ownership was adopted.
+        shard: u32,
+    },
 }
 
 impl<V> StoreOut<V> {
-    /// The completed operation's id.
-    pub fn op(&self) -> OpId {
+    /// The completed operation's id, or `None` for reshard control events
+    /// (which carry no workload operation).
+    pub fn op(&self) -> Option<OpId> {
         match self {
-            StoreOut::PutDone { op } | StoreOut::GetDone { op, .. } => *op,
+            StoreOut::PutDone { op } | StoreOut::GetDone { op, .. } => Some(*op),
+            StoreOut::ShardRetired { .. }
+            | StoreOut::EpochCommitted { .. }
+            | StoreOut::ShardAcquired { .. } => None,
         }
     }
 }
@@ -266,15 +293,18 @@ mod tests {
         ]);
         assert_eq!(m.label(), "BATCH");
         assert!(!m.is_bulk());
-        assert_eq!(StoreOut::<u64>::PutDone { op: OpId(7) }.op(), OpId(7));
+        assert_eq!(StoreOut::<u64>::PutDone { op: OpId(7) }.op(), Some(OpId(7)));
         assert_eq!(
             StoreOut::GetDone {
                 op: OpId(8),
                 value: Some(1u64)
             }
             .op(),
-            OpId(8)
+            Some(OpId(8))
         );
+        assert_eq!(StoreOut::<u64>::ShardRetired { shard: 3 }.op(), None);
+        assert_eq!(StoreOut::<u64>::EpochCommitted { epoch: 1 }.op(), None);
+        assert_eq!(StoreOut::<u64>::ShardAcquired { shard: 3 }.op(), None);
     }
 
     #[test]

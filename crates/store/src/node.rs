@@ -72,12 +72,43 @@
 //! replica garbling the fragment (or proof) it serves is detected
 //! fragment-by-fragment and simply counts as a bad reply.
 //!
+//! # Live resharding (dual-commit shard handoff)
+//!
+//! A shard migrates between writers through a three-role protocol driven
+//! by the harness and committed through the registers themselves (see the
+//! `router` module docs for the epoch model):
+//!
+//! 1. **Old owner** — [`StoreClientNode::retire_shard`] marks the shard
+//!    *retiring*: already-queued puts still publish (the dual-commit
+//!    window — readers keep accepting its stamps, since stamps carry no
+//!    writer identity), and once the last queued put on the shard has
+//!    drained the owner drops the shard and emits
+//!    [`StoreOut::ShardRetired`]. From then on a put routed here panics —
+//!    the "refuses further puts" half of the contract.
+//! 2. **Coordinator** — [`StoreClientNode::commit_epoch`] runs a
+//!    read-then-write of the dedicated routing register (`RegId(shards)`):
+//!    resync a fresh [`WsnStamp`] onto the quorum-agreed stamp (the
+//!    rotating-writer read-before-write rule) and write the new
+//!    [`RoutingEpoch`]. Completion emits [`StoreOut::EpochCommitted`] —
+//!    the flip is now observable through the quorum.
+//! 3. **New owner** — [`StoreClientNode::grant_shard`] starts *staging*
+//!    puts routed here mid-handoff; [`StoreClientNode::acquire_shard`]
+//!    (issued after the retire **and** the committed flip) quorum-reads
+//!    the shard, adopts the old owner's last committed map, resyncs the
+//!    stamper onto its stamp, republishes, emits
+//!    [`StoreOut::ShardAcquired`], and flushes the staged puts. Because
+//!    the adoption read starts only after the old owner's final publish
+//!    completed, the new owner's first stamp is its clockwise successor —
+//!    the register sequence continues as if the writer never changed,
+//!    which is exactly why a resharded run's per-key write histories are
+//!    equivalent to a static run's.
+//!
 //! [`ServerCore`]: sbs_core::ServerCore
 
 use crate::batcher::DestBatcher;
 use crate::map::ShardMap;
 use crate::msg::{StoreMsg, StoreOut};
-use crate::router::KeyRouter;
+use crate::router::{KeyRouter, RoutingEpoch};
 use crate::val::StoreVal;
 use sbs_bulk::{
     coded_push_quorum, data_replica_slots, digest_of, encode_fragments, fragment_leaves,
@@ -1035,6 +1066,41 @@ enum ReadGoal {
     /// Writer-map recovery after transient corruption: adopt the resolved
     /// map as the authoritative copy, then republish it.
     Recover,
+    /// Shard-handoff adoption (new owner): adopt the resolved map *and*
+    /// become the shard's writer — resync the stamper onto the resolved
+    /// stamp, republish, then flush the puts staged during the handoff.
+    Acquire,
+    /// The routing-register read preceding an epoch-flip write: only the
+    /// agreed stamp matters (the value is superseded by the write).
+    CommitEpoch { epoch: u64, owners: Vec<u32> },
+}
+
+/// What the in-flight metadata write completes (consumed by the pump when
+/// the write engine reports done). Exactly one write is in flight per
+/// client, so a single field — set when the write starts — suffices.
+#[derive(Debug)]
+enum WriteIntent {
+    /// Completing the client puts listed in `Phase::Writing`'s `ops`.
+    Ops,
+    /// Recovery republish after transient corruption.
+    Recovery,
+    /// The new owner's adopting republish of a migrating shard.
+    Acquire { shard: u32 },
+    /// The routing-register write committing an epoch flip.
+    EpochCommit { epoch: u64 },
+}
+
+/// A queued reshard control job, run by the pump ahead of client
+/// operations (so a busy closed-loop client cannot starve a handoff, and
+/// a handoff never deadlocks behind puts staged on the very shard being
+/// acquired).
+#[derive(Debug)]
+enum ControlJob {
+    /// Commit `RoutingEpoch { epoch, owners }` through the routing
+    /// register.
+    CommitEpoch { epoch: u64, owners: Vec<u32> },
+    /// Adopt a granted shard: quorum-read, resync, republish.
+    AcquireShard { shard: u32 },
 }
 
 /// A store client: sequential `put`/`get` operations against any number of
@@ -1065,10 +1131,28 @@ pub struct StoreClientNode<V: Payload + BulkCodec> {
     need_recover: VecDeque<u32>,
     recoveries: u64,
     next_bulk_tag: u64,
+    /// Owned shards in the retiring half of a dual-commit handoff:
+    /// already-queued puts still publish; once drained the shard is
+    /// dropped and `ShardRetired` emitted.
+    retiring: BTreeSet<u32>,
+    /// Shards granted to this client mid-handoff, with the puts staged
+    /// until the acquisition republish completes. Presence of the key is
+    /// the "acquiring" state itself.
+    staged: BTreeMap<u32, VecDeque<(OpId, StoreOp<V>)>>,
+    /// Queued reshard control jobs (epoch commits, shard acquisitions),
+    /// run by the pump ahead of client operations.
+    control: VecDeque<ControlJob>,
+    /// What the in-flight metadata write completes.
+    write_intent: WriteIntent,
     /// The Nagle window: how long an op arriving at a fully idle client
     /// is held so later arrivals can share its round. Zero = launch
     /// immediately (the pre-window behavior).
     window: SimDuration,
+    /// Adaptive Nagle mode: an op that finds the client fully idle with
+    /// nothing held (the queue just drained) launches immediately instead
+    /// of paying the window's hold — batches still form behind in-flight
+    /// rounds. Off by default (the fixed-window behavior).
+    adaptive: bool,
     /// The armed flush deadline, if operations are currently held.
     flush_timer: Option<TimerId>,
     /// Reusable per-destination staging for outgoing register messages.
@@ -1214,7 +1298,9 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             link: ClientLink::new(servers.clone(), cfg.t),
             servers,
             clients,
-            policies: (0..router.shards()).map(|_| AtomicPolicy::new()).collect(),
+            // One policy per shard **plus one** for the dedicated routing
+            // register at `RegId(shards)` (the epoch-flip commit path).
+            policies: (0..=router.shards()).map(|_| AtomicPolicy::new()).collect(),
             owned,
             read_engine: ReadEngine::new(RegId(0), cfg),
             write_engine: WriteEngine::new(RegId(0), cfg, Vec::new()),
@@ -1223,7 +1309,12 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             need_recover: VecDeque::new(),
             recoveries: 0,
             next_bulk_tag: 0,
+            retiring: BTreeSet::new(),
+            staged: BTreeMap::new(),
+            control: VecDeque::new(),
+            write_intent: WriteIntent::Ops,
             window: SimDuration::ZERO,
+            adaptive: false,
             flush_timer: None,
             batcher: DestBatcher::new(),
             weaken_recency: false,
@@ -1240,25 +1331,118 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         self
     }
 
+    /// Switches the Nagle window to **adaptive** mode: an operation that
+    /// finds the client fully idle with nothing held — i.e. the queue has
+    /// just drained — closes the window early and launches immediately,
+    /// killing the idle-latency cost of the hold. Operations arriving
+    /// while a round is in flight still coalesce exactly as before, so
+    /// batching under backlog is preserved and per-key write order is
+    /// unchanged (launching *earlier* only shrinks the latitude the
+    /// register contract already grants). Off by default: without this
+    /// call the fixed-window hold semantics are bit-identical to before.
+    pub fn adaptive_batch(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
     /// Invokes `put(key, val)`; completion arrives as
     /// [`StoreOut::PutDone`].
     ///
+    /// Mid-handoff, a put on a shard this client has been granted (but
+    /// not yet acquired) is **staged** and launches after the acquisition
+    /// republish, preserving issue order.
+    ///
     /// # Panics
     ///
-    /// Panics if this client does not own the key's shard (the router must
-    /// direct every put to the shard's writer).
+    /// Panics if this client neither owns nor is acquiring the key's
+    /// shard (the router must direct every put to the shard's writer).
     pub fn invoke_put(&mut self, op: OpId, key: String, val: V, ctx: &mut StoreCtx<'_, V>) {
         let shard = self.router.shard_of(&key);
-        assert!(
-            self.owned.contains_key(&shard),
-            "put({key}) routed to a client that does not own shard {shard}"
-        );
+        if !self.owned.contains_key(&shard) {
+            if let Some(q) = self.staged.get_mut(&shard) {
+                ctx.trace(TraceEvent::OpStart {
+                    op: op.0,
+                    kind: "put",
+                });
+                q.push_back((op, StoreOp::Put { key, val }));
+                return;
+            }
+            panic!("put({key}) routed to a client that does not own shard {shard}");
+        }
         ctx.trace(TraceEvent::OpStart {
             op: op.0,
             kind: "put",
         });
         self.pending.push_back((op, StoreOp::Put { key, val }));
         self.hold_or_step(ctx);
+    }
+
+    /// Old-owner half of a dual-commit handoff: marks `shard` retiring.
+    /// Already-queued puts on it still publish; once the last has drained
+    /// the shard is dropped, [`StoreOut::ShardRetired`] is emitted, and
+    /// any further put routed here panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this client does not own `shard`.
+    pub fn retire_shard(&mut self, shard: u32, ctx: &mut StoreCtx<'_, V>) {
+        assert!(
+            self.owned.contains_key(&shard),
+            "retire of shard {shard} this client does not own"
+        );
+        self.retiring.insert(shard);
+        self.step(ctx);
+    }
+
+    /// New-owner half of a dual-commit handoff, phase 1: start staging
+    /// puts routed here for `shard` until [`Self::acquire_shard`]
+    /// completes the adoption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is out of range or already owned here.
+    pub fn grant_shard(&mut self, shard: u32) {
+        assert!(shard < self.router.shards(), "shard {shard} out of range");
+        assert!(
+            !self.owned.contains_key(&shard),
+            "grant of shard {shard} to a client that already owns it"
+        );
+        self.staged.entry(shard).or_default();
+    }
+
+    /// New-owner half of a dual-commit handoff, phase 2 (issued once the
+    /// old owner retired **and** the epoch flip committed): quorum-read
+    /// `shard`, adopt the last committed map, resync the stamper onto its
+    /// stamp, republish, emit [`StoreOut::ShardAcquired`], and flush the
+    /// staged puts. Queued as a control job — it runs ahead of client
+    /// operations at the next idle pump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard was never granted here.
+    pub fn acquire_shard(&mut self, shard: u32, ctx: &mut StoreCtx<'_, V>) {
+        assert!(
+            self.staged.contains_key(&shard),
+            "acquire of shard {shard} that was never granted"
+        );
+        self.control.push_back(ControlJob::AcquireShard { shard });
+        self.step(ctx);
+    }
+
+    /// Coordinator role of a reshard: commit `RoutingEpoch { epoch,
+    /// owners }` through the dedicated routing register (`RegId(shards)`)
+    /// — a quorum read to resync a fresh stamper (the rotating-writer
+    /// read-before-write rule), then the flip write. Completion emits
+    /// [`StoreOut::EpochCommitted`]. Queued as a control job.
+    pub fn commit_epoch(&mut self, epoch: u64, owners: Vec<u32>, ctx: &mut StoreCtx<'_, V>) {
+        self.control
+            .push_back(ControlJob::CommitEpoch { epoch, owners });
+        self.step(ctx);
+    }
+
+    /// True while `shard` is granted but not yet acquired (puts stage).
+    pub fn is_acquiring(&self, shard: u32) -> bool {
+        self.staged.contains_key(&shard)
     }
 
     /// Invokes `get(key)`; completion arrives as [`StoreOut::GetDone`].
@@ -1281,6 +1465,14 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
             && matches!(self.phase, Phase::Idle)
             && self.need_recover.is_empty()
         {
+            // Adaptive mode: the queue just drained — this op found the
+            // client fully idle with nothing held — so close the window
+            // early and launch now. Later arrivals coalesce behind the
+            // in-flight round as usual.
+            if self.adaptive && self.flush_timer.is_none() && self.pending.len() <= 1 {
+                self.step(ctx);
+                return;
+            }
             if self.flush_timer.is_none() {
                 self.flush_timer = Some(ctx.set_timer(self.window));
             }
@@ -1289,9 +1481,12 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         self.step(ctx);
     }
 
-    /// Operations queued or in flight at this client.
+    /// Operations queued or in flight at this client (including puts
+    /// staged behind an in-progress shard acquisition).
     pub fn backlog(&self) -> usize {
-        self.pending.len() + usize::from(!matches!(self.phase, Phase::Idle))
+        self.pending.len()
+            + self.staged.values().map(VecDeque::len).sum::<usize>()
+            + usize::from(!matches!(self.phase, Phase::Idle))
     }
 
     /// The shards this client writes.
@@ -1464,12 +1659,18 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
         shard: u32,
         sub: &mut Context<'_, RegMsg<StorePayload<V>>, ()>,
     ) {
-        if matches!(goal, ReadGoal::Recover) {
+        if matches!(
+            goal,
+            ReadGoal::Recover | ReadGoal::Acquire | ReadGoal::CommitEpoch { .. }
+        ) {
             // The recovery read must learn the *servers'* agreed state; the
             // owner's own inversion-prevention pair was just scrambled, and
             // trusting it could "prevent" the genuine quorum value in favor
             // of corrupted local memory. Start from a clean policy (the
-            // sanity probe then re-anchors it on the servers).
+            // sanity probe then re-anchors it on the servers). Adoption
+            // and epoch-commit reads start clean for the same reason:
+            // whatever the quorum agrees on *is* the state to continue
+            // from, and stale local prevention state must not outvote it.
             self.policies[shard as usize] = AtomicPolicy::new();
         }
         sub.trace(TraceEvent::Phase {
@@ -1695,7 +1896,34 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 let owned = self.owned.get_mut(&shard).expect("recovering owned shard");
                 owned.map = Arc::unwrap_or_clone(map);
                 owned.stamper = WsnStamp::new(wsn);
+                self.write_intent = WriteIntent::Recovery;
                 self.start_publish(shard, Vec::new(), sub, bulk_sends);
+            }
+            ReadGoal::Acquire => {
+                // Dual-commit adoption: the quorum-read snapshot is the
+                // old owner's last committed map (its final publish
+                // completed before it emitted `ShardRetired`, and the
+                // acquisition was gated on that), so adopting the map and
+                // resyncing onto its stamp continues the register
+                // sequence exactly where the old owner left it — the new
+                // owner's first stamp is the clockwise successor, as if
+                // the writer never changed.
+                sub.trace(TraceEvent::Phase {
+                    shard,
+                    phase: "ShardAdopt",
+                });
+                self.owned.insert(
+                    shard,
+                    OwnedShard {
+                        stamper: WsnStamp::new(wsn),
+                        map: Arc::unwrap_or_clone(map),
+                    },
+                );
+                self.write_intent = WriteIntent::Acquire { shard };
+                self.start_publish(shard, Vec::new(), sub, bulk_sends);
+            }
+            ReadGoal::CommitEpoch { .. } => {
+                unreachable!("epoch commits are intercepted before value resolution")
             }
         }
     }
@@ -1759,6 +1987,54 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         self.start_read(ReadGoal::Recover, shard, sub);
                         continue;
                     }
+                    // Retiring sweep: a retiring shard whose queued puts
+                    // have all drained (and that owes no recovery) is
+                    // dropped here — at Idle nothing is in flight, so its
+                    // last publish has completed through the quorum.
+                    if !self.retiring.is_empty() {
+                        let done: Vec<u32> = self
+                            .retiring
+                            .iter()
+                            .copied()
+                            .filter(|&s| {
+                                !self.need_recover.contains(&s)
+                                    && !self.pending.iter().any(|(_, op)| match op {
+                                        StoreOp::Put { key, .. } => self.router.shard_of(key) == s,
+                                        StoreOp::Get { .. } => false,
+                                    })
+                            })
+                            .collect();
+                        for shard in done {
+                            self.retiring.remove(&shard);
+                            self.owned.remove(&shard);
+                            sub.trace(TraceEvent::Phase {
+                                shard,
+                                phase: "ShardRetired",
+                            });
+                            outs.push(StoreOut::ShardRetired { shard });
+                        }
+                    }
+                    // Reshard control jobs run ahead of client operations
+                    // (and of the flush gate): a busy closed-loop client
+                    // must not starve a handoff, and an acquisition must
+                    // not wait behind puts staged on the very shard it
+                    // unblocks.
+                    if let Some(job) = self.control.pop_front() {
+                        match job {
+                            ControlJob::CommitEpoch { epoch, owners } => {
+                                let routing_shard = self.router.shards();
+                                self.start_read(
+                                    ReadGoal::CommitEpoch { epoch, owners },
+                                    routing_shard,
+                                    sub,
+                                );
+                            }
+                            ControlJob::AcquireShard { shard } => {
+                                self.start_read(ReadGoal::Acquire, shard, sub);
+                            }
+                        }
+                        continue;
+                    }
                     // Ops staged behind an armed flush timer stay held;
                     // the timer's firing clears it and re-enters here.
                     if self.flush_timer.is_some() {
@@ -1784,6 +2060,7 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                             if self.window > SimDuration::ZERO {
                                 self.absorb_put_run(shard, &mut ops);
                             }
+                            self.write_intent = WriteIntent::Ops;
                             self.start_publish(shard, ops, sub, bulk_sends);
                         }
                     }
@@ -1798,6 +2075,34 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                         Some(ReadProgress::Done(source, p)) => {
                             let stamped = self.policies[shard as usize].transform(source, p);
                             let wsn = stamped.wsn;
+                            // An epoch commit needs only the agreed stamp:
+                            // resync a fresh stamper onto it and write the
+                            // flip, whatever value the routing register
+                            // held before.
+                            let goal = match goal {
+                                ReadGoal::CommitEpoch { epoch, owners } => {
+                                    sub.trace(TraceEvent::Phase {
+                                        shard,
+                                        phase: "EpochCommit",
+                                    });
+                                    let mut stamper = WsnStamp::new(wsn);
+                                    let payload =
+                                        WriteStamper::<StoreVal<V>, StorePayload<V>>::stamp(
+                                            &mut stamper,
+                                            StoreVal::Routing(RoutingEpoch { epoch, owners }),
+                                        );
+                                    self.write_engine = WriteEngine::new(
+                                        RegId(shard),
+                                        self.cfg,
+                                        self.clients.clone(),
+                                    );
+                                    self.write_engine.start(payload, &mut self.link, sub);
+                                    self.write_intent = WriteIntent::EpochCommit { epoch };
+                                    self.phase = Phase::Writing { ops: Vec::new() };
+                                    continue;
+                                }
+                                g => g,
+                            };
                             match stamped.val {
                                 StoreVal::Inline(map) => {
                                     self.finish_resolve(
@@ -1818,6 +2123,16 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                                         );
                                         return;
                                     }
+                                }
+                                StoreVal::Routing(_) => {
+                                    // Only the routing register holds this
+                                    // variant; on a data shard it is
+                                    // stabilizing garbage that won a
+                                    // quorum — re-read until real metadata
+                                    // does (same fallback as a Ref under
+                                    // full replication).
+                                    sub.note_metadata_reread();
+                                    self.start_read(goal, shard, sub);
                                 }
                             }
                         }
@@ -1913,8 +2228,27 @@ impl<V: Payload + BulkCodec> StoreClientNode<V> {
                 }
                 Phase::Writing { ops } => {
                     if self.write_engine.poll(&mut self.link, sub) {
-                        if ops.is_empty() {
-                            self.recoveries += 1; // recovery republish
+                        match std::mem::replace(&mut self.write_intent, WriteIntent::Ops) {
+                            WriteIntent::Ops => {}
+                            WriteIntent::Recovery => self.recoveries += 1,
+                            WriteIntent::Acquire { shard } => {
+                                // Adoption republish committed: ownership
+                                // is live. Flush the staged puts into the
+                                // queue (in issue order — their per-key
+                                // order continues the old owner's, since
+                                // the adoption read saw its last commit).
+                                sub.trace(TraceEvent::Phase {
+                                    shard,
+                                    phase: "ShardAcquired",
+                                });
+                                outs.push(StoreOut::ShardAcquired { shard });
+                                if let Some(q) = self.staged.remove(&shard) {
+                                    self.pending.extend(q);
+                                }
+                            }
+                            WriteIntent::EpochCommit { epoch } => {
+                                outs.push(StoreOut::EpochCommitted { epoch });
+                            }
                         }
                         for op in ops {
                             sub.trace(TraceEvent::OpComplete {

@@ -3,6 +3,7 @@
 //! mode), plus a synthetic sized value for payload-size sweeps.
 
 use crate::map::ShardMap;
+use crate::router::RoutingEpoch;
 use sbs_bulk::{get_u32, get_u64, put_u32, put_u64, BulkCodec, BulkRef};
 use sbs_core::Payload;
 use sbs_sim::DetRng;
@@ -39,6 +40,13 @@ pub enum StoreVal<V> {
     /// fragment set under the erasure-coded plane — either way a
     /// fixed-size stand-in the fetch path re-verifies end to end.
     Ref(BulkRef),
+    /// A committed routing epoch. Only the dedicated routing register
+    /// (`RegId(shards)`) ever holds this variant: a reshard coordinator
+    /// writes it to flip the shard→writer assignment through the same
+    /// metadata quorum that stores every shard's value, so the epoch flip
+    /// inherits the register's atomicity and stabilization guarantees
+    /// with no new trust assumptions.
+    Routing(RoutingEpoch),
 }
 
 impl<V: Payload> StoreVal<V> {
@@ -55,6 +63,7 @@ impl<V: fmt::Debug> fmt::Debug for StoreVal<V> {
         match self {
             StoreVal::Inline(m) => write!(f, "Inline({m:?})"),
             StoreVal::Ref(r) => write!(f, "Ref({r:?})"),
+            StoreVal::Routing(e) => write!(f, "Routing(e{} {:?})", e.epoch, e.owners),
         }
     }
 }
@@ -74,13 +83,23 @@ impl<V: Payload> Payload for StoreVal<V> {
                     r.scramble(rng);
                     StoreVal::Ref(r)
                 }
-                StoreVal::Ref(_) => StoreVal::Inline(Arc::new(ShardMap::new())),
+                StoreVal::Ref(_) | StoreVal::Routing(_) => {
+                    StoreVal::Inline(Arc::new(ShardMap::new()))
+                }
             };
             return;
         }
         match self {
             StoreVal::Inline(m) => Arc::make_mut(m).scramble(rng),
             StoreVal::Ref(r) => r.scramble(rng),
+            StoreVal::Routing(e) => {
+                // A garbled routing cell: the epoch counter and ownership
+                // vector lose all meaning, but stay structurally valid.
+                e.epoch = rng.next_u64();
+                for w in &mut e.owners {
+                    *w = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+                }
+            }
         }
     }
 
@@ -88,6 +107,7 @@ impl<V: Payload> Payload for StoreVal<V> {
         1 + match self {
             StoreVal::Inline(m) => m.wire_size(),
             StoreVal::Ref(r) => Payload::wire_size(r),
+            StoreVal::Routing(e) => e.encoded_len() as u64,
         }
     }
 }
@@ -177,6 +197,12 @@ mod tests {
         assert!(inline.wire_size() > 1);
         assert_eq!(r.wire_size(), 41);
         assert_eq!(StoreVal::<u64>::empty().wire_size(), 5);
+        let routing: StoreVal<u64> = StoreVal::Routing(RoutingEpoch {
+            epoch: 3,
+            owners: vec![0, 1, 2, 3, 0, 1, 2, 3],
+        });
+        // tag(1) + epoch(8) + count(4) + 4 bytes per owner.
+        assert_eq!(routing.wire_size(), 1 + 8 + 4 + 32);
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! (`tests/mode_sync.rs`).
 
 use crate::harness::{StoreBuilder, StoreSystem};
-use crate::router::KeyRouter;
+use crate::router::{KeyRouter, ReshardPlan};
 use sbs_bulk::BulkCodec;
 use sbs_core::{ByzStrategy, Payload};
-use sbs_sim::{DetRng, LatencySummary, SimDuration};
+use sbs_sim::{DetRng, LatencySummary, OpId, SimDuration};
+use std::collections::HashMap;
 
 /// Key-popularity distribution over the key space.
 #[derive(Clone, Debug)]
@@ -155,6 +156,15 @@ pub struct FaultPlan {
     /// [`StoreBuilder::anti_entropy`](crate::StoreBuilder::anti_entropy)
     /// to watch the store heal itself.
     pub data_wipes: Vec<(SimDuration, usize)>,
+    /// Live reshards started at a virtual-time offset: `(offset from
+    /// start, plan)`. Not a fault in the adversarial sense — it rides
+    /// the fault plan because it is the same kind of *scheduled
+    /// mid-workload event* (applied at the first drive-slice boundary
+    /// at or after its offset, deterministic like the wipes), and
+    /// because a handoff is exactly the window a checker wants to probe.
+    /// A plan whose predecessor handoff is still in flight waits for the
+    /// next boundary where the table is settled.
+    pub reshards: Vec<(SimDuration, ReshardPlan)>,
 }
 
 impl FaultPlan {
@@ -259,6 +269,24 @@ impl Workload {
                 sys.wipe_server_data(server);
             }
         };
+        // Reshards follow the same slice-boundary discipline as the
+        // wipes; one handoff at a time (a due plan waits while its
+        // predecessor's handoff is still in flight).
+        let mut reshards: Vec<(sbs_sim::SimTime, ReshardPlan)> = self
+            .faults
+            .reshards
+            .iter()
+            .map(|(offset, plan)| (start + *offset, plan.clone()))
+            .collect();
+        reshards.sort_by_key(|&(at, _)| at);
+        let mut apply_due_reshards = |sys: &mut StoreSystem<V>| {
+            while !sys.reshard_active()
+                && reshards.first().is_some_and(|&(at, _)| at <= sys.sim.now())
+            {
+                let (_, plan) = reshards.remove(0);
+                sys.begin_reshard(&plan);
+            }
+        };
 
         let mut driver = Driver::new(self, &sys);
         let mut reads = 0u64;
@@ -275,6 +303,7 @@ impl Workload {
                 while driver.completed < driver.issued || driver.issued < self.ops {
                     let done = sys.run_for(DRIVE_SLICE);
                     apply_due_wipes(&mut sys);
+                    apply_due_reshards(&mut sys);
                     if done.is_empty() {
                         idle_slices += 1;
                         assert!(
@@ -287,8 +316,15 @@ impl Workload {
                     }
                     idle_slices = 0;
                     driver.completed += done.len() as u64;
-                    for (pid, _) in done {
-                        let c = sys.clients.iter().position(|&p| p == pid).expect("client");
+                    for (pid, op) in done {
+                        // Refill the stream that *issued* the op, not the
+                        // client it completed at: after a reshard the put
+                        // executes (and completes) at the shard's new
+                        // owner, while the quota being drained is the
+                        // issuing stream's.
+                        let c = driver.inflight.remove(&op).unwrap_or_else(|| {
+                            sys.clients.iter().position(|&p| p == pid).expect("client")
+                        });
                         driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                     }
                 }
@@ -319,6 +355,7 @@ impl Workload {
                         let done = sys.run_for(target - sys.sim.now());
                         driver.completed += done.len() as u64;
                         apply_due_wipes(&mut sys);
+                        apply_due_reshards(&mut sys);
                     }
                     driver.issue_next_for(c, &mut sys, &mk, &mut reads, &mut writes);
                 }
@@ -327,6 +364,7 @@ impl Workload {
                     let done = sys.run_for(DRIVE_SLICE).len() as u64;
                     driver.completed += done;
                     apply_due_wipes(&mut sys);
+                    apply_due_reshards(&mut sys);
                     idle_slices = if done == 0 { idle_slices + 1 } else { 0 };
                     assert!(
                         idle_slices < STALL_SLICES,
@@ -336,6 +374,20 @@ impl Workload {
                     );
                 }
             }
+        }
+
+        // The last scheduled reshard may still be mid-handoff when the
+        // final operation completes — drive it home so the returned
+        // system is at a settled epoch (and `stabilization_time` can be
+        // read off it).
+        let mut idle_slices = 0;
+        while sys.reshard_active() {
+            sys.run_for(DRIVE_SLICE);
+            idle_slices += 1;
+            assert!(
+                idle_slices < STALL_SLICES,
+                "reshard handoff never completed after the workload drained"
+            );
         }
 
         let elapsed = sys.sim.now() - start;
@@ -403,7 +455,9 @@ pub enum PlannedOp {
     /// Write the `id`-th unique value to `key` (the caller maps `id` onto
     /// its value type; the mapping must stay injective for the checkers).
     Put {
-        /// The key to write (owned by the issuing client).
+        /// The key to write (owned by the issuing client's stream at
+        /// epoch 0 — under a live reshard the runtime routes the put to
+        /// the shard's current owner, which may be another client).
         key: String,
         /// Globally unique write sequence number, a pure function of
         /// (client, per-client write count).
@@ -520,6 +574,11 @@ struct Driver {
     issued: u64,
     completed: u64,
     streams: WorkloadStreams,
+    /// In-flight operation → issuing stream index. A put issued after a
+    /// reshard executes (and completes) at the shard's *new* owner, so
+    /// closed-loop refill maps each completion back to the stream that
+    /// issued it instead of trusting the completing process id.
+    inflight: HashMap<OpId, usize>,
 }
 
 impl Driver {
@@ -528,6 +587,7 @@ impl Driver {
             issued: 0,
             completed: 0,
             streams: WorkloadStreams::new(w, sys.router(), sys.clients.len()),
+            inflight: HashMap::new(),
         }
     }
 
@@ -541,17 +601,18 @@ impl Driver {
         reads: &mut u64,
         writes: &mut u64,
     ) {
-        match self.streams.next_for(c) {
+        let op = match self.streams.next_for(c) {
             None => return,
             Some(PlannedOp::Get { key }) => {
-                sys.get(c, &key);
                 *reads += 1;
+                sys.get(c, &key)
             }
             Some(PlannedOp::Put { key, id }) => {
-                sys.put(&key, mk(id));
                 *writes += 1;
+                sys.put(&key, mk(id))
             }
-        }
+        };
+        self.inflight.insert(op, c);
         self.issued += 1;
     }
 }

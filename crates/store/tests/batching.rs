@@ -98,6 +98,76 @@ fn windowed_bulk_runs_are_differentially_equivalent() {
         .expect("bulk batching must not change observable write histories");
 }
 
+/// A sparse open-loop arrival process: per-client inter-arrival gaps
+/// far wider than one register round, so nearly every operation finds
+/// its client fully idle — the shape where a fixed Nagle window taxes
+/// every op with the full hold and an adaptive window should not.
+fn sparse_ycsb_a(ops: u64) -> Workload {
+    Workload {
+        ops,
+        keys: 64,
+        mix: OpMix::ycsb_a(),
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        loop_mode: LoopMode::Open {
+            mean_interarrival: SimDuration::millis(30),
+        },
+        seed: 42,
+        faults: FaultPlan::none(),
+    }
+}
+
+/// The adaptive window's differential acceptance: closing the window
+/// early when the queue has drained must leave per-key write histories
+/// exactly as the fixed window produced them — under backlog (bursty)
+/// *and* idle (sparse) arrivals — while cutting the open-loop idle p50
+/// by a measurable slice of the window it no longer waits out.
+#[test]
+fn adaptive_window_cuts_idle_p50_without_changing_histories() {
+    let window = SimDuration::micros(500);
+    let fixed = base_builder().batch_window(window);
+    let adaptive = base_builder().batch_window(window).adaptive_batch();
+
+    // Under backlog the adaptive path must never fire differently
+    // enough to change what readers can observe.
+    let ops = 300;
+    let (_, fixed_bursty) = run(&fixed, ops);
+    let (_, adaptive_bursty) = run(&adaptive, ops);
+    equivalent_write_histories(
+        &keyed_histories(&fixed_bursty),
+        &keyed_histories(&adaptive_bursty),
+    )
+    .expect("adaptive close must not change bursty write histories");
+
+    // Under sparse arrivals, same histories — but the p50 sheds the
+    // hold the fixed window charges every idle-arriving op. A wide
+    // window (4 ms against a ~2 ms link-delay ceiling) keeps the shed
+    // hold far above the latency histogram's bucket granularity.
+    let window = SimDuration::millis(4);
+    let fixed = base_builder().batch_window(window);
+    let adaptive = base_builder().batch_window(window).adaptive_batch();
+    let (fixed_report, fixed_sys) = sparse_ycsb_a(ops).run(&fixed);
+    let (adaptive_report, adaptive_sys) = sparse_ycsb_a(ops).run(&adaptive);
+    assert_eq!(fixed_report.completed, ops);
+    assert_eq!(adaptive_report.completed, ops);
+    equivalent_write_histories(
+        &keyed_histories(&fixed_sys),
+        &keyed_histories(&adaptive_sys),
+    )
+    .expect("adaptive close must not change sparse write histories");
+
+    let f50 = fixed_report.get_latency.as_ref().expect("gets ran").p50_ns;
+    let a50 = adaptive_report
+        .get_latency
+        .as_ref()
+        .expect("gets ran")
+        .p50_ns;
+    assert!(
+        a50 + window.as_nanos() / 4 < f50,
+        "adaptive p50 must drop by a measurable slice of the window: \
+         fixed {f50} ns vs adaptive {a50} ns"
+    );
+}
+
 /// No op is held past its flush deadline: an operation arriving at a
 /// fully idle client launches exactly when the window expires — not a
 /// nanosecond later, and (with no companions) not earlier.

@@ -138,6 +138,7 @@ fn sync_store_survives_fault_plan_corruption_drills() {
             client_corruptions: vec![(SimDuration::millis(30), 0)],
             link_garbage: vec![(SimDuration::millis(30), 2)],
             data_wipes: vec![],
+            reshards: vec![],
         },
     };
     let (report, mut sys) = wl.run(&builder);

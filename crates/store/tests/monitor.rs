@@ -20,6 +20,7 @@ fn faulted_ycsb_b() -> Workload {
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
         data_wipes: vec![],
+        reshards: vec![],
     };
     wl
 }

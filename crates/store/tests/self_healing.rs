@@ -154,6 +154,7 @@ fn any_replica_wiped_at_any_point_reconverges() {
             client_corruptions: vec![],
             link_garbage: vec![],
             data_wipes: vec![(at, victim)],
+            reshards: vec![],
         };
         let healing = mk().anti_entropy(SimDuration::millis(2)).monitor();
         let (report, sys) = faulted.run(&healing);
@@ -207,6 +208,7 @@ fn coded_retention_eviction_races_are_repairable() {
         client_corruptions: vec![],
         link_garbage: vec![],
         data_wipes: vec![(SimDuration::millis(40), 2)],
+        reshards: vec![],
     };
     let (report, sys) = wl.run(&builder);
     assert_eq!(report.completed, 200);

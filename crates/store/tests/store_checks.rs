@@ -8,8 +8,8 @@ use sbs_check::{check_linearizable, check_regularity, InitialState};
 use sbs_core::ByzStrategy;
 use sbs_sim::{DelayModel, DetRng, SimDuration};
 use sbs_store::{
-    DataPlane, FaultPlan, KeyDist, KeyRouter, LoopMode, OpMix, StoreBuilder, StoreSystem, SyncMode,
-    Workload,
+    DataPlane, FaultPlan, KeyDist, KeyRouter, LoopMode, OpMix, RoutingTable, StoreBuilder,
+    StoreSystem, SyncMode, Workload,
 };
 
 /// The acceptance run: a 64-key store sharded over 8 registers on one
@@ -64,6 +64,29 @@ fn router_assignment_is_deterministic_across_runs() {
         vec![4, 7, 2, 5, 0, 3, 6, 1, 4, 7, 5, 2, 7, 4, 1, 6],
         "key→shard placement changed — this breaks existing deployments"
     );
+    // Epoch 0 of the versioned routing table is bit-identical to the
+    // legacy static router over the same frozen keys: same shard, same
+    // writer, for every key, shard count, and writer count — a fresh
+    // deployment that never reshards places exactly as before.
+    let t = RoutingTable::initial(r);
+    assert_eq!(t.epoch(), 0);
+    for i in 0..16 {
+        let key = format!("key{i}");
+        assert_eq!(t.shard_of(&key), r.shard_of(&key));
+        assert_eq!(t.writer_of(&key), r.writer_of(&key), "key {key}");
+    }
+    let mut rng = DetRng::from_seed(0xE0);
+    for _ in 0..100 {
+        let shards = rng.range_inclusive(1, 32) as u32;
+        let writers = rng.range_inclusive(1, 8) as u32;
+        let r = KeyRouter::new(shards, writers);
+        let t = RoutingTable::initial(r);
+        let key = format!("key{}", rng.next_u64() % 10_000);
+        assert_eq!(t.writer_of(&key), r.writer_of(&key));
+        for s in 0..shards {
+            assert_eq!(t.writer_of_shard(s), r.writer_of_shard(s));
+        }
+    }
 }
 
 /// Router property (b): under each Byzantine strategy, within the
@@ -164,6 +187,7 @@ fn fault_plan_corruption_and_garbage_keep_liveness() {
             client_corruptions: vec![],
             link_garbage: vec![(SimDuration::millis(30), 2)],
             data_wipes: vec![],
+            reshards: vec![],
         },
     };
     let (report, _sys) = wl.run(&builder);

@@ -27,6 +27,7 @@ fn main() {
         client_corruptions: vec![],
         link_garbage: vec![(SimDuration::millis(5), 2)],
         data_wipes: vec![],
+        reshards: vec![],
     };
     let builder = StoreBuilder::asynchronous(1)
         .seed(2015)

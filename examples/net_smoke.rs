@@ -20,10 +20,51 @@
 //! catch.
 
 use stabilizing_storage::net::NetStoreSystem;
-use stabilizing_storage::store::{StoreBuilder, Workload};
+use stabilizing_storage::sim::SimDuration;
+use stabilizing_storage::store::{OpMix, StoreBuilder, Workload};
 use std::time::{Duration, Instant};
 
 const WALL_BUDGET: Duration = Duration::from_secs(60);
+
+/// The socket wipe drill: a bulk-plane deployment with anti-entropy
+/// loses one data replica's blob stores mid-run — over real TCP, not
+/// the simulator — and the self-healing plane must pull the committed
+/// blobs back from window peers, visible as slow-path repair rounds.
+fn wipe_drill() {
+    let mut wl = Workload::ycsb_b(400, 32);
+    wl.mix = OpMix::ycsb_a(); // write-heavy, so stores populate early
+    wl.faults.data_wipes = vec![(SimDuration::millis(30), 2)];
+    let builder = StoreBuilder::asynchronous(1)
+        .seed(77)
+        .shards(4)
+        .writers(2)
+        .bulk()
+        .anti_entropy(SimDuration::millis(5))
+        .monitor();
+    let mut sys: NetStoreSystem<u64> = NetStoreSystem::deploy(&builder).expect("deploy drill");
+    let report = sys.run_workload(&wl, |id| id);
+    assert_eq!(report.completed, wl.ops, "drill workload must complete");
+
+    // The repair runs on the servers' own anti-entropy timers; give it
+    // wall-clock room after the workload drains.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while sys.slow_paths().repair_rounds == 0 && Instant::now() < deadline {
+        sys.await_completions(Duration::from_millis(50));
+    }
+    let repairs = sys.slow_paths().repair_rounds;
+    assert!(
+        repairs > 0,
+        "the wiped replica must repair itself over TCP (0 repair rounds observed)"
+    );
+    sys.check_per_key_atomicity()
+        .expect("drill histories must stay atomic through wipe and repair");
+    assert!(
+        sys.monitor_violations().is_empty(),
+        "monitor must stay quiet through the drill: {:?}",
+        sys.monitor_violations()
+    );
+    println!("wipe drill: {repairs} repair rounds over TCP, histories atomic, monitor quiet");
+}
 
 fn main() {
     let wl = Workload::ycsb_b(300, 64);
@@ -110,4 +151,6 @@ fn main() {
         atomicity.expect("checked above"),
         started.elapsed().as_secs_f64() * 1e3
     );
+
+    wipe_drill();
 }
